@@ -1,0 +1,45 @@
+"""E1 — preprocessing is pseudo-linear (Theorem 2.7's preprocessing phase).
+
+Claim: preprocessing time on a bounded-degree class grows like
+``n^{1+eps}``; across a geometric sweep of ``n`` the fitted log-log
+exponent should stay close to 1 (and well below 2).
+
+Read the shape off the pytest-benchmark group "E1-preprocessing": the mean
+time should roughly double when ``n`` doubles.
+"""
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+
+from workloads import EXAMPLE_23, QUANTIFIED_QUERY, colored_graph, query
+
+SIZES = [512, 1024, 2048, 4096]
+DEGREE = 4
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="E1-preprocessing-example23")
+def bench_preprocessing_example23(benchmark, n):
+    db = colored_graph(n, DEGREE)
+    formula = query(EXAMPLE_23)
+
+    result = benchmark.pedantic(
+        lambda: Pipeline(db, formula), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["graph_nodes"] = result.stats()["graph_nodes"]
+
+
+@pytest.mark.parametrize("n", [256, 512, 1024])
+@pytest.mark.benchmark(group="E1-preprocessing-quantified")
+def bench_preprocessing_quantified(benchmark, n):
+    """Preprocessing for a rank-1 query (localization + larger radius)."""
+    db = colored_graph(n, 3)
+    formula = query(QUANTIFIED_QUERY)
+
+    result = benchmark.pedantic(
+        lambda: Pipeline(db, formula), rounds=3, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["derived"] = result.stats()["derived_predicates"]

@@ -1,0 +1,47 @@
+"""E3 — counting is pseudo-linear (Theorem 2.5).
+
+Claim: ``|q(A)|`` is computed in time ``~ n^{1+eps}`` even when the answer
+set itself has size ``Theta(n^2)`` — counting never materializes answers.
+
+Shape to read off group "E3-counting": time roughly doubles with ``n``
+while the counted value roughly *quadruples*.
+"""
+
+import pytest
+
+from repro.core.counting import count_answers
+from repro.core.pipeline import Pipeline
+from repro.fo.semantics import naive_count
+
+from workloads import EXAMPLE_23, colored_graph, query
+
+SIZES = [512, 1024, 2048, 4096]
+DEGREE = 4
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="E3-counting")
+def bench_count(benchmark, n):
+    db = colored_graph(n, DEGREE)
+    pipeline = Pipeline(db, query(EXAMPLE_23))
+
+    count = benchmark.pedantic(lambda: count_answers(pipeline), rounds=3, iterations=2)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["count"] = count
+    # Quadratically many answers, counted without enumerating them.
+    assert count > n
+
+
+@pytest.mark.parametrize("n", [60, 120])
+@pytest.mark.benchmark(group="E3-counting-vs-naive")
+def bench_naive_count_for_reference(benchmark, n):
+    """The O(n^2) naive count at small n — the quadratic strawman."""
+    db = colored_graph(n, DEGREE)
+    formula = query(EXAMPLE_23)
+    count = benchmark.pedantic(
+        lambda: naive_count(formula, db), rounds=2, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    # Cross-check correctness while we are here.
+    pipeline = Pipeline(db, formula)
+    assert count_answers(pipeline) == count

@@ -1,0 +1,63 @@
+"""E4 — answer testing is constant time (Theorem 2.6).
+
+Claim: after preprocessing, one membership test costs O(1), independent
+of ``n`` and of which tuple is probed.
+
+Shape to read off group "E4-testing": per-test time flat across an 8x
+sweep of ``n``; the probe mix is 50% answers / 50% non-answers.
+"""
+
+import random
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.core.testing import test_answer
+
+from workloads import EXAMPLE_23, QUANTIFIED_QUERY, colored_graph, query
+
+SIZES = [512, 1024, 2048, 4096]
+DEGREE = 4
+
+
+def _probe_mix(pipeline, db, count=200, seed=99):
+    """Half answers (blue-red non-edges), half rejects."""
+    rng = random.Random(seed)
+    domain = list(db.domain)
+    probes = []
+    while len(probes) < count:
+        left = rng.choice(domain)
+        right = rng.choice(domain)
+        probes.append((left, right))
+    return probes
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.benchmark(group="E4-testing")
+def bench_testing(benchmark, n):
+    db = colored_graph(n, DEGREE)
+    pipeline = Pipeline(db, query(EXAMPLE_23))
+    probes = _probe_mix(pipeline, db)
+
+    def run():
+        hits = 0
+        for probe in probes:
+            if test_answer(pipeline, probe):
+                hits += 1
+        return hits
+
+    hits = benchmark(run)
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["positive_fraction"] = hits / len(probes)
+
+
+@pytest.mark.parametrize("n", [256, 512, 1024])
+@pytest.mark.benchmark(group="E4-testing-quantified")
+def bench_testing_quantified(benchmark, n):
+    db = colored_graph(n, 3)
+    pipeline = Pipeline(db, query(QUANTIFIED_QUERY))
+    domain = list(db.domain)
+    probes = [(element,) for element in domain[:200]]
+
+    benchmark(lambda: sum(1 for probe in probes if test_answer(pipeline, probe)))
+    benchmark.extra_info["n"] = n

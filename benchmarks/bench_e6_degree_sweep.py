@@ -1,0 +1,55 @@
+"""E6 — behaviour across degree schedules (the low-degree frontier).
+
+Claim (Section 2.3): the guarantees hold for any class where
+``d <= n^delta`` eventually — bounded degree, ``log n`` degree — and the
+constants degrade as the degree grows (the bounds carry ``d^{h(|q|)}``
+factors).
+
+Shape to read off group "E6-degree-sweep": at fixed ``n``, preprocessing
+grows with ``d``; the log-degree class sits between ``d = 4`` and the
+``n^0.5`` regime, which is visibly the most expensive.
+"""
+
+import math
+
+import pytest
+
+from repro.core.counting import count_answers
+from repro.core.pipeline import Pipeline
+
+from workloads import EXAMPLE_23, colored_graph, query
+
+N = 1024
+DEGREES = {
+    "d=2": 2,
+    "d=4": 4,
+    "d=8": 8,
+    "d=log-n": max(2, int(math.log2(N))),
+    "d=n^0.4": max(2, int(N ** 0.4)),
+}
+
+
+@pytest.mark.parametrize("label", list(DEGREES))
+@pytest.mark.benchmark(group="E6-degree-sweep-preprocessing")
+def bench_preprocess_by_degree(benchmark, label):
+    db = colored_graph(N, DEGREES[label])
+    formula = query(EXAMPLE_23)
+
+    pipeline = benchmark.pedantic(
+        lambda: Pipeline(db, formula), rounds=2, iterations=1
+    )
+    benchmark.extra_info["degree"] = DEGREES[label]
+    benchmark.extra_info["graph_nodes"] = pipeline.stats()["graph_nodes"]
+
+
+@pytest.mark.parametrize("label", list(DEGREES))
+@pytest.mark.benchmark(group="E6-degree-sweep-counting")
+def bench_count_by_degree(benchmark, label):
+    db = colored_graph(N, DEGREES[label])
+    pipeline = Pipeline(db, query(EXAMPLE_23))
+
+    count = benchmark.pedantic(
+        lambda: count_answers(pipeline), rounds=2, iterations=1
+    )
+    benchmark.extra_info["degree"] = DEGREES[label]
+    benchmark.extra_info["count"] = count

@@ -1,0 +1,71 @@
+"""E7 — ablation: lazy-memoized skip vs the paper's strict precompute.
+
+The paper precomputes ``skip(y, V)`` for *all* admissible ``(y, V)`` — the
+``d-hat^(3k^2)`` constant its conclusion flags as enormous.  The default
+implementation computes skip cells on first use (deviation #2 in
+DESIGN.md).  This ablation quantifies the trade:
+
+* strict mode pays a much larger preprocessing bill (group
+  "E7-skip-preprocessing"),
+* both modes enumerate identically afterwards (group
+  "E7-skip-enumeration"), with strict mode's delay worst case marginally
+  tighter (all cells hit).
+"""
+
+import pytest
+
+from repro.core.enumeration import BranchEnumerator, enumerate_answers
+from repro.core.pipeline import Pipeline
+
+from workloads import EXAMPLE_23, colored_graph, consume, query
+
+N = 512
+DEGREE = 3
+MODES = ["lazy", "precompute"]
+
+
+def _fresh_pipeline():
+    db = colored_graph(N, DEGREE)
+    return Pipeline(db, query(EXAMPLE_23))
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="E7-skip-preprocessing")
+def bench_skip_preprocessing(benchmark, mode):
+    """Cost of arming the skip machinery for every branch."""
+    pipeline = _fresh_pipeline()
+
+    def arm():
+        cells = 0
+        for branch in pipeline.branches:
+            enumerator = BranchEnumerator(pipeline, branch, skip_mode=mode)
+            cells += enumerator.skip_cells
+        return cells
+
+    cells = benchmark.pedantic(arm, rounds=2, iterations=1)
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["skip_cells"] = cells
+    if mode == "precompute":
+        assert cells > 0
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.benchmark(group="E7-skip-enumeration")
+def bench_skip_enumeration(benchmark, mode):
+    pipeline = _fresh_pipeline()
+
+    produced = benchmark.pedantic(
+        lambda: consume(enumerate_answers(pipeline, skip_mode=mode), 20_000),
+        rounds=3,
+        iterations=1,
+    )
+    assert produced == 20_000
+    benchmark.extra_info["mode"] = mode
+
+
+def bench_skip_modes_agree():
+    """Sanity (not timed): both modes produce the identical stream."""
+    pipeline = _fresh_pipeline()
+    lazy = list(enumerate_answers(pipeline, skip_mode="lazy"))
+    strict = list(enumerate_answers(pipeline, skip_mode="precompute"))
+    assert lazy == strict

@@ -1,0 +1,72 @@
+"""E8 — the Storing Theorem in practice (Theorem 2.1, Corollary 2.2).
+
+Claims:
+
+* lookups cost O(depth) = O(k/eps) array accesses — independent of the
+  number of stored keys and of ``n`` (group "E8-lookup");
+* build cost and storage scale with ``|dom(f)| * n^eps`` — larger ``eps``
+  means shallower tries and faster lookups but more slack per node
+  (group "E8-build", ``slots_allocated`` in extra_info);
+* the hash-table realization (``dict``) of the same interface, for
+  reference.
+"""
+
+import random
+
+import pytest
+
+from repro.storage.trie import DictBackend, StoringTrie
+
+N = 1 << 14
+KEY_COUNT = 5_000
+EPSILONS = [0.25, 0.5, 1.0]
+
+
+def _keys(seed=7):
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(N), rng.randrange(N)) for _ in range(KEY_COUNT)
+    ]
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+@pytest.mark.benchmark(group="E8-build")
+def bench_build(benchmark, eps):
+    keys = _keys()
+
+    def build():
+        trie = StoringTrie(n=N, k=2, eps=eps)
+        for index, key in enumerate(keys):
+            trie.store(key, index)
+        return trie
+
+    trie = benchmark(build)
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["depth"] = trie.depth
+    benchmark.extra_info["slots_allocated"] = trie.slots_allocated
+
+
+@pytest.mark.parametrize("eps", EPSILONS)
+@pytest.mark.benchmark(group="E8-lookup")
+def bench_lookup(benchmark, eps):
+    keys = _keys()
+    trie = StoringTrie(n=N, k=2, eps=eps)
+    for index, key in enumerate(keys):
+        trie.store(key, index)
+    probes = keys[:500] + _keys(seed=8)[:500]  # half hits, half misses
+
+    benchmark(lambda: sum(1 for key in probes if trie.lookup(key) is not None))
+    benchmark.extra_info["eps"] = eps
+    benchmark.extra_info["depth"] = trie.depth
+
+
+@pytest.mark.benchmark(group="E8-lookup")
+def bench_lookup_dict_reference(benchmark):
+    keys = _keys()
+    table = DictBackend(k=2)
+    for index, key in enumerate(keys):
+        table.store(key, index)
+    probes = keys[:500] + _keys(seed=8)[:500]
+
+    benchmark(lambda: sum(1 for key in probes if table.lookup(key) is not None))
+    benchmark.extra_info["eps"] = "dict"

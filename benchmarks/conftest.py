@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one experiment from DESIGN.md's index (E1..E9);
+pytest-benchmark's group tables are the "figures": within a group, compare
+rows across the ``n`` / ``d`` / mode parameter to read off the scaling
+shape.  ``benchmarks/run_experiments.py`` produces the EXPERIMENTS.md
+summary tables standalone.
+"""
+
+import gc
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _disable_gc():
+    """Disable the cycle collector during measurements: the paper's delay
+    bounds are RAM-model statements and CPython GC pauses are noise."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    yield
+    if was_enabled:
+        gc.enable()

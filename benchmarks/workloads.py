@@ -1,0 +1,80 @@
+"""Shared benchmark workloads.
+
+Structures are cached per parameter set so pytest-benchmark's repeated
+calls do not regenerate them; every generator is seeded, so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import islice
+from typing import Iterable, Iterator, Tuple
+
+from repro.fo.parser import parse
+from repro.structures.random_gen import (
+    degree_log,
+    random_colored_graph,
+)
+from repro.structures.structure import Structure
+
+# The paper's running example (Example 2.3): blue-red pairs without an edge.
+EXAMPLE_23 = "B(x) & R(y) & ~E(x,y)"
+# Its positive twin: blue-red pairs *with* an edge (a connected conjunction).
+EXAMPLE_23_POSITIVE = "B(x) & R(y) & E(x,y)"
+# A 3-ary disconnected-triple query.
+TRIPLE_QUERY = "B(x) & R(y) & G(z) & ~E(x,y) & ~E(y,z) & ~E(x,z)"
+# A quantified query: nodes with a red non-neighbor witness.
+QUANTIFIED_QUERY = "B(x) & exists z. (R(z) & ~E(x,z))"
+# Sentences for model checking (E9).
+SENTENCE_FAR_PAIR = "exists x. exists y. dist(x,y) > 3 & B(x) & B(y)"
+SENTENCE_GUARDED = "exists x. forall y. E(x,y) -> R(y)"
+
+
+@lru_cache(maxsize=None)
+def colored_graph(n: int, degree: int, seed: int = 42) -> Structure:
+    return random_colored_graph(n, max_degree=degree, seed=seed)
+
+
+@lru_cache(maxsize=None)
+def three_colored_graph(n: int, degree: int, seed: int = 42) -> Structure:
+    return random_colored_graph(
+        n, max_degree=degree, colors=("B", "R", "G"), seed=seed
+    )
+
+
+@lru_cache(maxsize=None)
+def log_degree_graph(n: int, seed: int = 42) -> Structure:
+    return random_colored_graph(n, max_degree=degree_log()(n), seed=seed)
+
+
+@lru_cache(maxsize=None)
+def query(text: str):
+    return parse(text)
+
+
+def consume(iterator: Iterator, limit: int) -> int:
+    """Drain up to ``limit`` items; return how many were produced."""
+    count = 0
+    for _ in islice(iterator, limit):
+        count += 1
+    return count
+
+
+def fitted_exponent(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Least-squares slope of log(y) against log(x): the scaling exponent."""
+    import math
+
+    points = [
+        (math.log(float(x_value)), math.log(float(y_value)))
+        for x_value, y_value in zip(xs, ys)
+        if x_value > 0 and y_value > 0
+    ]
+    n = len(points)
+    if n < 2:
+        return float("nan")
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    numerator = sum((p[0] - mean_x) * (p[1] - mean_y) for p in points)
+    denominator = sum((p[0] - mean_x) ** 2 for p in points)
+    return numerator / denominator if denominator else float("nan")

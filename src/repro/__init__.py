@@ -1,0 +1,78 @@
+"""repro — constant-delay enumeration of FO query answers over databases
+of low degree.
+
+Reproduction of Durand, Schweikardt, Segoufin, *Enumerating answers to
+first-order queries over databases of low degree* (PODS 2014 / LMCS 2022).
+
+Quickstart::
+
+    from repro import Signature, Structure, parse, prepare
+
+    db = Structure(Signature.of(E=2, B=1, R=1), range(4))
+    db.add_fact("B", 0); db.add_fact("R", 2); db.add_fact("E", 0, 1)
+    query = parse("B(x) & R(y) & ~E(x,y)")
+    prepared = prepare(db, query)           # pseudo-linear preprocessing
+    prepared.count()                        # Theorem 2.5
+    prepared.test((0, 2))                   # Theorem 2.6
+    list(prepared.enumerate())              # Theorem 2.7, constant delay
+"""
+
+from repro.errors import (
+    EvaluationError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SignatureError,
+    UnsupportedQueryError,
+)
+from repro.fo import Var, parse
+from repro.fo.builder import Q
+from repro.structures import Signature, Structure
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicQuery",
+    "EvaluationError",
+    "ParseError",
+    "Q",
+    "QueryError",
+    "ReproError",
+    "Signature",
+    "SignatureError",
+    "Structure",
+    "UnsupportedQueryError",
+    "Var",
+    "model_check",
+    "parse",
+    "prepare",
+    "__version__",
+]
+
+
+def prepare(structure, query, eps=0.5, **kwargs):
+    """Preprocess ``query`` on ``structure`` for counting / testing /
+    constant-delay enumeration.  See :class:`repro.core.api.PreparedQuery`.
+
+    Imported lazily to keep ``import repro`` light.
+    """
+    from repro.core.api import prepare as _prepare
+
+    return _prepare(structure, query, eps=eps, **kwargs)
+
+
+def model_check(sentence, structure, **kwargs):
+    """Decide ``A |= sentence`` in pseudo-linear time (Theorem 2.4)."""
+    from repro.core.model_checking import model_check as _model_check
+
+    if isinstance(sentence, str):
+        sentence = parse(sentence)
+    return _model_check(sentence, structure, **kwargs)
+
+
+def __getattr__(name):
+    if name == "DynamicQuery":
+        from repro.core.dynamic import DynamicQuery
+
+        return DynamicQuery
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro query   -w colored:n=2000,d=4,seed=1 \\
+                            -q "B(x) & R(y) & ~E(x,y)" --count --limit 5
+    python -m repro query   -w grid:rows=20,cols=20 \\
+                            -q "Powered(x)" --count
+    python -m repro check   -w colored:n=5000,d=3 \\
+                            -q "exists x. exists y. dist(x,y) > 3 & B(x) & B(y)"
+    python -m repro explain -w colored:n=500,d=3 \\
+                            -q "B(x) & exists z. (R(z) & ~E(x,z))"
+    python -m repro delay   -w colored:n=4000,d=4 \\
+                            -q "B(x) & R(y) & ~E(x,y)" --limit 50000
+
+Workload specs are ``name:key=value,...``:
+
+* ``colored`` — random colored graph (keys: n, d, seed, colors as ``B+R+G``)
+* ``grid``    — rows x cols grid with Powered/Faulty colors
+* ``cycle``   — a 2-regular ring with B/R colors
+* ``clique``  — padded clique (keys: clique, n, seed)
+* ``logdeg``  — random colored graph with degree ~ log2(n)
+* ``file``    — load a serialized structure (``file:path=db.txt``)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict
+
+from repro.core.api import prepare
+from repro.core.model_checking import model_check
+from repro.errors import ReproError
+from repro.fo.parser import parse
+from repro.storage.cost_model import CostMeter
+from repro.structures.random_gen import (
+    cycle_graph,
+    degree_log,
+    grid_graph,
+    padded_clique,
+    random_colored_graph,
+)
+from repro.structures.structure import Structure
+
+
+def parse_workload(spec: str) -> Structure:
+    """Build a structure from a ``name:key=value,...`` spec."""
+    name, _, args_text = spec.partition(":")
+    options: Dict[str, str] = {}
+    if args_text:
+        for chunk in args_text.split(","):
+            key, _, value = chunk.partition("=")
+            if not value:
+                raise ReproError(f"bad workload option {chunk!r} (need key=value)")
+            options[key.strip()] = value.strip()
+
+    def get_int(key: str, default: int) -> int:
+        return int(options.get(key, default))
+
+    if name == "colored":
+        colors = tuple(options.get("colors", "B+R").split("+"))
+        return random_colored_graph(
+            get_int("n", 1000),
+            max_degree=get_int("d", 4),
+            colors=colors,
+            seed=get_int("seed", 0),
+        )
+    if name == "logdeg":
+        n = get_int("n", 1000)
+        return random_colored_graph(
+            n, max_degree=degree_log()(n), seed=get_int("seed", 0)
+        )
+    if name == "grid":
+        return grid_graph(
+            get_int("rows", 16),
+            get_int("cols", 16),
+            colors=("Powered", "Faulty"),
+            seed=get_int("seed", 0),
+        )
+    if name == "cycle":
+        return cycle_graph(get_int("n", 100), colors=("B", "R"), seed=get_int("seed", 0))
+    if name == "clique":
+        return padded_clique(
+            get_int("clique", 8),
+            get_int("n", 1000),
+            colors=("B", "R"),
+            seed=get_int("seed", 0),
+        )
+    if name == "file":
+        path = options.get("path")
+        if not path:
+            raise ReproError("file workload needs path=<file>")
+        from repro.structures.serialize import load_file
+
+        try:
+            return load_file(path)
+        except OSError as error:
+            raise ReproError(f"cannot read {path!r}: {error}") from None
+    raise ReproError(
+        f"unknown workload {name!r}; choose from colored, logdeg, grid, "
+        "cycle, clique, file"
+    )
+
+
+def _parse_tuple(text: str, structure: Structure):
+    components = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        # Domain elements of the builtin workloads are ints or (r, c) pairs.
+        try:
+            components.append(int(chunk))
+        except ValueError:
+            raise ReproError(f"cannot parse tuple component {chunk!r}") from None
+    return tuple(components)
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = parse_workload(args.workload)
+    query = parse(args.query)
+    started = time.perf_counter()
+    prepared = prepare(db, query, eps=args.eps)
+    preprocessing = time.perf_counter() - started
+    print(
+        f"workload: n={db.cardinality}, degree={db.degree}; "
+        f"preprocessing {preprocessing:.3f}s"
+    )
+    if args.count:
+        print(f"count: {prepared.count()}")
+    for probe in args.test or []:
+        candidate = _parse_tuple(probe, db)
+        print(f"test {candidate}: {prepared.test(candidate)}")
+    if args.limit:
+        shown = 0
+        for answer in prepared.enumerate():
+            print("  " + ", ".join(str(component) for component in answer))
+            shown += 1
+            if shown >= args.limit:
+                break
+        print(f"({shown} answers shown)")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    db = parse_workload(args.workload)
+    sentence = parse(args.query)
+    started = time.perf_counter()
+    verdict = model_check(sentence, db)
+    elapsed = time.perf_counter() - started
+    print(f"A |= {args.query}  ->  {verdict}   ({elapsed:.3f}s)")
+    return 0 if verdict else 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = parse_workload(args.workload)
+    prepared = prepare(db, parse(args.query), eps=args.eps)
+    print(prepared.explain())
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace) -> int:
+    db = parse_workload(args.workload)
+    prepared = prepare(db, parse(args.query), eps=args.eps)
+    meter = CostMeter()
+    produced = 0
+    started = time.perf_counter()
+    for _ in prepared.enumerate(meter=meter):
+        meter.mark()
+        produced += 1
+        if args.limit and produced >= args.limit:
+            break
+    elapsed = time.perf_counter() - started
+    deltas = meter.deltas() or [0]
+    print(f"answers: {produced}")
+    if produced:
+        print(f"wall time/answer: {elapsed / produced * 1e6:.2f} us")
+    print(f"RAM steps/answer: max {max(deltas)}, mean {sum(deltas)/len(deltas):.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constant-delay FO query evaluation over low-degree databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("-w", "--workload", required=True, help="workload spec")
+        p.add_argument("-q", "--query", required=True, help="FO query text")
+        p.add_argument("--eps", type=float, default=0.5)
+
+    query_parser = sub.add_parser("query", help="count / test / enumerate")
+    common(query_parser)
+    query_parser.add_argument("--count", action="store_true")
+    query_parser.add_argument(
+        "--test", action="append", metavar="a,b", help="tuple to test (repeatable)"
+    )
+    query_parser.add_argument("--limit", type=int, default=0, help="answers to print")
+    query_parser.set_defaults(handler=cmd_query)
+
+    check_parser = sub.add_parser("check", help="model-check a sentence")
+    common(check_parser)
+    check_parser.set_defaults(handler=cmd_check)
+
+    explain_parser = sub.add_parser("explain", help="preprocessing report")
+    common(explain_parser)
+    explain_parser.set_defaults(handler=cmd_explain)
+
+    delay_parser = sub.add_parser("delay", help="measure enumeration delay")
+    common(delay_parser)
+    delay_parser.add_argument("--limit", type=int, default=0)
+    delay_parser.set_defaults(handler=cmd_delay)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

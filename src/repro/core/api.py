@@ -1,0 +1,140 @@
+"""Public facade: :func:`prepare` and :class:`PreparedQuery`.
+
+``prepare(structure, query, eps)`` runs the pseudo-linear preprocessing of
+Proposition 3.4 once; the returned handle then offers the paper's three
+operations at their claimed costs:
+
+* :meth:`PreparedQuery.count` — Theorem 2.5 (already pseudo-linear during
+  preprocessing; the call itself reuses the pipeline),
+* :meth:`PreparedQuery.test` — Theorem 2.6, constant time per tuple,
+* :meth:`PreparedQuery.enumerate` — Theorem 2.7, constant delay.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.counting import count_answers
+from repro.core.enumeration import enumerate_answers
+from repro.core.pipeline import Pipeline
+from repro.core.testing import test_answer
+from repro.errors import QueryError
+from repro.fo.localize import LocalizationBudget
+from repro.fo.parser import parse as parse_query
+from repro.fo.syntax import Formula, Var
+from repro.storage.cost_model import CostMeter
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class PreparedQuery:
+    """A query preprocessed against one structure."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        query: Formula,
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        eps: float = 0.5,
+        budget: Optional[LocalizationBudget] = None,
+        skip_mode: str = "lazy",
+    ):
+        variable_order: Optional[Tuple[Var, ...]] = None
+        if order is not None:
+            variable_order = tuple(
+                var if isinstance(var, Var) else Var(var) for var in order
+            )
+        self.skip_mode = skip_mode
+        self.pipeline = Pipeline(
+            structure, query, order=variable_order, eps=eps, budget=budget
+        )
+        self._count: Optional[int] = None
+
+    # -- the three operations -------------------------------------------
+
+    def count(self, meter: Optional[CostMeter] = None) -> int:
+        """``|q(A)|`` (Theorem 2.5).  Cached after the first call."""
+        if self._count is None or meter is not None:
+            self._count = count_answers(self.pipeline, meter)
+        return self._count
+
+    def test(
+        self, candidate: Sequence[Element], meter: Optional[CostMeter] = None
+    ) -> bool:
+        """Constant-time membership test (Theorem 2.6)."""
+        return test_answer(self.pipeline, candidate, meter)
+
+    def enumerate(
+        self,
+        meter: Optional[CostMeter] = None,
+        skip_mode: Optional[str] = None,
+        validate: bool = False,
+    ) -> Iterator[Tuple[Element, ...]]:
+        """Constant-delay enumeration (Theorem 2.7), no repetitions."""
+        return enumerate_answers(
+            self.pipeline,
+            meter=meter,
+            skip_mode=skip_mode or self.skip_mode,
+            validate=validate,
+        )
+
+    def answers(self) -> List[Tuple[Element, ...]]:
+        """Materialize the full answer set (enumeration, collected)."""
+        return list(self.enumerate())
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        """The free variables, in answer-tuple order."""
+        return self.pipeline.variables
+
+    @property
+    def arity(self) -> int:
+        return self.pipeline.arity
+
+    def stats(self) -> dict:
+        """Preprocessing statistics (graph size, branches, radii, ...)."""
+        return self.pipeline.stats()
+
+    def explain(self) -> str:
+        """A human-readable account of the preprocessing."""
+        stats = self.stats()
+        localized = self.pipeline.localized
+        lines = [
+            f"query arity: {stats['arity']} "
+            f"({', '.join(v.name for v in self.variables)})",
+            f"localized radius r = {stats['radius']} "
+            f"(cluster linking distance {stats['link_radius']})",
+            f"derived unary predicates: {stats['derived_predicates']}",
+            f"partitions considered: {stats['partitions']}",
+            f"enumeration branches (P, t): {stats['branches']}",
+            f"colored graph: {stats['graph_nodes']} nodes, "
+            f"max degree {stats['graph_max_degree']}",
+            f"structure: n = {stats['structure_size']}, "
+            f"degree d = {stats['structure_degree']}",
+        ]
+        if localized.derived_formulas:
+            lines.append("derived predicates:")
+            for name, formula in localized.derived_formulas.items():
+                lines.append(f"  {name} := {formula}")
+        return "\n".join(lines)
+
+
+def prepare(
+    structure: Structure,
+    query: Union[Formula, str],
+    order: Optional[Sequence[Union[Var, str]]] = None,
+    eps: float = 0.5,
+    budget: Optional[LocalizationBudget] = None,
+    skip_mode: str = "lazy",
+) -> PreparedQuery:
+    """Preprocess ``query`` (a formula or query text) against ``structure``."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    if not isinstance(query, Formula):
+        raise QueryError(f"expected a Formula or query text, got {type(query)}")
+    return PreparedQuery(
+        structure, query, order=order, eps=eps, budget=budget, skip_mode=skip_mode
+    )

@@ -1,0 +1,153 @@
+"""Connected conjunctive queries (Section 3.2: Lemma 3.2, Proposition 3.3).
+
+A *conjunction* is a conjunction of relational atoms and negated unary
+atoms; its query graph links variables co-occurring in a relational atom.
+A *connected conjunctive query* is ``exists y-bar gamma(x-bar, y-bar)``
+with ``gamma`` a connected conjunction over all the variables.
+
+For such queries every answer lies inside the r-neighborhood of its first
+component (r = number of variables), so ``q(A)`` is computed exactly as in
+Lemma 3.2: for every element ``a``, brute-force the tuples of
+``N_r(a)`` whose first component is ``a`` — total time
+``O(|q| * n * d^{h(|q|)})``, pseudo-linear over a low-degree class.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iter_product
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import QueryError
+from repro.fo.semantics import free_tuple
+from repro.fo.syntax import And, Exists, Formula, Not, RelAtom, Var
+from repro.structures.neighborhoods import NeighborhoodIndex
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def split_conjunction(formula: Formula) -> List[Formula]:
+    """Flatten a conjunction into literals."""
+    if isinstance(formula, And):
+        return list(formula.children)
+    return [formula]
+
+
+def parse_ccq(query: Formula) -> Tuple[Tuple[Var, ...], Tuple[Var, ...], List[Formula]]:
+    """Validate and destructure a connected conjunctive query.
+
+    Returns ``(free_vars, existential_vars, literals)``; raises
+    :class:`QueryError` when the query is not a connected conjunctive
+    query (wrong literal shape or disconnected query graph).
+    """
+    existential: List[Var] = []
+    body = query
+    while isinstance(body, Exists):
+        existential.append(body.var)
+        body = body.child
+    literals = split_conjunction(body)
+    variables: Set[Var] = set()
+    for literal in literals:
+        inner = literal
+        negated = False
+        if isinstance(inner, Not):
+            inner = inner.child
+            negated = True
+        if not isinstance(inner, RelAtom):
+            raise QueryError(
+                f"conjunctions contain relational atoms and negated unary "
+                f"atoms; got {literal}"
+            )
+        if negated and len(inner.args) != 1:
+            raise QueryError(
+                f"only unary atoms may be negated in a conjunction; got {literal}"
+            )
+        variables |= set(inner.args)
+    free_vars = tuple(sorted(variables - set(existential)))
+    if set(query.free) != set(free_vars):
+        raise QueryError("all variables must occur in the conjunction")
+    # Connectivity of the query graph H_gamma.
+    if variables:
+        adjacency: Dict[Var, Set[Var]] = {var: set() for var in variables}
+        for literal in literals:
+            inner = literal.child if isinstance(literal, Not) else literal
+            assert isinstance(inner, RelAtom)
+            for left in inner.args:
+                for right in inner.args:
+                    if left != right:
+                        adjacency[left].add(right)
+        seen = {next(iter(variables))}
+        frontier = list(seen)
+        while frontier:
+            var = frontier.pop()
+            for other in adjacency[var]:
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        if seen != variables:
+            raise QueryError("the query graph is not connected")
+    return free_vars, tuple(existential), literals
+
+
+def evaluate_ccq(
+    query: Formula,
+    structure: Structure,
+    order: Optional[Sequence[Var]] = None,
+) -> List[Tuple[Element, ...]]:
+    """Compute ``q(A)`` for a connected conjunctive query (Lemma 3.2).
+
+    Answers are sorted lexicographically with respect to the domain order.
+    """
+    free_vars, existential, literals = parse_ccq(query)
+    if order is not None:
+        free_vars = free_tuple(query, order)
+    all_vars = list(free_vars) + list(existential)
+    radius = max(1, len(all_vars))
+    relation_names = {
+        (lit.child if isinstance(lit, Not) else lit).relation  # type: ignore[union-attr]
+        for lit in literals
+    }
+    index = NeighborhoodIndex(structure, radius, relation_names)
+    answers: Set[Tuple[Element, ...]] = set()
+    if not free_vars:
+        raise QueryError("use model checking for boolean queries")
+
+    def check(assignment: Dict[Var, Element]) -> bool:
+        for literal in literals:
+            inner = literal
+            negated = False
+            if isinstance(inner, Not):
+                inner = inner.child
+                negated = True
+            assert isinstance(inner, RelAtom)
+            holds = structure.has_fact(
+                inner.relation, *(assignment[arg] for arg in inner.args)
+            )
+            if holds == negated:
+                return False
+        return True
+
+    for anchor in structure.domain:
+        ball = tuple(index.ball(anchor))
+        # Free tuples with first component = anchor, then existential
+        # witnesses, all within the r-ball of the anchor.
+        for free_rest in iter_product(ball, repeat=len(free_vars) - 1):
+            candidate = (anchor,) + free_rest
+            if candidate in answers:
+                continue
+            assignment = dict(zip(free_vars, candidate))
+            for witnesses in iter_product(ball, repeat=len(existential)):
+                assignment.update(zip(existential, witnesses))
+                if check(assignment):
+                    answers.add(candidate)
+                    break
+    return structure.order.sorted_tuples(answers)
+
+
+def count_ccq(
+    query: Formula,
+    structure: Structure,
+    order: Optional[Sequence[Var]] = None,
+) -> int:
+    """``|q(A)|`` for a connected conjunctive query (Proposition 3.3)."""
+    return len(evaluate_ccq(query, structure, order))

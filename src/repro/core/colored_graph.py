@@ -1,0 +1,232 @@
+"""The colored graph ``G`` of Proposition 3.4 (Steps 3-4).
+
+Nodes of ``G`` are
+
+* the dummy node ``v_bot`` (id 0), and
+* one node ``v_(b-bar, S)`` for every tuple ``b-bar`` of at most ``k``
+  elements that is *connected at the linking radius* ``2r + 1`` (i.e. the
+  graph on its components with edges "distance <= 2r+1" is connected) and
+  every set ``S`` of ``|b-bar|`` query positions.
+
+``S`` plays the role of the paper's injection ``iota``: the paper creates a
+node per *arbitrary* injection, but only the monotone injections
+``iota_Pj`` (mapping the i-th cluster position to the i-th smallest member
+of a block) are ever in the image of the answer encoder ``f``, so we index
+nodes by the position *set* directly.
+
+Edges connect nodes whose component tuples come within the linking radius
+of each other — so the quantifier-free condition "no two distinct answer
+positions are E-adjacent in G" (``psi_1``) holds exactly when the clusters
+of the original tuple are pairwise far apart (``delta_P``).
+
+The per-node color data (evaluations of the per-cluster formulas
+``theta_{P,j,t}``) is attached by :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations, product
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError, UnsupportedQueryError
+from repro.fo.localize import LocalEvaluator
+from repro.structures.structure import Structure
+from repro.util.itertools2 import connected_subsets
+
+Element = Hashable
+PositionSet = Tuple[int, ...]
+
+BOTTOM = 0
+
+
+@dataclass
+class VNode:
+    """One node of the colored graph.
+
+    ``elements`` is the cluster tuple ``b-bar`` (possibly with repeated
+    elements — answer tuples may repeat an element); ``positions`` is the
+    sorted tuple of query positions the components stand for.  The dummy
+    node has empty ``elements`` and ``positions``.
+    """
+
+    node_id: int
+    elements: Tuple[Element, ...]
+    positions: PositionSet
+    # unit_values[partition_index] = tuple of booleans, one per unit of the
+    # partition whose block equals ``positions`` (filled by the pipeline).
+    unit_values: Dict[int, Tuple[bool, ...]] = field(default_factory=dict)
+
+
+class ColoredGraph:
+    """The graph ``G`` with adjacency and the encoder-lookup table."""
+
+    def __init__(self, structure: Structure, link_radius: int, k: int):
+        self.structure = structure
+        self.link_radius = link_radius
+        self.k = k
+        bottom = VNode(BOTTOM, (), ())
+        self.nodes: List[VNode] = [bottom]
+        self._by_key: Dict[Tuple[Tuple[Element, ...], PositionSet], int] = {
+            ((), ()): BOTTOM
+        }
+        self.adjacency: List[FrozenSet[int]] = []
+        self._containing: Dict[Element, List[int]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, elements: Tuple[Element, ...], positions: PositionSet) -> int:
+        key = (elements, positions)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        node_id = len(self.nodes)
+        self.nodes.append(VNode(node_id, elements, positions))
+        self._by_key[key] = node_id
+        for element in set(elements):
+            self._containing.setdefault(element, []).append(node_id)
+        return node_id
+
+    def finalize_edges(self, evaluator: LocalEvaluator) -> None:
+        """Compute adjacency: nodes are linked iff some components are
+        within the linking radius (Step 4's E-relation)."""
+        adjacency: List[Set[int]] = [set() for _ in self.nodes]
+        for node in self.nodes[1:]:
+            neighbors = adjacency[node.node_id]
+            for component in set(node.elements):
+                for other_element in evaluator.ball(component, self.link_radius):
+                    for other_id in self._containing.get(other_element, ()):
+                        if other_id != node.node_id:
+                            neighbors.add(other_id)
+        # Symmetrize (ball membership is symmetric, but repeated elements
+        # and caching make an explicit pass cheap insurance).
+        for node_id, neighbors in enumerate(adjacency):
+            for other_id in neighbors:
+                adjacency[other_id].add(node_id)
+        self.adjacency = [frozenset(neighbors) for neighbors in adjacency]
+
+    # -- dynamic surgery (used by repro.core.dynamic) ---------------------
+
+    def make_mutable(self) -> None:
+        """Replace frozen adjacency sets with mutable ones (idempotent)."""
+        if self.adjacency and isinstance(self.adjacency[0], frozenset):
+            self.adjacency = [set(neighbors) for neighbors in self.adjacency]  # type: ignore[assignment]
+
+    def remove_node(self, node_id: int) -> None:
+        """Detach a node: key map, containment index, and adjacency.
+
+        The VNode object stays in ``nodes`` as a tombstone so ids remain
+        stable; callers must have removed the id from their own lists.
+        """
+        node = self.nodes[node_id]
+        self._by_key.pop((node.elements, node.positions), None)
+        for element in set(node.elements):
+            bucket = self._containing.get(element)
+            if bucket is not None and node_id in bucket:
+                bucket.remove(node_id)
+        for neighbor in list(self.adjacency[node_id]):
+            self.adjacency[neighbor].discard(node_id)  # type: ignore[union-attr]
+        self.adjacency[node_id] = set()  # type: ignore[assignment]
+        node.unit_values.clear()
+
+    def connect_node(self, node_id: int, evaluator: LocalEvaluator) -> None:
+        """(Re)compute one node's edges and insert them symmetrically.
+
+        ``adjacency`` must be mutable; grows the adjacency table for
+        freshly appended nodes.
+        """
+        while len(self.adjacency) < len(self.nodes):
+            self.adjacency.append(set())  # type: ignore[arg-type]
+        node = self.nodes[node_id]
+        neighbors: Set[int] = set()
+        for component in set(node.elements):
+            for other_element in evaluator.ball(component, self.link_radius):
+                for other_id in self._containing.get(other_element, ()):
+                    if other_id != node_id:
+                        neighbors.add(other_id)
+        self.adjacency[node_id] = neighbors  # type: ignore[assignment]
+        for neighbor in neighbors:
+            self.adjacency[neighbor].add(node_id)  # type: ignore[union-attr]
+
+    def nodes_containing(self, element: Element):
+        """Ids of live nodes having ``element`` as a component."""
+        return tuple(self._containing.get(element, ()))
+
+    # -- accessors --------------------------------------------------------
+
+    def node_id(self, elements: Tuple[Element, ...], positions: PositionSet):
+        """Lookup ``v_(b-bar, S)``; None when absent (tuple not connected)."""
+        return self._by_key.get((elements, positions))
+
+    def node(self, node_id: int) -> VNode:
+        return self.nodes[node_id]
+
+    def adjacent(self, left: int, right: int) -> bool:
+        return right in self.adjacency[left]
+
+    def neighbors(self, node_id: int) -> FrozenSet[int]:
+        return self.adjacency[node_id]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def max_degree(self) -> int:
+        if not self.adjacency:
+            raise EvaluationError("finalize_edges() has not run")
+        return max((len(neighbors) for neighbors in self.adjacency), default=0)
+
+    def edge_count(self) -> int:
+        return sum(len(neighbors) for neighbors in self.adjacency) // 2
+
+
+def build_colored_graph(
+    structure: Structure,
+    evaluator: LocalEvaluator,
+    k: int,
+    link_radius: int,
+    max_nodes: int = 5_000_000,
+) -> ColoredGraph:
+    """Steps 3-4 of Proposition 3.4: enumerate cluster tuples and edges.
+
+    For every element ``a`` (in domain order) we enumerate the connected
+    vertex sets of the "distance <= link_radius" graph that contain ``a``
+    and have at most ``k`` members, then every tuple over such a set that
+    uses all its members and starts at ``a``, then every position set of
+    the right size.  Total cost ``O(n * d^{h(k, r)})`` as in the paper.
+    """
+    graph = ColoredGraph(structure, link_radius, k)
+    if k == 0:
+        graph.finalize_edges(evaluator)
+        return graph
+
+    def link_neighbors(element: Element):
+        return (
+            other
+            for other in evaluator.ball(element, link_radius)
+            if other != element
+        )
+
+    position_sets: Dict[int, List[PositionSet]] = {
+        size: list(combinations(range(k), size)) for size in range(1, k + 1)
+    }
+    for seed in structure.domain:
+        for members in connected_subsets(seed, link_neighbors, k):
+            others = tuple(sorted(members - {seed}, key=structure.order.rank))
+            # Tuples of every length >= |members| that use all members and
+            # start at the seed.
+            for length in range(len(members), k + 1):
+                for rest in product(tuple(members), repeat=length - 1):
+                    if set(rest) | {seed} != members:
+                        continue
+                    elements = (seed,) + rest
+                    for positions in position_sets[length]:
+                        graph.add_node(elements, positions)
+                        if graph.node_count > max_nodes:
+                            raise UnsupportedQueryError(
+                                f"colored graph exceeds {max_nodes} nodes; "
+                                "reduce the query arity/radius or the degree"
+                            )
+    graph.finalize_edges(evaluator)
+    return graph

@@ -1,0 +1,276 @@
+"""Dynamic updates: maintain the preprocessing under fact insertions and
+deletions.
+
+The paper's conclusion poses this as the natural follow-up ("it would be
+desirable to update efficiently the data structure ... without
+recomputing everything from scratch"), solved later by Vigny
+[arXiv:2010.02982] with ``O(n^eps)`` update time.  This module provides a
+*local-recomputation* maintainer in that spirit:
+
+* a fact touching elements ``S`` can only affect colored-graph nodes,
+  colors, and edges within a radius-``rho`` ball around ``S``, where
+  ``rho = k * (2r+1) + 2r + 2`` depends only on the query — because node
+  existence (cluster connectivity), node colors (r-local unit formulas),
+  and edges (linking distance) are all neighborhood-determined;
+* the update procedure removes every node with a component in that ball,
+  re-enumerates cluster tuples seeded there against the *new* structure,
+  re-evaluates their colors, and splices the branch lists — everything
+  else is untouched.
+
+Cost per update: ``O(d^{h(|q|)})`` — independent of ``n`` up to the list
+splicing (kept sorted with bisect), versus full re-preprocessing at
+``O(n^{1+eps})``.
+
+**Supported fragment.**  Queries whose localization introduced *no
+derived predicates and no counting atoms* — i.e. the localized formula is
+built from atoms, distance atoms and relativized quantifiers.  Counting
+atoms compare against structure-wide totals (``|U|``), which a single
+update shifts *globally*; maintaining them needs Vigny's heavier
+machinery and is out of scope here (raises
+:class:`UnsupportedQueryError`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from typing import Hashable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.counting import count_answers
+from repro.core.enumeration import enumerate_answers
+from repro.core.pipeline import Pipeline
+from repro.core.testing import test_answer
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.fo.syntax import CountCmp, Formula, Var, subformulas
+from repro.storage.cost_model import CostMeter
+from repro.structures.gaifman_graph import ball_of_set
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class DynamicQuery:
+    """A prepared query that stays consistent while facts change.
+
+    The wrapped structure is mutated in place through
+    :meth:`insert_fact` / :meth:`delete_fact`; the domain is fixed.
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        query,
+        order: Optional[Sequence[Var]] = None,
+        eps: float = 0.5,
+    ):
+        if isinstance(query, str):
+            from repro.fo.parser import parse
+
+            query = parse(query)
+        self.structure = structure
+        self.pipeline = Pipeline(structure, query, order=order, eps=eps)
+        self._check_supported()
+        if self.pipeline.graph is not None:
+            self.pipeline.graph.make_mutable()
+        self.updates_applied = 0
+
+    def _check_supported(self) -> None:
+        localized = self.pipeline.localized
+        if localized.derived_formulas:
+            raise UnsupportedQueryError(
+                "dynamic updates do not support queries whose localization "
+                "materialized derived predicates (unrelativized quantifiers "
+                "with far witnesses); see [Vig20] for the general machinery"
+            )
+        if self.pipeline.trivial is None and any(
+            isinstance(node, CountCmp)
+            for node in subformulas(localized.formula)
+        ):
+            raise UnsupportedQueryError(
+                "dynamic updates do not support counting atoms (they compare "
+                "against structure-wide totals)"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert_fact(self, relation: str, *elements: Element) -> None:
+        """Insert a fact and refresh the affected region."""
+        if self.structure.has_fact(relation, *elements):
+            return
+        # The region is the union of the touched elements' reach *before*
+        # and *after* the mutation: an inserted edge extends reach, a
+        # deleted one used to provide it.
+        region = self._reach(elements)
+        self.structure.add_fact(relation, *elements)
+        region |= self._reach(elements)
+        self._refresh(elements, region)
+
+    def delete_fact(self, relation: str, *elements: Element) -> None:
+        """Delete a fact and refresh the affected region."""
+        if not self.structure.has_fact(relation, *elements):
+            return
+        region = self._reach(elements)
+        self.structure.remove_fact(relation, *elements)
+        region |= self._reach(elements)
+        self._refresh(elements, region)
+
+    def _reach(self, touched: Sequence[Element]) -> Set[Element]:
+        return set(
+            ball_of_set(self.structure, set(touched), self.refresh_radius)
+        )
+
+    # ------------------------------------------------------------------
+    # The three operations (delegation)
+    # ------------------------------------------------------------------
+
+    def count(self, meter: Optional[CostMeter] = None) -> int:
+        return count_answers(self.pipeline, meter)
+
+    def test(self, candidate: Sequence[Element], meter: Optional[CostMeter] = None) -> bool:
+        return test_answer(self.pipeline, candidate, meter)
+
+    def enumerate(self, meter: Optional[CostMeter] = None) -> Iterator[Tuple[Element, ...]]:
+        return enumerate_answers(self.pipeline, meter=meter)
+
+    def answers(self) -> List[Tuple[Element, ...]]:
+        return list(self.enumerate())
+
+    @property
+    def arity(self) -> int:
+        return self.pipeline.arity
+
+    # ------------------------------------------------------------------
+    # Local recomputation
+    # ------------------------------------------------------------------
+
+    @property
+    def refresh_radius(self) -> int:
+        """How far an update can reach (query-dependent, n-independent).
+
+        Every quantity attached to a node — existence (pairwise component
+        distances <= 2r+1 for cluster connectivity), colors (r-local unit
+        evaluations around components, including distance atoms whose
+        paths may route through a changed edge), and its edges (component
+        distances <= 2r+1) — changes only if some *component* lies within
+        the linking radius ``2r+1`` of a touched element: any changed
+        distance or visible fact is anchored at a component with a path of
+        length at most ``r + bound <= 2r+1`` to the touched elements.  One
+        extra unit of slack is kept for safety.
+        """
+        return self.pipeline.link_radius + 1
+
+    def _refresh(self, touched: Sequence[Element], region: Set[Element]) -> None:
+        self.updates_applied += 1
+        pipeline = self.pipeline
+        evaluator = pipeline.evaluator
+        # Stale caches: balls and memoized local evaluations may cross the
+        # modified facts; unary sets change on unary-fact updates.
+        evaluator._ball_cache.clear()
+        evaluator._memo.clear()
+        evaluator._unary_cache.clear()
+        # Armed enumerators hold skip/reach memos over the old graph.
+        if hasattr(pipeline, "_armed_enumerators"):
+            del pipeline._armed_enumerators
+        if pipeline.trivial is not None:
+            return
+        graph = pipeline.graph
+        assert graph is not None
+
+        # 1. Remove every node with a component in the region, splicing it
+        #    out of its (plan, block, vector) buckets before the graph
+        #    surgery clears the stored vectors.
+        dead: Set[int] = set()
+        for element in region:
+            dead.update(graph.nodes_containing(element))
+        for node_id in dead:
+            node = graph.node(node_id)
+            for plan_index, vector in node.unit_values.items():
+                key = (plan_index, node.positions, vector)
+                bucket = pipeline.block_vector_index.get(key)
+                if bucket is not None:
+                    position = bisect_left(bucket, node_id)
+                    if position < len(bucket) and bucket[position] == node_id:
+                        del bucket[position]
+            graph.remove_node(node_id)
+
+        # 2. Re-enumerate cluster tuples around the region.  Tuples
+        #    intersecting it have their first component within
+        #    (k-1)*link of it.
+        k = pipeline.arity
+        link = pipeline.link_radius
+        seeds = ball_of_set(self.structure, region, (k - 1) * link)
+        new_ids = self._regenerate_nodes(seeds, region)
+
+        # 3. Colors, edges, and list membership for the new nodes.
+        for node_id in new_ids:
+            self._attach_node(node_id)
+
+    def _regenerate_nodes(self, seeds, region) -> List[int]:
+        """Steps 3 of Prop 3.4, restricted to tuples meeting the region."""
+        from itertools import combinations, product
+
+        pipeline = self.pipeline
+        graph = pipeline.graph
+        assert graph is not None
+        evaluator = pipeline.evaluator
+        k = pipeline.arity
+        link = pipeline.link_radius
+        order_rank = self.structure.order.rank
+
+        def link_neighbors(element):
+            return (
+                other
+                for other in evaluator.ball(element, link)
+                if other != element
+            )
+
+        from repro.util.itertools2 import connected_subsets
+
+        position_sets = {
+            size: list(combinations(range(k), size)) for size in range(1, k + 1)
+        }
+        new_ids: List[int] = []
+        ordered_seeds = sorted(seeds, key=order_rank)
+        for seed in ordered_seeds:
+            for members in connected_subsets(seed, link_neighbors, k):
+                if not (members & region):
+                    continue  # untouched tuples are still alive
+                for length in range(len(members), k + 1):
+                    for rest in product(tuple(members), repeat=length - 1):
+                        if set(rest) | {seed} != members:
+                            continue
+                        elements = (seed,) + rest
+                        for positions in position_sets[length]:
+                            before = graph.node_count
+                            node_id = graph.add_node(elements, positions)
+                            if graph.node_count > before:
+                                new_ids.append(node_id)
+        return new_ids
+
+    def _attach_node(self, node_id: int) -> None:
+        """Colors + edges + branch-list membership for one new node."""
+        pipeline = self.pipeline
+        graph = pipeline.graph
+        assert graph is not None
+        node = graph.node(node_id)
+        graph.connect_node(node_id, pipeline.evaluator)
+        for plan in pipeline.plans:
+            for block_index, block in enumerate(plan.partition):
+                if block != node.positions:
+                    continue
+                if plan.constant is not None:
+                    vector: Tuple[bool, ...] = ()
+                else:
+                    assignment = {
+                        pipeline.variables[position]: element
+                        for position, element in zip(node.positions, node.elements)
+                    }
+                    vector = tuple(
+                        pipeline.evaluator.holds(plan.units[unit_index], assignment)
+                        for unit_index in plan.block_units[block_index]
+                    )
+                node.unit_values[plan.index] = vector
+                key = (plan.index, block, vector)
+                bucket = pipeline.block_vector_index.setdefault(key, [])
+                insort(bucket, node_id)

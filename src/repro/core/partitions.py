@@ -1,0 +1,101 @@
+"""Partitions of query positions (Section 4, Step 2).
+
+A partition of ``{0, ..., k-1}`` is a tuple of blocks; each block is a
+sorted tuple of positions, and blocks are ordered by their minimum — the
+paper's canonical form (``min P_j < min P_{j+1}``).
+
+For an answer tuple ``a-bar``, the *induced* partition groups positions
+whose elements are within the linking radius ``2r + 1`` of each other
+(transitively): this is the unique ``P`` with ``A |= rho_P(a-bar)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Hashable, List, Sequence, Tuple
+
+Element = Hashable
+Block = Tuple[int, ...]
+Partition = Tuple[Block, ...]
+
+
+@lru_cache(maxsize=None)
+def all_partitions(k: int) -> Tuple[Partition, ...]:
+    """All partitions of ``range(k)`` in canonical form.
+
+    There are Bell(k) of them (1, 1, 2, 5, 15, 52, ... for k = 0, 1, 2,
+    3, 4, 5); the paper's bound ``|P| <= k!`` is looser.
+    """
+    if k == 0:
+        return ((),)
+
+    def extend(position: int, blocks: List[List[int]]):
+        if position == k:
+            yield tuple(tuple(block) for block in blocks)
+            return
+        for block in blocks:
+            block.append(position)
+            yield from extend(position + 1, blocks)
+            block.pop()
+        blocks.append([position])
+        yield from extend(position + 1, blocks)
+        blocks.pop()
+
+    return tuple(extend(0, []))
+
+
+def canonical(blocks: Sequence[Sequence[int]]) -> Partition:
+    """Normalize blocks: sort positions within, order blocks by minimum."""
+    normalized = [tuple(sorted(block)) for block in blocks]
+    normalized.sort(key=lambda block: block[0])
+    return tuple(normalized)
+
+
+def partition_of_tuple(
+    elements: Sequence[Element],
+    linked: Callable[[Element, Element], bool],
+) -> Partition:
+    """The partition induced by the linking relation on a concrete tuple.
+
+    Positions ``i`` and ``j`` land in the same block iff their elements are
+    connected through chains of ``linked`` pairs (``linked`` is the test
+    ``dist(a, b) <= 2r + 1``; it must be symmetric and reflexive).
+    """
+    k = len(elements)
+    parent = list(range(k))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        root_i, root_j = find(i), find(j)
+        if root_i != root_j:
+            parent[root_j] = root_i
+
+    for i in range(k):
+        for j in range(i + 1, k):
+            if elements[i] == elements[j] or linked(elements[i], elements[j]):
+                union(i, j)
+    groups: dict = {}
+    for i in range(k):
+        groups.setdefault(find(i), []).append(i)
+    return canonical(list(groups.values()))
+
+
+def block_subtuple(elements: Sequence[Element], block: Block) -> Tuple[Element, ...]:
+    """The cluster tuple ``a-bar_Pj``: elements at the block's positions."""
+    return tuple(elements[position] for position in block)
+
+
+def assemble(
+    k: int, partition: Partition, cluster_tuples: Sequence[Sequence[Element]]
+) -> Tuple[Element, ...]:
+    """Inverse of splitting: rebuild ``a-bar`` from per-block tuples."""
+    result: List[Element] = [None] * k
+    for block, cluster in zip(partition, cluster_tuples):
+        for position, element in zip(block, cluster):
+            result[position] = element
+    return tuple(result)

@@ -1,0 +1,343 @@
+"""The quantifier-elimination pipeline of Proposition 3.4.
+
+Given a structure ``A``, an FO query ``phi(x-bar)``, and ``eps``, the
+pipeline produces everything the counting / testing / enumeration
+algorithms need:
+
+1. **Localization** (Step 1): :func:`repro.fo.localize.localize` rewrites
+   ``phi`` into an r-local formula ``phi'`` equivalent on ``A`` (global
+   content evaluated against ``A``, derived unary predicates materialized).
+2. **Partition decomposition + Feferman-Vaught** (Step 2): for each
+   partition ``P`` of the positions, ``phi'`` is *separated* under the
+   assumption that blocks are pairwise at distance > ``2r+1``; the result
+   is a boolean combination of single-block *units*, expanded into
+   mutually exclusive clauses (the paper's index set ``T_P``).
+3. **Colored graph** (Steps 3-4): nodes are connected cluster tuples
+   tagged with position sets; per-node *unit vectors* play the role of the
+   colors ``C_{P,j,t}``; edges witness cluster proximity.
+4. **Answer encoder** ``f`` (Step 5): a tuple's induced partition plus
+   per-block node lookups, both constant-time after preprocessing.
+
+An answer of ``phi`` then corresponds, under exactly one *branch*
+``(P, t)``, to a choice of one node per block from the branch's per-block
+node lists such that no two chosen nodes are adjacent — the
+quantifier-free form ``psi = psi_1 and psi_2`` of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import EvaluationError, QueryError, UnsupportedQueryError
+from repro.fo.localize import (
+    LocalizationBudget,
+    LocalizedQuery,
+    localize,
+    separate,
+)
+from repro.fo.normalize import boolean_atoms, exclusive_dnf, simplify
+from repro.fo.semantics import free_tuple
+from repro.fo.syntax import FalseF, Formula, TrueF, Var
+from repro.core.colored_graph import BOTTOM, ColoredGraph, build_colored_graph
+from repro.core.partitions import (
+    Partition,
+    all_partitions,
+    assemble,
+    block_subtuple,
+    partition_of_tuple,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+SignVector = Tuple[bool, ...]
+
+
+@dataclass
+class PartitionPlan:
+    """The Feferman-Vaught data for one partition ``P``.
+
+    ``units`` are the maximal single-block subformulas of the separated
+    formula; ``unit_block[i]`` names the block of ``units[i]``;
+    ``clauses`` are the satisfying sign vectors over the units — mutually
+    exclusive by construction (each is a *total* assignment).
+    ``constant`` replaces the clause machinery when separation collapsed
+    the formula to a constant (then every/no block assignment satisfies).
+    """
+
+    index: int
+    partition: Partition
+    units: List[Formula]
+    unit_block: List[int]
+    clauses: List[SignVector]
+    clause_set: Set[SignVector]
+    block_units: List[List[int]]
+    constant: Optional[bool] = None
+
+
+@dataclass
+class Branch:
+    """One mutually exclusive enumeration branch ``(P, t)``.
+
+    ``lists[j]`` holds the node ids eligible for block ``j`` — the paper's
+    color list for position ``j`` — sorted by node id (the linear order of
+    ``G`` used by the skip function).
+    """
+
+    plan: PartitionPlan
+    signs: SignVector
+    lists: List[List[int]]
+
+    def is_empty(self) -> bool:
+        return any(not node_list for node_list in self.lists)
+
+
+class Pipeline:
+    """Preprocessing output of Proposition 3.4 for one (A, phi, eps)."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        query: Formula,
+        order: Optional[Sequence[Var]] = None,
+        eps: float = 0.5,
+        budget: Optional[LocalizationBudget] = None,
+        max_nodes: int = 5_000_000,
+        max_units: int = 16,
+    ):
+        self.structure = structure
+        self.query = query
+        self.eps = eps
+        self.variables: Tuple[Var, ...] = free_tuple(query, order)
+        self.arity = len(self.variables)
+
+        self.localized: LocalizedQuery = localize(query, structure, budget)
+        self.evaluator = self.localized.evaluator
+        self.radius = self.localized.radius
+        self.link_radius = 2 * self.radius + 1
+
+        formula = self.localized.formula
+        self.trivial: Optional[bool] = None
+        if isinstance(formula, TrueF):
+            self.trivial = True
+        elif isinstance(formula, FalseF):
+            self.trivial = False
+        elif self.arity == 0:
+            raise EvaluationError(
+                "localization of a sentence must produce a constant, got "
+                f"{formula}"
+            )
+
+        self.plans: List[PartitionPlan] = []
+        self.branches: List[Branch] = []
+        self.graph: Optional[ColoredGraph] = None
+        self._partition_index: Dict[Partition, int] = {}
+        if self.trivial is None:
+            self._build_plans(max_units)
+            self.graph = build_colored_graph(
+                structure,
+                self.evaluator,
+                self.arity,
+                self.link_radius,
+                max_nodes=max_nodes,
+            )
+            self._attach_unit_vectors()
+            self._build_branches()
+
+    # ------------------------------------------------------------------
+    # Step 2: separation per partition
+    # ------------------------------------------------------------------
+
+    def _build_plans(self, max_units: int) -> None:
+        formula = self.localized.formula
+        for index, partition in enumerate(all_partitions(self.arity)):
+            sides = {
+                self.variables[position]: block_index
+                for block_index, block in enumerate(partition)
+                for position in block
+            }
+            separated = simplify(
+                separate(formula, sides, self.link_radius, self.localized.localizer)
+            )
+            self._partition_index[partition] = index
+            if isinstance(separated, TrueF) or isinstance(separated, FalseF):
+                constant = isinstance(separated, TrueF)
+                plan = PartitionPlan(
+                    index, partition, [], [], [()], {()}, [[] for _ in partition],
+                    constant=constant,
+                )
+                if not constant:
+                    plan.clauses = []
+                    plan.clause_set = set()
+                self.plans.append(plan)
+                continue
+            units = boolean_atoms(separated)
+            if len(units) > max_units:
+                raise UnsupportedQueryError(
+                    f"partition {partition} yields {len(units)} units "
+                    f"(> {max_units}); the clause expansion 2^{len(units)} "
+                    "is too large"
+                )
+            unit_block: List[int] = []
+            var_block = {var: side for var, side in sides.items()}
+            for unit in units:
+                blocks = {var_block[var] for var in unit.free}
+                if len(blocks) != 1:
+                    raise EvaluationError(
+                        f"separated unit {unit} spans blocks {blocks}"
+                    )
+                unit_block.append(next(iter(blocks)))
+            clauses = [
+                tuple(sign for _, sign in clause)
+                for clause in exclusive_dnf(separated)
+            ]
+            block_units = [
+                [i for i, block in enumerate(unit_block) if block == j]
+                for j in range(len(partition))
+            ]
+            self.plans.append(
+                PartitionPlan(
+                    index,
+                    partition,
+                    units,
+                    unit_block,
+                    clauses,
+                    set(clauses),
+                    block_units,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Steps 3-4: colors (unit vectors per node)
+    # ------------------------------------------------------------------
+
+    def _attach_unit_vectors(self) -> None:
+        # block (as position tuple) -> [(plan_index, block_index)]
+        block_usage: Dict[Tuple[int, ...], List[Tuple[int, int]]] = {}
+        for plan in self.plans:
+            for block_index, block in enumerate(plan.partition):
+                block_usage.setdefault(block, []).append((plan.index, block_index))
+        assert self.graph is not None
+        for node in self.graph.nodes[1:]:
+            usages = block_usage.get(node.positions)
+            if not usages:
+                continue
+            for plan_index, block_index in usages:
+                plan = self.plans[plan_index]
+                if plan.constant is not None:
+                    node.unit_values[plan_index] = ()
+                    continue
+                assignment = {
+                    self.variables[position]: element
+                    for position, element in zip(node.positions, node.elements)
+                }
+                vector = tuple(
+                    self.evaluator.holds(plan.units[unit_index], assignment)
+                    for unit_index in plan.block_units[block_index]
+                )
+                node.unit_values[plan_index] = vector
+
+    # ------------------------------------------------------------------
+    # Branches (the mutually exclusive (P, t) pairs)
+    # ------------------------------------------------------------------
+
+    def _build_branches(self) -> None:
+        assert self.graph is not None
+        # Index nodes by (plan, block position tuple, unit vector).  The
+        # index lists are *shared* with the branches referencing them, so
+        # dynamic updates (repro.core.dynamic) can patch both at once.
+        by_block_vector: Dict[Tuple[int, Tuple[int, ...], SignVector], List[int]] = {}
+        for node in self.graph.nodes[1:]:
+            for plan_index, vector in node.unit_values.items():
+                key = (plan_index, node.positions, vector)
+                by_block_vector.setdefault(key, []).append(node.node_id)
+        for node_list in by_block_vector.values():
+            node_list.sort()
+        self.block_vector_index = by_block_vector
+        for plan in self.plans:
+            if plan.constant is False:
+                continue
+            if plan.constant is True:
+                clauses: List[SignVector] = [()]
+            else:
+                clauses = plan.clauses
+            for signs in clauses:
+                lists: List[List[int]] = []
+                for block_index, block in enumerate(plan.partition):
+                    if plan.constant is True:
+                        required: SignVector = ()
+                    else:
+                        required = tuple(
+                            signs[unit_index]
+                            for unit_index in plan.block_units[block_index]
+                        )
+                    key = (plan.index, block, required)
+                    lists.append(by_block_vector.setdefault(key, []))
+                branch = Branch(plan, signs, lists)
+                self.branches.append(branch)
+
+    # ------------------------------------------------------------------
+    # Step 5: the encoder f and its inverse
+    # ------------------------------------------------------------------
+
+    def linked(self, left: Element, right: Element) -> bool:
+        """``dist(left, right) <= 2r + 1`` via cached balls (the paper's
+        relation R, Step 5)."""
+        return right in self.evaluator.ball(left, self.link_radius)
+
+    def encode(self, elements: Sequence[Element]):
+        """``f(a-bar)``: the induced partition index and per-block node ids.
+
+        Returns ``(plan_index, node_ids)``; raises :class:`QueryError` on
+        arity mismatch or elements outside the domain.
+        """
+        if len(elements) != self.arity:
+            raise QueryError(
+                f"expected a {self.arity}-tuple, got {len(elements)}-tuple"
+            )
+        for element in elements:
+            if element not in self.structure:
+                raise QueryError(f"element {element!r} is not in the domain")
+        partition = partition_of_tuple(tuple(elements), self.linked)
+        plan_index = self._partition_index[partition]
+        assert self.graph is not None
+        node_ids = []
+        for block in partition:
+            node_id = self.graph.node_id(
+                block_subtuple(elements, block), block
+            )
+            if node_id is None:
+                raise EvaluationError(
+                    f"missing colored-graph node for cluster {block}; "
+                    "the graph construction is incomplete"
+                )
+            node_ids.append(node_id)
+        return plan_index, tuple(node_ids)
+
+    def decode(self, plan_index: int, node_ids: Sequence[int]) -> Tuple[Element, ...]:
+        """``f^{-1}``: rebuild the answer tuple from branch node choices."""
+        assert self.graph is not None
+        plan = self.plans[plan_index]
+        clusters = [self.graph.node(node_id).elements for node_id in node_ids]
+        return assemble(self.arity, plan.partition, clusters)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "arity": self.arity,
+            "radius": self.radius,
+            "link_radius": self.link_radius,
+            "trivial": self.trivial,
+            "derived_predicates": len(self.localized.derived_formulas),
+            "partitions": len(self.plans),
+            "branches": len(self.branches),
+            "graph_nodes": self.graph.node_count if self.graph else 0,
+            "graph_max_degree": (
+                self.graph.max_degree if self.graph and self.graph.adjacency else 0
+            ),
+            "structure_degree": self.structure.degree,
+            "structure_size": self.structure.cardinality,
+        }

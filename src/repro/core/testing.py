@@ -1,0 +1,86 @@
+"""Constant-time answer testing (Proposition 3.8, Theorem 2.6).
+
+After the pipeline's pseudo-linear preprocessing, testing whether a tuple
+``a-bar`` belongs to ``q(A)`` is:
+
+1. encode ``f(a-bar)``: the induced partition (``O(k^2)`` cached-ball
+   membership tests) and one node lookup per block;
+2. read each node's stored unit vector — the colors ``C_{P,j,t}``;
+3. check the combined sign vector against the partition's satisfying
+   clause set, and that no two nodes are adjacent (``psi_1``).
+
+Every step is independent of ``|A|`` and of the degree.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Sequence
+
+from repro.core.pipeline import Pipeline
+from repro.errors import QueryError
+from repro.storage.cost_model import CostMeter, tick
+
+Element = Hashable
+
+
+class AnswerTester:
+    """Callable wrapper around one prepared pipeline."""
+
+    def __init__(self, pipeline: Pipeline):
+        self.pipeline = pipeline
+
+    def __call__(
+        self, candidate: Sequence[Element], meter: Optional[CostMeter] = None
+    ) -> bool:
+        return test_answer(self.pipeline, candidate, meter)
+
+
+def test_answer(
+    pipeline: Pipeline,
+    candidate: Sequence[Element],
+    meter: Optional[CostMeter] = None,
+) -> bool:
+    """Test ``candidate in q(A)`` in constant time."""
+    # (pytest: this is library code, not a test.)
+    if len(candidate) != pipeline.arity:
+        raise QueryError(
+            f"expected a {pipeline.arity}-tuple, got {len(candidate)}-tuple"
+        )
+    if pipeline.trivial is not None:
+        for element in candidate:
+            if element not in pipeline.structure:
+                raise QueryError(f"element {element!r} is not in the domain")
+        tick(meter, "test.trivial")
+        return pipeline.trivial
+    plan_index, node_ids = pipeline.encode(candidate)
+    tick(meter, "test.encode", count=pipeline.arity * pipeline.arity)
+    plan = pipeline.plans[plan_index]
+    if plan.constant is not None:
+        verdict = plan.constant
+    else:
+        assert pipeline.graph is not None
+        signs: list = [False] * len(plan.units)
+        for block_index, node_id in enumerate(node_ids):
+            node = pipeline.graph.node(node_id)
+            vector = node.unit_values.get(plan_index)
+            if vector is None:  # pragma: no cover - vectors cover all blocks
+                raise QueryError("node has no colors for this partition")
+            for unit_index, value in zip(plan.block_units[block_index], vector):
+                signs[unit_index] = value
+            tick(meter, "test.colors")
+        verdict = tuple(signs) in plan.clause_set
+    if not verdict:
+        return False
+    # psi_1: chosen nodes pairwise non-adjacent.  By construction of the
+    # induced partition this always holds; the check is O(k^2) lookups.
+    assert pipeline.graph is not None
+    for i, left in enumerate(node_ids):
+        for right in node_ids[i + 1 :]:
+            tick(meter, "test.adjacency")
+            if pipeline.graph.adjacent(left, right):  # pragma: no cover
+                return False
+    return True
+
+
+# Keep pytest from collecting the library function as a test.
+test_answer.__test__ = False  # type: ignore[attr-defined]

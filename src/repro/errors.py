@@ -1,0 +1,31 @@
+"""Exception hierarchy for the library."""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SignatureError(ReproError):
+    """A relation symbol is unknown or used with the wrong arity."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unbound variables, bad syntax, ...)."""
+
+
+class ParseError(QueryError):
+    """The textual query could not be parsed."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query falls outside the fragment the pipeline supports.
+
+    The paper's reduction is fully general but its constants are
+    non-elementary in the query size (see the paper's conclusion); this
+    implementation refuses queries whose structure-assisted localization
+    would explode rather than silently hanging.
+    """
+
+
+class EvaluationError(ReproError):
+    """An internal invariant was violated during evaluation."""

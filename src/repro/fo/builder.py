@@ -1,0 +1,138 @@
+"""A fluent builder for FO queries, as an alternative to the parser.
+
+The parser is the primary interface; the builder exists for programmatic
+query construction (loops over relation names, generated conjunctions)
+where string interpolation would be error-prone::
+
+    from repro.fo.builder import Q
+
+    x, y, z = Q.vars("x", "y", "z")
+    query = Q.B(x) & Q.R(y) & ~Q.E(x, y)                 # Example 2.3
+    query = Q.exists(z, Q.E(x, z) & Q.R(z))              # witness query
+    query = Q.forall(z, Q.E(x, z) >> Q.B(z))             # guarded forall
+    query = Q.B(x) & Q.far(x, y, 2)                      # dist(x,y) > 2
+    query = Q.exists_near(z, (x,), 2, Q.R(z))            # relativized
+
+``Q.<Name>(...)`` builds a relational atom for any relation name; the
+``>>`` operator on the small wrapper builds implication.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.fo.syntax import (
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    Forall,
+    ForallNear,
+    Formula,
+    RelAtom,
+    TRUE,
+    Var,
+    and_,
+    not_,
+    or_,
+)
+
+VarLike = Union[Var, str]
+
+
+def _var(value: VarLike) -> Var:
+    return value if isinstance(value, Var) else Var(value)
+
+
+class _QMeta(type):
+    """``Q.AnyName`` resolves to an atom factory for relation ``AnyName``."""
+
+    def __getattr__(cls, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def make_atom(*args: VarLike) -> RelAtom:
+            if not args:
+                raise TypeError(f"atom {name} needs at least one argument")
+            return RelAtom(name, tuple(_var(arg) for arg in args))
+
+        return make_atom
+
+
+class Q(metaclass=_QMeta):
+    """Namespace for fluent query construction (never instantiated)."""
+
+    true: Formula = TRUE
+    false: Formula = FALSE
+
+    def __new__(cls, *args, **kwargs):  # pragma: no cover - guard
+        raise TypeError("Q is a namespace; use its class methods")
+
+    # NB: names that collide with relation symbols are fine — these
+    # explicit methods win, and relation atoms for e.g. "exists" would be
+    # unusual anyway.
+
+    @classmethod
+    def vars(cls, *names: str) -> Tuple[Var, ...]:
+        """``x, y = Q.vars("x", "y")``"""
+        return tuple(Var(name) for name in names)
+
+    @classmethod
+    def atom(cls, relation: str, *args: VarLike) -> RelAtom:
+        """Explicit atom constructor (for dynamic relation names)."""
+        return RelAtom(relation, tuple(_var(arg) for arg in args))
+
+    @classmethod
+    def eq(cls, left: VarLike, right: VarLike) -> Eq:
+        return Eq(_var(left), _var(right))
+
+    @classmethod
+    def neq(cls, left: VarLike, right: VarLike) -> Formula:
+        return not_(Eq(_var(left), _var(right)))
+
+    @classmethod
+    def near(cls, left: VarLike, right: VarLike, bound: int) -> DistAtom:
+        """``dist(left, right) <= bound``"""
+        return DistAtom(_var(left), _var(right), bound, within=True)
+
+    @classmethod
+    def far(cls, left: VarLike, right: VarLike, bound: int) -> DistAtom:
+        """``dist(left, right) > bound``"""
+        return DistAtom(_var(left), _var(right), bound, within=False)
+
+    @classmethod
+    def exists(cls, var: VarLike, body: Formula) -> Exists:
+        return Exists(_var(var), body)
+
+    @classmethod
+    def forall(cls, var: VarLike, body: Formula) -> Forall:
+        return Forall(_var(var), body)
+
+    @classmethod
+    def exists_near(
+        cls, var: VarLike, centers, radius: int, body: Formula
+    ) -> ExistsNear:
+        return ExistsNear(
+            _var(var), tuple(_var(center) for center in centers), radius, body
+        )
+
+    @classmethod
+    def forall_near(
+        cls, var: VarLike, centers, radius: int, body: Formula
+    ) -> ForallNear:
+        return ForallNear(
+            _var(var), tuple(_var(center) for center in centers), radius, body
+        )
+
+    @classmethod
+    def all_of(cls, *formulas: Formula) -> Formula:
+        return and_(*formulas)
+
+    @classmethod
+    def any_of(cls, *formulas: Formula) -> Formula:
+        return or_(*formulas)
+
+    @classmethod
+    def implies(cls, antecedent: Formula, consequent: Formula) -> Formula:
+        return or_(not_(antecedent), consequent)

@@ -1,0 +1,712 @@
+"""Structure-assisted Gaifman localization (Section 4, Step 1).
+
+The paper's preprocessing first rewrites the input query into Gaifman
+normal form and immediately *evaluates* every basic-local sentence on the
+input structure ``A`` (they are sentences, so they are just true or false
+on ``A``).  The syntactic detour through Gaifman normal form is what makes
+the constants non-elementary (see the paper's conclusion).
+
+This module fuses the two steps: it transforms an arbitrary FO query into
+an equivalent-on-``A`` *local* formula directly, evaluating the global
+content against ``A`` as it goes.  The result is a formula in which
+
+* every quantifier is relativized to a neighborhood of the free variables
+  (:class:`~repro.fo.syntax.ExistsNear` / ``ForallNear``),
+* "a far witness exists" conditions appear as counting atoms
+  :class:`~repro.fo.syntax.CountCmp` over *derived unary predicates*
+  materialized on the structure,
+
+which is exactly the r-local form the rest of the pipeline (Steps 2-5 of
+Proposition 3.4) consumes.  The key identity, for a local condition
+``U(z)`` and threshold ``T``::
+
+    exists z (dist(z, x-bar) > T and U(z))   iff
+    |U ∩ N_T(x-bar)| < |U|
+
+All rewrites preserve equivalence **on the given structure**; complexity
+matches the paper's bounds (each derived predicate costs one pass over the
+domain with neighborhood-bounded evaluation, i.e. ``O(n * d^{h(|q|)})``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import EvaluationError, QueryError, UnsupportedQueryError
+from repro.fo.normalize import simplify, to_cnf, to_dnf, to_nnf
+from repro.fo.syntax import (
+    And,
+    CountCmp,
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    FalseF,
+    Forall,
+    ForallNear,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    TotalCount,
+    TrueF,
+    Var,
+    and_,
+    locality_radius,
+    not_,
+    or_,
+    rename_apart,
+)
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+@dataclass
+class LocalizationBudget:
+    """Guard rails against the paper's non-elementary worst case."""
+
+    max_radius: int = 256
+    max_count_split: int = 4096
+    max_derived: int = 512
+
+
+class LocalEvaluator:
+    """Evaluates *local* formulas with neighborhood-bounded cost.
+
+    Differs from :mod:`repro.fo.semantics` in three ways: relativized
+    quantifiers iterate over cached balls, unary relations (including
+    derived ones) are cached as sets, and (formula, assignment) results are
+    memoized.  It refuses unrelativized quantifiers — those must have been
+    eliminated by :func:`localize` first.
+    """
+
+    def __init__(self, structure: Structure, extra_unary: Dict[str, Set[Element]]):
+        self.structure = structure
+        self.extra_unary = extra_unary
+        self._unary_cache: Dict[str, FrozenSet[Element]] = {}
+        self._ball_cache: Dict[Tuple[Element, int], FrozenSet[Element]] = {}
+        self._memo: Dict[Tuple[int, Tuple], bool] = {}
+
+    # -- caches ---------------------------------------------------------
+
+    def unary_set(self, name: str) -> FrozenSet[Element]:
+        cached = self._unary_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in self.extra_unary:
+            members = frozenset(self.extra_unary[name])
+        elif name in self.structure.signature:
+            if self.structure.signature.arity(name) != 1:
+                raise QueryError(f"{name!r} is not unary")
+            members = frozenset(fact[0] for fact in self.structure.facts(name))
+        else:
+            raise QueryError(f"unknown unary relation {name!r}")
+        self._unary_cache[name] = members
+        return members
+
+    def invalidate_unary(self, name: str) -> None:
+        self._unary_cache.pop(name, None)
+
+    def ball(self, element: Element, radius: int) -> FrozenSet[Element]:
+        key = (element, radius)
+        cached = self._ball_cache.get(key)
+        if cached is not None:
+            return cached
+        members = {element}
+        frontier = [element]
+        for _ in range(radius):
+            next_frontier = []
+            for current in frontier:
+                for neighbor in self.structure.neighbors(current):
+                    if neighbor not in members:
+                        members.add(neighbor)
+                        next_frontier.append(neighbor)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        result = frozenset(members)
+        self._ball_cache[key] = result
+        return result
+
+    def ball_of(self, elements, radius: int) -> Set[Element]:
+        region: Set[Element] = set()
+        for element in elements:
+            region |= self.ball(element, radius)
+        return region
+
+    def within(self, left: Element, right: Element, bound: int) -> bool:
+        return right in self.ball(left, bound)
+
+    # -- evaluation -------------------------------------------------------
+
+    def holds(self, formula: Formula, assignment: Mapping[Var, Element]) -> bool:
+        key = (
+            id(formula),
+            tuple(sorted((var.name, assignment[var]) for var in formula.free)),
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        result = self._eval(formula, dict(assignment))
+        self._memo[key] = result
+        return result
+
+    def _eval(self, formula: Formula, assignment: Dict[Var, Element]) -> bool:
+        if isinstance(formula, TrueF):
+            return True
+        if isinstance(formula, FalseF):
+            return False
+        if isinstance(formula, RelAtom):
+            if len(formula.args) == 1:
+                return assignment[formula.args[0]] in self.unary_set(formula.relation)
+            values = tuple(assignment[arg] for arg in formula.args)
+            return self.structure.has_fact(formula.relation, *values)
+        if isinstance(formula, Eq):
+            return assignment[formula.left] == assignment[formula.right]
+        if isinstance(formula, DistAtom):
+            close = self.within(
+                assignment[formula.left], assignment[formula.right], formula.bound
+            )
+            return close if formula.within else not close
+        if isinstance(formula, CountCmp):
+            members = self.unary_set(formula.unary)
+            region = self.ball_of(
+                (assignment[var] for var in formula.vars), formula.radius
+            )
+            count = sum(1 for element in region if element in members)
+            if isinstance(formula.rhs, TotalCount):
+                rhs_value = len(self.unary_set(formula.rhs.unary)) + formula.offset
+            else:
+                rhs_value = formula.rhs
+            return formula.compare(count, rhs_value)
+        if isinstance(formula, Not):
+            return not self._eval(formula.child, assignment)
+        if isinstance(formula, And):
+            return all(self._eval(child, assignment) for child in formula.children)
+        if isinstance(formula, Or):
+            return any(self._eval(child, assignment) for child in formula.children)
+        if isinstance(formula, ExistsNear):
+            region = self.ball_of(
+                (assignment[center] for center in formula.centers), formula.radius
+            )
+            for element in region:
+                assignment[formula.var] = element
+                if self._eval(formula.child, assignment):
+                    del assignment[formula.var]
+                    return True
+            assignment.pop(formula.var, None)
+            return False
+        if isinstance(formula, ForallNear):
+            region = self.ball_of(
+                (assignment[center] for center in formula.centers), formula.radius
+            )
+            for element in region:
+                assignment[formula.var] = element
+                if not self._eval(formula.child, assignment):
+                    del assignment[formula.var]
+                    return False
+            assignment.pop(formula.var, None)
+            return True
+        if isinstance(formula, (Exists, Forall)):
+            raise EvaluationError(
+                "LocalEvaluator received an unrelativized quantifier; "
+                "run localize() first"
+            )
+        raise QueryError(f"unknown formula node {formula!r}")
+
+
+@dataclass
+class LocalizedQuery:
+    """The output of :func:`localize`.
+
+    ``formula`` is local (all quantifiers relativized); evaluating it on
+    the original structure *extended with* ``extra_unary`` agrees with the
+    input query on every tuple.  ``radius`` bounds its locality radius.
+    """
+
+    formula: Formula
+    structure: Structure
+    extra_unary: Dict[str, Set[Element]]
+    derived_formulas: Dict[str, Formula]
+    evaluator: LocalEvaluator
+    radius: int
+    sentences_evaluated: int = 0
+    # The localizer context; needed again when the pipeline separates the
+    # local formula across cluster blocks (CountCmp splitting).
+    localizer: Optional["_Localizer"] = None
+
+    def materialize(self) -> Structure:
+        """The extended structure as a plain :class:`Structure` (for oracles)."""
+        extended_signature = self.structure.signature.extend(
+            {name: 1 for name in self.extra_unary}
+        )
+        extended = Structure(extended_signature, self.structure.domain)
+        for name, facts in (
+            (symbol.name, self.structure.facts(symbol.name))
+            for symbol in self.structure.signature
+        ):
+            for fact in facts:
+                extended.add_fact(name, *fact)
+        for name, members in self.extra_unary.items():
+            for element in members:
+                extended.add_fact(name, element)
+        return extended
+
+
+class _Localizer:
+    def __init__(self, structure: Structure, budget: LocalizationBudget):
+        self.structure = structure
+        self.budget = budget
+        self.extra_unary: Dict[str, Set[Element]] = {}
+        self.derived_formulas: Dict[str, Formula] = {}
+        self._derived_by_formula: Dict[Formula, str] = {}
+        self.evaluator = LocalEvaluator(structure, self.extra_unary)
+        self.sentences_evaluated = 0
+        self._max_count_cache: Dict[Tuple[str, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Derived unary predicates
+    # ------------------------------------------------------------------
+
+    def derived(self, formula: Formula, var: Var) -> str:
+        """Materialize ``{a : A |= formula(a)}`` as a fresh unary predicate.
+
+        ``formula`` must be local with ``var`` as its only free variable.
+        Deduplicates by formula identity so repeated subqueries cost one
+        pass each.
+        """
+        if formula.free != frozenset((var,)):
+            raise EvaluationError(
+                f"derived predicate needs exactly one free variable {var}, "
+                f"got {sorted(v.name for v in formula.free)}"
+            )
+        existing = self._derived_by_formula.get(formula)
+        if existing is not None:
+            return existing
+        if len(self.derived_formulas) >= self.budget.max_derived:
+            raise UnsupportedQueryError(
+                f"localization needs more than {self.budget.max_derived} "
+                "derived predicates; the query is too complex"
+            )
+        name = f"_D{len(self.derived_formulas)}"
+        members = {
+            element
+            for element in self.structure.domain
+            if self.evaluator.holds(formula, {var: element})
+        }
+        self.extra_unary[name] = members
+        self.derived_formulas[name] = formula
+        self._derived_by_formula[formula] = name
+        self.evaluator.invalidate_unary(name)
+        return name
+
+    def max_ball_count(self, unary: str, radius: int) -> int:
+        """Max over single elements ``a`` of ``|U ∩ N_radius(a)|``.
+
+        Used to bound the value range when splitting a CountCmp across far
+        apart variable groups.
+        """
+        key = (unary, radius)
+        cached = self._max_count_cache.get(key)
+        if cached is not None:
+            return cached
+        members = self.evaluator.unary_set(unary)
+        best = 0
+        for element in self.structure.domain:
+            ball = self.evaluator.ball(element, radius)
+            count = sum(1 for member in ball if member in members)
+            if count > best:
+                best = count
+        self._max_count_cache[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    # Main recursion
+    # ------------------------------------------------------------------
+
+    def localize(self, formula: Formula) -> Formula:
+        if isinstance(formula, (TrueF, FalseF, RelAtom, Eq, DistAtom, CountCmp)):
+            return formula
+        if isinstance(formula, Not):
+            return not_(self.localize(formula.child))
+        if isinstance(formula, And):
+            return and_(*(self.localize(child) for child in formula.children))
+        if isinstance(formula, Or):
+            return or_(*(self.localize(child) for child in formula.children))
+        if isinstance(formula, ExistsNear):
+            return ExistsNear(
+                formula.var,
+                formula.centers,
+                formula.radius,
+                self.localize(formula.child),
+            )
+        if isinstance(formula, ForallNear):
+            return ForallNear(
+                formula.var,
+                formula.centers,
+                formula.radius,
+                self.localize(formula.child),
+            )
+        if isinstance(formula, Exists):
+            return self._eliminate_exists(formula.var, self.localize(formula.child))
+        if isinstance(formula, Forall):
+            # forall z. beta  ==  not exists z. not beta
+            negated = to_nnf(not_(formula.child))
+            eliminated = self._eliminate_exists(formula.var, self.localize(negated))
+            return to_nnf(not_(eliminated))
+        raise QueryError(f"unknown formula node {formula!r}")
+
+    def _eliminate_exists(self, var: Var, body: Formula) -> Formula:
+        body = simplify(body)
+        if var not in body.free:
+            # exists z. beta with z not free: domain is non-empty, so this
+            # is just beta.
+            return body
+        other = tuple(sorted(body.free - {var}))
+        if not other:
+            # A "sentence" up to the single variable: evaluate on A now.
+            self.sentences_evaluated += 1
+            holds = any(
+                self.evaluator.holds(body, {var: element})
+                for element in self.structure.domain
+            )
+            return TRUE if holds else FALSE
+        radius = locality_radius(body)
+        threshold = 2 * radius + 1
+        if threshold > self.budget.max_radius:
+            raise UnsupportedQueryError(
+                f"locality radius {threshold} exceeds budget "
+                f"{self.budget.max_radius} (the paper's constants are "
+                "non-elementary in quantifier nesting)"
+            )
+        near = ExistsNear(var, other, threshold, body)
+        far = self._far_part(var, other, threshold, body)
+        return or_(near, far)
+
+    def _far_part(
+        self, var: Var, other: Tuple[Var, ...], threshold: int, body: Formula
+    ) -> Formula:
+        """``exists var: dist(var, other) > threshold and body``.
+
+        Separates ``body`` under the farness assumption, then for each DNF
+        clause materializes the var-side condition as a derived unary
+        predicate and rewrites existence of a far witness as a counting
+        comparison against the predicate's total.
+        """
+        sides: Dict[Var, int] = {var: 0}
+        for outer in other:
+            sides[outer] = 1
+        separated = separate(body, sides, threshold, self)
+        separated = simplify(separated)
+        if isinstance(separated, FalseF):
+            return FALSE
+        clauses = to_dnf(separated)
+        parts: List[Formula] = []
+        for clause in clauses:
+            witness_literals: List[Formula] = []
+            outer_literals: List[Formula] = []
+            for literal in clause:
+                if var in literal.free:
+                    witness_literals.append(literal)
+                else:
+                    outer_literals.append(literal)
+            witness = and_(*witness_literals)
+            if isinstance(witness, FalseF):
+                continue
+            if not witness_literals:
+                witness = TRUE
+            # Materialize {a : A |= witness(a)}; TRUE means "any element".
+            if isinstance(witness, TrueF):
+                predicate = self.derived(_EVERYTHING, _EVERYTHING_VAR)
+            else:
+                predicate = self.derived(witness, var)
+            count_atom = CountCmp(
+                predicate, threshold, other, "<", TotalCount(predicate)
+            )
+            parts.append(and_(*outer_literals, count_atom))
+        return or_(*parts)
+
+
+# A trivially-true unary condition: used to materialize the "all elements"
+# predicate for far parts with no witness constraint.
+_EVERYTHING_VAR = Var("_any")
+_EVERYTHING = Eq(_EVERYTHING_VAR, _EVERYTHING_VAR)
+
+
+# ----------------------------------------------------------------------
+# Separation: rewriting under a pairwise-farness assumption
+# ----------------------------------------------------------------------
+
+
+def _var_info(
+    formula: Formula, sides: Mapping[Var, int]
+) -> Dict[Var, Tuple[int, int]]:
+    """Seed (side, depth) info for the free variables."""
+    return {var: (side, 0) for var, side in sides.items()}
+
+
+def separate(
+    formula: Formula,
+    sides: Mapping[Var, int],
+    gap: int,
+    localizer: Optional[_Localizer] = None,
+) -> Formula:
+    """Rewrite ``formula`` assuming variable groups are pairwise far apart.
+
+    ``sides`` maps each free variable to a group id; the assumption is that
+    any two elements assigned to variables of different groups are at
+    Gaifman distance > ``gap``.  The result is equivalent under that
+    assumption and every atomic subformula (including relativized
+    quantifications) mentions variables of one group only:
+
+    * cross-group relational atoms and equalities are replaced by false,
+      cross-group distance atoms are decided by the gap;
+    * relativized quantifiers over multi-group centers split into one
+      quantifier per group (``N_r(C1 ∪ C2) = N_r(C1) ∪ N_r(C2)``);
+    * subformulas not mentioning the bound variable are hoisted out of
+      quantifiers (Feferman-Vaught style);
+    * counting atoms over multi-group centers split into sums over
+      per-group counts (balls are disjoint under the gap assumption).
+
+    ``gap`` must exceed twice the locality radius of ``formula`` — the
+    caller (localization with ``gap = 2r+1``) guarantees this.
+    """
+    info = _var_info(formula, sides)
+    return _separate(formula, info, gap, localizer)
+
+
+def _cross_forced(depth_u: int, depth_v: int, interaction: int, gap: int) -> bool:
+    """Is a cross-group interaction at the given depths decided by the gap?
+
+    Elements bound at depths ``depth_u`` / ``depth_v`` from their group
+    anchors are at distance *strictly greater than* ``gap - du - dv``; an
+    interaction requiring distance <= ``interaction`` (atom: 1, equality:
+    0, distance atom: its bound, counting disjointness: 2*radius) is
+    therefore forced as soon as ``gap - du - dv >= interaction``.
+    """
+    return gap - depth_u - depth_v >= interaction
+
+
+def _separate(
+    formula: Formula,
+    info: Dict[Var, Tuple[int, int]],
+    gap: int,
+    localizer: Optional[_Localizer],
+) -> Formula:
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, RelAtom):
+        return _separate_atom(formula, formula.args, 1, info, gap)
+    if isinstance(formula, Eq):
+        return _separate_atom(formula, (formula.left, formula.right), 0, info, gap)
+    if isinstance(formula, DistAtom):
+        pair = (formula.left, formula.right)
+        group_ids = {info[v][0] for v in pair}
+        if len(group_ids) <= 1:
+            return formula
+        depth_total = sum(info[v][1] for v in pair)
+        if _cross_forced(info[pair[0]][1], info[pair[1]][1], formula.bound, gap):
+            return FALSE if formula.within else TRUE
+        raise EvaluationError(
+            f"separation gap {gap} too small for {formula} at depth {depth_total}"
+        )
+    if isinstance(formula, CountCmp):
+        return _separate_count(formula, info, gap, localizer)
+    if isinstance(formula, Not):
+        inner = _separate(formula.child, info, gap, localizer)
+        return not_(inner)
+    if isinstance(formula, And):
+        return and_(*(_separate(child, info, gap, localizer) for child in formula.children))
+    if isinstance(formula, Or):
+        return or_(*(_separate(child, info, gap, localizer) for child in formula.children))
+    if isinstance(formula, (ExistsNear, ForallNear)):
+        return _separate_near(formula, info, gap, localizer)
+    if isinstance(formula, (Exists, Forall)):
+        raise EvaluationError(
+            "separate() requires a local formula; localize quantifiers first"
+        )
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def _separate_atom(
+    formula: Formula,
+    args: Tuple[Var, ...],
+    interaction: int,
+    info: Dict[Var, Tuple[int, int]],
+    gap: int,
+) -> Formula:
+    group_ids = {info[arg][0] for arg in args}
+    if len(group_ids) <= 1:
+        return formula
+    # Any pair of arguments from different groups falsifies the atom
+    # provided the gap is large enough at their depths.
+    for left in args:
+        for right in args:
+            if info[left][0] != info[right][0]:
+                if not _cross_forced(info[left][1], info[right][1], interaction, gap):
+                    raise EvaluationError(
+                        f"separation gap {gap} too small for atom {formula}"
+                    )
+    return FALSE
+
+
+def _separate_count(
+    formula: CountCmp,
+    info: Dict[Var, Tuple[int, int]],
+    gap: int,
+    localizer: Optional[_Localizer],
+) -> Formula:
+    groups: Dict[int, List[Var]] = {}
+    for center in formula.vars:
+        groups.setdefault(info[center][0], []).append(center)
+    if len(groups) <= 1:
+        return formula
+    # Balls around different groups are disjoint when the gap exceeds the
+    # depths plus twice the counting radius.
+    for left in formula.vars:
+        for right in formula.vars:
+            if info[left][0] != info[right][0]:
+                if not _cross_forced(
+                    info[left][1], info[right][1], 2 * formula.radius, gap
+                ):
+                    raise EvaluationError(
+                        f"separation gap {gap} too small for count atom {formula}"
+                    )
+    if localizer is None:
+        raise EvaluationError(
+            "splitting a multi-group count atom requires structure access"
+        )
+    group_list = sorted(groups.items())
+    head_group = group_list[0][1]
+    tail_groups = group_list[1:]
+    cap_per_center = localizer.max_ball_count(formula.unary, formula.radius)
+    combos: List[Tuple[Tuple[Tuple[Var, ...], int], ...]] = [()]
+    total_combos = 1
+    for _, centers in tail_groups:
+        cap = cap_per_center * len(centers)
+        total_combos *= cap + 1
+        if total_combos > localizer.budget.max_count_split:
+            raise UnsupportedQueryError(
+                "splitting a counting atom across far groups needs "
+                f"{total_combos} > {localizer.budget.max_count_split} cases"
+            )
+        combos = [
+            existing + ((tuple(centers), value),)
+            for existing in combos
+            for value in range(cap + 1)
+        ]
+    disjuncts: List[Formula] = []
+    for combo in combos:
+        fixed_counts = [
+            CountCmp(formula.unary, formula.radius, centers, "==", value)
+            for centers, value in combo
+        ]
+        consumed = sum(value for _, value in combo)
+        head = CountCmp(
+            formula.unary,
+            formula.radius,
+            tuple(head_group),
+            formula.op,
+            formula.rhs,
+            formula.offset - consumed,
+        )
+        disjuncts.append(and_(*fixed_counts, head))
+    return or_(*disjuncts)
+
+
+def _separate_near(
+    formula: Formula,
+    info: Dict[Var, Tuple[int, int]],
+    gap: int,
+    localizer: Optional[_Localizer],
+) -> Formula:
+    is_exists = isinstance(formula, ExistsNear)
+    groups: Dict[int, List[Var]] = {}
+    for center in formula.centers:
+        groups.setdefault(info[center][0], []).append(center)
+    branches: List[Formula] = []
+    for group_id, centers in sorted(groups.items()):
+        depth = max(info[center][1] for center in centers) + formula.radius
+        inner_info = dict(info)
+        inner_info[formula.var] = (group_id, depth)
+        child = _separate(formula.child, inner_info, gap, localizer)
+        child = simplify(child)
+        hoisted = _hoist(
+            formula.var, tuple(centers), formula.radius, child, is_exists
+        )
+        branches.append(hoisted)
+    if is_exists:
+        return or_(*branches)
+    return and_(*branches)
+
+
+def _hoist(
+    var: Var,
+    centers: Tuple[Var, ...],
+    radius: int,
+    child: Formula,
+    is_exists: bool,
+) -> Formula:
+    """Pull subformulas not mentioning ``var`` out of the quantifier.
+
+    ``exists var in B: OR_c (In_c(var) and Out_c)`` becomes
+    ``OR_c (Out_c and exists var in B: In_c)``; dually for forall with CNF.
+    The ball ``B`` is never empty (it contains its centers), so
+    ``exists var in B: true`` is true and ``forall var in B: false`` is
+    false — :func:`simplify` applies those rules.
+    """
+    clauses = to_dnf(child) if is_exists else to_cnf(child)
+    combine_outer = or_ if is_exists else and_
+    combine_inner = and_ if is_exists else or_
+    rebuilt: List[Formula] = []
+    for clause in clauses:
+        inner = [literal for literal in clause if var in literal.free]
+        outer = [literal for literal in clause if var not in literal.free]
+        inner_formula = combine_inner(*inner) if inner else (TRUE if is_exists else FALSE)
+        cls = ExistsNear if is_exists else ForallNear
+        quantified = simplify(cls(var, centers, radius, inner_formula))
+        rebuilt.append(combine_inner(*outer, quantified))
+    if not rebuilt:
+        return TRUE if not is_exists else FALSE
+    return simplify(combine_outer(*rebuilt))
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+
+
+def localize(
+    formula: Formula,
+    structure: Structure,
+    budget: Optional[LocalizationBudget] = None,
+) -> LocalizedQuery:
+    """Rewrite ``formula`` into a local formula equivalent on ``structure``.
+
+    Returns a :class:`LocalizedQuery`; see the module docstring for the
+    shape of the output.  For sentences the resulting formula is simply
+    ``true`` or ``false`` — this *is* the model checking algorithm of
+    Theorem 2.4, run during preprocessing.
+    """
+    budget = budget or LocalizationBudget()
+    prepared = to_nnf(rename_apart(formula))
+    localizer = _Localizer(structure, budget)
+    local = simplify(localizer.localize(prepared))
+    if isinstance(local, (TrueF, FalseF)):
+        radius = 0
+    else:
+        radius = locality_radius(local)
+    return LocalizedQuery(
+        formula=local,
+        structure=structure,
+        extra_unary=localizer.extra_unary,
+        derived_formulas=localizer.derived_formulas,
+        evaluator=localizer.evaluator,
+        radius=radius,
+        sentences_evaluated=localizer.sentences_evaluated,
+        localizer=localizer,
+    )

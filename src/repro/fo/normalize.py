@@ -1,0 +1,242 @@
+"""Normal forms: negation normal form, DNF, and exclusive DNF.
+
+The counting algorithm (Proposition 3.7) requires a disjunctive normal form
+whose clauses *exclude each other*; :func:`exclusive_dnf` produces it the
+robust way, by enumerating satisfying assignments over the formula's atom
+set, so clauses are total conjunctions of literals and mutual exclusivity
+is structural.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.fo.syntax import (
+    And,
+    CountCmp,
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    FalseF,
+    Forall,
+    ForallNear,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    TrueF,
+    and_,
+    not_,
+    or_,
+)
+
+_ATOM_TYPES = (RelAtom, Eq, DistAtom, CountCmp)
+
+
+def to_nnf(formula: Formula) -> Formula:
+    """Negation normal form: negations only on atoms.
+
+    Quantifiers (plain and relativized) are dualized as usual.  Distance
+    atoms absorb their negation by flipping ``within``.
+    """
+    return _nnf(formula, positive=True)
+
+
+def _nnf(formula: Formula, positive: bool) -> Formula:
+    if isinstance(formula, TrueF):
+        return TRUE if positive else FALSE
+    if isinstance(formula, FalseF):
+        return FALSE if positive else TRUE
+    if isinstance(formula, _ATOM_TYPES):
+        if positive:
+            return formula
+        if isinstance(formula, DistAtom):
+            return formula.negated()
+        return Not(formula)
+    if isinstance(formula, Not):
+        return _nnf(formula.child, not positive)
+    if isinstance(formula, And):
+        parts = tuple(_nnf(child, positive) for child in formula.children)
+        return and_(*parts) if positive else or_(*parts)
+    if isinstance(formula, Or):
+        parts = tuple(_nnf(child, positive) for child in formula.children)
+        return or_(*parts) if positive else and_(*parts)
+    if isinstance(formula, Exists):
+        inner = _nnf(formula.child, positive)
+        return Exists(formula.var, inner) if positive else Forall(formula.var, inner)
+    if isinstance(formula, Forall):
+        inner = _nnf(formula.child, positive)
+        return Forall(formula.var, inner) if positive else Exists(formula.var, inner)
+    if isinstance(formula, ExistsNear):
+        inner = _nnf(formula.child, positive)
+        cls = ExistsNear if positive else ForallNear
+        return cls(formula.var, formula.centers, formula.radius, inner)
+    if isinstance(formula, ForallNear):
+        inner = _nnf(formula.child, positive)
+        cls = ForallNear if positive else ExistsNear
+        return cls(formula.var, formula.centers, formula.radius, inner)
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def simplify(formula: Formula) -> Formula:
+    """Bottom-up constant folding and flattening via the smart constructors."""
+    if isinstance(formula, (TrueF, FalseF)) or isinstance(formula, _ATOM_TYPES):
+        return formula
+    if isinstance(formula, Not):
+        return not_(simplify(formula.child))
+    if isinstance(formula, And):
+        return and_(*(simplify(child) for child in formula.children))
+    if isinstance(formula, Or):
+        return or_(*(simplify(child) for child in formula.children))
+    if isinstance(formula, (Exists, Forall)):
+        inner = simplify(formula.child)
+        if isinstance(inner, TrueF):
+            return TRUE
+        if isinstance(inner, FalseF):
+            return FALSE
+        return type(formula)(formula.var, inner)
+    if isinstance(formula, (ExistsNear, ForallNear)):
+        inner = simplify(formula.child)
+        if isinstance(inner, FalseF) and isinstance(formula, ExistsNear):
+            return FALSE
+        if isinstance(inner, TrueF) and isinstance(formula, ForallNear):
+            return TRUE
+        # "exists z near centers: true" is always true: the ball around a
+        # center is never empty (it contains the center itself).
+        if isinstance(inner, TrueF) and isinstance(formula, ExistsNear):
+            return TRUE
+        if isinstance(inner, FalseF) and isinstance(formula, ForallNear):
+            return FALSE
+        return type(formula)(formula.var, formula.centers, formula.radius, inner)
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def boolean_atoms(formula: Formula) -> List[Formula]:
+    """The maximal non-boolean subformulas, treated as opaque atoms.
+
+    Quantified subformulas count as atoms here: DNF conversion never crosses
+    a quantifier.
+    """
+    seen: Dict[Formula, None] = {}
+
+    def walk(node: Formula) -> None:
+        if isinstance(node, (TrueF, FalseF)):
+            return
+        if isinstance(node, Not):
+            walk(node.child)
+            return
+        if isinstance(node, (And, Or)):
+            for child in node.children:
+                walk(child)
+            return
+        seen.setdefault(node, None)
+
+    walk(formula)
+    return list(seen)
+
+
+def _eval_boolean(formula: Formula, valuation: Dict[Formula, bool]) -> bool:
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Not):
+        return not _eval_boolean(formula.child, valuation)
+    if isinstance(formula, And):
+        return all(_eval_boolean(child, valuation) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(_eval_boolean(child, valuation) for child in formula.children)
+    return valuation[formula]
+
+
+def exclusive_dnf(formula: Formula) -> List[Tuple[Tuple[Formula, bool], ...]]:
+    """Rewrite a boolean combination as mutually exclusive DNF clauses.
+
+    Returns a list of clauses; each clause is a tuple of ``(atom, sign)``
+    literals over the *full* atom set of the formula, so any two clauses
+    differ in at least one literal sign and therefore exclude each other —
+    the property the counting algorithm needs (Proposition 3.7: "the
+    conjunctive clauses exclude each other").
+
+    The clause list has at most ``2^m`` entries for ``m`` atoms; ``m``
+    depends only on the query, matching the paper's ``O(2^{|psi|})``.
+    """
+    atoms = boolean_atoms(formula)
+    if len(atoms) > 20:
+        raise QueryError(
+            f"exclusive DNF over {len(atoms)} atoms would need 2^{len(atoms)} "
+            "clauses; simplify the query"
+        )
+    clauses: List[Tuple[Tuple[Formula, bool], ...]] = []
+    for signs in product((True, False), repeat=len(atoms)):
+        valuation = dict(zip(atoms, signs))
+        if _eval_boolean(formula, valuation):
+            clauses.append(tuple(zip(atoms, signs)))
+    return clauses
+
+
+def clause_to_formula(clause: Sequence[Tuple[Formula, bool]]) -> Formula:
+    """Turn an ``exclusive_dnf`` clause back into a conjunction."""
+    literals = [atom if sign else not_(atom) for atom, sign in clause]
+    return and_(*literals)
+
+
+def to_dnf(formula: Formula) -> List[List[Formula]]:
+    """Plain (non-exclusive) DNF of a boolean combination.
+
+    Returns a list of clauses, each a list of literals (atoms or negated
+    atoms).  Distributes conjunction over disjunction; the input must be in
+    NNF (apply :func:`to_nnf` first).
+    """
+    formula = simplify(formula)
+    if isinstance(formula, FalseF):
+        return []
+    if isinstance(formula, TrueF):
+        return [[]]
+    if isinstance(formula, Or):
+        result: List[List[Formula]] = []
+        for child in formula.children:
+            result.extend(to_dnf(child))
+        return result
+    if isinstance(formula, And):
+        partial: List[List[Formula]] = [[]]
+        for child in formula.children:
+            child_clauses = to_dnf(child)
+            partial = [
+                existing + extra for existing in partial for extra in child_clauses
+            ]
+        return partial
+    # Literal (atom, negated atom, or quantified subformula).
+    return [[formula]]
+
+
+def to_cnf(formula: Formula) -> List[List[Formula]]:
+    """Plain CNF of a boolean combination: a list of disjunctive clauses.
+
+    Dual of :func:`to_dnf`; the input must be in NNF.  ``[]`` means true,
+    a clause ``[]`` inside means false.
+    """
+    formula = simplify(formula)
+    if isinstance(formula, TrueF):
+        return []
+    if isinstance(formula, FalseF):
+        return [[]]
+    if isinstance(formula, And):
+        result: List[List[Formula]] = []
+        for child in formula.children:
+            result.extend(to_cnf(child))
+        return result
+    if isinstance(formula, Or):
+        partial: List[List[Formula]] = [[]]
+        for child in formula.children:
+            child_clauses = to_cnf(child)
+            partial = [
+                existing + extra for existing in partial for extra in child_clauses
+            ]
+        return partial
+    return [[formula]]

@@ -1,0 +1,283 @@
+"""A small recursive-descent parser for textual FO queries.
+
+Grammar (lowest precedence first)::
+
+    formula    := implied ( "<->" implied )*
+    implied    := disjunct ( "->" disjunct )*          (right-associative)
+    disjunct   := conjunct ( ("|" | "or") conjunct )*
+    conjunct   := unary ( ("&" | "and") unary )*
+    unary      := ("~" | "!" | "not") unary
+                | ("exists" | "forall") var+ [ "in" "N" INT "(" var+ ")" ] "." formula
+                | "(" formula ")"
+                | atom
+    atom       := NAME "(" var ("," var)* ")"
+                | "dist" "(" var "," var ")" ("<=" | ">") INT
+                | var ("=" | "!=") var
+                | "true" | "false"
+
+Examples::
+
+    parse("B(x) & R(y) & ~E(x,y)")
+    parse("exists y. E(x,y) & B(y)")          # body extends to the right
+    parse("exists z in N2(x). E(z,x)")        # relativized quantifier
+    parse("dist(x,y) > 4 & C(x)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.fo.syntax import (
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    Forall,
+    ForallNear,
+    Formula,
+    RelAtom,
+    TRUE,
+    Var,
+    and_,
+    not_,
+    or_,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<iff><->)
+  | (?P<implies>->)
+  | (?P<le><=)
+  | (?P<neq>!=)
+  | (?P<gt>>)
+  | (?P<eq>=)
+  | (?P<and>&)
+  | (?P<or>\|)
+  | (?P<not>~|!)
+  | (?P<lpar>\()
+  | (?P<rpar>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9']*)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"exists", "forall", "and", "or", "not", "true", "false", "in", "dist"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r} at position {position}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    tokens.append(_Token("eof", "", len(text)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r} at position {token.position}, got {token.text!r}"
+            )
+        return self.advance()
+
+    def at_keyword(self, word: str) -> bool:
+        token = self.peek()
+        return token.kind == "name" and token.text == word
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self.formula()
+        token = self.peek()
+        if token.kind != "eof":
+            raise ParseError(
+                f"trailing input at position {token.position}: {token.text!r}"
+            )
+        return formula
+
+    def formula(self) -> Formula:
+        left = self.implied()
+        while self.peek().kind == "iff":
+            self.advance()
+            right = self.implied()
+            left = or_(and_(left, right), and_(not_(left), not_(right)))
+        return left
+
+    def implied(self) -> Formula:
+        left = self.disjunct()
+        if self.peek().kind == "implies":
+            self.advance()
+            right = self.implied()
+            return or_(not_(left), right)
+        return left
+
+    def disjunct(self) -> Formula:
+        parts = [self.conjunct()]
+        while self.peek().kind == "or" or self.at_keyword("or"):
+            self.advance()
+            parts.append(self.conjunct())
+        return or_(*parts)
+
+    def conjunct(self) -> Formula:
+        parts = [self.unary()]
+        while self.peek().kind == "and" or self.at_keyword("and"):
+            self.advance()
+            parts.append(self.unary())
+        return and_(*parts)
+
+    def unary(self) -> Formula:
+        token = self.peek()
+        if token.kind == "not" or self.at_keyword("not"):
+            self.advance()
+            return not_(self.unary())
+        if self.at_keyword("exists") or self.at_keyword("forall"):
+            return self.quantified()
+        if token.kind == "lpar":
+            self.advance()
+            inner = self.formula()
+            self.expect("rpar")
+            return inner
+        return self.atom()
+
+    def quantified(self) -> Formula:
+        keyword = self.advance().text
+        variables: List[Var] = []
+        while self.peek().kind == "name" and not self.at_keyword("in"):
+            if self.peek().text in _KEYWORDS:
+                break
+            variables.append(Var(self.advance().text))
+        if not variables:
+            raise ParseError(
+                f"{keyword} needs at least one variable at position "
+                f"{self.peek().position}"
+            )
+        relativization: Optional[Tuple[int, Tuple[Var, ...]]] = None
+        if self.at_keyword("in"):
+            self.advance()
+            near = self.expect("name")
+            match = re.fullmatch(r"N(\d+)", near.text)
+            if match is None:
+                raise ParseError(
+                    f"expected neighborhood 'N<radius>' at position {near.position}, "
+                    f"got {near.text!r}"
+                )
+            radius = int(match.group(1))
+            self.expect("lpar")
+            centers = [Var(self.expect("name").text)]
+            while self.peek().kind == "comma":
+                self.advance()
+                centers.append(Var(self.expect("name").text))
+            self.expect("rpar")
+            relativization = (radius, tuple(centers))
+        self.expect("dot")
+        body = self.formula()
+        for var in reversed(variables):
+            if relativization is None:
+                body = Exists(var, body) if keyword == "exists" else Forall(var, body)
+            else:
+                radius, centers = relativization
+                cls = ExistsNear if keyword == "exists" else ForallNear
+                body = cls(var, centers, radius, body)
+        return body
+
+    def atom(self) -> Formula:
+        token = self.peek()
+        if token.kind != "name":
+            raise ParseError(
+                f"expected an atom at position {token.position}, got {token.text!r}"
+            )
+        if token.text == "true":
+            self.advance()
+            return TRUE
+        if token.text == "false":
+            self.advance()
+            return FALSE
+        if token.text == "dist":
+            return self.distance_atom()
+        name = self.advance().text
+        if self.peek().kind == "lpar":
+            self.advance()
+            args = [Var(self.expect("name").text)]
+            while self.peek().kind == "comma":
+                self.advance()
+                args.append(Var(self.expect("name").text))
+            self.expect("rpar")
+            return RelAtom(name, tuple(args))
+        # A bare name: must be the left side of (in)equality.
+        operator = self.peek()
+        if operator.kind == "eq":
+            self.advance()
+            right = Var(self.expect("name").text)
+            return Eq(Var(name), right)
+        if operator.kind == "neq":
+            self.advance()
+            right = Var(self.expect("name").text)
+            return not_(Eq(Var(name), right))
+        raise ParseError(
+            f"expected '(' or '='/'!=' after {name!r} at position {operator.position}"
+        )
+
+    def distance_atom(self) -> Formula:
+        self.expect("name", "dist")
+        self.expect("lpar")
+        left = Var(self.expect("name").text)
+        self.expect("comma")
+        right = Var(self.expect("name").text)
+        self.expect("rpar")
+        operator = self.peek()
+        if operator.kind == "le":
+            self.advance()
+            bound = int(self.expect("int").text)
+            return DistAtom(left, right, bound, within=True)
+        if operator.kind == "gt":
+            self.advance()
+            bound = int(self.expect("int").text)
+            return DistAtom(left, right, bound, within=False)
+        raise ParseError(
+            f"expected '<=' or '>' after dist(...) at position {operator.position}"
+        )
+
+
+def parse(text: str) -> Formula:
+    """Parse a textual FO query into a :class:`~repro.fo.syntax.Formula`."""
+    return _Parser(text).parse()

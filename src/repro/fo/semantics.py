@@ -1,0 +1,218 @@
+"""Reference (naive) semantics for FO formulas over structures.
+
+This module is the *oracle* for the whole library: every pipeline
+algorithm is tested against it.  It is deliberately the most direct
+implementation possible — recursion over the formula with quantifiers
+iterating over the whole domain — so its correctness is apparent.
+
+It is also the paper's strawman: :func:`naive_answers` materializes
+``q(A)`` by iterating all ``|A|^k`` tuples, which is exactly the algorithm
+whose per-answer delay the constant-delay enumerator beats (Example 2.3).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.fo.syntax import (
+    And,
+    CountCmp,
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FalseF,
+    Forall,
+    ForallNear,
+    Formula,
+    Not,
+    Or,
+    RelAtom,
+    TotalCount,
+    TrueF,
+    Var,
+)
+from repro.structures.gaifman_graph import ball_of_set, within_distance
+from repro.structures.structure import Structure
+
+Element = Hashable
+Assignment = Dict[Var, Element]
+
+
+def _unary_set(structure: Structure, unary: str) -> frozenset:
+    if unary not in structure.signature:
+        raise QueryError(f"unknown unary relation {unary!r} in CountCmp")
+    if structure.signature.arity(unary) != 1:
+        raise QueryError(f"CountCmp needs a unary relation, {unary!r} is not")
+    return frozenset(fact[0] for fact in structure.facts(unary))
+
+
+def evaluate(
+    formula: Formula, structure: Structure, assignment: Optional[Assignment] = None
+) -> bool:
+    """Evaluate ``formula`` under ``assignment`` (must bind all free vars)."""
+    assignment = assignment or {}
+    missing = formula.free - set(assignment)
+    if missing:
+        raise QueryError(f"unbound free variables: {sorted(v.name for v in missing)}")
+    return _eval(formula, structure, assignment)
+
+
+def _eval(formula: Formula, structure: Structure, assignment: Assignment) -> bool:
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, RelAtom):
+        values = tuple(assignment[arg] for arg in formula.args)
+        return structure.has_fact(formula.relation, *values)
+    if isinstance(formula, Eq):
+        return assignment[formula.left] == assignment[formula.right]
+    if isinstance(formula, DistAtom):
+        left = assignment[formula.left]
+        right = assignment[formula.right]
+        close = within_distance(structure, left, right, formula.bound)
+        return close if formula.within else not close
+    if isinstance(formula, CountCmp):
+        unary_members = _unary_set(structure, formula.unary)
+        centers = [assignment[var] for var in formula.vars]
+        region = ball_of_set(structure, centers, formula.radius)
+        count = sum(1 for member in region if member in unary_members)
+        if isinstance(formula.rhs, TotalCount):
+            rhs_value = len(_unary_set(structure, formula.rhs.unary)) + formula.offset
+        else:
+            rhs_value = formula.rhs
+        return formula.compare(count, rhs_value)
+    if isinstance(formula, Not):
+        return not _eval(formula.child, structure, assignment)
+    if isinstance(formula, And):
+        return all(_eval(child, structure, assignment) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(_eval(child, structure, assignment) for child in formula.children)
+    if isinstance(formula, Exists):
+        for element in structure.domain:
+            assignment[formula.var] = element
+            if _eval(formula.child, structure, assignment):
+                del assignment[formula.var]
+                return True
+        assignment.pop(formula.var, None)
+        return False
+    if isinstance(formula, Forall):
+        for element in structure.domain:
+            assignment[formula.var] = element
+            if not _eval(formula.child, structure, assignment):
+                del assignment[formula.var]
+                return False
+        assignment.pop(formula.var, None)
+        return True
+    if isinstance(formula, ExistsNear):
+        centers = [assignment[center] for center in formula.centers]
+        region = ball_of_set(structure, centers, formula.radius)
+        for element in region:
+            assignment[formula.var] = element
+            if _eval(formula.child, structure, assignment):
+                del assignment[formula.var]
+                return True
+        assignment.pop(formula.var, None)
+        return False
+    if isinstance(formula, ForallNear):
+        centers = [assignment[center] for center in formula.centers]
+        region = ball_of_set(structure, centers, formula.radius)
+        for element in region:
+            assignment[formula.var] = element
+            if not _eval(formula.child, structure, assignment):
+                del assignment[formula.var]
+                return False
+        assignment.pop(formula.var, None)
+        return True
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def free_tuple(formula: Formula, order: Optional[Sequence[Var]] = None) -> Tuple[Var, ...]:
+    """The free variables of ``formula`` as an ordered tuple.
+
+    If ``order`` is given it must be duplicate-free and *cover* the free
+    variables; extra variables are allowed and simply unconstrained (a
+    simplification step may eliminate a variable from a formula without
+    changing the intended answer arity).  Without ``order``, variables are
+    sorted by name — the deterministic default shared by every component
+    of the library.
+    """
+    if order is not None:
+        ordered = tuple(v if isinstance(v, Var) else Var(v) for v in order)
+        if not set(ordered) >= set(formula.free) or len(ordered) != len(set(ordered)):
+            raise QueryError(
+                f"variable order {[v.name for v in ordered]} does not cover "
+                f"free variables {sorted(v.name for v in formula.free)}"
+            )
+        return ordered
+    return tuple(sorted(formula.free))
+
+
+def naive_answers(
+    formula: Formula,
+    structure: Structure,
+    order: Optional[Sequence[Var]] = None,
+) -> List[Tuple[Element, ...]]:
+    """Materialize ``q(A)`` by brute force over all ``|A|^k`` tuples.
+
+    Answers are returned in lexicographic order of the domain order.  For
+    sentences the result is ``[()]`` when the sentence holds, else ``[]``.
+    """
+    variables = free_tuple(formula, order)
+    if not variables:
+        return [()] if evaluate(formula, structure, {}) else []
+    answers = []
+    assignment: Assignment = {}
+    for values in product(structure.domain, repeat=len(variables)):
+        for var, value in zip(variables, values):
+            assignment[var] = value
+        if _eval(formula, structure, assignment):
+            answers.append(values)
+    return answers
+
+
+def naive_count(
+    formula: Formula,
+    structure: Structure,
+    order: Optional[Sequence[Var]] = None,
+) -> int:
+    """``|q(A)|`` by brute force."""
+    return len(naive_answers(formula, structure, order))
+
+
+def naive_test(
+    formula: Formula,
+    structure: Structure,
+    candidate: Sequence[Element],
+    order: Optional[Sequence[Var]] = None,
+) -> bool:
+    """Test one tuple by direct evaluation."""
+    variables = free_tuple(formula, order)
+    if len(candidate) != len(variables):
+        raise QueryError(
+            f"expected a {len(variables)}-tuple, got {len(candidate)}-tuple"
+        )
+    assignment = dict(zip(variables, candidate))
+    return evaluate(formula, structure, assignment)
+
+
+def naive_enumerate(
+    formula: Formula,
+    structure: Structure,
+    order: Optional[Sequence[Var]] = None,
+) -> Iterator[Tuple[Element, ...]]:
+    """Generator version of :func:`naive_answers` (lazy, same order)."""
+    variables = free_tuple(formula, order)
+    if not variables:
+        if evaluate(formula, structure, {}):
+            yield ()
+        return
+    assignment: Assignment = {}
+    for values in product(structure.domain, repeat=len(variables)):
+        for var, value in zip(variables, values):
+            assignment[var] = value
+        if _eval(formula, structure, assignment):
+            yield values

@@ -1,0 +1,634 @@
+"""First-order query syntax (Section 2.1), plus the *local* extensions the
+evaluation pipeline produces.
+
+The core language is standard FO over relational signatures: relation
+atoms, equality, boolean connectives, and quantifiers.  Three extensions
+make the paper's algorithms expressible as syntax:
+
+* :class:`DistAtom` — ``dist(x, y) <= k`` in the Gaifman graph.  FO can
+  define it, but as a primitive it keeps Gaifman localization readable and
+  cheap (the paper manipulates distance formulas throughout Section 4).
+* :class:`ExistsNear` / :class:`ForallNear` — quantifiers *relativized to
+  the r-neighborhood of a tuple of variables*.  A formula whose quantifiers
+  are all relativized around its free variables is exactly an "r-local
+  formula" (Section 4, Step 1).
+* :class:`CountCmp` — ``|U ∩ N_r(x-bar)| op rhs`` for a unary predicate
+  ``U``, where ``rhs`` is an integer or ``TotalCount(U)``.  This is how the
+  structure-assisted localization expresses the "far existential witness"
+  condition: ``exists z far from x-bar with U(z)`` holds iff
+  ``|U ∩ N_r(x-bar)| < |U|``.
+
+All nodes are immutable and hashable; free variables are computed once at
+construction.  Use the smart constructors :func:`and_`, :func:`or_`,
+:func:`not_` for constant folding and flattening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterator, Tuple, Union
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Formula:
+    """Base class for all formula nodes."""
+
+    free: FrozenSet[Var] = frozenset()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return and_(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return or_(self, other)
+
+    def __invert__(self) -> "Formula":
+        return not_(self)
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The constant true."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The constant false."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """A relational atom ``R(x1, ..., xr)``."""
+
+    relation: str
+    args: Tuple[Var, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free", frozenset(self.args))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation}({inner})"
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality ``x = y``."""
+
+    left: Var
+    right: Var
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free", frozenset((self.left, self.right)))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class DistAtom(Formula):
+    """``dist(left, right) <= bound`` (``within=True``) or ``> bound``.
+
+    Distances are in the Gaifman graph of the structure the formula is
+    evaluated on.  ``dist <= 0`` is equality; ``dist <= 1`` is "equal or
+    adjacent".
+    """
+
+    left: Var
+    right: Var
+    bound: int
+    within: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise QueryError(f"distance bound must be >= 0, got {self.bound}")
+        object.__setattr__(self, "free", frozenset((self.left, self.right)))
+
+    def negated(self) -> "DistAtom":
+        return DistAtom(self.left, self.right, self.bound, not self.within)
+
+    def __str__(self) -> str:
+        op = "<=" if self.within else ">"
+        return f"dist({self.left},{self.right}) {op} {self.bound}"
+
+
+@dataclass(frozen=True)
+class TotalCount:
+    """The right-hand side ``|U|`` of a :class:`CountCmp` comparison."""
+
+    unary: str
+
+    def __str__(self) -> str:
+        return f"|{self.unary}|"
+
+
+@dataclass(frozen=True)
+class CountCmp(Formula):
+    """``|U ∩ N_radius(vars)| op rhs + offset`` for a unary symbol ``U``.
+
+    ``op`` is one of ``<``, ``<=``, ``>``, ``>=``, ``==``.  ``rhs`` is an
+    ``int`` or :class:`TotalCount`; ``offset`` shifts the right-hand side
+    (it appears when a count over far-apart variable groups is split into
+    per-group counts).  With ``radius=r`` this atom is r-local around
+    ``vars`` (given the structure-wide constant ``|U|``).
+    """
+
+    unary: str
+    radius: int
+    vars: Tuple[Var, ...]
+    op: str
+    rhs: Union[int, TotalCount]
+    offset: int = 0
+
+    _OPS = ("<", "<=", ">", ">=", "==")
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise QueryError(f"bad comparison {self.op!r}; use one of {self._OPS}")
+        if self.radius < 0:
+            raise QueryError(f"radius must be >= 0, got {self.radius}")
+        if not self.vars:
+            raise QueryError("CountCmp needs at least one center variable")
+        if isinstance(self.rhs, int):
+            # Fold the offset into a concrete right-hand side.
+            object.__setattr__(self, "rhs", self.rhs + self.offset)
+            object.__setattr__(self, "offset", 0)
+        object.__setattr__(self, "free", frozenset(self.vars))
+
+    def compare(self, count: int, rhs_value: int) -> bool:
+        if self.op == "<":
+            return count < rhs_value
+        if self.op == "<=":
+            return count <= rhs_value
+        if self.op == ">":
+            return count > rhs_value
+        if self.op == ">=":
+            return count >= rhs_value
+        return count == rhs_value
+
+    def __str__(self) -> str:
+        centers = ",".join(str(v) for v in self.vars)
+        shift = f" + {self.offset}" if self.offset else ""
+        return f"#[{self.unary}, N{self.radius}({centers})] {self.op} {self.rhs}{shift}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    child: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free", self.child.free)
+
+    def __str__(self) -> str:
+        return f"~({self.child})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    children: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        free: FrozenSet[Var] = frozenset()
+        for child in self.children:
+            free |= child.free
+        object.__setattr__(self, "free", free)
+
+    def __str__(self) -> str:
+        return "(" + " & ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    children: Tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        free: FrozenSet[Var] = frozenset()
+        for child in self.children:
+            free |= child.free
+        object.__setattr__(self, "free", free)
+
+    def __str__(self) -> str:
+        return "(" + " | ".join(str(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Unrelativized existential quantification."""
+
+    var: Var
+    child: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free", self.child.free - {self.var})
+
+    def __str__(self) -> str:
+        return f"exists {self.var}. ({self.child})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Unrelativized universal quantification."""
+
+    var: Var
+    child: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "free", self.child.free - {self.var})
+
+    def __str__(self) -> str:
+        return f"forall {self.var}. ({self.child})"
+
+
+@dataclass(frozen=True)
+class ExistsNear(Formula):
+    """``exists var in N_radius(centers): child`` — a relativized quantifier.
+
+    The witness ranges over elements at Gaifman distance <= radius from at
+    least one center.  Centers must be distinct from the bound variable.
+    """
+
+    var: Var
+    centers: Tuple[Var, ...]
+    radius: int
+    child: Formula
+
+    def __post_init__(self) -> None:
+        if self.var in self.centers:
+            raise QueryError(
+                f"bound variable {self.var} cannot be its own center"
+            )
+        if not self.centers:
+            raise QueryError("relativized quantifier needs at least one center")
+        if self.radius < 0:
+            raise QueryError(f"radius must be >= 0, got {self.radius}")
+        free = (self.child.free - {self.var}) | frozenset(self.centers)
+        object.__setattr__(self, "free", free)
+
+    def __str__(self) -> str:
+        centers = ",".join(str(center) for center in self.centers)
+        return f"exists {self.var} in N{self.radius}({centers}). ({self.child})"
+
+
+@dataclass(frozen=True)
+class ForallNear(Formula):
+    """``forall var in N_radius(centers): child``."""
+
+    var: Var
+    centers: Tuple[Var, ...]
+    radius: int
+    child: Formula
+
+    def __post_init__(self) -> None:
+        if self.var in self.centers:
+            raise QueryError(
+                f"bound variable {self.var} cannot be its own center"
+            )
+        if not self.centers:
+            raise QueryError("relativized quantifier needs at least one center")
+        if self.radius < 0:
+            raise QueryError(f"radius must be >= 0, got {self.radius}")
+        free = (self.child.free - {self.var}) | frozenset(self.centers)
+        object.__setattr__(self, "free", free)
+
+    def __str__(self) -> str:
+        centers = ",".join(str(center) for center in self.centers)
+        return f"forall {self.var} in N{self.radius}({centers}). ({self.child})"
+
+
+# ----------------------------------------------------------------------
+# Smart constructors
+# ----------------------------------------------------------------------
+
+
+def and_(*formulas: Formula) -> Formula:
+    """Conjunction with flattening, constant folding, and complementary
+    literal detection (``f and not f`` is false)."""
+    flat = []
+    for formula in formulas:
+        if isinstance(formula, TrueF):
+            continue
+        if isinstance(formula, FalseF):
+            return FALSE
+        if isinstance(formula, And):
+            flat.extend(formula.children)
+        else:
+            flat.append(formula)
+    deduped = list(dict.fromkeys(flat))
+    present = set(deduped)
+    for child in deduped:
+        if not_(child) in present:
+            return FALSE
+    if not deduped:
+        return TRUE
+    if len(deduped) == 1:
+        return deduped[0]
+    return And(tuple(deduped))
+
+
+def or_(*formulas: Formula) -> Formula:
+    """Disjunction with flattening, constant folding, and complementary
+    literal detection (``f or not f`` is true)."""
+    flat = []
+    for formula in formulas:
+        if isinstance(formula, FalseF):
+            continue
+        if isinstance(formula, TrueF):
+            return TRUE
+        if isinstance(formula, Or):
+            flat.extend(formula.children)
+        else:
+            flat.append(formula)
+    deduped = list(dict.fromkeys(flat))
+    present = set(deduped)
+    for child in deduped:
+        if not_(child) in present:
+            return TRUE
+    if not deduped:
+        return FALSE
+    if len(deduped) == 1:
+        return deduped[0]
+    return Or(tuple(deduped))
+
+
+def not_(formula: Formula) -> Formula:
+    """Negation with double-negation and constant folding."""
+    if isinstance(formula, TrueF):
+        return FALSE
+    if isinstance(formula, FalseF):
+        return TRUE
+    if isinstance(formula, Not):
+        return formula.child
+    if isinstance(formula, DistAtom):
+        return formula.negated()
+    return Not(formula)
+
+
+def atom(relation: str, *args: Union[Var, str]) -> RelAtom:
+    """Build ``R(x, y, ...)`` accepting strings or Vars."""
+    vars_ = tuple(arg if isinstance(arg, Var) else Var(arg) for arg in args)
+    return RelAtom(relation, vars_)
+
+
+def eq(left: Union[Var, str], right: Union[Var, str]) -> Eq:
+    left_var = left if isinstance(left, Var) else Var(left)
+    right_var = right if isinstance(right, Var) else Var(right)
+    return Eq(left_var, right_var)
+
+
+def exists(var: Union[Var, str], child: Formula) -> Exists:
+    return Exists(var if isinstance(var, Var) else Var(var), child)
+
+
+def forall(var: Union[Var, str], child: Formula) -> Forall:
+    return Forall(var if isinstance(var, Var) else Var(var), child)
+
+
+# ----------------------------------------------------------------------
+# Structural queries
+# ----------------------------------------------------------------------
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """Yield ``formula`` and all its descendants, pre-order."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from subformulas(formula.child)
+    elif isinstance(formula, (And, Or)):
+        for child in formula.children:
+            yield from subformulas(child)
+    elif isinstance(formula, (Exists, Forall, ExistsNear, ForallNear)):
+        yield from subformulas(formula.child)
+
+
+def atoms_of(formula: Formula) -> Iterator[Formula]:
+    """Yield the atomic subformulas (relational, equality, distance, count)."""
+    for node in subformulas(formula):
+        if isinstance(node, (RelAtom, Eq, DistAtom, CountCmp)):
+            yield node
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    return not any(
+        isinstance(node, (Exists, Forall, ExistsNear, ForallNear))
+        for node in subformulas(formula)
+    )
+
+
+def is_local(formula: Formula) -> bool:
+    """True iff every quantifier is relativized (the formula is *local*)."""
+    return not any(
+        isinstance(node, (Exists, Forall)) for node in subformulas(formula)
+    )
+
+
+def quantifier_rank(formula: Formula) -> int:
+    """Maximum nesting depth of quantifiers (relativized ones included)."""
+    if isinstance(formula, (TrueF, FalseF, RelAtom, Eq, DistAtom, CountCmp)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_rank(formula.child)
+    if isinstance(formula, (And, Or)):
+        return max((quantifier_rank(child) for child in formula.children), default=0)
+    if isinstance(formula, (Exists, Forall, ExistsNear, ForallNear)):
+        return 1 + quantifier_rank(formula.child)
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def locality_radius(formula: Formula) -> int:
+    """An upper bound on the locality radius of a *local* formula.
+
+    For a formula whose quantifiers are all relativized, its truth value on
+    a tuple ``a-bar`` depends only on the ``r``-neighborhood of ``a-bar``
+    where ``r`` is the value computed here: nested relativized quantifiers
+    accumulate their radii, and distance/count atoms contribute their
+    bounds.
+    """
+    if isinstance(formula, (TrueF, FalseF, RelAtom)):
+        return 0
+    if isinstance(formula, Eq):
+        return 0
+    if isinstance(formula, DistAtom):
+        return formula.bound
+    if isinstance(formula, CountCmp):
+        return formula.radius
+    if isinstance(formula, Not):
+        return locality_radius(formula.child)
+    if isinstance(formula, (And, Or)):
+        return max((locality_radius(child) for child in formula.children), default=0)
+    if isinstance(formula, (ExistsNear, ForallNear)):
+        # A witness within ``radius`` of the centers, whose own constraints
+        # reach ``locality_radius(child)`` further out.  Truth on the
+        # induced substructure of ``N_{radius + child}(centers)`` is
+        # determined because atoms among region members are preserved by
+        # induced substructures.
+        return formula.radius + locality_radius(formula.child)
+    if isinstance(formula, (Exists, Forall)):
+        raise QueryError("locality_radius is only defined for local formulas")
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+def relation_names(formula: Formula) -> FrozenSet[str]:
+    """All relation symbols occurring in the formula (including CountCmp's)."""
+    names = set()
+    for node in subformulas(formula):
+        if isinstance(node, RelAtom):
+            names.add(node.relation)
+        elif isinstance(node, CountCmp):
+            names.add(node.unary)
+    return frozenset(names)
+
+
+def substitute(formula: Formula, mapping) -> Formula:
+    """Capture-avoiding variable renaming; ``mapping`` is Var -> Var.
+
+    Bound variables are left untouched; mapping a variable that occurs
+    bound raises :class:`QueryError` (callers rename apart first).
+    """
+    if isinstance(formula, (TrueF, FalseF)):
+        return formula
+    if isinstance(formula, RelAtom):
+        return RelAtom(
+            formula.relation,
+            tuple(mapping.get(arg, arg) for arg in formula.args),
+        )
+    if isinstance(formula, Eq):
+        return Eq(mapping.get(formula.left, formula.left), mapping.get(formula.right, formula.right))
+    if isinstance(formula, DistAtom):
+        return DistAtom(
+            mapping.get(formula.left, formula.left),
+            mapping.get(formula.right, formula.right),
+            formula.bound,
+            formula.within,
+        )
+    if isinstance(formula, CountCmp):
+        return CountCmp(
+            formula.unary,
+            formula.radius,
+            tuple(mapping.get(var, var) for var in formula.vars),
+            formula.op,
+            formula.rhs,
+            formula.offset,
+        )
+    if isinstance(formula, Not):
+        return Not(substitute(formula.child, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(child, mapping) for child in formula.children))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(child, mapping) for child in formula.children))
+    if isinstance(formula, (Exists, Forall)):
+        if formula.var in mapping:
+            raise QueryError(
+                f"cannot substitute bound variable {formula.var}; rename apart first"
+            )
+        cls = type(formula)
+        return cls(formula.var, substitute(formula.child, mapping))
+    if isinstance(formula, (ExistsNear, ForallNear)):
+        if formula.var in mapping:
+            raise QueryError(
+                f"cannot substitute bound variable {formula.var}; rename apart first"
+            )
+        cls = type(formula)
+        return cls(
+            formula.var,
+            tuple(mapping.get(center, center) for center in formula.centers),
+            formula.radius,
+            substitute(formula.child, mapping),
+        )
+    raise QueryError(f"unknown formula node {formula!r}")
+
+
+_FRESH_COUNTER = [0]
+
+
+def fresh_var(prefix: str = "_v") -> Var:
+    """A globally fresh variable (used when renaming apart)."""
+    _FRESH_COUNTER[0] += 1
+    return Var(f"{prefix}{_FRESH_COUNTER[0]}")
+
+
+def rename_apart(formula: Formula, taken: FrozenSet[Var] = frozenset()) -> Formula:
+    """Rename bound variables so they are pairwise distinct and disjoint
+    from ``taken`` and from all free variables."""
+    used = set(taken) | set(formula.free)
+
+    def walk(node: Formula, bound_map) -> Formula:
+        if isinstance(node, (TrueF, FalseF)):
+            return node
+        if isinstance(node, RelAtom):
+            return RelAtom(node.relation, tuple(bound_map.get(a, a) for a in node.args))
+        if isinstance(node, Eq):
+            return Eq(bound_map.get(node.left, node.left), bound_map.get(node.right, node.right))
+        if isinstance(node, DistAtom):
+            return DistAtom(
+                bound_map.get(node.left, node.left),
+                bound_map.get(node.right, node.right),
+                node.bound,
+                node.within,
+            )
+        if isinstance(node, CountCmp):
+            return CountCmp(
+                node.unary,
+                node.radius,
+                tuple(bound_map.get(v, v) for v in node.vars),
+                node.op,
+                node.rhs,
+                node.offset,
+            )
+        if isinstance(node, Not):
+            return Not(walk(node.child, bound_map))
+        if isinstance(node, And):
+            return And(tuple(walk(child, bound_map) for child in node.children))
+        if isinstance(node, Or):
+            return Or(tuple(walk(child, bound_map) for child in node.children))
+        if isinstance(node, (Exists, Forall)):
+            new_var = node.var
+            if new_var in used:
+                new_var = fresh_var(node.var.name + "_")
+            used.add(new_var)
+            inner_map = dict(bound_map)
+            inner_map[node.var] = new_var
+            cls = type(node)
+            return cls(new_var, walk(node.child, inner_map))
+        if isinstance(node, (ExistsNear, ForallNear)):
+            new_var = node.var
+            if new_var in used:
+                new_var = fresh_var(node.var.name + "_")
+            used.add(new_var)
+            inner_map = dict(bound_map)
+            inner_map[node.var] = new_var
+            cls = type(node)
+            return cls(
+                new_var,
+                tuple(bound_map.get(c, c) for c in node.centers),
+                node.radius,
+                walk(node.child, inner_map),
+            )
+        raise QueryError(f"unknown formula node {node!r}")
+
+    return walk(formula, {})

@@ -1,0 +1,17 @@
+"""RAM-model substrate: the Storing Theorem trie (Theorem 2.1), the
+constant-time fact index (Corollary 2.2), and RAM step accounting."""
+
+from repro.storage.cost_model import CostMeter, tick
+from repro.storage.fact_index import AdjacencyIndex, FactIndex
+from repro.storage.trie import DictBackend, ElementTrie, StoringTrie, store_function
+
+__all__ = [
+    "AdjacencyIndex",
+    "CostMeter",
+    "DictBackend",
+    "ElementTrie",
+    "FactIndex",
+    "StoringTrie",
+    "store_function",
+    "tick",
+]

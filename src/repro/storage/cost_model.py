@@ -1,0 +1,65 @@
+"""Uniform-cost RAM step counting (Section 2.2).
+
+Wall-clock delays in CPython are noisy (allocator, GC, branch caches); the
+paper's claims are about *RAM steps*.  :class:`CostMeter` counts abstract
+steps at the places the algorithms would issue RAM operations, so the
+benchmark harness can demonstrate "constant delay" as a flat *step* count
+per output, independent of ``|A|`` — exactly the quantity Theorem 2.7
+bounds.
+
+The meter is optional everywhere: passing ``meter=None`` costs one ``if``
+per instrumented site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class CostMeter:
+    """Counts abstract RAM steps, grouped by operation label."""
+
+    __slots__ = ("steps", "by_label", "_marks")
+
+    def __init__(self) -> None:
+        self.steps = 0
+        self.by_label: Dict[str, int] = {}
+        self._marks: List[int] = []
+
+    def tick(self, label: str = "step", count: int = 1) -> None:
+        """Record ``count`` RAM steps attributed to ``label``."""
+        self.steps += count
+        self.by_label[label] = self.by_label.get(label, 0) + count
+
+    def mark(self) -> None:
+        """Remember the current step count (e.g. at each enumeration output)."""
+        self._marks.append(self.steps)
+
+    def deltas(self) -> List[int]:
+        """Step counts between consecutive marks: the per-output delays."""
+        return [
+            later - earlier
+            for earlier, later in zip(self._marks, self._marks[1:])
+        ]
+
+    @property
+    def max_delta(self) -> int:
+        gaps = self.deltas()
+        return max(gaps) if gaps else 0
+
+    def reset(self) -> None:
+        self.steps = 0
+        self.by_label.clear()
+        self._marks.clear()
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.by_label)
+
+    def __repr__(self) -> str:
+        return f"CostMeter(steps={self.steps}, labels={len(self.by_label)})"
+
+
+def tick(meter: Optional[CostMeter], label: str = "step", count: int = 1) -> None:
+    """Module-level helper so call sites stay one-liners."""
+    if meter is not None:
+        meter.tick(label, count)

@@ -1,0 +1,81 @@
+"""Constant-time fact testing (Corollary 2.2) and adjacency lists.
+
+After a preprocessing of time ``O(d^r * n^{1+eps})`` the :class:`FactIndex`
+answers ``A |= R(a-bar)?`` in time independent of ``n`` and ``d``: one
+Storing-Theorem lookup per relation.  It also materializes the adjacency
+lists the naive ``O(d)`` test of the paper's remark would use, because the
+enumeration phase needs to *iterate* neighbors, not only test edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Sequence, Tuple
+
+from repro.storage.trie import ElementTrie
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class FactIndex:
+    """Per-relation Storing-Theorem tries over one structure."""
+
+    def __init__(self, structure: Structure, eps: float = 0.5, backend: str = "trie"):
+        self.structure = structure
+        self.eps = eps
+        order = structure.order
+        n = structure.cardinality
+        self._tries: Dict[str, ElementTrie] = {}
+        for symbol in structure.signature:
+            trie = ElementTrie(n, symbol.arity, order.rank, eps=eps, backend=backend)
+            for fact in structure.facts(symbol.name):
+                trie.store(fact, True)
+            self._tries[symbol.name] = trie
+
+    def holds(self, relation: str, elements: Sequence[Element]) -> bool:
+        """Test ``A |= R(a-bar)`` in constant time (Corollary 2.2)."""
+        trie = self._tries.get(relation)
+        if trie is None:
+            return False
+        return trie.lookup(elements) is not None
+
+    def edge(self, relation: str, left: Element, right: Element) -> bool:
+        """Binary-relation convenience wrapper for ``holds``."""
+        return self.holds(relation, (left, right))
+
+    def symmetric_edge(self, relation: str, left: Element, right: Element) -> bool:
+        """Test ``E'(left, right) = E(left, right) or E(right, left)``.
+
+        This is the paper's symmetrized edge predicate ``E'`` used by the
+        skip function (Section 3.6).
+        """
+        return self.holds(relation, (left, right)) or self.holds(
+            relation, (right, left)
+        )
+
+
+class AdjacencyIndex:
+    """Gaifman adjacency as frozensets, for neighbor iteration.
+
+    The paper's remark below Corollary 2.2 describes exactly this
+    structure: a linear-time pass building adjacency lists, giving an
+    ``O(d)`` edge test and — what the skip-function computation needs —
+    iteration over the at most ``d`` neighbors of an element.
+    """
+
+    def __init__(self, structure: Structure):
+        self.structure = structure
+        self._adjacency: Dict[Element, FrozenSet[Element]] = dict(
+            structure.adjacency()
+        )
+
+    def neighbors(self, element: Element) -> FrozenSet[Element]:
+        return self._adjacency.get(element, frozenset())
+
+    def adjacent(self, left: Element, right: Element) -> bool:
+        return right in self._adjacency.get(left, frozenset())
+
+    def blocked(self, candidate: Element, blockers: Sequence[Element]) -> bool:
+        """True iff ``candidate`` is Gaifman-adjacent to any blocker."""
+        neighbors = self._adjacency.get(candidate, frozenset())
+        return any(blocker in neighbors for blocker in blockers)

@@ -1,0 +1,201 @@
+"""The Storing Theorem data structure (Theorem 2.1, after [SSV20]).
+
+Stores a partial k-ary function ``f`` with domain contained in ``[n]^k``
+such that:
+
+* computation time and storage are ``O(|dom(f)| * n^eps)``,
+* lookup time depends only on ``k`` and ``eps``.
+
+The structure is a trie of depth ``ceil(k / eps')`` and fan-out ``n^eps'``:
+every key tuple is flattened to an integer in ``[n^k]`` and split into
+fixed-width digits; each trie node is a plain array of children indexed by
+one digit.  Lookups perform exactly ``depth`` array accesses — constant for
+fixed ``k`` and ``eps`` — with no hashing and no dependence on ``n``.
+
+A ``dict`` backend is also provided (``backend="dict"``): on a RAM, a
+hash table is the pragmatic realization of the same interface, and the
+benchmark E8 compares the two.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+_VOID = object()
+
+
+class StoringTrie:
+    """Theorem 2.1 storage for a partial function ``[n]^k -> value``.
+
+    Keys are tuples of integers in ``range(n)``.  Use
+    :class:`ElementTrie` for keys over arbitrary domain elements.
+    """
+
+    __slots__ = ("n", "k", "eps", "fanout_bits", "depth", "_root", "_size", "_node_count")
+
+    def __init__(self, n: int, k: int, eps: float = 0.5):
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if eps <= 0:
+            raise ValueError(f"eps must be > 0, got {eps}")
+        self.n = n
+        self.k = k
+        self.eps = eps
+        key_bits = max(1, k * max(1, math.ceil(math.log2(max(n, 2)))))
+        # Fan-out n^eps means eps * log2(n) bits per trie level.
+        self.fanout_bits = max(1, math.ceil(eps * math.log2(max(n, 2))))
+        self.depth = max(1, math.ceil(key_bits / self.fanout_bits))
+        self._root: List = [_VOID] * (1 << self.fanout_bits)
+        self._size = 0
+        self._node_count = 1
+
+    # ------------------------------------------------------------------
+
+    def _flatten(self, key: Sequence[int]) -> int:
+        if len(key) != self.k:
+            raise ValueError(f"expected {self.k}-tuples, got {len(key)}-tuple")
+        flat = 0
+        for component in key:
+            if not 0 <= component < self.n:
+                raise ValueError(
+                    f"key component {component} out of range(0, {self.n})"
+                )
+            flat = flat * self.n + component
+        return flat
+
+    def _digits(self, flat: int) -> Iterator[int]:
+        mask = (1 << self.fanout_bits) - 1
+        shift = (self.depth - 1) * self.fanout_bits
+        for _ in range(self.depth):
+            yield (flat >> shift) & mask
+            shift -= self.fanout_bits
+
+    # ------------------------------------------------------------------
+
+    def store(self, key: Sequence[int], value) -> None:
+        """Insert or overwrite ``f(key) = value``."""
+        node = self._root
+        digits = list(self._digits(self._flatten(key)))
+        for digit in digits[:-1]:
+            child = node[digit]
+            if child is _VOID or not isinstance(child, list):
+                child = [_VOID] * (1 << self.fanout_bits)
+                node[digit] = child
+                self._node_count += 1
+            node = child
+        last = digits[-1]
+        if node[last] is _VOID:
+            self._size += 1
+        node[last] = ("leaf", value)
+
+    def lookup(self, key: Sequence[int]):
+        """Return ``f(key)``, or None ("void") when key is outside dom(f)."""
+        node = self._root
+        for digit in self._digits(self._flatten(key)):
+            entry = node[digit]
+            if entry is _VOID:
+                return None
+            node = entry
+        # After the final digit, ``node`` is the ("leaf", value) cell.
+        return node[1]
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        node = self._root
+        for digit in self._digits(self._flatten(key)):
+            entry = node[digit]
+            if entry is _VOID:
+                return False
+            node = entry
+        return True
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def node_count(self) -> int:
+        """Number of allocated trie nodes (storage accounting for E8)."""
+        return self._node_count
+
+    @property
+    def slots_allocated(self) -> int:
+        """Total array slots allocated: node_count * 2^fanout_bits."""
+        return self._node_count * (1 << self.fanout_bits)
+
+
+class DictBackend:
+    """Hash-table realization of the same partial-function interface."""
+
+    __slots__ = ("k", "_table")
+
+    def __init__(self, k: int):
+        self.k = k
+        self._table = {}
+
+    def store(self, key: Sequence[int], value) -> None:
+        if len(key) != self.k:
+            raise ValueError(f"expected {self.k}-tuples, got {len(key)}-tuple")
+        self._table[tuple(key)] = value
+
+    def lookup(self, key: Sequence[int]):
+        return self._table.get(tuple(key))
+
+    def __contains__(self, key: Sequence[int]) -> bool:
+        return tuple(key) in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class ElementTrie:
+    """Storing-Theorem storage keyed by tuples of domain *elements*.
+
+    Wraps :class:`StoringTrie` (or the dict backend) with the structure's
+    linear order, so callers can use raw domain elements as keys.  ``rank``
+    must be a callable mapping elements to ``range(n)``.
+    """
+
+    __slots__ = ("_rank", "_inner")
+
+    def __init__(
+        self,
+        n: int,
+        k: int,
+        rank,
+        eps: float = 0.5,
+        backend: str = "trie",
+    ):
+        self._rank = rank
+        if backend == "trie":
+            self._inner = StoringTrie(n, k, eps)
+        elif backend == "dict":
+            self._inner = DictBackend(k)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+    def store(self, key: Sequence[Hashable], value) -> None:
+        self._inner.store([self._rank(element) for element in key], value)
+
+    def lookup(self, key: Sequence[Hashable]):
+        return self._inner.lookup([self._rank(element) for element in key])
+
+    def __contains__(self, key: Sequence[Hashable]) -> bool:
+        return [self._rank(element) for element in key] in self._inner
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+def store_function(
+    pairs: Iterable[Tuple[Sequence[int], object]],
+    n: int,
+    k: int,
+    eps: float = 0.5,
+) -> StoringTrie:
+    """Bulk-build a :class:`StoringTrie` from ``(key, value)`` pairs."""
+    trie = StoringTrie(n, k, eps)
+    for key, value in pairs:
+        trie.store(key, value)
+    return trie

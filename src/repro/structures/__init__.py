@@ -1,0 +1,68 @@
+"""Relational-database substrate: signatures, structures, Gaifman graphs,
+neighborhoods (Lemma 3.1), low-degree class descriptors, and seeded
+workload generators."""
+
+from repro.structures.gaifman_graph import (
+    ball,
+    ball_of_set,
+    bounded_distance,
+    degree_histogram,
+    degree_profile,
+    distances_from,
+    tuple_is_connected,
+    within_distance,
+)
+from repro.structures.low_degree import (
+    LowDegreeClass,
+    bounded_degree_class,
+    effective_epsilon_budget,
+    explicit_degree_check,
+    log_degree_class,
+)
+from repro.structures.neighborhoods import NeighborhoodIndex
+from repro.structures.random_gen import (
+    cycle_graph,
+    degree_bounded,
+    degree_log,
+    degree_power,
+    grid_graph,
+    low_degree_graph,
+    padded_clique,
+    random_bipartite,
+    random_colored_graph,
+    random_graph,
+    random_structure,
+)
+from repro.structures.signature import RelationSymbol, Signature
+from repro.structures.structure import Structure
+
+__all__ = [
+    "LowDegreeClass",
+    "NeighborhoodIndex",
+    "RelationSymbol",
+    "Signature",
+    "Structure",
+    "ball",
+    "ball_of_set",
+    "bounded_degree_class",
+    "bounded_distance",
+    "cycle_graph",
+    "degree_bounded",
+    "degree_histogram",
+    "degree_log",
+    "degree_power",
+    "degree_profile",
+    "distances_from",
+    "effective_epsilon_budget",
+    "explicit_degree_check",
+    "grid_graph",
+    "log_degree_class",
+    "low_degree_graph",
+    "padded_clique",
+    "random_bipartite",
+    "random_colored_graph",
+    "random_graph",
+    "random_structure",
+    "tuple_is_connected",
+    "within_distance",
+]

@@ -1,0 +1,123 @@
+"""Low-degree class descriptors (Section 2.3).
+
+A class ``C`` of structures has *low degree* if for every ``delta > 0``
+there is an ``n_delta`` such that every ``A`` in ``C`` with
+``|A| >= n_delta`` has ``degree(A) <= |A|^delta``.  The class is
+*effective* when ``delta -> n_delta`` is computable — which is what lets
+the paper's ``g(|q|, eps)`` constants be computable.
+
+:class:`LowDegreeClass` materializes exactly this interface: a named class
+with a computable threshold function, plus diagnostics that check concrete
+structures against the definition.  The evaluator uses it (when provided)
+to pick the ball radius / trie parameters from a requested ``eps``,
+mirroring the proof of Proposition 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.structures.structure import Structure
+
+
+class LowDegreeClass:
+    """A (claimed) low-degree class of structures.
+
+    Parameters
+    ----------
+    threshold:
+        The function ``delta -> n_delta`` from the definition.  It must be
+        monotonically non-increasing in precision: larger ``delta`` may
+        return smaller thresholds.
+    name:
+        Human-readable name used in diagnostics.
+    """
+
+    def __init__(self, threshold: Callable[[float], int], name: str = "low-degree class"):
+        self._threshold = threshold
+        self.name = name
+
+    def threshold(self, delta: float) -> int:
+        """``n_delta``: the cardinality from which degree <= n^delta holds."""
+        if delta <= 0:
+            raise ValueError(f"delta must be > 0, got {delta}")
+        return max(1, int(self._threshold(delta)))
+
+    def admits(self, structure: Structure, delta: float) -> bool:
+        """Check one structure against the definition for one ``delta``.
+
+        Structures below the threshold are unconstrained ("all but finitely
+        many"), so they are admitted unconditionally.
+        """
+        n = structure.cardinality
+        if n < self.threshold(delta):
+            return True
+        return structure.degree <= n ** delta
+
+    def violation(self, structure: Structure, delta: float) -> Optional[str]:
+        """A human-readable description of a violation, or None."""
+        if self.admits(structure, delta):
+            return None
+        return (
+            f"{self.name}: structure with |A|={structure.cardinality} has "
+            f"degree {structure.degree} > |A|^{delta} = "
+            f"{structure.cardinality ** delta:.1f}"
+        )
+
+    def __repr__(self) -> str:
+        return f"LowDegreeClass({self.name!r})"
+
+
+def bounded_degree_class(d: int) -> LowDegreeClass:
+    """The class of all structures of degree <= d (low degree, effective).
+
+    ``degree <= d <= n^delta`` holds as soon as ``n >= d^(1/delta)``.
+    """
+
+    def threshold(delta: float) -> int:
+        return int(math.ceil(d ** (1.0 / delta)))
+
+    return LowDegreeClass(threshold, name=f"degree <= {d}")
+
+
+def log_degree_class(power: float = 1.0) -> LowDegreeClass:
+    """The class of structures of degree <= (log2 n)^power (low degree).
+
+    ``(log2 n)^power <= n^delta`` holds for all n >= some computable
+    threshold; we find it by doubling search.
+    """
+
+    def threshold(delta: float) -> int:
+        n = 4
+        while (math.log2(n)) ** power > n ** delta:
+            n *= 2
+            if n > 2 ** 60:  # pragma: no cover - defensive
+                break
+        return n
+
+    return LowDegreeClass(threshold, name=f"degree <= (log n)^{power}")
+
+
+def explicit_degree_check(structure: Structure, delta: float) -> bool:
+    """Direct check ``degree(A) <= |A|^delta`` on a single structure."""
+    return structure.degree <= structure.cardinality ** delta
+
+
+def effective_epsilon_budget(
+    low_degree_class: LowDegreeClass, eps: float, exponent_budget: int
+) -> int:
+    """The cardinality from which an ``O(n * d^exponent_budget)`` algorithm
+    runs in ``O(n^{1+eps})`` over the class (proof of Proposition 3.3).
+
+    The algorithm's degree exponent is ``exponent_budget`` (the paper's
+    ``h(|q|)``); choosing ``delta = eps / exponent_budget`` makes
+    ``d^exponent_budget <= n^eps`` for all structures of cardinality at
+    least the returned threshold.
+    """
+    if eps <= 0:
+        raise ValueError(f"eps must be > 0, got {eps}")
+    if exponent_budget < 1:
+        exponent_budget = 1
+    delta = eps / exponent_budget
+    return low_degree_class.threshold(delta)

@@ -1,0 +1,116 @@
+"""Neighborhood computation, Lemma 3.1 of the paper.
+
+``NeighborhoodIndex`` computes, for every element ``a`` of the input
+structure, the r-ball ``N_r(a)`` (a set) and on demand the r-neighborhood
+``N_r(a)`` as an induced substructure.  The computation follows Lemma 3.1:
+build the Gaifman graph of the reduct to the query's relation symbols, then
+run ``r`` rounds of frontier expansion, for a total cost of
+``O(|q| * n * d^{h(r)})``.
+
+All balls are precomputed eagerly (that is the paper's algorithm and it
+keeps later phases allocation-free); induced neighborhoods are materialized
+lazily because only cluster evaluation needs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Set
+
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class NeighborhoodIndex:
+    """Precomputed r-balls for every element of a structure.
+
+    Parameters
+    ----------
+    structure:
+        The input structure ``A`` (or already a reduct ``A|q``).
+    radius:
+        The ball radius ``r``; must be >= 0.
+    relation_names:
+        If given, balls are computed in the reduct of ``structure`` to
+        these relations (Lemma 3.1 computes ``N_r^{A|q}``).
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        radius: int,
+        relation_names: Optional[Iterable[str]] = None,
+    ):
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self.structure = structure
+        self.radius = radius
+        if relation_names is not None:
+            self._reduct = structure.restrict_signature(relation_names)
+        else:
+            self._reduct = structure
+        self._balls: Dict[Element, FrozenSet[Element]] = {}
+        self._neighborhood_cache: Dict[Element, Structure] = {}
+        self._compute_all_balls()
+
+    def _compute_all_balls(self) -> None:
+        reduct = self._reduct
+        if self.radius == 0:
+            for element in reduct.domain:
+                self._balls[element] = frozenset((element,))
+            return
+        # One BFS per element; total O(n * d^r) as in Lemma 3.1.
+        for element in reduct.domain:
+            members: Set[Element] = {element}
+            frontier = [element]
+            for _ in range(self.radius):
+                next_frontier = []
+                for current in frontier:
+                    for neighbor in reduct.neighbors(current):
+                        if neighbor not in members:
+                            members.add(neighbor)
+                            next_frontier.append(neighbor)
+                if not next_frontier:
+                    break
+                frontier = next_frontier
+            self._balls[element] = frozenset(members)
+
+    # ------------------------------------------------------------------
+
+    def ball(self, element: Element) -> FrozenSet[Element]:
+        """``N_r(a)`` as a frozenset."""
+        return self._balls[element]
+
+    def ball_of_tuple(self, elements: Sequence[Element]) -> FrozenSet[Element]:
+        """``N_r(a-bar)``: union of the component balls."""
+        result: Set[Element] = set()
+        for element in elements:
+            result |= self._balls[element]
+        return frozenset(result)
+
+    def within(self, left: Element, right: Element) -> bool:
+        """True iff ``dist(left, right) <= radius``.
+
+        Constant-time via the precomputed balls (this is the relation ``R``
+        of the paper's Step 5, realized as set membership).
+        """
+        return right in self._balls[left]
+
+    def neighborhood(self, element: Element) -> Structure:
+        """The induced substructure on ``N_r(element)`` (cached)."""
+        cached = self._neighborhood_cache.get(element)
+        if cached is None:
+            cached = self._reduct.induced_substructure(self._balls[element])
+            self._neighborhood_cache[element] = cached
+        return cached
+
+    def neighborhood_of_tuple(self, elements: Sequence[Element]) -> Structure:
+        """The induced substructure on ``N_r(a-bar)`` (not cached)."""
+        return self._reduct.induced_substructure(self.ball_of_tuple(elements))
+
+    @property
+    def reduct(self) -> Structure:
+        return self._reduct
+
+    def max_ball_size(self) -> int:
+        return max((len(ball) for ball in self._balls.values()), default=0)

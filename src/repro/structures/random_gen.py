@@ -1,0 +1,287 @@
+"""Seeded generators for low-degree structure classes (Section 2.3).
+
+The paper's examples of low-degree classes are: structures of bounded
+degree, structures of degree at most ``(log n)^c``, and arbitrary classes
+padded with isolated elements (e.g. padded cliques — low degree but not
+nowhere dense).  Every generator here is deterministic given its seed and
+returns a :class:`~repro.structures.structure.Structure`.
+
+Degree budgets are enforced exactly: generated structures satisfy
+``degree(A) <= max_degree`` by construction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+GRAPH_SIGNATURE = Signature.of(E=2)
+
+
+def degree_bounded(constant: int) -> Callable[[int], int]:
+    """Degree schedule ``d(n) = constant`` (a bounded-degree class)."""
+    return lambda n: constant
+
+
+def degree_log(power: float = 1.0, floor: int = 2) -> Callable[[int], int]:
+    """Degree schedule ``d(n) = max(floor, (log2 n)^power)`` — low degree."""
+    return lambda n: max(floor, int(math.log2(max(n, 2)) ** power))
+
+
+def degree_power(exponent: float, floor: int = 2) -> Callable[[int], int]:
+    """Degree schedule ``d(n) = max(floor, n^exponent)``.
+
+    For ``exponent = delta`` fixed this is *not* a low-degree class, but it
+    is exactly what the degree-sweep experiment (E6) needs to show where
+    pseudo-linearity degrades.
+    """
+    return lambda n: max(floor, int(round(n ** exponent)))
+
+
+def _bounded_degree_edges(
+    n: int, max_degree: int, target_edges: int, rng: random.Random
+) -> List[Tuple[int, int]]:
+    """Sample simple edges on ``range(n)`` with every degree <= max_degree."""
+    degrees = [0] * n
+    edges: set = set()
+    attempts = 0
+    max_attempts = 20 * target_edges + 100
+    while len(edges) < target_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        if degrees[u] >= max_degree or degrees[v] >= max_degree:
+            continue
+        edge = (u, v) if u < v else (v, u)
+        if edge in edges:
+            continue
+        edges.add(edge)
+        degrees[u] += 1
+        degrees[v] += 1
+    return sorted(edges)
+
+
+def random_graph(
+    n: int,
+    max_degree: int = 4,
+    edge_density: float = 0.8,
+    seed: int = 0,
+    symmetric: bool = True,
+) -> Structure:
+    """A random graph on ``n`` vertices with Gaifman degree <= ``max_degree``.
+
+    ``edge_density`` scales the number of edges relative to the maximum
+    ``n * max_degree / 2`` allowed by the degree budget.  With
+    ``symmetric=True`` both orientations of every edge are stored in ``E``
+    (the Gaifman graph is undirected either way).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = random.Random(seed)
+    target_edges = int(edge_density * n * max_degree / 2)
+    edges = _bounded_degree_edges(n, max_degree, target_edges, rng)
+    structure = Structure(GRAPH_SIGNATURE, range(n))
+    for u, v in edges:
+        structure.add_fact("E", u, v)
+        if symmetric:
+            structure.add_fact("E", v, u)
+    return structure
+
+
+def random_colored_graph(
+    n: int,
+    max_degree: int = 4,
+    colors: Sequence[str] = ("B", "R"),
+    color_probability: float = 0.5,
+    edge_density: float = 0.8,
+    seed: int = 0,
+    symmetric: bool = True,
+) -> Structure:
+    """A random graph with unary color predicates.
+
+    Each vertex independently gets each color with ``color_probability``.
+    This is the workload family of the paper's running Example 2.3
+    ("pairs of a blue and a red node not linked by an edge").
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    base = random_graph(
+        n,
+        max_degree=max_degree,
+        edge_density=edge_density,
+        seed=seed,
+        symmetric=symmetric,
+    )
+    signature = base.signature.extend({color: 1 for color in colors})
+    colored = Structure(signature, base.domain)
+    for u, v in base.facts("E"):
+        colored.add_fact("E", u, v)
+    for vertex in colored.domain:
+        for color in colors:
+            if rng.random() < color_probability:
+                colored.add_fact(color, vertex)
+    return colored
+
+
+def low_degree_graph(
+    n: int,
+    degree_schedule: Callable[[int], int] = degree_log(),
+    colors: Sequence[str] = ("B", "R"),
+    seed: int = 0,
+) -> Structure:
+    """A colored graph whose degree follows ``degree_schedule(n)``."""
+    return random_colored_graph(
+        n, max_degree=degree_schedule(n), colors=colors, seed=seed
+    )
+
+
+def padded_clique(
+    clique_size: int,
+    total_size: int,
+    colors: Sequence[str] = (),
+    seed: int = 0,
+) -> Structure:
+    """A clique of ``clique_size`` vertices padded with isolated elements.
+
+    Section 2.3: padding an arbitrary class with isolated elements yields a
+    low-degree class; padded cliques are low degree but *not* nowhere dense,
+    which separates this paper's setting from [GKS17].  The class is low
+    degree as long as ``clique_size <= total_size^delta``.
+    """
+    if clique_size > total_size:
+        raise ValueError("clique_size must be <= total_size")
+    rng = random.Random(seed)
+    signature = GRAPH_SIGNATURE.extend({color: 1 for color in colors})
+    structure = Structure(signature, range(total_size))
+    for u in range(clique_size):
+        for v in range(clique_size):
+            if u != v:
+                structure.add_fact("E", u, v)
+    for vertex in range(total_size):
+        for color in colors:
+            if rng.random() < 0.5:
+                structure.add_fact(color, vertex)
+    return structure
+
+
+def cycle_graph(n: int, colors: Sequence[str] = (), seed: int = 0) -> Structure:
+    """A deterministic 2-regular cycle, optionally randomly colored."""
+    rng = random.Random(seed)
+    signature = GRAPH_SIGNATURE.extend({color: 1 for color in colors})
+    structure = Structure(signature, range(n))
+    for u in range(n):
+        v = (u + 1) % n
+        if u != v:
+            structure.add_fact("E", u, v)
+            structure.add_fact("E", v, u)
+    for vertex in range(n):
+        for color in colors:
+            if rng.random() < 0.5:
+                structure.add_fact(color, vertex)
+    return structure
+
+
+def grid_graph(rows: int, cols: int, colors: Sequence[str] = (), seed: int = 0) -> Structure:
+    """A rows x cols grid (degree <= 4), optionally randomly colored."""
+    rng = random.Random(seed)
+    signature = GRAPH_SIGNATURE.extend({color: 1 for color in colors})
+    vertices = [(r, c) for r in range(rows) for c in range(cols)]
+    structure = Structure(signature, vertices)
+    for r, c in vertices:
+        for dr, dc in ((0, 1), (1, 0)):
+            nr, nc = r + dr, c + dc
+            if nr < rows and nc < cols:
+                structure.add_fact("E", (r, c), (nr, nc))
+                structure.add_fact("E", (nr, nc), (r, c))
+    for vertex in vertices:
+        for color in colors:
+            if rng.random() < 0.5:
+                structure.add_fact(color, vertex)
+    return structure
+
+
+def random_structure(
+    signature: Signature,
+    n: int,
+    max_degree: int = 4,
+    facts_per_relation: Optional[int] = None,
+    seed: int = 0,
+) -> Structure:
+    """A random structure over an arbitrary signature with bounded degree.
+
+    Facts are sampled uniformly but rejected whenever they would push the
+    Gaifman degree of any participating element above ``max_degree``.  Used
+    by tests to exercise non-binary signatures through the whole pipeline.
+    """
+    rng = random.Random(seed)
+    structure = Structure(signature, range(n))
+    gaifman_degree: Dict[Element, int] = {element: 0 for element in range(n)}
+    neighbor_sets: Dict[Element, set] = {element: set() for element in range(n)}
+    for symbol in signature:
+        budget = facts_per_relation
+        if budget is None:
+            budget = max(1, n // max(1, symbol.arity))
+        attempts = 0
+        added = 0
+        while added < budget and attempts < 20 * budget + 50:
+            attempts += 1
+            fact = tuple(rng.randrange(n) for _ in range(symbol.arity))
+            distinct = set(fact)
+            ok = True
+            for element in distinct:
+                new_neighbors = distinct - {element} - neighbor_sets[element]
+                if gaifman_degree[element] + len(new_neighbors) > max_degree:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            if structure.has_fact(symbol.name, *fact):
+                continue
+            structure.add_fact(symbol.name, *fact)
+            for element in distinct:
+                new_neighbors = distinct - {element} - neighbor_sets[element]
+                neighbor_sets[element] |= new_neighbors
+                gaifman_degree[element] += len(new_neighbors)
+            added += 1
+    return structure
+
+
+def random_bipartite(
+    n_left: int,
+    n_right: int,
+    max_degree: int = 4,
+    seed: int = 0,
+) -> Structure:
+    """A bipartite graph with unary predicates L and R marking the sides."""
+    rng = random.Random(seed)
+    signature = Signature.of(E=2, L=1, R=1)
+    total = n_left + n_right
+    structure = Structure(signature, range(total))
+    for u in range(n_left):
+        structure.add_fact("L", u)
+    for v in range(n_left, total):
+        structure.add_fact("R", v)
+    degrees = [0] * total
+    target = int(0.8 * min(n_left, n_right) * max_degree)
+    attempts = 0
+    edges = set()
+    while len(edges) < target and attempts < 20 * target + 50:
+        attempts += 1
+        u = rng.randrange(n_left)
+        v = n_left + rng.randrange(n_right)
+        if degrees[u] >= max_degree or degrees[v] >= max_degree or (u, v) in edges:
+            continue
+        edges.add((u, v))
+        degrees[u] += 1
+        degrees[v] += 1
+    for u, v in sorted(edges):
+        structure.add_fact("E", u, v)
+        structure.add_fact("E", v, u)
+    return structure

@@ -1,0 +1,124 @@
+"""Plain-text serialization for structures.
+
+A tiny line-oriented format so databases can be shipped to the CLI,
+checked into test fixtures, or exchanged with other tools::
+
+    # comment lines start with '#'
+    signature E/2 B/1
+    domain 0 1 2 3
+    E 0 1
+    E 1 2
+    B 0
+
+Element tokens are stored verbatim; on load they are parsed as ints when
+possible, otherwise kept as strings.  Round-trips are exact for
+structures whose elements are ints or strings without whitespace.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Hashable, TextIO, Union
+
+from repro.errors import ReproError
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+def _element_token(element: Element) -> str:
+    token = str(element)
+    if not token or any(ch.isspace() for ch in token):
+        raise ReproError(
+            f"element {element!r} cannot be serialized (empty/whitespace)"
+        )
+    return token
+
+
+def _parse_token(token: str) -> Element:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def dump(structure: Structure, stream: TextIO) -> None:
+    """Write ``structure`` to a text stream."""
+    symbols = " ".join(
+        f"{symbol.name}/{symbol.arity}" for symbol in structure.signature
+    )
+    stream.write(f"signature {symbols}\n")
+    stream.write(
+        "domain " + " ".join(_element_token(e) for e in structure.domain) + "\n"
+    )
+    for name, fact in structure.iter_facts():
+        stream.write(
+            name + " " + " ".join(_element_token(e) for e in fact) + "\n"
+        )
+
+
+def dumps(structure: Structure) -> str:
+    """Serialize to a string."""
+    buffer = io.StringIO()
+    dump(structure, buffer)
+    return buffer.getvalue()
+
+
+def load(stream: TextIO) -> Structure:
+    """Read a structure from a text stream."""
+    signature = None
+    structure = None
+    pending_facts = []
+    for line_number, raw_line in enumerate(stream, start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        head, rest = tokens[0], tokens[1:]
+        if head == "signature":
+            arities = {}
+            for chunk in rest:
+                name, _, arity_text = chunk.partition("/")
+                if not arity_text.isdigit():
+                    raise ReproError(
+                        f"line {line_number}: bad signature entry {chunk!r}"
+                    )
+                arities[name] = int(arity_text)
+            signature = Signature(arities)
+        elif head == "domain":
+            if signature is None:
+                raise ReproError(
+                    f"line {line_number}: 'domain' before 'signature'"
+                )
+            structure = Structure(
+                signature, [_parse_token(token) for token in rest]
+            )
+        else:
+            pending_facts.append((line_number, head, rest))
+    if structure is None:
+        raise ReproError("missing 'signature' and/or 'domain' lines")
+    for line_number, name, rest in pending_facts:
+        if name not in structure.signature:
+            raise ReproError(
+                f"line {line_number}: unknown relation {name!r}"
+            )
+        structure.add_fact(name, *(_parse_token(token) for token in rest))
+    return structure
+
+
+def loads(text: str) -> Structure:
+    """Deserialize from a string."""
+    return load(io.StringIO(text))
+
+
+def save_file(structure: Structure, path: Union[str, "os.PathLike"]) -> None:
+    """Write a structure to a file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        dump(structure, handle)
+
+
+def load_file(path: Union[str, "os.PathLike"]) -> Structure:
+    """Read a structure from a file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return load(handle)

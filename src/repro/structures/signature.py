@@ -1,0 +1,111 @@
+"""Relational signatures (Section 2.1 of the paper).
+
+A signature is a finite set of relation symbols, each with a fixed arity
+>= 1.  Signatures are immutable; structures validate facts against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Mapping, Tuple, Union
+
+from repro.errors import SignatureError
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a name and arity."""
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise SignatureError(
+                f"relation {self.name!r} must have arity >= 1, got {self.arity}"
+            )
+        if not self.name:
+            raise SignatureError("relation symbols need a non-empty name")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+class Signature:
+    """An immutable finite set of relation symbols, indexed by name."""
+
+    __slots__ = ("_symbols",)
+
+    def __init__(self, symbols: Union[Iterable[RelationSymbol], Mapping[str, int]]):
+        by_name: Dict[str, RelationSymbol] = {}
+        if isinstance(symbols, Mapping):
+            symbols = [RelationSymbol(name, arity) for name, arity in symbols.items()]
+        for symbol in symbols:
+            if symbol.name in by_name and by_name[symbol.name] != symbol:
+                raise SignatureError(
+                    f"conflicting arities for relation {symbol.name!r}: "
+                    f"{by_name[symbol.name].arity} vs {symbol.arity}"
+                )
+            by_name[symbol.name] = symbol
+        self._symbols: Dict[str, RelationSymbol] = dict(
+            sorted(by_name.items())
+        )
+
+    @classmethod
+    def of(cls, **arities: int) -> "Signature":
+        """Convenience constructor: ``Signature.of(E=2, B=1)``."""
+        return cls(arities)
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._symbols.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return self._symbols == other._symbols
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._symbols.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(symbol) for symbol in self)
+        return f"Signature({inner})"
+
+    def symbol(self, name: str) -> RelationSymbol:
+        try:
+            return self._symbols[name]
+        except KeyError:
+            raise SignatureError(f"unknown relation symbol {name!r}") from None
+
+    def arity(self, name: str) -> int:
+        return self.symbol(name).arity
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._symbols)
+
+    @property
+    def max_arity(self) -> int:
+        return max((symbol.arity for symbol in self), default=0)
+
+    def restrict(self, names: Iterable[str]) -> "Signature":
+        """The sub-signature containing only the given relation names."""
+        wanted = set(names)
+        return Signature(
+            [symbol for symbol in self if symbol.name in wanted]
+        )
+
+    def extend(self, other: Union["Signature", Mapping[str, int]]) -> "Signature":
+        """A new signature with the symbols of both (arities must agree)."""
+        if isinstance(other, Mapping):
+            other = Signature(other)
+        return Signature(list(self) + list(other))
+
+    def is_binary(self) -> bool:
+        """True if every relation has arity <= 2 (a *colored graph* signature)."""
+        return self.max_arity <= 2

@@ -1,0 +1,264 @@
+"""Finite relational structures (databases), Section 2.1 of the paper.
+
+A :class:`Structure` owns a domain with a fixed linear order (the RAM model
+of Section 2.2 assumes one), a signature, and one set of tuples per relation
+symbol.  The Gaifman graph, degree, and per-element adjacency are computed
+lazily and cached; any mutation invalidates the caches.
+
+Size conventions follow the paper:
+
+* ``structure.cardinality`` is ``|A|``, the number of domain elements;
+* ``structure.size`` is ``||A||``, i.e.
+  ``|sigma| + |dom(A)| + sum_R |R^A| * ar(R)``.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.errors import SignatureError
+from repro.structures.signature import Signature
+from repro.util.orderings import DomainOrder
+
+Element = Hashable
+Fact = Tuple[Element, ...]
+
+
+class Structure:
+    """A finite relational structure over a fixed signature."""
+
+    def __init__(
+        self,
+        signature: Signature,
+        domain: Iterable[Element],
+        relations: Optional[Mapping[str, Iterable[Sequence[Element]]]] = None,
+    ):
+        self.signature = signature
+        self._domain: list = []
+        self._domain_set: Set[Element] = set()
+        for element in domain:
+            if element not in self._domain_set:
+                self._domain_set.add(element)
+                self._domain.append(element)
+        if not self._domain:
+            raise ValueError("structures must have a non-empty domain")
+        self._relations: Dict[str, Set[Fact]] = {
+            symbol.name: set() for symbol in signature
+        }
+        self._caches_dirty = True
+        self._adjacency: Dict[Element, Set[Element]] = {}
+        # How many facts witness each Gaifman edge (keyed by the unordered
+        # element pair); lets mutations update adjacency incrementally.
+        self._edge_support: Dict[FrozenSet[Element], int] = {}
+        self._order: Optional[DomainOrder] = None
+        if relations:
+            for name, facts in relations.items():
+                for fact in facts:
+                    self.add_fact(name, *fact)
+
+    # ------------------------------------------------------------------
+    # Construction and mutation
+    # ------------------------------------------------------------------
+
+    def add_fact(self, relation: str, *elements: Element) -> None:
+        """Insert the fact ``relation(elements...)``.
+
+        Raises :class:`SignatureError` on arity mismatch or unknown symbol,
+        and :class:`ValueError` if an element is outside the domain.
+        """
+        symbol = self.signature.symbol(relation)
+        if len(elements) != symbol.arity:
+            raise SignatureError(
+                f"{relation} has arity {symbol.arity}, got {len(elements)} arguments"
+            )
+        for element in elements:
+            if element not in self._domain_set:
+                raise ValueError(f"element {element!r} is not in the domain")
+        fact = tuple(elements)
+        if fact not in self._relations[relation]:
+            self._relations[relation].add(fact)
+            if not self._caches_dirty:
+                self._support_fact(fact, +1)
+
+    def remove_fact(self, relation: str, *elements: Element) -> None:
+        """Remove a fact; silently ignores absent facts."""
+        symbol = self.signature.symbol(relation)
+        if len(elements) != symbol.arity:
+            raise SignatureError(
+                f"{relation} has arity {symbol.arity}, got {len(elements)} arguments"
+            )
+        fact = tuple(elements)
+        if fact in self._relations[relation]:
+            self._relations[relation].discard(fact)
+            if not self._caches_dirty:
+                self._support_fact(fact, -1)
+
+    def _support_fact(self, fact: Fact, delta: int) -> None:
+        """Incrementally maintain the Gaifman adjacency for one fact."""
+        distinct = set(fact)
+        if len(distinct) < 2:
+            return
+        ordered = list(distinct)
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1 :]:
+                key = frozenset((left, right))
+                support = self._edge_support.get(key, 0) + delta
+                if support <= 0:
+                    self._edge_support.pop(key, None)
+                    self._adjacency[left].discard(right)
+                    self._adjacency[right].discard(left)
+                else:
+                    self._edge_support[key] = support
+                    if delta > 0 and support == 1:
+                        self._adjacency[left].add(right)
+                        self._adjacency[right].add(left)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def domain(self) -> Sequence[Element]:
+        """The domain in its fixed linear order (do not mutate)."""
+        return self._domain
+
+    @property
+    def order(self) -> DomainOrder:
+        """The linear order on the domain (Section 2.2)."""
+        if self._order is None or self._caches_dirty:
+            self._order = DomainOrder(self._domain)
+        return self._order
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._domain_set
+
+    @property
+    def cardinality(self) -> int:
+        """``|A|``: the number of domain elements."""
+        return len(self._domain)
+
+    @property
+    def size(self) -> int:
+        """``||A||``: signature + domain + sum of relation sizes times arity."""
+        relation_weight = sum(
+            len(facts) * self.signature.arity(name)
+            for name, facts in self._relations.items()
+        )
+        return len(self.signature) + len(self._domain) + relation_weight
+
+    def facts(self, relation: str) -> FrozenSet[Fact]:
+        """All tuples of the given relation (direct access, Section 2.1)."""
+        if relation not in self._relations:
+            raise SignatureError(f"unknown relation symbol {relation!r}")
+        return frozenset(self._relations[relation])
+
+    def has_fact(self, relation: str, *elements: Element) -> bool:
+        """Naive membership test (the Storing-Theorem index is in storage/)."""
+        if relation not in self._relations:
+            raise SignatureError(f"unknown relation symbol {relation!r}")
+        return tuple(elements) in self._relations[relation]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        return self.signature.names()
+
+    def iter_facts(self) -> Iterator[Tuple[str, Fact]]:
+        """Iterate over all facts as ``(relation_name, tuple)`` pairs."""
+        for name in self.signature.names():
+            for fact in sorted(self._relations[name], key=self._fact_key):
+                yield name, fact
+
+    def _fact_key(self, fact: Fact):
+        order = self.order
+        return tuple(order.rank(element) for element in fact)
+
+    # ------------------------------------------------------------------
+    # Gaifman graph (Section 2.1)
+    # ------------------------------------------------------------------
+
+    def _rebuild_adjacency(self) -> None:
+        self._adjacency = {element: set() for element in self._domain}
+        self._edge_support = {}
+        self._order = DomainOrder(self._domain)
+        self._caches_dirty = False
+        for facts in self._relations.values():
+            for fact in facts:
+                self._support_fact(fact, +1)
+
+    def neighbors(self, element: Element) -> Set[Element]:
+        """Gaifman-graph neighbors of ``element`` (excluding itself).
+
+        The returned set is live — do not mutate it.
+        """
+        if self._caches_dirty:
+            self._rebuild_adjacency()
+        return self._adjacency[element]
+
+    @property
+    def degree(self) -> int:
+        """degree(A): maximum degree of the Gaifman graph."""
+        if self._caches_dirty:
+            self._rebuild_adjacency()
+        return max((len(neighbors) for neighbors in self._adjacency.values()), default=0)
+
+    def adjacency(self) -> Mapping[Element, Set[Element]]:
+        """The full Gaifman adjacency map (element -> live neighbor set)."""
+        if self._caches_dirty:
+            self._rebuild_adjacency()
+        return self._adjacency
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+
+    def restrict_signature(self, names: Iterable[str]) -> "Structure":
+        """The reduct ``A|q``: same domain, only the given relations.
+
+        Used by Lemma 3.1: neighborhoods are computed in the reduct of A to
+        the relation symbols occurring in the query.
+        """
+        wanted = [name for name in names if name in self.signature]
+        restricted = Structure(self.signature.restrict(wanted), self._domain)
+        for name in wanted:
+            restricted._relations[name] = set(self._relations[name])
+        restricted._caches_dirty = True
+        return restricted
+
+    def induced_substructure(self, elements: Iterable[Element]) -> "Structure":
+        """The substructure induced on ``elements`` (kept in domain order)."""
+        kept = set(elements)
+        for element in kept:
+            if element not in self._domain_set:
+                raise ValueError(f"element {element!r} is not in the domain")
+        ordered = [element for element in self._domain if element in kept]
+        sub = Structure(self.signature, ordered)
+        for name, facts in self._relations.items():
+            sub._relations[name] = {
+                fact for fact in facts if all(component in kept for component in fact)
+            }
+        sub._caches_dirty = True
+        return sub
+
+    def copy(self) -> "Structure":
+        clone = Structure(self.signature, self._domain)
+        for name, facts in self._relations.items():
+            clone._relations[name] = set(facts)
+        clone._caches_dirty = True
+        return clone
+
+    def __repr__(self) -> str:
+        fact_count = sum(len(facts) for facts in self._relations.values())
+        return (
+            f"Structure(|A|={self.cardinality}, facts={fact_count}, "
+            f"signature={self.signature!r})"
+        )

@@ -1,0 +1,19 @@
+"""Small shared helpers: orderings, iteration utilities, timing."""
+
+from repro.util.itertools2 import (
+    connected_subsets,
+    distinct_tuples,
+    injections,
+    powerset,
+)
+from repro.util.orderings import DomainOrder
+from repro.util.timing import Stopwatch
+
+__all__ = [
+    "DomainOrder",
+    "Stopwatch",
+    "connected_subsets",
+    "distinct_tuples",
+    "injections",
+    "powerset",
+]

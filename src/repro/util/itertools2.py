@@ -1,0 +1,81 @@
+"""Iteration helpers used across the library.
+
+These are deliberately plain generators: callers that only need to loop
+never pay for materializing intermediate lists.
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations, permutations, product
+from typing import Callable, Hashable, Iterable, Iterator, Sequence, Tuple
+
+
+def powerset(items: Sequence, min_size: int = 0, max_size: int = -1) -> Iterator[Tuple]:
+    """Yield all subsets of ``items`` as tuples, by increasing size."""
+    if max_size < 0:
+        max_size = len(items)
+    sizes = range(min_size, max_size + 1)
+    return chain.from_iterable(combinations(items, size) for size in sizes)
+
+
+def injections(source_size: int, target: Sequence) -> Iterator[Tuple]:
+    """Yield all injective mappings from ``range(source_size)`` into ``target``.
+
+    Each mapping is represented as a tuple ``m`` with ``m[i]`` the image of
+    ``i``.  This matches the paper's injections ``iota`` from cluster
+    positions into query positions (Proposition 3.4, Step 3).
+    """
+    return permutations(target, source_size)
+
+
+def distinct_tuples(items: Sequence, arity: int) -> Iterator[Tuple]:
+    """Yield all tuples over ``items`` of length ``arity`` with distinct entries."""
+    return permutations(items, arity)
+
+
+def all_tuples(items: Sequence, arity: int) -> Iterator[Tuple]:
+    """Yield all tuples over ``items`` of length ``arity`` (repeats allowed)."""
+    return product(items, repeat=arity)
+
+
+def connected_subsets(
+    seed: Hashable,
+    neighbors: Callable[[Hashable], Iterable[Hashable]],
+    max_size: int,
+) -> Iterator[frozenset]:
+    """Yield all connected vertex sets of size <= ``max_size`` containing ``seed``.
+
+    Connectivity is with respect to the ``neighbors`` callback.  Standard
+    frontier-extension enumeration: grow the current set one boundary vertex
+    at a time, forbidding vertices already rejected on this branch so every
+    set is produced exactly once.
+    """
+
+    def extend(current: frozenset, frontier: Tuple, forbidden: frozenset) -> Iterator[frozenset]:
+        yield current
+        if len(current) == max_size:
+            return
+        local_forbidden = set(forbidden)
+        for vertex in frontier:
+            if vertex in local_forbidden:
+                continue
+            new_frontier = tuple(
+                neighbor
+                for neighbor in frontier
+                if neighbor != vertex and neighbor not in local_forbidden
+            ) + tuple(
+                neighbor
+                for neighbor in neighbors(vertex)
+                if neighbor not in current
+                and neighbor not in local_forbidden
+                and neighbor != vertex
+            )
+            yield from extend(
+                current | {vertex}, new_frontier, frozenset(local_forbidden)
+            )
+            local_forbidden.add(vertex)
+
+    initial_frontier = tuple(
+        neighbor for neighbor in neighbors(seed) if neighbor != seed
+    )
+    return extend(frozenset([seed]), initial_frontier, frozenset())

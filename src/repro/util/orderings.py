@@ -1,0 +1,60 @@
+"""Linear orders on structure domains.
+
+The RAM model of the paper (Section 2.2) assumes the input structure comes
+with a linear order on the domain; iteration is always with respect to that
+order, and tuples are compared lexicographically.  ``DomainOrder`` is that
+order, materialized: a bijection between domain elements and ranks
+``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence, Tuple
+
+
+class DomainOrder:
+    """A fixed linear order over a finite set of hashable elements.
+
+    Elements are ranked by first appearance in the iterable given to the
+    constructor, which mirrors the paper's "order induced by the encoding of
+    the structure".
+    """
+
+    __slots__ = ("_elements", "_rank")
+
+    def __init__(self, elements: Iterable[Hashable]):
+        self._elements: list = []
+        self._rank: dict = {}
+        for element in elements:
+            if element not in self._rank:
+                self._rank[element] = len(self._elements)
+                self._elements.append(element)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._elements)
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._rank
+
+    def rank(self, element: Hashable) -> int:
+        """Return the position of ``element`` in the order (0-based)."""
+        return self._rank[element]
+
+    def element(self, rank: int) -> Hashable:
+        """Return the element at position ``rank``."""
+        return self._elements[rank]
+
+    def elements(self) -> Sequence[Hashable]:
+        """All elements, smallest rank first (do not mutate)."""
+        return self._elements
+
+    def key(self, tup: Sequence[Hashable]) -> Tuple[int, ...]:
+        """Lexicographic sort key for a tuple of domain elements."""
+        return tuple(self._rank[element] for element in tup)
+
+    def sorted_tuples(self, tuples: Iterable[Sequence[Hashable]]) -> list:
+        """Sort tuples lexicographically with respect to this order."""
+        return sorted(tuples, key=self.key)

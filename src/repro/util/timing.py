@@ -1,0 +1,54 @@
+"""Wall-clock measurement helpers for examples and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+
+class Stopwatch:
+    """Accumulates named wall-clock measurements.
+
+    Used by examples and the benchmark harness to report phase timings
+    (preprocessing vs enumeration) and per-output delays.
+    """
+
+    def __init__(self) -> None:
+        self._t0: Optional[float] = None
+        self.laps: List[float] = []
+
+    def start(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def lap(self) -> float:
+        """Record and return the time since the last lap (or start)."""
+        now = time.perf_counter()
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch.lap() called before start()")
+        elapsed = now - self._t0
+        self.laps.append(elapsed)
+        self._t0 = now
+        return elapsed
+
+    def elapsed(self) -> float:
+        """Time since start without recording a lap."""
+        if self._t0 is None:
+            raise RuntimeError("Stopwatch.elapsed() called before start()")
+        return time.perf_counter() - self._t0
+
+    @property
+    def total(self) -> float:
+        return sum(self.laps)
+
+    @property
+    def max_lap(self) -> float:
+        return max(self.laps) if self.laps else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile of recorded laps (q in [0, 100])."""
+        if not self.laps:
+            return 0.0
+        ordered = sorted(self.laps)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]

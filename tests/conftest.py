@@ -1,0 +1,136 @@
+"""Shared fixtures: small structures and a corpus of FO queries.
+
+The corpus is the library's oracle workhorse: every algorithm is compared
+against the naive reference semantics on these (structure, query) pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fo.parser import parse
+from repro.structures import (
+    Signature,
+    Structure,
+    cycle_graph,
+    grid_graph,
+    padded_clique,
+    random_colored_graph,
+    random_structure,
+)
+
+
+@pytest.fixture
+def tiny_graph() -> Structure:
+    """Example 2.3 by hand: 4 nodes, one blue, one red, one edge."""
+    db = Structure(Signature.of(E=2, B=1, R=1), range(4))
+    db.add_fact("B", 0)
+    db.add_fact("B", 1)
+    db.add_fact("R", 2)
+    db.add_fact("R", 3)
+    db.add_fact("E", 0, 2)
+    db.add_fact("E", 2, 0)
+    return db
+
+
+@pytest.fixture
+def small_colored() -> Structure:
+    return random_colored_graph(20, max_degree=3, seed=11)
+
+
+@pytest.fixture
+def medium_colored() -> Structure:
+    return random_colored_graph(60, max_degree=4, seed=5)
+
+
+@pytest.fixture
+def three_colored() -> Structure:
+    return random_colored_graph(16, max_degree=3, colors=("B", "R", "G"), seed=3)
+
+
+@pytest.fixture
+def ternary_structure() -> Structure:
+    return random_structure(Signature.of(T=3, B=1), 15, max_degree=4, seed=2)
+
+
+@pytest.fixture
+def clique_structure() -> Structure:
+    return padded_clique(4, 18, colors=("B", "R"), seed=1)
+
+
+@pytest.fixture
+def grid_structure() -> Structure:
+    return grid_graph(4, 4, colors=("B", "R"), seed=4)
+
+
+@pytest.fixture
+def ring_structure() -> Structure:
+    return cycle_graph(15, colors=("B", "R"), seed=6)
+
+
+# The oracle query corpus, grouped by what they exercise.  Every query is
+# over the signature {E/2, B/1, R/1} (optionally G/1).
+
+QUANTIFIER_FREE_QUERIES = [
+    "B(x)",
+    "B(x) & R(y) & ~E(x,y)",                          # Example 2.3
+    "B(x) & R(y) & E(x,y)",
+    "B(x) & R(y)",
+    "B(x) | R(x)",
+    "~B(x) & ~R(x)",
+    "B(x) & R(y) & x != y",
+    "B(x) & B(y) & ~E(x,y) & ~E(y,x) & x != y",
+    "E(x,y) & E(y,z)",
+    "B(x) & R(y) & (E(x,y) | E(y,x))",
+    "dist(x,y) <= 2 & B(x) & R(y)",
+    "dist(x,y) > 2 & B(x) & R(y)",
+]
+
+EXISTENTIAL_QUERIES = [
+    "exists z. E(x,z) & R(z)",
+    "exists z. E(x,z) & E(z,y) & x != y",
+    "exists z. R(z) & ~E(x,z) & ~E(z,y)",
+    "B(x) & exists z. (R(z) & dist(x,z) > 2)",
+    "exists z. exists w. E(z,w) & B(z) & R(w) & ~E(x,z)",
+]
+
+UNIVERSAL_QUERIES = [
+    "forall z. E(x,z) -> B(z)",
+    "B(x) & forall z. (E(x,z) -> ~R(z))",
+]
+
+RELATIVIZED_QUERIES = [
+    "exists z in N2(x). B(z) & E(x,z)",
+    "forall z in N1(x). B(z) | R(z)",
+    "exists z in N2(x,y). R(z)",
+]
+
+SENTENCES = [
+    "exists x. exists y. B(x) & R(y) & ~E(x,y)",
+    "forall x. B(x) | R(x)",
+    "exists x. forall y. E(x,y) -> R(y)",
+    "exists x. exists y. dist(x,y) > 3 & B(x) & B(y)",
+    "exists x. B(x) & R(x)",
+]
+
+ALL_NONBOOLEAN_QUERIES = (
+    QUANTIFIER_FREE_QUERIES
+    + EXISTENTIAL_QUERIES
+    + UNIVERSAL_QUERIES
+    + RELATIVIZED_QUERIES
+)
+
+
+@pytest.fixture(params=ALL_NONBOOLEAN_QUERIES)
+def corpus_query(request):
+    return parse(request.param)
+
+
+@pytest.fixture(params=QUANTIFIER_FREE_QUERIES)
+def quantifier_free_query(request):
+    return parse(request.param)
+
+
+@pytest.fixture(params=SENTENCES)
+def corpus_sentence(request):
+    return parse(request.param)

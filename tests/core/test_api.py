@@ -1,0 +1,87 @@
+"""Tests for the public facade (prepare / PreparedQuery)."""
+
+import pytest
+
+from repro import prepare
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import Var
+from repro.storage.cost_model import CostMeter
+
+x, y = Var("x"), Var("y")
+
+
+class TestPrepare:
+    def test_accepts_text(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & R(y) & ~E(x,y)")
+        assert prepared.arity == 2
+
+    def test_accepts_formula(self, small_colored):
+        prepared = prepare(small_colored, parse("B(x)"))
+        assert prepared.arity == 1
+
+    def test_rejects_other_types(self, small_colored):
+        with pytest.raises(QueryError):
+            prepare(small_colored, 42)
+
+    def test_default_variable_order_is_sorted(self, small_colored):
+        prepared = prepare(small_colored, "R(y) & B(x)")
+        assert [v.name for v in prepared.variables] == ["x", "y"]
+
+    def test_explicit_order(self, small_colored):
+        prepared = prepare(small_colored, "R(y) & B(x)", order=["y", "x"])
+        assert [v.name for v in prepared.variables] == ["y", "x"]
+        for answer in prepared.enumerate():
+            assert small_colored.has_fact("R", answer[0])
+            assert small_colored.has_fact("B", answer[1])
+
+
+class TestOperations:
+    def test_three_operations_agree(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        prepared = prepare(small_colored, query)
+        answers = prepared.answers()
+        assert prepared.count() == len(answers)
+        for answer in answers:
+            assert prepared.test(answer)
+        want = naive_answers(query, small_colored, order=(x, y))
+        assert sorted(answers) == sorted(want)
+
+    def test_count_cached(self, small_colored):
+        prepared = prepare(small_colored, "B(x)")
+        assert prepared.count() == prepared.count()
+
+    def test_count_with_meter_not_cached(self, small_colored):
+        prepared = prepare(small_colored, "B(x)")
+        meter = CostMeter()
+        prepared.count(meter)
+        assert meter.steps > 0
+
+    def test_enumerate_with_meter(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & R(y) & ~E(x,y)")
+        meter = CostMeter()
+        for _ in prepared.enumerate(meter=meter):
+            meter.mark()
+        assert meter.max_delta < 100
+
+    def test_skip_mode_override(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & R(y) & ~E(x,y)")
+        lazy = list(prepared.enumerate(skip_mode="lazy"))
+        strict = list(prepared.enumerate(skip_mode="precompute"))
+        assert lazy == strict
+
+
+class TestIntrospection:
+    def test_stats(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & R(y) & ~E(x,y)")
+        stats = prepared.stats()
+        assert stats["arity"] == 2
+        assert stats["structure_size"] == small_colored.cardinality
+
+    def test_explain_mentions_key_facts(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & exists z. (R(z) & ~E(x,z))")
+        text = prepared.explain()
+        assert "arity" in text
+        assert "derived" in text
+        assert "_D0" in text

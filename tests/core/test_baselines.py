@@ -1,0 +1,83 @@
+"""Tests for the naive baselines."""
+
+import pytest
+
+from repro.core.baselines import ListJoinBaseline, product_count, product_enumerate
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.storage.cost_model import CostMeter
+
+
+class TestProductBaseline:
+    def test_matches_oracle(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        got = list(product_enumerate(query, small_colored))
+        assert got == naive_answers(query, small_colored)
+
+    def test_count(self, small_colored):
+        query = parse("B(x) | R(x)")
+        assert product_count(query, small_colored) == len(
+            naive_answers(query, small_colored)
+        )
+
+    def test_sentence(self, small_colored):
+        assert list(product_enumerate(parse("exists x. B(x)"), small_colored)) in (
+            [()],
+            [],
+        )
+
+    def test_meter_counts_every_attempt(self, small_colored):
+        query = parse("B(x)")
+        meter = CostMeter()
+        list(product_enumerate(query, small_colored, meter=meter))
+        assert meter.by_label["baseline.check"] == small_colored.cardinality
+
+
+class TestListJoinBaseline:
+    def test_matches_oracle_example(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        baseline = ListJoinBaseline(query, small_colored)
+        got = sorted(baseline.enumerate())
+        assert got == sorted(naive_answers(query, small_colored))
+
+    def test_positive_binary_atom(self, small_colored):
+        query = parse("B(x) & R(y) & E(x,y)")
+        baseline = ListJoinBaseline(query, small_colored)
+        assert sorted(baseline.enumerate()) == sorted(
+            naive_answers(query, small_colored)
+        )
+
+    def test_count(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        baseline = ListJoinBaseline(query, small_colored)
+        assert baseline.count() == len(naive_answers(query, small_colored))
+
+    def test_candidate_lists_respect_unary_atoms(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        baseline = ListJoinBaseline(query, small_colored)
+        for var, relation in (("x", "B"), ("y", "R")):
+            from repro.fo.syntax import Var
+
+            for element in baseline.lists[Var(var)]:
+                assert small_colored.has_fact(relation, element)
+
+    def test_attempts_exceed_answers_on_false_hits(self, small_colored):
+        query = parse("B(x) & R(y) & E(x,y)")
+        baseline = ListJoinBaseline(query, small_colored)
+        meter = CostMeter()
+        answers = list(baseline.enumerate(meter))
+        # Attempts = |B-list| * |R-list| >= answers (usually much larger).
+        assert meter.by_label["baseline.attempt"] >= len(answers)
+
+    def test_rejects_quantified_queries(self, small_colored):
+        with pytest.raises(QueryError):
+            ListJoinBaseline(parse("exists z. E(x,z)"), small_colored)
+
+    def test_rejects_negated_unary(self, small_colored):
+        with pytest.raises(QueryError):
+            ListJoinBaseline(parse("~B(x) & R(y)"), small_colored)
+
+    def test_rejects_disjunction(self, small_colored):
+        with pytest.raises(QueryError):
+            ListJoinBaseline(parse("B(x) | R(x)"), small_colored)

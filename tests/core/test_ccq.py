@@ -1,0 +1,86 @@
+"""Tests for connected conjunctive queries (Lemma 3.2, Proposition 3.3)."""
+
+import pytest
+
+from repro.core.ccq import count_ccq, evaluate_ccq, parse_ccq
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestParseCCQ:
+    def test_simple_conjunction(self):
+        free, existential, literals = parse_ccq(parse("E(x,y) & B(x)"))
+        assert free == (x, y)
+        assert existential == ()
+        assert len(literals) == 2
+
+    def test_existential_prefix(self):
+        free, existential, literals = parse_ccq(parse("exists z. E(x,z) & B(z)"))
+        assert free == (x,)
+        assert existential == (z,)
+
+    def test_negated_unary_allowed(self):
+        free, _, _ = parse_ccq(parse("E(x,y) & ~B(x)"))
+        assert free == (x, y)
+
+    def test_negated_binary_rejected(self):
+        # Example 2.3's query is *not* a conjunction (Section 3.2).
+        with pytest.raises(QueryError):
+            parse_ccq(parse("B(x) & R(y) & ~E(x,y)"))
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError):
+            parse_ccq(parse("B(x) & R(y)"))
+
+    def test_disjunction_rejected(self):
+        with pytest.raises(QueryError):
+            parse_ccq(parse("E(x,y) | B(x)"))
+
+    def test_connected_through_atom(self):
+        # Ternary atoms connect all their variables.
+        parse_ccq(parse("T(x,y,z)"))
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "E(x,y)",
+            "E(x,y) & B(x) & R(y)",
+            "E(x,y) & ~B(y)",
+            "exists z. E(x,z) & E(z,y)",
+            "exists z. E(x,z) & R(z)",
+        ],
+    )
+    def test_matches_oracle(self, text, small_colored):
+        query = parse(text)
+        order = sorted(query.free)
+        got = evaluate_ccq(query, small_colored, order=order)
+        want = naive_answers(query, small_colored, order=order)
+        assert got == want
+
+    def test_matches_oracle_on_grid(self, grid_structure):
+        query = parse("E(x,y) & B(x)")
+        got = evaluate_ccq(query, grid_structure)
+        want = naive_answers(query, grid_structure)
+        assert got == want
+
+    def test_count(self, small_colored):
+        query = parse("E(x,y) & B(x)")
+        assert count_ccq(query, small_colored) == len(
+            naive_answers(query, small_colored)
+        )
+
+    def test_boolean_query_rejected(self, small_colored):
+        with pytest.raises(QueryError):
+            evaluate_ccq(parse("exists x. exists y. E(x,y)"), small_colored)
+
+    def test_answers_sorted(self, small_colored):
+        query = parse("E(x,y)")
+        answers = evaluate_ccq(query, small_colored)
+        order = small_colored.order
+        assert answers == sorted(answers, key=order.key)

@@ -1,0 +1,104 @@
+"""Tests for counting (Lemma 3.6, Theorem 2.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting import count_answers
+from repro.core.pipeline import Pipeline
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_count
+from repro.fo.syntax import Var
+from repro.storage.cost_model import CostMeter
+from repro.structures.random_gen import (
+    grid_graph,
+    padded_clique,
+    random_colored_graph,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def assert_count_matches(db, text, order=None):
+    query = parse(text)
+    order = order or sorted(query.free)
+    pipeline = Pipeline(db, query, order=order)
+    assert count_answers(pipeline) == naive_count(query, db, order=order)
+
+
+CORPUS = [
+    "B(x) & R(y) & ~E(x,y)",
+    "B(x) & R(y) & E(x,y)",
+    "B(x) & R(y)",
+    "B(x) & B(y) & ~E(x,y) & ~E(y,x) & x != y",
+    "E(x,y) | E(y,x)",
+    "exists z. E(x,z) & R(z)",
+    "forall z. E(x,z) -> B(z)",
+]
+
+
+class TestCountCorpus:
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_small_random(self, text, small_colored):
+        assert_count_matches(small_colored, text)
+
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_padded_clique(self, text, clique_structure):
+        assert_count_matches(clique_structure, text)
+
+    @pytest.mark.parametrize("text", CORPUS[:4])
+    def test_grid(self, text, grid_structure):
+        assert_count_matches(grid_structure, text)
+
+
+class TestCountShapes:
+    def test_trivially_true_query(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) | ~B(x)"), order=(x,))
+        assert count_answers(pipeline) == small_colored.cardinality
+
+    def test_trivially_true_binary(self, small_colored):
+        pipeline = Pipeline(
+            small_colored, parse("(B(x) | ~B(x)) & (B(y) | ~B(y))"), order=(x, y)
+        )
+        assert count_answers(pipeline) == small_colored.cardinality ** 2
+
+    def test_trivially_false(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) & ~B(x)"), order=(x,))
+        assert count_answers(pipeline) == 0
+
+    def test_true_sentence_counts_one(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("exists x. B(x)"))
+        assert count_answers(pipeline) == 1
+
+    def test_false_sentence_counts_zero(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("exists x. B(x) & R(x) & ~B(x)"))
+        assert count_answers(pipeline) == 0
+
+    def test_three_variables(self, three_colored):
+        assert_count_matches(
+            three_colored,
+            "B(x) & R(y) & G(z) & ~E(x,y) & ~E(y,z) & ~E(x,z)",
+        )
+
+    def test_meter_records_steps(self, small_colored):
+        pipeline = Pipeline(
+            small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        meter = CostMeter()
+        count_answers(pipeline, meter)
+        assert meter.steps > 0
+
+
+@given(seed=st.integers(0, 40), degree=st.integers(1, 4))
+@settings(max_examples=15, deadline=None)
+def test_example_query_count_property(seed, degree):
+    """Example 2.3 counts agree with the oracle across random graphs."""
+    db = random_colored_graph(15, max_degree=degree, seed=seed)
+    assert_count_matches(db, "B(x) & R(y) & ~E(x,y)")
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=10, deadline=None)
+def test_quantified_count_property(seed):
+    db = random_colored_graph(12, max_degree=3, seed=seed)
+    assert_count_matches(db, "exists z. R(z) & ~E(x,z) & ~E(z,y)")

@@ -1,0 +1,125 @@
+"""Regression tests for the big/small block machinery.
+
+The big/small dichotomy replaces the paper's recursive prefix
+quantifier-elimination (DESIGN.md deviation #5); these tests pin its
+invariants: classification, DFS small-assignment enumeration (lazy) vs
+the grounded table (strict), and correctness when *every* block is small
+or every block is big.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.enumeration import BranchEnumerator, enumerate_answers
+from repro.core.pipeline import Pipeline
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import Var
+from repro.structures.random_gen import padded_clique, random_colored_graph
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def _branch_enumerators(pipeline):
+    return [
+        BranchEnumerator(pipeline, branch) for branch in pipeline.branches
+    ]
+
+
+class TestClassification:
+    def test_large_lists_are_big(self):
+        """On a large sparse graph the color lists dwarf the degree."""
+        db = random_colored_graph(300, max_degree=3, seed=5)
+        pipeline = Pipeline(db, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y))
+        split_branches = [
+            enumerator
+            for enumerator in _branch_enumerators(pipeline)
+            if len(enumerator.branch.plan.partition) == 2
+        ]
+        assert split_branches
+        main = max(
+            split_branches, key=lambda e: min(len(l) for l in e.branch.lists)
+        )
+        assert main.big_blocks and not main.small_blocks
+
+    def test_single_block_branches_have_no_blockers(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x)"), order=(x,))
+        for enumerator in _branch_enumerators(pipeline):
+            # One block: nothing can starve it, so it is always big.
+            assert enumerator.big_blocks == [0] or not enumerator.branch.lists[0]
+
+
+class TestAllSmallScenario:
+    def test_dense_tiny_structure(self):
+        """On a tiny dense graph every list is below the degree bound, so
+        every block is small — the DFS path does all the work."""
+        db = padded_clique(6, 10, colors=("B", "R"), seed=3)
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        pipeline = Pipeline(db, query, order=(x, y))
+        got = sorted(enumerate_answers(pipeline, validate=True))
+        want = sorted(naive_answers(query, db, order=(x, y)))
+        assert got == want
+
+    def test_three_blocks_with_small_lists(self):
+        db = random_colored_graph(
+            12, max_degree=3, colors=("B", "R", "G"), seed=8
+        )
+        query = parse(
+            "B(x) & R(y) & G(z) & ~E(x,y) & ~E(y,z) & ~E(x,z)"
+        )
+        pipeline = Pipeline(db, query, order=(x, y, z))
+        got = sorted(enumerate_answers(pipeline, validate=True))
+        want = sorted(naive_answers(query, db, order=(x, y, z)))
+        assert got == want
+
+    def test_small_dfs_equals_strict_table(self):
+        db = random_colored_graph(30, max_degree=4, seed=2)
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        pipeline = Pipeline(db, query, order=(x, y))
+        for branch in pipeline.branches:
+            lazy = BranchEnumerator(pipeline, branch, skip_mode="lazy")
+            strict = BranchEnumerator(pipeline, branch, skip_mode="precompute")
+            assert list(lazy._small_assignments()) == strict.small_table
+
+
+class TestLazySmallAssignments:
+    def test_lazy_mode_has_no_table(self, small_colored):
+        pipeline = Pipeline(
+            small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        for branch in pipeline.branches:
+            enumerator = BranchEnumerator(pipeline, branch, skip_mode="lazy")
+            assert enumerator.small_table is None
+
+    def test_assignments_pairwise_nonadjacent(self, small_colored):
+        pipeline = Pipeline(
+            small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        for branch in pipeline.branches:
+            enumerator = BranchEnumerator(pipeline, branch)
+            for assignment in enumerator._small_assignments():
+                for i, left in enumerate(assignment):
+                    for right in assignment[i + 1 :]:
+                        assert not pipeline.graph.adjacent(left, right)
+
+    def test_empty_small_list_kills_branch(self):
+        """A branch whose block list is empty yields nothing."""
+        db = Structure(Signature.of(E=2, B=1, R=1), range(4))
+        db.add_fact("B", 0)  # no reds at all
+        pipeline = Pipeline(db, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y))
+        assert list(enumerate_answers(pipeline)) == []
+
+
+@given(seed=st.integers(0, 60), clique=st.integers(3, 6))
+@settings(max_examples=15, deadline=None)
+def test_dense_core_enumeration_property(seed, clique):
+    """Padded cliques mix a dense core (small lists, DFS) with isolated
+    padding (big lists) — both code paths in one structure."""
+    db = padded_clique(clique, 25, colors=("B", "R"), seed=seed)
+    query = parse("B(x) & R(y) & ~E(x,y)")
+    pipeline = Pipeline(db, query, order=(x, y))
+    got = sorted(enumerate_answers(pipeline, validate=True))
+    assert got == sorted(naive_answers(query, db, order=(x, y)))

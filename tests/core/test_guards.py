@@ -1,0 +1,108 @@
+"""Failure-injection tests: budgets and guard rails.
+
+The paper's constants are non-elementary in the query size (its own
+conclusion); the library's contract is to fail *fast and explicitly* via
+:class:`UnsupportedQueryError` instead of hanging when a query or
+structure exceeds its budgets.
+"""
+
+import pytest
+
+from repro.core.colored_graph import build_colored_graph
+from repro.core.enumeration import SkipList
+from repro.core.pipeline import Pipeline
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.fo.localize import LocalEvaluator, LocalizationBudget, localize
+from repro.fo.parser import parse
+from repro.fo.syntax import Var
+from repro.structures.random_gen import random_colored_graph
+
+x, y = Var("x"), Var("y")
+
+
+class TestLocalizationBudgets:
+    def test_max_radius(self, small_colored):
+        budget = LocalizationBudget(max_radius=1)
+        query = parse("exists z. exists w. dist(z,w) > 3 & E(x,z) & E(x,w)")
+        with pytest.raises(UnsupportedQueryError) as excinfo:
+            localize(query, small_colored, budget)
+        assert "radius" in str(excinfo.value)
+
+    def test_max_derived(self, small_colored):
+        budget = LocalizationBudget(max_derived=0)
+        with pytest.raises(UnsupportedQueryError) as excinfo:
+            localize(
+                parse("B(x) & exists z. (R(z) & ~E(x,z))"), small_colored, budget
+            )
+        assert "derived" in str(excinfo.value)
+
+    def test_budgets_default_are_generous(self, small_colored):
+        # The whole query corpus passes under the default budget.
+        localize(parse("exists z. exists w. E(z,w) & ~E(x,z)"), small_colored)
+
+
+class TestPipelineBudgets:
+    def test_max_nodes(self, small_colored):
+        with pytest.raises(UnsupportedQueryError) as excinfo:
+            Pipeline(
+                small_colored,
+                parse("B(x) & R(y) & ~E(x,y)"),
+                order=(x, y),
+                max_nodes=3,
+            )
+        assert "nodes" in str(excinfo.value)
+
+    def test_max_units(self, small_colored):
+        # A wide disjunction of many distinct atoms exceeds the unit cap.
+        parts = " | ".join(
+            f"(B(x) & R(y) & dist(x,y) > {i})" for i in range(1, 10)
+        )
+        with pytest.raises((UnsupportedQueryError, QueryError)):
+            Pipeline(small_colored, parse(parts), order=(x, y), max_units=3)
+
+    def test_graph_budget_via_build_function(self, small_colored):
+        evaluator = LocalEvaluator(small_colored, {})
+        with pytest.raises(UnsupportedQueryError):
+            build_colored_graph(small_colored, evaluator, 3, 1, max_nodes=10)
+
+
+class TestSkipBudgets:
+    def test_precompute_budget(self):
+        db = random_colored_graph(120, max_degree=4, seed=1)
+        pipeline = Pipeline(db, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y))
+        branch = max(
+            pipeline.branches, key=lambda b: min(len(l) for l in b.lists)
+        )
+        big_list = max(branch.lists, key=len)
+        skip_list = SkipList(pipeline.graph, big_list, 2)
+        with pytest.raises(UnsupportedQueryError):
+            skip_list.precompute(max_cells=5)
+
+
+class TestInputValidation:
+    def test_pipeline_rejects_mismatched_order(self, small_colored):
+        with pytest.raises(QueryError):
+            Pipeline(small_colored, parse("B(x) & R(y)"), order=(x,))
+
+    def test_query_over_unknown_relation(self, small_colored):
+        # Unknown relations surface as QueryError during localization /
+        # evaluation rather than producing garbage.
+        query = parse("Mystery(x) & exists z. Mystery(z) & ~E(x,z)")
+        with pytest.raises(Exception):
+            pipeline = Pipeline(small_colored, query, order=(x,))
+            list(pipeline.branches)
+
+    def test_unknown_relation_unary_is_false(self, small_colored):
+        # Atoms over relations absent from the signature are simply false
+        # facts in the reference semantics; the pipeline must agree.
+        from repro.fo.semantics import naive_answers
+
+        query = parse("B(x) & Ghost(x, y)")
+        try:
+            pipeline = Pipeline(small_colored, query, order=(x, y))
+            from repro.core.enumeration import enumerate_answers
+
+            got = sorted(enumerate_answers(pipeline))
+        except Exception:
+            return  # rejecting is acceptable
+        assert got == sorted(naive_answers(query, small_colored, order=(x, y)))

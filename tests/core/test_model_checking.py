@@ -1,0 +1,63 @@
+"""Tests for model checking (Theorem 2.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model_checking import model_check
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import evaluate
+from repro.structures.random_gen import padded_clique, random_colored_graph
+
+from strategies import formulas, structures
+from repro.fo.syntax import Exists, Forall, Var
+
+
+SENTENCES = [
+    "exists x. exists y. B(x) & R(y) & ~E(x,y)",
+    "exists x. exists y. B(x) & R(y) & E(x,y)",
+    "forall x. B(x) | R(x)",
+    "exists x. forall y. E(x,y) -> R(y)",
+    "exists x. exists y. dist(x,y) > 3 & B(x) & B(y)",
+    "forall x. forall y. E(x,y) -> E(y,x)",
+    "exists x. B(x) & R(x)",
+    "forall x. exists y. E(x,y) | E(y,x) | x = y",
+]
+
+
+class TestSentences:
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_matches_oracle_random(self, text, small_colored):
+        sentence = parse(text)
+        assert model_check(sentence, small_colored) == evaluate(
+            sentence, small_colored, {}
+        )
+
+    @pytest.mark.parametrize("text", SENTENCES)
+    def test_matches_oracle_clique(self, text, clique_structure):
+        sentence = parse(text)
+        assert model_check(sentence, clique_structure) == evaluate(
+            sentence, clique_structure, {}
+        )
+
+    def test_free_variables_rejected(self, small_colored):
+        with pytest.raises(QueryError):
+            model_check(parse("B(x)"), small_colored)
+
+
+@given(formula=formulas(free_count=1, max_depth=2, max_quantifiers=1),
+       db=structures(max_n=10))
+@settings(max_examples=30, deadline=None)
+def test_model_checking_property(formula, db):
+    """Random closed sentences: model_check agrees with naive evaluation."""
+    sentence = Exists(Var("x"), formula)
+    assert model_check(sentence, db) == evaluate(sentence, db, {})
+
+
+@given(formula=formulas(free_count=1, max_depth=2, max_quantifiers=1),
+       db=structures(max_n=9))
+@settings(max_examples=20, deadline=None)
+def test_model_checking_forall_property(formula, db):
+    sentence = Forall(Var("x"), formula)
+    assert model_check(sentence, db) == evaluate(sentence, db, {})

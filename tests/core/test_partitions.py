@@ -1,0 +1,95 @@
+"""Tests for position partitions (Section 4, Step 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitions import (
+    all_partitions,
+    assemble,
+    block_subtuple,
+    canonical,
+    partition_of_tuple,
+)
+
+
+class TestAllPartitions:
+    def test_bell_numbers(self):
+        # Bell(k) for k = 0..5.
+        for k, bell in enumerate([1, 1, 2, 5, 15, 52]):
+            assert len(all_partitions(k)) == bell
+
+    def test_canonical_form(self):
+        for partition in all_partitions(4):
+            mins = [block[0] for block in partition]
+            assert mins == sorted(mins)
+            for block in partition:
+                assert list(block) == sorted(block)
+
+    def test_partitions_cover_exactly(self):
+        for partition in all_partitions(4):
+            positions = [p for block in partition for p in block]
+            assert sorted(positions) == list(range(4))
+
+    def test_no_duplicates(self):
+        partitions = all_partitions(4)
+        assert len(set(partitions)) == len(partitions)
+
+    def test_k_zero(self):
+        assert all_partitions(0) == ((),)
+
+
+class TestCanonical:
+    def test_sorts_blocks_and_positions(self):
+        assert canonical([[2, 0], [1]]) == ((0, 2), (1,))
+
+    def test_idempotent(self):
+        partition = canonical([[3], [0, 1], [2]])
+        assert canonical(partition) == partition
+
+
+class TestPartitionOfTuple:
+    def test_all_far(self):
+        partition = partition_of_tuple((10, 20, 30), lambda a, b: False)
+        assert partition == ((0,), (1,), (2,))
+
+    def test_all_linked(self):
+        partition = partition_of_tuple((10, 20, 30), lambda a, b: True)
+        assert partition == ((0, 1, 2),)
+
+    def test_repeated_elements_grouped(self):
+        partition = partition_of_tuple((5, 7, 5), lambda a, b: False)
+        assert partition == ((0, 2), (1,))
+
+    def test_transitive_chaining(self):
+        # 0 linked to 1, 1 linked to 2: all three in one block even though
+        # 0 and 2 are not directly linked.
+        linked = lambda a, b: abs(a - b) == 1
+        partition = partition_of_tuple((1, 2, 3), linked)
+        assert partition == ((0, 1, 2),)
+
+    @given(values=st.lists(st.integers(0, 5), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_a_partition(self, values):
+        partition = partition_of_tuple(
+            tuple(values), lambda a, b: abs(a - b) <= 1
+        )
+        positions = sorted(p for block in partition for p in block)
+        assert positions == list(range(len(values)))
+        assert partition == canonical(partition)
+
+
+class TestAssemble:
+    def test_roundtrip(self):
+        elements = ("a", "b", "c", "b")
+        partition = partition_of_tuple(elements, lambda a, b: False)
+        clusters = [block_subtuple(elements, block) for block in partition]
+        assert assemble(len(elements), partition, clusters) == elements
+
+    @given(values=st.lists(st.integers(0, 9), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        elements = tuple(values)
+        partition = partition_of_tuple(elements, lambda a, b: a % 3 == b % 3)
+        clusters = [block_subtuple(elements, block) for block in partition]
+        assert assemble(len(elements), partition, clusters) == elements

@@ -1,0 +1,128 @@
+"""Tests for the quantifier-elimination pipeline (Proposition 3.4)."""
+
+import pytest
+
+from repro.core.pipeline import Pipeline
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers, naive_test
+from repro.fo.syntax import Var
+from repro.structures.random_gen import random_colored_graph
+
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def example_pipeline(small_colored):
+    return Pipeline(small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y))
+
+
+class TestConstruction:
+    def test_stats_shape(self, example_pipeline):
+        stats = example_pipeline.stats()
+        assert stats["arity"] == 2
+        assert stats["radius"] == 0
+        assert stats["link_radius"] == 1
+        assert stats["partitions"] == 2  # Bell(2)
+        assert stats["graph_nodes"] > 0
+
+    def test_branches_nonempty_for_example(self, example_pipeline):
+        assert example_pipeline.branches
+
+    def test_trivial_true(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) | ~B(x)"), order=(x,))
+        assert pipeline.trivial is True
+
+    def test_trivial_false(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) & ~B(x)"), order=(x,))
+        assert pipeline.trivial is False
+
+    def test_sentence_collapses(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("exists x. B(x)"))
+        assert pipeline.trivial in (True, False)
+        assert pipeline.arity == 0
+
+    def test_branches_are_exclusive_per_answer(self, small_colored):
+        """Every naive answer is covered by exactly one branch."""
+        pipeline = Pipeline(
+            small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        for answer in naive_answers(query, small_colored, order=(x, y)):
+            plan_index, node_ids = pipeline.encode(answer)
+            matching = 0
+            for branch in pipeline.branches:
+                if branch.plan.index != plan_index:
+                    continue
+                if all(
+                    node_id in branch.lists[j]
+                    for j, node_id in enumerate(node_ids)
+                ):
+                    matching += 1
+            assert matching == 1
+
+
+class TestEncoder:
+    def test_roundtrip(self, example_pipeline, small_colored):
+        domain = list(small_colored.domain)
+        for candidate in [(domain[0], domain[1]), (domain[2], domain[2])]:
+            plan_index, node_ids = example_pipeline.encode(candidate)
+            assert example_pipeline.decode(plan_index, node_ids) == candidate
+
+    def test_close_pair_single_block(self, example_pipeline, small_colored):
+        # A pair (a, a) is always one cluster.
+        element = small_colored.domain[0]
+        plan_index, node_ids = example_pipeline.encode((element, element))
+        partition = example_pipeline.plans[plan_index].partition
+        assert partition == ((0, 1),)
+        assert len(node_ids) == 1
+
+    def test_far_pair_two_blocks(self, example_pipeline, small_colored):
+        # Find a pair at distance > 1.
+        domain = list(small_colored.domain)
+        far_pair = None
+        for a in domain:
+            for b in domain:
+                if b not in small_colored.neighbors(a) and a != b:
+                    far_pair = (a, b)
+                    break
+            if far_pair:
+                break
+        assert far_pair is not None
+        plan_index, node_ids = example_pipeline.encode(far_pair)
+        assert example_pipeline.plans[plan_index].partition == ((0,), (1,))
+        assert len(node_ids) == 2
+
+    def test_arity_mismatch(self, example_pipeline):
+        with pytest.raises(QueryError):
+            example_pipeline.encode((0,))
+
+    def test_unknown_element(self, example_pipeline):
+        with pytest.raises(QueryError):
+            example_pipeline.encode(("nope", "nope"))
+
+
+class TestUnitVectors:
+    def test_unit_vectors_respect_oracle(self, small_colored):
+        """The stored color of a singleton node matches direct evaluation."""
+        pipeline = Pipeline(
+            small_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        split_plan = next(
+            plan
+            for plan in pipeline.plans
+            if plan.partition == ((0,), (1,))
+        )
+        assert pipeline.graph is not None
+        for node in pipeline.graph.nodes[1:]:
+            if node.positions != (0,):
+                continue
+            vector = node.unit_values.get(split_plan.index)
+            if vector is None:
+                continue
+            for unit_index, value in zip(split_plan.block_units[0], vector):
+                unit = split_plan.units[unit_index]
+                expected = naive_test(
+                    unit, small_colored, node.elements, order=(x,)
+                )
+                assert value == expected

@@ -1,0 +1,120 @@
+"""Tests for constant-time answer testing (Theorem 2.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import Pipeline
+from repro.core.testing import AnswerTester, test_answer
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_test
+from repro.fo.syntax import Var
+from repro.storage.cost_model import CostMeter
+from repro.structures.random_gen import random_colored_graph
+
+x, y = Var("x"), Var("y")
+
+
+def assert_tester_matches(db, text):
+    query = parse(text)
+    order = sorted(query.free)
+    pipeline = Pipeline(db, query, order=order)
+    domain = list(db.domain)
+    # Probe all pairs (or all singletons) to cover positives and negatives.
+    if len(order) == 1:
+        candidates = [(a,) for a in domain]
+    else:
+        candidates = [(a, b) for a in domain[:12] for b in domain[:12]]
+    for candidate in candidates:
+        got = test_answer(pipeline, candidate)
+        want = naive_test(query, db, candidate, order=order)
+        assert got == want, f"{text} on {candidate}"
+
+
+class TestCorpus:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "B(x) & R(y) & ~E(x,y)",
+            "B(x) & R(y) & E(x,y)",
+            "B(x) & B(y) & ~E(x,y) & ~E(y,x) & x != y",
+            "exists z. E(x,z) & R(z)",
+            "forall z. E(x,z) -> B(z)",
+            "B(x)",
+            "~B(x) & ~R(x)",
+        ],
+    )
+    def test_small_random(self, text, small_colored):
+        assert_tester_matches(small_colored, text)
+
+    def test_padded_clique(self, clique_structure):
+        assert_tester_matches(clique_structure, "B(x) & R(y) & ~E(x,y)")
+
+    def test_grid(self, grid_structure):
+        assert_tester_matches(grid_structure, "exists z. E(x,z) & E(z,y) & x != y")
+
+
+class TestEdgeCases:
+    def test_trivial_true(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) | ~B(x)"), order=(x,))
+        element = small_colored.domain[0]
+        assert test_answer(pipeline, (element,))
+
+    def test_trivial_false(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) & ~B(x)"), order=(x,))
+        element = small_colored.domain[0]
+        assert not test_answer(pipeline, (element,))
+
+    def test_arity_mismatch(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x)"), order=(x,))
+        with pytest.raises(QueryError):
+            test_answer(pipeline, (0, 1))
+
+    def test_unknown_element(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x)"), order=(x,))
+        with pytest.raises(QueryError):
+            test_answer(pipeline, ("nope",))
+
+    def test_unknown_element_trivial_query(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x) | ~B(x)"), order=(x,))
+        with pytest.raises(QueryError):
+            test_answer(pipeline, ("nope",))
+
+    def test_repeated_element_tuple(self, small_colored):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        pipeline = Pipeline(small_colored, query, order=(x, y))
+        for element in small_colored.domain:
+            got = test_answer(pipeline, (element, element))
+            want = naive_test(query, small_colored, (element, element), order=(x, y))
+            assert got == want
+
+    def test_callable_wrapper(self, small_colored):
+        pipeline = Pipeline(small_colored, parse("B(x)"), order=(x,))
+        tester = AnswerTester(pipeline)
+        element = small_colored.domain[0]
+        assert tester((element,)) == test_answer(pipeline, (element,))
+
+
+class TestConstantTimeShape:
+    def test_step_count_is_small_and_fixed(self, medium_colored):
+        """The meter's step count per test does not depend on which tuple
+        is probed (and is tiny)."""
+        pipeline = Pipeline(
+            medium_colored, parse("B(x) & R(y) & ~E(x,y)"), order=(x, y)
+        )
+        domain = list(medium_colored.domain)
+        step_counts = set()
+        for candidate in [(domain[0], domain[1]), (domain[5], domain[40]),
+                          (domain[10], domain[10])]:
+            meter = CostMeter()
+            test_answer(pipeline, candidate, meter)
+            step_counts.add(meter.steps)
+        assert max(step_counts) <= 20
+
+
+@given(seed=st.integers(0, 40))
+@settings(max_examples=10, deadline=None)
+def test_testing_oracle_property(seed):
+    db = random_colored_graph(14, max_degree=3, seed=seed)
+    assert_tester_matches(db, "B(x) & R(y) & ~E(x,y)")

@@ -1,0 +1,117 @@
+"""Direct unit tests for LocalEvaluator (the pipeline's evaluation engine)."""
+
+import pytest
+
+from repro.errors import EvaluationError, QueryError
+from repro.fo.localize import LocalEvaluator
+from repro.fo.parser import parse
+from repro.fo.semantics import evaluate
+from repro.fo.syntax import CountCmp, TotalCount, Var
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def db():
+    """0-1-2-3 path; 0 blue, 3 red."""
+    structure = Structure(Signature.of(E=2, B=1, R=1), range(4))
+    for u in range(3):
+        structure.add_fact("E", u, u + 1)
+    structure.add_fact("B", 0)
+    structure.add_fact("R", 3)
+    return structure
+
+
+@pytest.fixture
+def evaluator(db):
+    return LocalEvaluator(db, {})
+
+
+class TestBalls:
+    def test_ball_radius_zero(self, evaluator):
+        assert evaluator.ball(1, 0) == frozenset({1})
+
+    def test_ball_radius_two(self, evaluator):
+        assert evaluator.ball(0, 2) == frozenset({0, 1, 2})
+
+    def test_ball_cached_identity(self, evaluator):
+        assert evaluator.ball(0, 2) is evaluator.ball(0, 2)
+
+    def test_ball_of_union(self, evaluator):
+        assert evaluator.ball_of([0, 3], 1) == {0, 1, 2, 3}
+
+    def test_within(self, evaluator):
+        assert evaluator.within(0, 2, 2)
+        assert not evaluator.within(0, 3, 2)
+
+
+class TestUnarySets:
+    def test_base_relation(self, evaluator):
+        assert evaluator.unary_set("B") == frozenset({0})
+
+    def test_extra_unary_preferred(self, db):
+        evaluator = LocalEvaluator(db, {"_D0": {1, 2}})
+        assert evaluator.unary_set("_D0") == frozenset({1, 2})
+
+    def test_unknown_relation(self, evaluator):
+        with pytest.raises(QueryError):
+            evaluator.unary_set("Ghost")
+
+    def test_non_unary_rejected(self, evaluator):
+        with pytest.raises(QueryError):
+            evaluator.unary_set("E")
+
+    def test_invalidate_refreshes(self, db):
+        extra = {"_D0": {1}}
+        evaluator = LocalEvaluator(db, extra)
+        assert evaluator.unary_set("_D0") == frozenset({1})
+        extra["_D0"] = {1, 2}
+        evaluator.invalidate_unary("_D0")
+        assert evaluator.unary_set("_D0") == frozenset({1, 2})
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize(
+        "text, assignment, expected",
+        [
+            ("B(x)", {"x": 0}, True),
+            ("B(x)", {"x": 1}, False),
+            ("E(x,y)", {"x": 0, "y": 1}, True),
+            ("x = y", {"x": 2, "y": 2}, True),
+            ("dist(x,y) <= 2", {"x": 0, "y": 2}, True),
+            ("dist(x,y) > 2", {"x": 0, "y": 3}, True),
+            ("exists z in N1(x). E(x,z) & R(z)", {"x": 2}, True),
+            ("exists z in N1(x). R(z)", {"x": 0}, False),
+            ("forall z in N1(x). ~R(z)", {"x": 0}, True),
+        ],
+    )
+    def test_agrees_with_reference(self, db, evaluator, text, assignment, expected):
+        formula = parse(text)
+        bound = {Var(name): value for name, value in assignment.items()}
+        assert evaluator.holds(formula, bound) == expected
+        assert evaluate(formula, db, dict(bound)) == expected
+
+    def test_count_atom_with_total(self, evaluator):
+        # |B ∩ N_1(3)| = 0 < |B| = 1.
+        atom = CountCmp("B", 1, (x,), "<", TotalCount("B"))
+        assert evaluator.holds(atom, {x: 3})
+        assert not evaluator.holds(atom, {x: 0})
+
+    def test_count_atom_with_offset(self, evaluator):
+        atom = CountCmp("B", 0, (x,), "<", TotalCount("B"), offset=-1)
+        # |B ∩ {0}| = 1 < 1 - 1 = 0 is false everywhere.
+        assert not evaluator.holds(atom, {x: 0})
+
+    def test_memoization(self, db, evaluator):
+        formula = parse("exists z in N2(x). R(z)")
+        first = evaluator.holds(formula, {x: 1})
+        # Mutating the structure without telling the evaluator: the memo
+        # answers from cache (dynamic updates must clear caches — and do).
+        db.add_fact("R", 1)
+        assert evaluator.holds(formula, {x: 1}) == first
+
+    def test_unrelativized_quantifier_rejected(self, evaluator):
+        with pytest.raises(EvaluationError):
+            evaluator.holds(parse("exists z. B(z)"), {})

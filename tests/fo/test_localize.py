@@ -1,0 +1,207 @@
+"""Tests for structure-assisted Gaifman localization (Section 4, Step 1).
+
+The oracle property: for every query and structure, evaluating the
+localized formula on the *extended* structure (original plus derived unary
+predicates) agrees with evaluating the original query on the original
+structure — on every tuple.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import UnsupportedQueryError
+from repro.fo.localize import (
+    LocalizationBudget,
+    LocalizedQuery,
+    localize,
+    separate,
+)
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import (
+    CountCmp,
+    FalseF,
+    TrueF,
+    Var,
+    is_local,
+    subformulas,
+)
+from repro.structures.random_gen import random_colored_graph
+
+from strategies import formulas, structures
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def _assert_localized_agrees(query_text_or_formula, db):
+    formula = (
+        parse(query_text_or_formula)
+        if isinstance(query_text_or_formula, str)
+        else query_text_or_formula
+    )
+    localized = localize(formula, db)
+    assert is_local(localized.formula)
+    order = sorted(formula.free)
+    extended = localized.materialize()
+    got = naive_answers(localized.formula, extended, order=order)
+    want = naive_answers(formula, db, order=order)
+    assert got == want
+    return localized
+
+
+class TestQuantifierFree:
+    def test_unchanged_shape(self, small_colored):
+        localized = _assert_localized_agrees("B(x) & R(y) & ~E(x,y)", small_colored)
+        assert localized.radius == 0
+        assert not localized.derived_formulas
+
+    def test_dist_atoms_set_radius(self, small_colored):
+        localized = _assert_localized_agrees(
+            "dist(x,y) > 2 & B(x) & R(y)", small_colored
+        )
+        assert localized.radius == 2
+
+
+class TestExistential:
+    def test_near_far_split(self, small_colored):
+        localized = _assert_localized_agrees(
+            "B(x) & exists z. (R(z) & ~E(x,z))", small_colored
+        )
+        # The far part introduces a derived predicate and a counting atom.
+        assert localized.derived_formulas
+        count_atoms = [
+            node
+            for node in subformulas(localized.formula)
+            if isinstance(node, CountCmp)
+        ]
+        assert count_atoms
+
+    def test_connected_witness(self, small_colored):
+        _assert_localized_agrees("exists z. E(x,z) & R(z)", small_colored)
+
+    def test_two_witnesses(self, small_colored):
+        _assert_localized_agrees(
+            "exists z. exists w. E(z,w) & B(z) & R(w) & ~E(x,z)", small_colored
+        )
+
+    def test_far_witness_with_distance(self, small_colored):
+        _assert_localized_agrees(
+            "B(x) & exists z. (R(z) & dist(x,z) > 2)", small_colored
+        )
+
+
+class TestUniversal:
+    def test_guarded_forall(self, small_colored):
+        _assert_localized_agrees("forall z. E(x,z) -> B(z)", small_colored)
+
+    def test_forall_with_negative_guard(self, small_colored):
+        _assert_localized_agrees(
+            "B(x) & forall z. (E(x,z) -> ~R(z))", small_colored
+        )
+
+
+class TestSentences:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "exists x. exists y. B(x) & R(y) & ~E(x,y)",
+            "forall x. B(x) | R(x)",
+            "exists x. forall y. E(x,y) -> R(y)",
+            "exists x. exists y. dist(x,y) > 3 & B(x) & B(y)",
+        ],
+    )
+    def test_sentence_collapses_to_constant(self, text, small_colored):
+        localized = localize(parse(text), small_colored)
+        assert isinstance(localized.formula, (TrueF, FalseF))
+        want = bool(naive_answers(parse(text), small_colored))
+        assert isinstance(localized.formula, TrueF) == want
+
+    def test_sentences_evaluated_counter(self, small_colored):
+        localized = localize(parse("exists x. B(x)"), small_colored)
+        assert localized.sentences_evaluated == 1
+
+
+class TestDerivedPredicates:
+    def test_deduplication(self, small_colored):
+        query = parse(
+            "(B(x) & exists z. (R(z) & ~E(x,z))) | "
+            "(R(x) & exists z. (R(z) & ~E(x,z)))"
+        )
+        localized = localize(query, small_colored)
+        # The identical witness condition is materialized once.
+        witness_formulas = list(localized.derived_formulas.values())
+        assert len(witness_formulas) == len(set(witness_formulas))
+
+    def test_budget_enforced(self, small_colored):
+        budget = LocalizationBudget(max_derived=0)
+        with pytest.raises(UnsupportedQueryError):
+            localize(parse("B(x) & exists z. (R(z) & ~E(x,z))"), small_colored, budget)
+
+    def test_materialize_adds_unary_relations(self, small_colored):
+        localized = localize(
+            parse("B(x) & exists z. (R(z) & ~E(x,z))"), small_colored
+        )
+        extended = localized.materialize()
+        for name in localized.extra_unary:
+            assert name in extended.signature
+            assert extended.signature.arity(name) == 1
+
+
+class TestSeparate:
+    def test_cross_block_edge_forced_false(self, small_colored):
+        localized = localize(parse("E(x,y)"), small_colored)
+        separated = separate(
+            localized.formula, {x: 0, y: 1}, 1, localized.localizer
+        )
+        assert isinstance(separated, FalseF)
+
+    def test_same_block_atom_kept(self, small_colored):
+        localized = localize(parse("E(x,y) & B(x)"), small_colored)
+        separated = separate(
+            localized.formula, {x: 0, y: 0}, 1, localized.localizer
+        )
+        assert separated == localized.formula
+
+    def test_cross_block_dist_decided(self, small_colored):
+        beyond = parse("dist(x,y) > 2")
+        separated = separate(beyond, {x: 0, y: 1}, 5, None)
+        assert isinstance(separated, TrueF)
+        within = parse("dist(x,y) <= 2")
+        assert isinstance(separate(within, {x: 0, y: 1}, 5, None), FalseF)
+
+    def test_equality_forced_false(self, small_colored):
+        separated = separate(parse("x = y"), {x: 0, y: 1}, 1, None)
+        assert isinstance(separated, FalseF)
+
+
+class TestRadiusBudget:
+    def test_deep_nesting_exceeds_budget(self, small_colored):
+        budget = LocalizationBudget(max_radius=1)
+        query = parse("exists z. exists w. dist(z,w) > 3 & E(x,z) & E(x,w)")
+        with pytest.raises(UnsupportedQueryError):
+            localize(query, small_colored, budget)
+
+
+@given(formula=formulas(free_count=2, max_depth=3, max_quantifiers=1),
+       db=structures(max_n=10))
+@settings(max_examples=40, deadline=None)
+def test_localization_oracle_property(formula, db):
+    """Random formulas with one quantifier: localized == original."""
+    localized = localize(formula, db)
+    assert is_local(localized.formula)
+    extended = localized.materialize()
+    order = [x, y]
+    assert naive_answers(localized.formula, extended, order=order) == naive_answers(
+        formula, db, order=order
+    )
+
+
+@given(formula=formulas(free_count=1, max_depth=2, max_quantifiers=2),
+       db=structures(max_n=8))
+@settings(max_examples=25, deadline=None)
+def test_localization_oracle_two_quantifiers(formula, db):
+    localized = localize(formula, db)
+    extended = localized.materialize()
+    assert naive_answers(localized.formula, extended, order=[x]) == naive_answers(
+        formula, db, order=[x]
+    )

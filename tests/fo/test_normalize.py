@@ -1,0 +1,199 @@
+"""Tests for normal forms: NNF, DNF, CNF, and exclusive DNF."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import QueryError
+from repro.fo.normalize import (
+    boolean_atoms,
+    clause_to_formula,
+    exclusive_dnf,
+    simplify,
+    to_cnf,
+    to_dnf,
+    to_nnf,
+)
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import (
+    And,
+    DistAtom,
+    Exists,
+    ExistsNear,
+    Forall,
+    ForallNear,
+    Not,
+    Or,
+    RelAtom,
+    Var,
+    and_,
+    not_,
+    or_,
+)
+
+from strategies import formulas, structures
+
+x, y = Var("x"), Var("y")
+
+
+def _nnf_ok(formula) -> bool:
+    """In NNF, Not only wraps atoms."""
+    if isinstance(formula, Not):
+        return not isinstance(formula.child, (And, Or, Not, Exists, Forall,
+                                              ExistsNear, ForallNear))
+    if isinstance(formula, (And, Or)):
+        return all(_nnf_ok(child) for child in formula.children)
+    if isinstance(formula, (Exists, Forall)):
+        return _nnf_ok(formula.child)
+    if isinstance(formula, (ExistsNear, ForallNear)):
+        return _nnf_ok(formula.child)
+    return True
+
+
+class TestNNF:
+    def test_pushes_negation_over_and(self):
+        formula = to_nnf(not_(and_(RelAtom("B", (x,)), RelAtom("R", (x,)))))
+        assert isinstance(formula, Or)
+
+    def test_dualizes_quantifiers(self):
+        formula = to_nnf(parse("~(exists z. B(z))"))
+        assert isinstance(formula, Forall)
+        formula = to_nnf(parse("~(forall z. B(z))"))
+        assert isinstance(formula, Exists)
+
+    def test_dualizes_relativized_quantifiers(self):
+        inner = ExistsNear(Var("z"), (x,), 1, RelAtom("B", (Var("z"),)))
+        formula = to_nnf(not_(inner))
+        assert isinstance(formula, ForallNear)
+
+    def test_dist_atom_absorbs_negation(self):
+        formula = to_nnf(not_(DistAtom(x, y, 2, within=True)))
+        assert formula == DistAtom(x, y, 2, within=False)
+
+    def test_structure_is_nnf(self):
+        formula = to_nnf(parse("~((B(x) | ~R(y)) & exists z. ~E(x,z))"))
+        assert _nnf_ok(formula)
+
+    @given(formula=formulas(free_count=2, max_depth=3), db=structures(max_n=8))
+    @settings(max_examples=30, deadline=None)
+    def test_nnf_preserves_semantics(self, formula, db):
+        assert naive_answers(to_nnf(formula), db, order=[x, y]) == naive_answers(
+            formula, db, order=[x, y]
+        )
+
+
+class TestSimplify:
+    def test_folds_constants(self):
+        assert simplify(parse("B(x) & true")) == parse("B(x)")
+        assert simplify(parse("B(x) & false")) == parse("false")
+        assert simplify(parse("B(x) | true")) == parse("true")
+
+    def test_folds_quantifier_over_constant(self):
+        assert simplify(Exists(x, parse("true"))) == parse("true")
+        assert simplify(Forall(x, parse("false"))) == parse("false")
+
+    def test_relativized_exists_true_is_true(self):
+        formula = ExistsNear(Var("z"), (x,), 1, parse("true"))
+        assert simplify(formula) == parse("true")
+
+    def test_relativized_forall_false_is_false(self):
+        formula = ForallNear(Var("z"), (x,), 1, parse("false"))
+        assert simplify(formula) == parse("false")
+
+
+class TestBooleanAtoms:
+    def test_atoms_are_opaque(self):
+        formula = parse("B(x) & (R(y) | ~B(y))")
+        atoms = boolean_atoms(formula)
+        assert parse("B(x)") in atoms
+        assert parse("R(y)") in atoms
+        assert parse("B(y)") in atoms
+        assert len(atoms) == 3
+
+    def test_quantified_subformulas_are_atoms(self):
+        formula = parse("B(x) & exists z. E(x,z)")
+        atoms = boolean_atoms(formula)
+        assert len(atoms) == 2
+
+    def test_deduplicates(self):
+        formula = parse("B(x) | (B(x) & R(x))")
+        assert len(boolean_atoms(formula)) == 2
+
+
+class TestExclusiveDNF:
+    def test_clauses_are_exclusive_and_cover(self):
+        formula = parse("B(x) | R(x)")
+        clauses = exclusive_dnf(formula)
+        # Three satisfying assignments over atoms {B, R}.
+        assert len(clauses) == 3
+        signs = {tuple(sign for _, sign in clause) for clause in clauses}
+        assert (False, False) not in signs
+
+    def test_clause_to_formula(self):
+        formula = parse("B(x) & ~R(x)")
+        clauses = exclusive_dnf(formula)
+        assert len(clauses) == 1
+        rebuilt = clause_to_formula(clauses[0])
+        assert isinstance(rebuilt, And)
+
+    def test_unsatisfiable_has_no_clauses(self):
+        assert exclusive_dnf(parse("B(x) & ~B(x)")) == []
+
+    def test_tautology_folds_to_single_empty_clause(self):
+        # The smart constructors fold f | ~f to true, whose exclusive DNF
+        # is the single empty clause.
+        assert exclusive_dnf(parse("B(x) | ~B(x)")) == [()]
+
+    def test_two_atom_tautology_covers_all_assignments(self):
+        # Semantically a tautology but not structurally folded: exclusive
+        # DNF enumerates all four sign assignments over {B(x), R(x)}.
+        text = "(B(x) & R(x)) | (B(x) & ~R(x)) | ~B(x)"
+        assert len(exclusive_dnf(parse(text))) == 4
+
+    def test_too_many_atoms_guarded(self):
+        parts = [parse(f"B(x{i})") for i in range(21)]
+        with pytest.raises(QueryError):
+            exclusive_dnf(or_(*parts))
+
+    @given(formula=formulas(free_count=2, max_depth=3, max_quantifiers=0),
+           db=structures(max_n=7))
+    @settings(max_examples=25, deadline=None)
+    def test_exclusive_dnf_preserves_semantics(self, formula, db):
+        clauses = exclusive_dnf(formula)
+        rebuilt = or_(*(clause_to_formula(clause) for clause in clauses))
+        assert naive_answers(rebuilt, db, order=[x, y]) == naive_answers(
+            formula, db, order=[x, y]
+        )
+
+
+class TestDNFCNF:
+    def test_dnf_distributes(self):
+        clauses = to_dnf(to_nnf(parse("(B(x) | R(x)) & B(y)")))
+        assert len(clauses) == 2
+
+    def test_dnf_false(self):
+        assert to_dnf(parse("false")) == []
+
+    def test_dnf_true(self):
+        assert to_dnf(parse("true")) == [[]]
+
+    def test_cnf_true(self):
+        assert to_cnf(parse("true")) == []
+
+    def test_cnf_false(self):
+        assert to_cnf(parse("false")) == [[]]
+
+    def test_cnf_distributes(self):
+        clauses = to_cnf(to_nnf(parse("(B(x) & R(x)) | B(y)")))
+        assert len(clauses) == 2
+
+    @given(formula=formulas(free_count=2, max_depth=3, max_quantifiers=0),
+           db=structures(max_n=7))
+    @settings(max_examples=25, deadline=None)
+    def test_dnf_preserves_semantics(self, formula, db):
+        nnf = to_nnf(formula)
+        clauses = to_dnf(nnf)
+        rebuilt = or_(*(and_(*clause) for clause in clauses))
+        assert naive_answers(rebuilt, db, order=[x, y]) == naive_answers(
+            formula, db, order=[x, y]
+        )

@@ -1,0 +1,170 @@
+"""Tests for the textual query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fo.parser import parse
+from repro.fo.syntax import (
+    And,
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    Forall,
+    ForallNear,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    Var,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestAtoms:
+    def test_relational_atom(self):
+        assert parse("E(x,y)") == RelAtom("E", (x, y))
+
+    def test_unary_atom(self):
+        assert parse("B(x)") == RelAtom("B", (x,))
+
+    def test_ternary_atom(self):
+        assert parse("T(x, y, z)") == RelAtom("T", (x, y, z))
+
+    def test_equality(self):
+        assert parse("x = y") == Eq(x, y)
+
+    def test_inequality(self):
+        assert parse("x != y") == Not(Eq(x, y))
+
+    def test_constants(self):
+        assert parse("true") is TRUE
+        assert parse("false") is FALSE
+
+    def test_dist_within(self):
+        assert parse("dist(x,y) <= 3") == DistAtom(x, y, 3, within=True)
+
+    def test_dist_beyond(self):
+        assert parse("dist(x,y) > 2") == DistAtom(x, y, 2, within=False)
+
+
+class TestConnectives:
+    def test_conjunction(self):
+        formula = parse("B(x) & R(y)")
+        assert isinstance(formula, And)
+        assert len(formula.children) == 2
+
+    def test_and_keyword(self):
+        assert parse("B(x) and R(y)") == parse("B(x) & R(y)")
+
+    def test_disjunction(self):
+        assert isinstance(parse("B(x) | R(x)"), Or)
+        assert parse("B(x) or R(x)") == parse("B(x) | R(x)")
+
+    def test_negation_symbols(self):
+        expected = Not(RelAtom("B", (x,)))
+        assert parse("~B(x)") == expected
+        assert parse("!B(x)") == expected
+        assert parse("not B(x)") == expected
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        formula = parse("B(x) | R(x) & B(y)")
+        assert isinstance(formula, Or)
+
+    def test_implication(self):
+        formula = parse("B(x) -> R(x)")
+        assert formula == Or((Not(RelAtom("B", (x,))), RelAtom("R", (x,))))
+
+    def test_implication_right_associative(self):
+        # a -> b -> c parses as a -> (b -> c).
+        formula = parse("B(x) -> R(x) -> B(y)")
+        assert isinstance(formula, Or)
+
+    def test_iff(self):
+        formula = parse("B(x) <-> R(x)")
+        assert isinstance(formula, Or)  # (a & b) | (~a & ~b)
+
+    def test_parentheses(self):
+        formula = parse("(B(x) | R(x)) & B(y)")
+        assert isinstance(formula, And)
+
+    def test_double_negation_folds(self):
+        assert parse("~~B(x)") == RelAtom("B", (x,))
+
+
+class TestQuantifiers:
+    def test_exists(self):
+        formula = parse("exists z. B(z)")
+        assert formula == Exists(z, RelAtom("B", (z,)))
+
+    def test_forall(self):
+        formula = parse("forall z. B(z)")
+        assert formula == Forall(z, RelAtom("B", (z,)))
+
+    def test_multiple_variables(self):
+        formula = parse("exists y z. E(y,z)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.child, Exists)
+
+    def test_body_extends_right(self):
+        formula = parse("exists z. E(x,z) & B(z)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.child, And)
+
+    def test_relativized_exists(self):
+        formula = parse("exists z in N2(x). B(z)")
+        assert formula == ExistsNear(z, (x,), 2, RelAtom("B", (z,)))
+
+    def test_relativized_forall_multi_center(self):
+        formula = parse("forall z in N1(x, y). B(z)")
+        assert formula == ForallNear(z, (x, y), 1, RelAtom("B", (z,)))
+
+    def test_nested_quantifiers(self):
+        formula = parse("exists y. forall z. E(y,z)")
+        assert isinstance(formula, Exists)
+        assert isinstance(formula.child, Forall)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "B(x",
+            "B(x))",
+            "exists . B(x)",
+            "exists z B(z)",          # missing dot
+            "B(x) &",
+            "dist(x,y) < 3",          # only <= and > are supported
+            "dist(x,y)",
+            "x + y",
+            "exists z in M2(x). B(z)",  # bad neighborhood name
+            "exists z in N(x). B(z)",   # missing radius
+            "x",
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(ParseError):
+            parse(text)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("B(x) & & R(y)")
+        assert "position" in str(excinfo.value)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "B(x) & R(y) & ~E(x,y)",
+            "exists z. (E(x,z) & E(z,y))",
+            "forall z. E(x,z) -> B(z)",
+            "dist(x,y) > 2 & (B(x) | R(x))",
+        ],
+    )
+    def test_str_reparses_to_same_formula(self, text):
+        formula = parse(text)
+        assert parse(str(formula)) == formula

@@ -1,0 +1,140 @@
+"""Tests for the naive reference semantics."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.fo.parser import parse
+from repro.fo.semantics import (
+    evaluate,
+    free_tuple,
+    naive_answers,
+    naive_count,
+    naive_enumerate,
+    naive_test,
+)
+from repro.fo.syntax import CountCmp, TotalCount, Var
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def db():
+    """0-1-2 path; 0 blue, 2 red."""
+    structure = Structure(Signature.of(E=2, B=1, R=1), range(3))
+    structure.add_fact("E", 0, 1)
+    structure.add_fact("E", 1, 2)
+    structure.add_fact("B", 0)
+    structure.add_fact("R", 2)
+    return structure
+
+
+class TestEvaluate:
+    def test_atom(self, db):
+        assert evaluate(parse("E(x,y)"), db, {x: 0, y: 1})
+        assert not evaluate(parse("E(x,y)"), db, {x: 1, y: 0})
+
+    def test_equality(self, db):
+        assert evaluate(parse("x = y"), db, {x: 1, y: 1})
+        assert not evaluate(parse("x = y"), db, {x: 1, y: 2})
+
+    def test_connectives(self, db):
+        assert evaluate(parse("B(x) & ~R(x)"), db, {x: 0})
+        assert evaluate(parse("B(x) | R(x)"), db, {x: 2})
+        assert not evaluate(parse("B(x) & R(x)"), db, {x: 0})
+
+    def test_exists(self, db):
+        assert evaluate(parse("exists z. E(x,z)"), db, {x: 0})
+        assert evaluate(parse("exists z. E(z,x)"), db, {x: 2})
+        assert not evaluate(parse("exists z. E(z,x)"), db, {x: 0})
+
+    def test_forall(self, db):
+        assert evaluate(parse("forall z. E(x,z) -> R(z)"), db, {x: 1})
+
+    def test_dist_atom(self, db):
+        assert evaluate(parse("dist(x,y) <= 2"), db, {x: 0, y: 2})
+        assert evaluate(parse("dist(x,y) > 1"), db, {x: 0, y: 2})
+        assert not evaluate(parse("dist(x,y) > 2"), db, {x: 0, y: 2})
+
+    def test_relativized_exists(self, db):
+        formula = parse("exists z in N1(x). R(z)")
+        assert evaluate(formula, db, {x: 1})
+        assert not evaluate(formula, db, {x: 0})
+
+    def test_relativized_forall(self, db):
+        formula = parse("forall z in N1(x). B(z) | R(z) | E(x,z) | E(z,x)")
+        assert evaluate(formula, db, {x: 0})
+
+    def test_count_cmp_against_int(self, db):
+        # |B ∩ N_1(x)| == 1 at x = 1 (element 0 is blue, within distance 1).
+        formula = CountCmp("B", 1, (x,), "==", 1)
+        assert evaluate(formula, db, {x: 1})
+        assert not evaluate(formula, db, {x: 2})
+
+    def test_count_cmp_against_total(self, db):
+        # All blues are within distance 1 of x = 0.
+        formula = CountCmp("B", 1, (x,), "==", TotalCount("B"))
+        assert evaluate(formula, db, {x: 0})
+
+    def test_count_cmp_offset(self, db):
+        formula = CountCmp("B", 0, (x,), "<", TotalCount("B"), offset=0)
+        # |B ∩ {2}| = 0 < |B| = 1.
+        assert evaluate(formula, db, {x: 2})
+
+    def test_unbound_variable_raises(self, db):
+        with pytest.raises(QueryError):
+            evaluate(parse("B(x)"), db, {})
+
+    def test_count_cmp_non_unary_relation_raises(self, db):
+        with pytest.raises(QueryError):
+            evaluate(CountCmp("E", 1, (x,), "<", 3), db, {x: 0})
+
+
+class TestAnswers:
+    def test_example_2_3(self, db):
+        # Pairs (blue, red) not connected by an edge: (0, 2) qualifies.
+        answers = naive_answers(parse("B(x) & R(y) & ~E(x,y)"), db)
+        assert answers == [(0, 2)]
+
+    def test_order_parameter(self, db):
+        query = parse("B(x) & R(y)")
+        assert naive_answers(query, db, order=[y, x]) == [(2, 0)]
+
+    def test_order_must_cover_free_vars(self, db):
+        with pytest.raises(QueryError):
+            free_tuple(parse("B(x) & R(y)"), order=[x])
+
+    def test_order_may_add_unconstrained_vars(self, db):
+        assert free_tuple(parse("B(x)"), order=[x, y]) == (x, y)
+
+    def test_order_rejects_duplicates(self, db):
+        with pytest.raises(QueryError):
+            free_tuple(parse("B(x)"), order=[x, x])
+
+    def test_sentence_true(self, db):
+        assert naive_answers(parse("exists x. B(x)"), db) == [()]
+
+    def test_sentence_false(self, db):
+        assert naive_answers(parse("forall x. B(x)"), db) == []
+
+    def test_count(self, db):
+        assert naive_count(parse("B(x) | R(x)"), db) == 2
+
+    def test_test(self, db):
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        assert naive_test(query, db, (0, 2))
+        assert not naive_test(query, db, (0, 1))
+
+    def test_test_arity_mismatch(self, db):
+        with pytest.raises(QueryError):
+            naive_test(parse("B(x)"), db, (0, 1))
+
+    def test_enumerate_matches_answers(self, db):
+        query = parse("E(x,y) | E(y,x)")
+        assert list(naive_enumerate(query, db)) == naive_answers(query, db)
+
+    def test_answers_are_lexicographic(self, db):
+        query = parse("B(x) | R(x) | E(x,y) | E(y,x)")
+        answers = naive_answers(query, db)
+        assert answers == sorted(answers)

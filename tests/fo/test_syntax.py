@@ -1,0 +1,241 @@
+"""Tests for the FO AST: construction, free variables, structural helpers."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.fo.syntax import (
+    And,
+    CountCmp,
+    DistAtom,
+    Eq,
+    Exists,
+    ExistsNear,
+    FALSE,
+    Forall,
+    ForallNear,
+    Not,
+    Or,
+    RelAtom,
+    TRUE,
+    TotalCount,
+    Var,
+    and_,
+    atom,
+    atoms_of,
+    eq,
+    exists,
+    forall,
+    fresh_var,
+    is_local,
+    is_quantifier_free,
+    locality_radius,
+    not_,
+    or_,
+    quantifier_rank,
+    relation_names,
+    rename_apart,
+    subformulas,
+    substitute,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert atom("E", "x", "y").free == {x, y}
+
+    def test_eq(self):
+        assert eq("x", "y").free == {x, y}
+
+    def test_exists_binds(self):
+        assert exists("y", atom("E", "x", "y")).free == {x}
+
+    def test_forall_binds(self):
+        assert forall("x", atom("B", "x")).free == frozenset()
+
+    def test_exists_near_centers_are_free(self):
+        formula = ExistsNear(z, (x, y), 2, atom("B", "z"))
+        assert formula.free == {x, y}
+
+    def test_count_cmp_free(self):
+        formula = CountCmp("B", 1, (x, y), "<", TotalCount("B"))
+        assert formula.free == {x, y}
+
+    def test_connectives_union(self):
+        formula = and_(atom("B", "x"), or_(atom("R", "y"), not_(atom("B", "z"))))
+        assert formula.free == {x, y, z}
+
+
+class TestConstructionValidation:
+    def test_dist_atom_negative_bound(self):
+        with pytest.raises(QueryError):
+            DistAtom(x, y, -1)
+
+    def test_count_cmp_bad_op(self):
+        with pytest.raises(QueryError):
+            CountCmp("B", 1, (x,), "!=", 3)
+
+    def test_count_cmp_needs_centers(self):
+        with pytest.raises(QueryError):
+            CountCmp("B", 1, (), "<", 3)
+
+    def test_count_cmp_folds_int_offset(self):
+        formula = CountCmp("B", 1, (x,), "<", 3, offset=2)
+        assert formula.rhs == 5
+        assert formula.offset == 0
+
+    def test_count_cmp_keeps_total_offset(self):
+        formula = CountCmp("B", 1, (x,), "<", TotalCount("B"), offset=-1)
+        assert formula.offset == -1
+
+    def test_relativized_var_cannot_be_center(self):
+        with pytest.raises(QueryError):
+            ExistsNear(x, (x,), 1, atom("B", "x"))
+
+    def test_relativized_needs_centers(self):
+        with pytest.raises(QueryError):
+            ForallNear(z, (), 1, atom("B", "z"))
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        formula = and_(atom("B", "x"), and_(atom("R", "y"), atom("B", "z")))
+        assert isinstance(formula, And)
+        assert len(formula.children) == 3
+
+    def test_and_identity(self):
+        assert and_() is TRUE
+        assert and_(atom("B", "x")) == atom("B", "x")
+
+    def test_and_false_annihilates(self):
+        assert and_(atom("B", "x"), FALSE) is FALSE
+
+    def test_and_true_dropped(self):
+        assert and_(TRUE, atom("B", "x")) == atom("B", "x")
+
+    def test_and_deduplicates(self):
+        formula = and_(atom("B", "x"), atom("B", "x"))
+        assert formula == atom("B", "x")
+
+    def test_or_flattens_and_folds(self):
+        assert or_() is FALSE
+        assert or_(TRUE, atom("B", "x")) is TRUE
+        assert or_(FALSE, atom("B", "x")) == atom("B", "x")
+
+    def test_not_folds_constants(self):
+        assert not_(TRUE) is FALSE
+        assert not_(FALSE) is TRUE
+
+    def test_not_double_negation(self):
+        formula = atom("B", "x")
+        assert not_(not_(formula)) == formula
+
+    def test_not_flips_dist_atoms(self):
+        within = DistAtom(x, y, 2, within=True)
+        assert not_(within) == DistAtom(x, y, 2, within=False)
+
+    def test_operators(self):
+        formula = atom("B", "x") & atom("R", "y")
+        assert isinstance(formula, And)
+        formula = atom("B", "x") | atom("R", "y")
+        assert isinstance(formula, Or)
+        assert isinstance(~atom("B", "x"), Not)
+
+
+class TestStructuralQueries:
+    def test_subformulas_preorder(self):
+        formula = and_(atom("B", "x"), not_(atom("R", "y")))
+        nodes = list(subformulas(formula))
+        assert formula in nodes
+        assert atom("B", "x") in nodes
+        assert atom("R", "y") in nodes
+
+    def test_atoms_of(self):
+        formula = exists("z", and_(atom("E", "x", "z"), eq("x", "z")))
+        collected = list(atoms_of(formula))
+        assert atom("E", "x", "z") in collected
+        assert eq("x", "z") in collected
+
+    def test_is_quantifier_free(self):
+        assert is_quantifier_free(and_(atom("B", "x"), atom("R", "y")))
+        assert not is_quantifier_free(exists("z", atom("B", "z")))
+        assert not is_quantifier_free(ExistsNear(z, (x,), 1, atom("B", "z")))
+
+    def test_is_local(self):
+        assert is_local(ExistsNear(z, (x,), 1, atom("B", "z")))
+        assert not is_local(exists("z", atom("B", "z")))
+
+    def test_quantifier_rank(self):
+        assert quantifier_rank(atom("B", "x")) == 0
+        assert quantifier_rank(exists("z", atom("B", "z"))) == 1
+        nested = exists("y", forall("z", atom("E", "y", "z")))
+        assert quantifier_rank(nested) == 2
+
+    def test_relation_names(self):
+        formula = and_(
+            atom("E", "x", "y"), CountCmp("B", 1, (x,), "<", TotalCount("B"))
+        )
+        assert relation_names(formula) == {"E", "B"}
+
+
+class TestLocalityRadius:
+    def test_atoms_are_zero_local(self):
+        assert locality_radius(atom("E", "x", "y")) == 0
+        assert locality_radius(eq("x", "y")) == 0
+
+    def test_dist_atom(self):
+        assert locality_radius(DistAtom(x, y, 3)) == 3
+
+    def test_count_atom(self):
+        assert locality_radius(CountCmp("B", 2, (x,), "<", 5)) == 2
+
+    def test_relativized_quantifier_accumulates(self):
+        inner = ExistsNear(z, (x,), 2, atom("B", "z"))
+        assert locality_radius(inner) == 2
+        outer = ExistsNear(y, (x,), 1, ExistsNear(z, (y,), 2, DistAtom(z, x, 1)))
+        assert locality_radius(outer) == 4
+
+    def test_unrelativized_raises(self):
+        with pytest.raises(QueryError):
+            locality_radius(exists("z", atom("B", "z")))
+
+
+class TestSubstitution:
+    def test_rename_free(self):
+        formula = atom("E", "x", "y")
+        renamed = substitute(formula, {x: z})
+        assert renamed == atom("E", "z", "y")
+
+    def test_substitute_under_quantifier(self):
+        formula = exists("z", atom("E", "x", "z"))
+        renamed = substitute(formula, {x: y})
+        assert renamed == exists("z", atom("E", "y", "z"))
+
+    def test_substituting_bound_variable_raises(self):
+        formula = exists("z", atom("B", "z"))
+        with pytest.raises(QueryError):
+            substitute(formula, {z: x})
+
+    def test_substitute_count_atom_keeps_offset(self):
+        formula = CountCmp("B", 1, (x,), "<", TotalCount("B"), offset=-2)
+        renamed = substitute(formula, {x: y})
+        assert renamed.offset == -2
+        assert renamed.vars == (y,)
+
+    def test_rename_apart_makes_bound_vars_unique(self):
+        formula = and_(exists("z", atom("B", "z")), exists("z", atom("R", "z")))
+        renamed = rename_apart(formula)
+        bound = [
+            node.var
+            for node in subformulas(renamed)
+            if isinstance(node, Exists)
+        ]
+        assert len(set(bound)) == 2
+
+    def test_rename_apart_preserves_free(self):
+        formula = exists("z", atom("E", "x", "z"))
+        assert rename_apart(formula).free == {x}
+
+    def test_fresh_var_unique(self):
+        assert fresh_var() != fresh_var()

@@ -1,0 +1,54 @@
+"""Tests for RAM step accounting."""
+
+from repro.storage.cost_model import CostMeter, tick
+
+
+class TestCostMeter:
+    def test_tick_accumulates(self):
+        meter = CostMeter()
+        meter.tick("a")
+        meter.tick("a", count=2)
+        meter.tick("b")
+        assert meter.steps == 4
+        assert meter.by_label == {"a": 3, "b": 1}
+
+    def test_marks_and_deltas(self):
+        meter = CostMeter()
+        meter.tick(count=5)
+        meter.mark()
+        meter.tick(count=3)
+        meter.mark()
+        meter.tick(count=7)
+        meter.mark()
+        assert meter.deltas() == [3, 7]
+        assert meter.max_delta == 7
+
+    def test_no_marks_means_no_deltas(self):
+        meter = CostMeter()
+        meter.tick()
+        assert meter.deltas() == []
+        assert meter.max_delta == 0
+
+    def test_reset(self):
+        meter = CostMeter()
+        meter.tick()
+        meter.mark()
+        meter.reset()
+        assert meter.steps == 0
+        assert meter.by_label == {}
+        assert meter.deltas() == []
+
+    def test_snapshot_is_a_copy(self):
+        meter = CostMeter()
+        meter.tick("x")
+        snap = meter.snapshot()
+        meter.tick("x")
+        assert snap == {"x": 1}
+
+    def test_module_tick_with_none_is_noop(self):
+        tick(None, "x")  # must not raise
+
+    def test_module_tick_forwards(self):
+        meter = CostMeter()
+        tick(meter, "y", count=4)
+        assert meter.steps == 4

@@ -1,0 +1,91 @@
+"""Tests for constant-time fact testing (Corollary 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.fact_index import AdjacencyIndex, FactIndex
+from repro.structures.random_gen import random_colored_graph, random_structure
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+@pytest.fixture
+def db():
+    structure = Structure(Signature.of(E=2, B=1), range(5))
+    structure.add_fact("E", 0, 1)
+    structure.add_fact("E", 2, 3)
+    structure.add_fact("B", 4)
+    return structure
+
+
+class TestFactIndex:
+    def test_positive_lookup(self, db):
+        index = FactIndex(db)
+        assert index.holds("E", (0, 1))
+        assert index.holds("B", (4,))
+
+    def test_negative_lookup(self, db):
+        index = FactIndex(db)
+        assert not index.holds("E", (1, 0))
+        assert not index.holds("B", (0,))
+
+    def test_unknown_relation_is_false(self, db):
+        index = FactIndex(db)
+        assert not index.holds("F", (0,))
+
+    def test_edge_helper(self, db):
+        index = FactIndex(db)
+        assert index.edge("E", 0, 1)
+        assert not index.edge("E", 1, 0)
+
+    def test_symmetric_edge(self, db):
+        index = FactIndex(db)
+        assert index.symmetric_edge("E", 1, 0)
+        assert index.symmetric_edge("E", 0, 1)
+        assert not index.symmetric_edge("E", 0, 4)
+
+    def test_dict_backend_agrees(self, db):
+        trie_index = FactIndex(db, backend="trie")
+        dict_index = FactIndex(db, backend="dict")
+        for u in db.domain:
+            for v in db.domain:
+                assert trie_index.holds("E", (u, v)) == dict_index.holds(
+                    "E", (u, v)
+                )
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_agrees_with_structure_on_random_graphs(self, seed):
+        structure = random_colored_graph(20, max_degree=3, seed=seed)
+        index = FactIndex(structure)
+        domain = list(structure.domain)
+        for u in domain[:6]:
+            for v in domain[:6]:
+                assert index.holds("E", (u, v)) == structure.has_fact("E", u, v)
+
+    def test_ternary_relation(self):
+        structure = random_structure(Signature.of(T=3), 12, seed=1)
+        index = FactIndex(structure)
+        for fact in structure.facts("T"):
+            assert index.holds("T", fact)
+        assert not index.holds("T", (0, 0, 0)) or structure.has_fact("T", 0, 0, 0)
+
+
+class TestAdjacencyIndex:
+    def test_neighbors(self, db):
+        index = AdjacencyIndex(db)
+        assert index.neighbors(0) == frozenset({1})
+        assert index.neighbors(4) == frozenset()
+
+    def test_adjacent(self, db):
+        index = AdjacencyIndex(db)
+        assert index.adjacent(0, 1)
+        assert index.adjacent(1, 0)  # Gaifman adjacency is symmetric
+        assert not index.adjacent(0, 2)
+
+    def test_blocked(self, db):
+        index = AdjacencyIndex(db)
+        assert index.blocked(1, [0, 4])
+        assert not index.blocked(1, [2, 4])
+        assert not index.blocked(1, [])

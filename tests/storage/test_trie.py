@@ -1,0 +1,157 @@
+"""Tests for the Storing Theorem trie (Theorem 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.trie import DictBackend, ElementTrie, StoringTrie, store_function
+
+
+class TestStoringTrieBasics:
+    def test_store_and_lookup(self):
+        trie = StoringTrie(n=10, k=2)
+        trie.store((3, 4), "value")
+        assert trie.lookup((3, 4)) == "value"
+
+    def test_missing_key_is_void(self):
+        trie = StoringTrie(n=10, k=2)
+        trie.store((3, 4), "value")
+        assert trie.lookup((4, 3)) is None
+
+    def test_contains(self):
+        trie = StoringTrie(n=10, k=1)
+        trie.store((7,), 1)
+        assert (7,) in trie
+        assert (8,) not in trie
+
+    def test_overwrite(self):
+        trie = StoringTrie(n=10, k=1)
+        trie.store((2,), "a")
+        trie.store((2,), "b")
+        assert trie.lookup((2,)) == "b"
+        assert len(trie) == 1
+
+    def test_len_counts_distinct_keys(self):
+        trie = StoringTrie(n=10, k=2)
+        trie.store((1, 2), 1)
+        trie.store((2, 1), 2)
+        assert len(trie) == 2
+
+    def test_none_like_values_distinguishable_from_void(self):
+        trie = StoringTrie(n=10, k=1)
+        trie.store((5,), False)
+        assert trie.lookup((5,)) is False
+        assert (5,) in trie
+
+    def test_wrong_key_length_rejected(self):
+        trie = StoringTrie(n=10, k=2)
+        with pytest.raises(ValueError):
+            trie.store((1,), "v")
+
+    def test_component_out_of_range_rejected(self):
+        trie = StoringTrie(n=10, k=1)
+        with pytest.raises(ValueError):
+            trie.store((10,), "v")
+        with pytest.raises(ValueError):
+            trie.lookup((-1,))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StoringTrie(n=0, k=1)
+        with pytest.raises(ValueError):
+            StoringTrie(n=10, k=0)
+        with pytest.raises(ValueError):
+            StoringTrie(n=10, k=1, eps=0)
+
+
+class TestTrieShape:
+    def test_depth_shrinks_as_eps_grows(self):
+        deep = StoringTrie(n=1024, k=2, eps=0.1)
+        shallow = StoringTrie(n=1024, k=2, eps=1.0)
+        assert deep.depth > shallow.depth
+
+    def test_fanout_is_n_to_eps(self):
+        trie = StoringTrie(n=1024, k=1, eps=0.5)
+        # eps * log2(n) = 5 bits per level.
+        assert trie.fanout_bits == 5
+        assert trie.depth == 2
+
+    def test_storage_accounting_grows_with_inserts(self):
+        trie = StoringTrie(n=4096, k=2, eps=0.25)
+        before = trie.slots_allocated
+        for i in range(50):
+            trie.store((i, i), i)
+        assert trie.slots_allocated > before
+
+    def test_single_level_trie(self):
+        trie = StoringTrie(n=4, k=1, eps=2.0)
+        assert trie.depth == 1
+        trie.store((3,), "x")
+        assert trie.lookup((3,)) == "x"
+
+
+@given(
+    keys=st.lists(
+        st.tuples(st.integers(0, 63), st.integers(0, 63)),
+        min_size=1,
+        max_size=60,
+        unique=True,
+    ),
+    eps=st.sampled_from([0.2, 0.5, 1.0]),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_matches_dict(keys, eps):
+    """Property: the trie agrees with a plain dict on lookups and misses."""
+    trie = StoringTrie(n=64, k=2, eps=eps)
+    reference = {}
+    for index, key in enumerate(keys):
+        trie.store(key, index)
+        reference[key] = index
+    for key, value in reference.items():
+        assert trie.lookup(key) == value
+    for probe in [(0, 0), (63, 63), (1, 2)]:
+        assert trie.lookup(probe) == reference.get(probe)
+    assert len(trie) == len(reference)
+
+
+class TestDictBackend:
+    def test_roundtrip(self):
+        backend = DictBackend(k=2)
+        backend.store((1, 2), "v")
+        assert backend.lookup((1, 2)) == "v"
+        assert backend.lookup((2, 1)) is None
+        assert (1, 2) in backend
+        assert len(backend) == 1
+
+    def test_arity_check(self):
+        with pytest.raises(ValueError):
+            DictBackend(k=2).store((1,), "v")
+
+
+class TestElementTrie:
+    def test_element_keys(self):
+        elements = ["a", "b", "c"]
+        rank = {e: i for i, e in enumerate(elements)}.__getitem__
+        trie = ElementTrie(n=3, k=2, rank=rank)
+        trie.store(("a", "c"), 1)
+        assert trie.lookup(("a", "c")) == 1
+        assert trie.lookup(("c", "a")) is None
+        assert ("a", "c") in trie
+        assert len(trie) == 1
+
+    def test_dict_backend(self):
+        rank = {"x": 0}.__getitem__
+        trie = ElementTrie(n=1, k=1, rank=rank, backend="dict")
+        trie.store(("x",), 9)
+        assert trie.lookup(("x",)) == 9
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ElementTrie(n=1, k=1, rank=lambda e: 0, backend="nope")
+
+
+def test_store_function_bulk():
+    trie = store_function([((1, 2), "a"), ((3, 4), "b")], n=8, k=2)
+    assert trie.lookup((1, 2)) == "a"
+    assert trie.lookup((3, 4)) == "b"
+    assert len(trie) == 2

@@ -1,0 +1,103 @@
+"""Hypothesis strategies: random structures and random FO formulas.
+
+Random formulas are the strongest oracle we have: any divergence between
+the pipeline and the naive semantics on any generated (structure, formula)
+pair is a bug.  Formulas are generated over the colored-graph signature
+``{E/2, B/1, R/1}`` with bounded depth and quantifier nesting, so naive
+evaluation stays affordable.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.fo.syntax import (
+    DistAtom,
+    Eq,
+    Exists,
+    Forall,
+    RelAtom,
+    Var,
+    and_,
+    not_,
+    or_,
+)
+from repro.structures.random_gen import random_colored_graph
+
+VARIABLE_POOL = [Var("x"), Var("y"), Var("z"), Var("w")]
+
+
+@st.composite
+def structures(draw, max_n: int = 16, max_degree: int = 3):
+    """A small random colored graph."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    degree = draw(st.integers(min_value=1, max_value=max_degree))
+    density = draw(st.sampled_from([0.3, 0.6, 0.9]))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return random_colored_graph(
+        n, max_degree=degree, edge_density=density, seed=seed
+    )
+
+
+def _atoms(variables):
+    options = []
+    for var in variables:
+        options.append(st.just(RelAtom("B", (var,))))
+        options.append(st.just(RelAtom("R", (var,))))
+    for left in variables:
+        for right in variables:
+            options.append(st.just(RelAtom("E", (left, right))))
+            if left.name < right.name:
+                options.append(st.just(Eq(left, right)))
+                options.append(
+                    st.integers(min_value=1, max_value=3).map(
+                        lambda bound, l=left, r=right: DistAtom(l, r, bound)
+                    )
+                )
+    return st.one_of(options)
+
+
+@st.composite
+def formulas(draw, free_count: int = 2, max_depth: int = 3, max_quantifiers: int = 1):
+    """A random FO formula with the given free variables.
+
+    Quantified variables are drawn from the tail of the pool; at most
+    ``max_quantifiers`` quantifiers are introduced to keep the naive
+    oracle fast.
+    """
+    free_vars = VARIABLE_POOL[:free_count]
+
+    def build(depth: int, scope, quantifier_budget: int):
+        if depth <= 0:
+            return draw(_atoms(scope))
+        choice = draw(
+            st.sampled_from(
+                ["atom", "not", "and", "or"]
+                + (["exists", "forall"] if quantifier_budget > 0 else [])
+            )
+        )
+        if choice == "atom":
+            return draw(_atoms(scope))
+        if choice == "not":
+            return not_(build(depth - 1, scope, quantifier_budget))
+        if choice in ("and", "or"):
+            width = draw(st.integers(min_value=2, max_value=3))
+            parts = [
+                build(depth - 1, scope, quantifier_budget) for _ in range(width)
+            ]
+            return and_(*parts) if choice == "and" else or_(*parts)
+        fresh = VARIABLE_POOL[len(scope)]
+        inner = build(depth - 1, scope + [fresh], quantifier_budget - 1)
+        if choice == "exists":
+            return Exists(fresh, inner)
+        return Forall(fresh, inner)
+
+    formula = build(max_depth, list(free_vars), max_quantifiers)
+    # Make sure every intended free variable actually occurs, so answer
+    # tuples have a fixed arity.  The added conjunct mentions the variable
+    # but both the oracle and the pipeline evaluate the same formula, so
+    # agreement testing stays valid.
+    for var in free_vars:
+        if var not in formula.free:
+            formula = and_(formula, or_(RelAtom("B", (var,)), RelAtom("R", (var,))))
+    return formula

@@ -1,0 +1,126 @@
+"""Tests for Gaifman-graph distance and ball computations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.gaifman_graph import (
+    ball,
+    ball_of_set,
+    bounded_distance,
+    degree_histogram,
+    degree_profile,
+    distances_from,
+    tuple_is_connected,
+    within_distance,
+)
+from repro.structures.random_gen import cycle_graph, random_graph
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+@pytest.fixture
+def path6():
+    db = Structure(Signature.of(E=2), range(6))
+    for u in range(5):
+        db.add_fact("E", u, u + 1)
+    return db
+
+
+class TestBoundedDistance:
+    def test_zero_distance(self, path6):
+        assert bounded_distance(path6, 2, 2, 0) == 0
+
+    def test_adjacent(self, path6):
+        assert bounded_distance(path6, 0, 1, 5) == 1
+
+    def test_path_distance(self, path6):
+        assert bounded_distance(path6, 0, 4, 5) == 4
+
+    def test_beyond_bound_is_none(self, path6):
+        assert bounded_distance(path6, 0, 4, 3) is None
+
+    def test_disconnected_is_none(self):
+        db = Structure(Signature.of(E=2), range(4))
+        db.add_fact("E", 0, 1)
+        assert bounded_distance(db, 0, 3, 10) is None
+
+    def test_within_distance(self, path6):
+        assert within_distance(path6, 0, 3, 3)
+        assert not within_distance(path6, 0, 3, 2)
+
+    def test_symmetric(self, path6):
+        assert bounded_distance(path6, 1, 4, 9) == bounded_distance(path6, 4, 1, 9)
+
+
+class TestBalls:
+    def test_radius_zero(self, path6):
+        assert ball(path6, 2, 0) == {2}
+
+    def test_radius_one(self, path6):
+        assert ball(path6, 2, 1) == {1, 2, 3}
+
+    def test_radius_covers_all(self, path6):
+        assert ball(path6, 0, 5) == set(range(6))
+
+    def test_ball_of_set_is_union(self, path6):
+        assert ball_of_set(path6, [0, 5], 1) == {0, 1, 4, 5}
+
+    def test_distances_from(self, path6):
+        distances = distances_from(path6, 0, 3)
+        assert distances == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    @given(seed=st.integers(0, 100), radius=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_monotone_in_radius(self, seed, radius):
+        db = random_graph(12, max_degree=3, seed=seed)
+        anchor = db.domain[0]
+        assert ball(db, anchor, radius) <= ball(db, anchor, radius + 1)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_matches_distances(self, seed):
+        db = random_graph(12, max_degree=3, seed=seed)
+        anchor = db.domain[0]
+        by_ball = ball(db, anchor, 2)
+        by_distance = {
+            other
+            for other in db.domain
+            if bounded_distance(db, anchor, other, 2) is not None
+        }
+        assert by_ball == by_distance
+
+
+class TestTupleConnected:
+    def test_empty_tuple(self, path6):
+        assert tuple_is_connected(path6, (), 1)
+
+    def test_singleton(self, path6):
+        assert tuple_is_connected(path6, (3,), 1)
+
+    def test_adjacent_pair(self, path6):
+        assert tuple_is_connected(path6, (0, 1), 1)
+
+    def test_far_pair_not_connected_at_radius_one(self, path6):
+        assert not tuple_is_connected(path6, (0, 5), 1)
+
+    def test_far_pair_connected_at_larger_radius(self, path6):
+        assert tuple_is_connected(path6, (0, 5), 5)
+
+    def test_chain_through_middle(self, path6):
+        # 0 and 4 are far apart, but 2 links them at radius 2.
+        assert tuple_is_connected(path6, (0, 4, 2), 2)
+
+    def test_repeated_elements(self, path6):
+        assert tuple_is_connected(path6, (3, 3), 1)
+
+
+class TestDegreeStats:
+    def test_histogram_of_cycle(self):
+        db = cycle_graph(8)
+        assert degree_histogram(db) == {2: 8}
+
+    def test_profile(self, path6):
+        maximum, average = degree_profile(path6)
+        assert maximum == 2
+        assert average == pytest.approx((1 + 2 + 2 + 2 + 2 + 1) / 6)

@@ -1,0 +1,129 @@
+"""Property tests: incremental Gaifman-adjacency maintenance.
+
+``Structure.add_fact`` / ``remove_fact`` patch the adjacency and the
+edge-support counts in place; these tests assert the invariant that the
+incremental state always equals a from-scratch rebuild — under random
+update sequences, overlapping facts (edges witnessed by several facts),
+and higher-arity relations.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.random_gen import random_colored_graph
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+def rebuilt_adjacency(structure: Structure):
+    """Ground truth: recompute adjacency from the raw facts."""
+    adjacency = {element: set() for element in structure.domain}
+    for name in structure.relation_names():
+        for fact in structure.facts(name):
+            distinct = set(fact)
+            for left in distinct:
+                for right in distinct:
+                    if left != right:
+                        adjacency[left].add(right)
+    return adjacency
+
+
+def assert_adjacency_consistent(structure: Structure):
+    want = rebuilt_adjacency(structure)
+    for element in structure.domain:
+        assert set(structure.neighbors(element)) == want[element]
+
+
+class TestOverlappingFacts:
+    def test_edge_survives_while_any_witness_remains(self):
+        db = Structure(Signature.of(E=2, F=2), range(3))
+        db.add_fact("E", 0, 1)
+        assert 1 in db.neighbors(0)
+        db.add_fact("F", 0, 1)      # second witness for the same edge
+        db.remove_fact("E", 0, 1)
+        assert 1 in db.neighbors(0)  # F still witnesses it
+        db.remove_fact("F", 0, 1)
+        assert 1 not in db.neighbors(0)
+
+    def test_symmetric_facts_are_two_witnesses(self):
+        db = Structure(Signature.of(E=2), range(3))
+        db.add_fact("E", 0, 1)
+        db.add_fact("E", 1, 0)
+        db.remove_fact("E", 0, 1)
+        assert 1 in db.neighbors(0)
+        db.remove_fact("E", 1, 0)
+        assert 1 not in db.neighbors(0)
+
+    def test_ternary_fact_clique_removal(self):
+        db = Structure(Signature.of(T=3, E=2), range(4))
+        db.add_fact("T", 0, 1, 2)
+        db.add_fact("E", 0, 1)
+        db.remove_fact("T", 0, 1, 2)
+        # The E-fact still witnesses 0-1; 1-2 and 0-2 are gone.
+        assert db.neighbors(0) == {1}
+        assert db.neighbors(2) == set()
+
+    def test_repeated_elements_in_fact(self):
+        db = Structure(Signature.of(T=3), range(3))
+        db.add_fact("T", 0, 0, 1)
+        assert db.neighbors(0) == {1}
+        db.remove_fact("T", 0, 0, 1)
+        assert db.neighbors(0) == set()
+
+
+class TestRandomWalks:
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_updates_match_rebuild(self, seed):
+        rng = random.Random(seed)
+        db = random_colored_graph(12, max_degree=3, seed=seed)
+        db.degree  # force an initial build so updates go incremental
+        domain = list(db.domain)
+        for _ in range(30):
+            a, b = rng.choice(domain), rng.choice(domain)
+            roll = rng.random()
+            if roll < 0.4:
+                db.add_fact("E", a, b)
+            elif roll < 0.8:
+                db.remove_fact("E", a, b)
+            elif roll < 0.9:
+                db.add_fact("B", a)
+            else:
+                db.remove_fact("B", a)
+        assert_adjacency_consistent(db)
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_ternary_updates_match_rebuild(self, seed):
+        rng = random.Random(seed)
+        db = Structure(Signature.of(T=3), range(8))
+        db.degree
+        for _ in range(25):
+            fact = tuple(rng.randrange(8) for _ in range(3))
+            if rng.random() < 0.6:
+                db.add_fact("T", *fact)
+            else:
+                db.remove_fact("T", *fact)
+        assert_adjacency_consistent(db)
+
+    def test_updates_before_first_build_are_fine(self):
+        """Mutations while caches are dirty defer to the next rebuild."""
+        db = Structure(Signature.of(E=2), range(4))
+        db.add_fact("E", 0, 1)
+        db.add_fact("E", 1, 2)
+        db.remove_fact("E", 0, 1)
+        assert db.neighbors(1) == {2}
+        assert_adjacency_consistent(db)
+
+    def test_degree_tracks_updates(self):
+        db = Structure(Signature.of(E=2), range(4))
+        assert db.degree == 0
+        db.add_fact("E", 0, 1)
+        db.add_fact("E", 0, 2)
+        db.add_fact("E", 0, 3)
+        assert db.degree == 3
+        db.remove_fact("E", 0, 2)
+        assert db.degree == 2

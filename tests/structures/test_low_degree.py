@@ -1,0 +1,74 @@
+"""Tests for low-degree class descriptors (Section 2.3)."""
+
+import pytest
+
+from repro.structures.low_degree import (
+    bounded_degree_class,
+    effective_epsilon_budget,
+    explicit_degree_check,
+    log_degree_class,
+)
+from repro.structures.random_gen import padded_clique, random_graph
+
+
+class TestBoundedDegreeClass:
+    def test_threshold_is_computable(self):
+        cls = bounded_degree_class(4)
+        # degree 4 <= n^0.5 needs n >= 16.
+        assert cls.threshold(0.5) == 16
+
+    def test_admits_small_structures_unconditionally(self):
+        cls = bounded_degree_class(4)
+        db = random_graph(8, max_degree=4, seed=0)
+        assert cls.admits(db, 0.5)
+
+    def test_admits_large_bounded_degree(self):
+        cls = bounded_degree_class(3)
+        db = random_graph(100, max_degree=3, seed=0)
+        assert cls.admits(db, 0.5)
+
+    def test_rejects_high_degree(self):
+        cls = bounded_degree_class(3)
+        # A padded clique of size 12 has degree 11 > 40^0.5.
+        db = padded_clique(12, 40)
+        assert not cls.admits(db, 0.5)
+        assert "degree" in cls.violation(db, 0.5)
+
+    def test_violation_none_when_admitted(self):
+        cls = bounded_degree_class(3)
+        db = random_graph(100, max_degree=3, seed=0)
+        assert cls.violation(db, 0.5) is None
+
+    def test_delta_must_be_positive(self):
+        with pytest.raises(ValueError):
+            bounded_degree_class(3).threshold(0)
+
+
+class TestLogDegreeClass:
+    def test_threshold_grows_as_delta_shrinks(self):
+        cls = log_degree_class()
+        assert cls.threshold(0.1) >= cls.threshold(0.5)
+
+    def test_log_degree_structures_admitted(self):
+        cls = log_degree_class()
+        db = random_graph(256, max_degree=8, seed=1)  # 8 = log2(256)
+        # Above the threshold for delta = 0.5: degree 8 <= 256^0.5 = 16.
+        assert cls.admits(db, 0.5)
+
+
+class TestHelpers:
+    def test_explicit_degree_check(self):
+        db = random_graph(100, max_degree=3, seed=2)
+        assert explicit_degree_check(db, 0.5)
+        clique = padded_clique(12, 40)
+        assert not explicit_degree_check(clique, 0.5)
+
+    def test_effective_epsilon_budget(self):
+        cls = bounded_degree_class(2)
+        # An algorithm with degree exponent 4 and eps 0.5 needs
+        # delta = 0.125, i.e. n >= 2^8.
+        assert effective_epsilon_budget(cls, 0.5, 4) == 256
+
+    def test_effective_epsilon_budget_rejects_bad_eps(self):
+        with pytest.raises(ValueError):
+            effective_epsilon_budget(bounded_degree_class(2), 0.0, 4)

@@ -1,0 +1,93 @@
+"""Tests for the neighborhood index (Lemma 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.gaifman_graph import ball
+from repro.structures.neighborhoods import NeighborhoodIndex
+from repro.structures.random_gen import random_colored_graph
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+@pytest.fixture
+def star():
+    """A star: center 0 with leaves 1..4; leaf 1 is blue."""
+    db = Structure(Signature.of(E=2, B=1), range(5))
+    for leaf in range(1, 5):
+        db.add_fact("E", 0, leaf)
+    db.add_fact("B", 1)
+    return db
+
+
+class TestBalls:
+    def test_negative_radius_rejected(self, star):
+        with pytest.raises(ValueError):
+            NeighborhoodIndex(star, -1)
+
+    def test_radius_zero(self, star):
+        index = NeighborhoodIndex(star, 0)
+        assert index.ball(0) == frozenset({0})
+
+    def test_radius_one_from_center(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.ball(0) == frozenset(range(5))
+
+    def test_radius_one_from_leaf(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.ball(1) == frozenset({0, 1})
+
+    def test_radius_two_from_leaf_covers_star(self, star):
+        index = NeighborhoodIndex(star, 2)
+        assert index.ball(1) == frozenset(range(5))
+
+    def test_ball_of_tuple(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.ball_of_tuple((1, 2)) == frozenset({0, 1, 2})
+
+    def test_within(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.within(1, 0)
+        assert not index.within(1, 2)
+
+    @given(seed=st.integers(0, 60), radius=st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_direct_bfs(self, seed, radius):
+        db = random_colored_graph(15, max_degree=3, seed=seed)
+        index = NeighborhoodIndex(db, radius)
+        for anchor in list(db.domain)[:5]:
+            assert index.ball(anchor) == frozenset(ball(db, anchor, radius))
+
+
+class TestReduct:
+    def test_reduct_ignores_other_relations(self, star):
+        # Balls computed in the reduct to {B} see no edges at all.
+        index = NeighborhoodIndex(star, 2, relation_names=["B"])
+        assert index.ball(0) == frozenset({0})
+
+    def test_reduct_with_edges(self, star):
+        index = NeighborhoodIndex(star, 1, relation_names=["E"])
+        assert index.ball(0) == frozenset(range(5))
+
+
+class TestInducedNeighborhoods:
+    def test_neighborhood_is_induced(self, star):
+        index = NeighborhoodIndex(star, 1)
+        sub = index.neighborhood(1)
+        assert sub.cardinality == 2
+        assert sub.has_fact("E", 0, 1)
+        assert sub.has_fact("B", 1)
+
+    def test_neighborhood_cached(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.neighborhood(1) is index.neighborhood(1)
+
+    def test_neighborhood_of_tuple(self, star):
+        index = NeighborhoodIndex(star, 1)
+        sub = index.neighborhood_of_tuple((1, 2))
+        assert set(sub.domain) == {0, 1, 2}
+
+    def test_max_ball_size(self, star):
+        index = NeighborhoodIndex(star, 1)
+        assert index.max_ball_size() == 5

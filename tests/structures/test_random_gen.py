@@ -1,0 +1,138 @@
+"""Tests for the workload generators: determinism and degree budgets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.random_gen import (
+    cycle_graph,
+    degree_bounded,
+    degree_log,
+    degree_power,
+    grid_graph,
+    low_degree_graph,
+    padded_clique,
+    random_bipartite,
+    random_colored_graph,
+    random_graph,
+    random_structure,
+)
+from repro.structures.signature import Signature
+
+
+class TestDegreeSchedules:
+    def test_bounded(self):
+        assert degree_bounded(4)(10) == 4
+        assert degree_bounded(4)(10_000) == 4
+
+    def test_log(self):
+        schedule = degree_log()
+        assert schedule(2) == 2  # floor
+        assert schedule(1024) == 10
+
+    def test_log_power(self):
+        assert degree_log(power=2.0)(1024) == 100
+
+    def test_power(self):
+        assert degree_power(0.5)(100) == 10
+        assert degree_power(0.5, floor=4)(4) == 4
+
+
+class TestRandomGraph:
+    @given(seed=st.integers(0, 50), degree=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_budget_respected(self, seed, degree):
+        db = random_graph(40, max_degree=degree, seed=seed)
+        assert db.degree <= degree
+
+    def test_deterministic(self):
+        a = random_graph(30, max_degree=3, seed=9)
+        b = random_graph(30, max_degree=3, seed=9)
+        assert a.facts("E") == b.facts("E")
+
+    def test_different_seeds_differ(self):
+        a = random_graph(30, max_degree=3, seed=1)
+        b = random_graph(30, max_degree=3, seed=2)
+        assert a.facts("E") != b.facts("E")
+
+    def test_symmetric_edges(self):
+        db = random_graph(20, max_degree=3, seed=0, symmetric=True)
+        for u, v in db.facts("E"):
+            assert db.has_fact("E", v, u)
+
+    def test_n_must_be_positive(self):
+        with pytest.raises(ValueError):
+            random_graph(0)
+
+
+class TestColoredGraph:
+    def test_has_colors(self):
+        db = random_colored_graph(40, max_degree=3, seed=0)
+        assert "B" in db.signature and "R" in db.signature
+        blues = db.facts("B")
+        reds = db.facts("R")
+        assert blues and reds
+
+    def test_color_probability_extremes(self):
+        all_colored = random_colored_graph(
+            20, max_degree=2, color_probability=1.0, seed=0
+        )
+        assert len(all_colored.facts("B")) == 20
+        none_colored = random_colored_graph(
+            20, max_degree=2, color_probability=0.0, seed=0
+        )
+        assert not none_colored.facts("B")
+
+    def test_custom_colors(self):
+        db = random_colored_graph(20, colors=("P", "Q", "S"), seed=0)
+        assert {"P", "Q", "S"} <= set(db.signature.names())
+
+    def test_low_degree_graph_uses_schedule(self):
+        db = low_degree_graph(64, degree_schedule=degree_log(), seed=0)
+        assert db.degree <= 6  # log2(64)
+
+
+class TestSpecialShapes:
+    def test_padded_clique_degree(self):
+        db = padded_clique(5, 30)
+        assert db.degree == 4
+        # Padding elements are isolated.
+        assert db.neighbors(29) == frozenset()
+
+    def test_padded_clique_validates(self):
+        with pytest.raises(ValueError):
+            padded_clique(10, 5)
+
+    def test_cycle_is_2_regular(self):
+        db = cycle_graph(12)
+        assert db.degree == 2
+
+    def test_grid_degree_at_most_4(self):
+        db = grid_graph(5, 5)
+        assert db.degree <= 4
+        assert db.cardinality == 25
+
+    def test_bipartite_sides_marked(self):
+        db = random_bipartite(10, 12, max_degree=3, seed=0)
+        assert len(db.facts("L")) == 10
+        assert len(db.facts("R")) == 12
+        assert db.degree <= 3
+        # Edges only cross sides.
+        lefts = {fact[0] for fact in db.facts("L")}
+        for u, v in db.facts("E"):
+            assert (u in lefts) != (v in lefts)
+
+
+class TestRandomStructure:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_degree_budget(self, seed):
+        sig = Signature.of(T=3, B=1)
+        db = random_structure(sig, 25, max_degree=4, seed=seed)
+        assert db.degree <= 4
+
+    def test_deterministic(self):
+        sig = Signature.of(T=3)
+        a = random_structure(sig, 20, seed=5)
+        b = random_structure(sig, 20, seed=5)
+        assert a.facts("T") == b.facts("T")

@@ -1,0 +1,90 @@
+"""Tests for the plain-text structure format."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.structures.random_gen import random_colored_graph, random_structure
+from repro.structures.serialize import dumps, load_file, loads, save_file
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+@pytest.fixture
+def db():
+    structure = Structure(Signature.of(E=2, B=1), range(4))
+    structure.add_fact("E", 0, 1)
+    structure.add_fact("E", 2, 3)
+    structure.add_fact("B", 0)
+    return structure
+
+
+class TestRoundTrip:
+    def test_basic(self, db):
+        restored = loads(dumps(db))
+        assert restored.signature == db.signature
+        assert list(restored.domain) == list(db.domain)
+        for name in db.relation_names():
+            assert restored.facts(name) == db.facts(name)
+
+    def test_random_colored_graph(self):
+        db = random_colored_graph(25, max_degree=3, seed=9)
+        restored = loads(dumps(db))
+        assert restored.facts("E") == db.facts("E")
+        assert restored.facts("B") == db.facts("B")
+        assert restored.degree == db.degree
+
+    def test_ternary(self):
+        db = random_structure(Signature.of(T=3), 10, seed=4)
+        restored = loads(dumps(db))
+        assert restored.facts("T") == db.facts("T")
+
+    def test_string_elements(self):
+        db = Structure(Signature.of(E=2), ["alice", "bob"])
+        db.add_fact("E", "alice", "bob")
+        restored = loads(dumps(db))
+        assert restored.has_fact("E", "alice", "bob")
+
+    def test_file_roundtrip(self, db, tmp_path):
+        path = tmp_path / "db.txt"
+        save_file(db, path)
+        restored = load_file(path)
+        assert restored.facts("E") == db.facts("E")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "# a comment\n"
+            "signature E/2\n"
+            "\n"
+            "domain 0 1\n"
+            "# another\n"
+            "E 0 1\n"
+        )
+        restored = loads(text)
+        assert restored.has_fact("E", 0, 1)
+
+    def test_facts_before_domain_line_are_deferred(self):
+        text = "signature E/2\nE 0 1\ndomain 0 1\n"
+        assert loads(text).has_fact("E", 0, 1)
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(ReproError):
+            loads("E 0 1\n")
+
+    def test_domain_before_signature(self):
+        with pytest.raises(ReproError):
+            loads("domain 0 1\nsignature E/2\n")
+
+    def test_bad_signature_entry(self):
+        with pytest.raises(ReproError):
+            loads("signature E/two\ndomain 0\n")
+
+    def test_unknown_relation(self):
+        with pytest.raises(ReproError):
+            loads("signature E/2\ndomain 0 1\nF 0 1\n")
+
+    def test_unserializable_element(self):
+        db = Structure(Signature.of(B=1), ["has space"])
+        with pytest.raises(ReproError):
+            dumps(db)

@@ -1,0 +1,90 @@
+"""Unit tests for relational signatures."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.structures.signature import RelationSymbol, Signature
+
+
+class TestRelationSymbol:
+    def test_str(self):
+        assert str(RelationSymbol("E", 2)) == "E/2"
+
+    def test_arity_must_be_positive(self):
+        with pytest.raises(SignatureError):
+            RelationSymbol("E", 0)
+
+    def test_name_must_be_nonempty(self):
+        with pytest.raises(SignatureError):
+            RelationSymbol("", 1)
+
+    def test_equality_and_hash(self):
+        assert RelationSymbol("E", 2) == RelationSymbol("E", 2)
+        assert hash(RelationSymbol("E", 2)) == hash(RelationSymbol("E", 2))
+        assert RelationSymbol("E", 2) != RelationSymbol("E", 3)
+
+
+class TestSignature:
+    def test_of_constructor(self):
+        sig = Signature.of(E=2, B=1)
+        assert len(sig) == 2
+        assert sig.arity("E") == 2
+        assert sig.arity("B") == 1
+
+    def test_mapping_constructor(self):
+        sig = Signature({"T": 3})
+        assert sig.arity("T") == 3
+
+    def test_iteration_is_sorted_by_name(self):
+        sig = Signature.of(Z=1, A=2, M=1)
+        assert [symbol.name for symbol in sig] == ["A", "M", "Z"]
+
+    def test_contains(self):
+        sig = Signature.of(E=2)
+        assert "E" in sig
+        assert "F" not in sig
+
+    def test_unknown_symbol_raises(self):
+        sig = Signature.of(E=2)
+        with pytest.raises(SignatureError):
+            sig.symbol("F")
+
+    def test_conflicting_arities_raise(self):
+        with pytest.raises(SignatureError):
+            Signature([RelationSymbol("E", 2), RelationSymbol("E", 3)])
+
+    def test_duplicate_consistent_symbols_collapse(self):
+        sig = Signature([RelationSymbol("E", 2), RelationSymbol("E", 2)])
+        assert len(sig) == 1
+
+    def test_max_arity(self):
+        assert Signature.of(E=2, T=3, B=1).max_arity == 3
+        assert Signature([]).max_arity == 0
+
+    def test_restrict(self):
+        sig = Signature.of(E=2, B=1, R=1)
+        restricted = sig.restrict(["E", "B"])
+        assert "E" in restricted and "B" in restricted and "R" not in restricted
+
+    def test_restrict_ignores_unknown_names(self):
+        sig = Signature.of(E=2)
+        assert len(sig.restrict(["E", "nope"])) == 1
+
+    def test_extend(self):
+        extended = Signature.of(E=2).extend({"B": 1})
+        assert "B" in extended and "E" in extended
+
+    def test_extend_conflict_raises(self):
+        with pytest.raises(SignatureError):
+            Signature.of(E=2).extend({"E": 3})
+
+    def test_is_binary(self):
+        assert Signature.of(E=2, B=1).is_binary()
+        assert not Signature.of(T=3).is_binary()
+
+    def test_equality_and_hash(self):
+        assert Signature.of(E=2, B=1) == Signature.of(B=1, E=2)
+        assert hash(Signature.of(E=2)) == hash(Signature.of(E=2))
+
+    def test_names(self):
+        assert Signature.of(E=2, B=1).names() == ("B", "E")

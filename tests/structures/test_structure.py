@@ -1,0 +1,140 @@
+"""Unit tests for relational structures and their Gaifman graphs."""
+
+import pytest
+
+from repro.errors import SignatureError
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+
+@pytest.fixture
+def sig():
+    return Signature.of(E=2, B=1)
+
+
+@pytest.fixture
+def path(sig):
+    """A path 0 - 1 - 2 - 3 with 0 blue."""
+    db = Structure(sig, range(4))
+    for u, v in [(0, 1), (1, 2), (2, 3)]:
+        db.add_fact("E", u, v)
+    db.add_fact("B", 0)
+    return db
+
+
+class TestConstruction:
+    def test_empty_domain_rejected(self, sig):
+        with pytest.raises(ValueError):
+            Structure(sig, [])
+
+    def test_duplicate_domain_elements_collapse(self, sig):
+        db = Structure(sig, [1, 1, 2])
+        assert db.cardinality == 2
+
+    def test_relations_kwarg(self, sig):
+        db = Structure(sig, range(3), relations={"E": [(0, 1)], "B": [(2,)]})
+        assert db.has_fact("E", 0, 1)
+        assert db.has_fact("B", 2)
+
+    def test_add_fact_arity_check(self, sig):
+        db = Structure(sig, range(3))
+        with pytest.raises(SignatureError):
+            db.add_fact("E", 0)
+
+    def test_add_fact_unknown_relation(self, sig):
+        db = Structure(sig, range(3))
+        with pytest.raises(SignatureError):
+            db.add_fact("F", 0, 1)
+
+    def test_add_fact_element_outside_domain(self, sig):
+        db = Structure(sig, range(3))
+        with pytest.raises(ValueError):
+            db.add_fact("E", 0, 99)
+
+    def test_remove_fact(self, path):
+        path.remove_fact("E", 0, 1)
+        assert not path.has_fact("E", 0, 1)
+        # Removing again is a no-op.
+        path.remove_fact("E", 0, 1)
+
+    def test_domain_order_is_insertion_order(self, sig):
+        db = Structure(sig, [3, 1, 2])
+        assert list(db.domain) == [3, 1, 2]
+        assert db.order.rank(3) == 0
+
+
+class TestSizes:
+    def test_cardinality(self, path):
+        assert path.cardinality == 4
+
+    def test_size_formula(self, path):
+        # |sigma| + |dom| + sum |R| * ar(R) = 2 + 4 + 3*2 + 1*1
+        assert path.size == 2 + 4 + 6 + 1
+
+    def test_repr_mentions_cardinality(self, path):
+        assert "|A|=4" in repr(path)
+
+
+class TestGaifman:
+    def test_neighbors_of_path(self, path):
+        assert path.neighbors(0) == frozenset({1})
+        assert path.neighbors(1) == frozenset({0, 2})
+
+    def test_degree_of_path(self, path):
+        assert path.degree == 2
+
+    def test_unary_facts_do_not_create_edges(self, sig):
+        db = Structure(sig, range(2))
+        db.add_fact("B", 0)
+        assert db.degree == 0
+
+    def test_self_loops_do_not_create_edges(self, sig):
+        db = Structure(sig, range(2))
+        db.add_fact("E", 0, 0)
+        assert db.neighbors(0) == frozenset()
+
+    def test_higher_arity_creates_clique(self):
+        db = Structure(Signature.of(T=3), range(4))
+        db.add_fact("T", 0, 1, 2)
+        assert db.neighbors(0) == frozenset({1, 2})
+        assert db.neighbors(1) == frozenset({0, 2})
+        assert db.degree == 2
+
+    def test_mutation_invalidates_degree(self, path):
+        assert path.degree == 2
+        path.add_fact("E", 0, 2)
+        # Node 2 is now adjacent to 0, 1 and 3.
+        assert path.degree == 3
+
+
+class TestDerived:
+    def test_restrict_signature(self, path):
+        reduced = path.restrict_signature(["B"])
+        assert "E" not in reduced.signature
+        assert reduced.has_fact("B", 0)
+        assert reduced.degree == 0  # no binary facts left
+
+    def test_induced_substructure(self, path):
+        sub = path.induced_substructure([0, 1, 3])
+        assert sub.cardinality == 3
+        assert sub.has_fact("E", 0, 1)
+        assert not sub.has_fact("E", 2, 3)  # 2 was dropped
+        assert sub.has_fact("B", 0)
+
+    def test_induced_substructure_unknown_element(self, path):
+        with pytest.raises(ValueError):
+            path.induced_substructure([0, 99])
+
+    def test_induced_preserves_domain_order(self, path):
+        sub = path.induced_substructure([3, 0])
+        assert list(sub.domain) == [0, 3]
+
+    def test_copy_is_independent(self, path):
+        clone = path.copy()
+        clone.add_fact("E", 0, 3)
+        assert not path.has_fact("E", 0, 3)
+
+    def test_iter_facts_deterministic(self, path):
+        facts = list(path.iter_facts())
+        assert facts == list(path.iter_facts())
+        assert ("B", (0,)) in facts

@@ -1,0 +1,137 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_workload
+from repro.errors import ReproError
+
+
+class TestWorkloadSpecs:
+    def test_colored_defaults(self):
+        db = parse_workload("colored:n=50,d=3,seed=1")
+        assert db.cardinality == 50
+        assert db.degree <= 3
+        assert "B" in db.signature and "R" in db.signature
+
+    def test_colored_custom_colors(self):
+        db = parse_workload("colored:n=30,colors=P+Q")
+        assert "P" in db.signature and "Q" in db.signature
+
+    def test_grid(self):
+        db = parse_workload("grid:rows=4,cols=5")
+        assert db.cardinality == 20
+        assert "Powered" in db.signature
+
+    def test_cycle(self):
+        db = parse_workload("cycle:n=12")
+        assert db.degree == 2
+
+    def test_clique(self):
+        db = parse_workload("clique:clique=5,n=40")
+        assert db.degree == 4
+
+    def test_logdeg(self):
+        db = parse_workload("logdeg:n=64")
+        assert db.degree <= 6
+
+    def test_unknown_workload(self):
+        with pytest.raises(ReproError):
+            parse_workload("mystery:n=5")
+
+    def test_bad_option(self):
+        with pytest.raises(ReproError):
+            parse_workload("colored:n")
+
+
+class TestCommands:
+    def test_query_count_and_limit(self, capsys):
+        code = main(
+            [
+                "query",
+                "-w", "colored:n=40,d=3,seed=2",
+                "-q", "B(x) & R(y) & ~E(x,y)",
+                "--count",
+                "--limit", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "count:" in out
+        assert "(3 answers shown)" in out
+
+    def test_query_test_probe(self, capsys):
+        code = main(
+            [
+                "query",
+                "-w", "colored:n=40,d=3,seed=2",
+                "-q", "B(x) & R(y) & ~E(x,y)",
+                "--test", "0,1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "test (0, 1):" in out
+
+    def test_check_true_sentence(self, capsys):
+        code = main(
+            [
+                "check",
+                "-w", "colored:n=40,d=3,seed=2",
+                "-q", "exists x. B(x) | R(x)",
+            ]
+        )
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_check_false_sentence(self, capsys):
+        code = main(
+            [
+                "check",
+                "-w", "colored:n=40,d=3,seed=2",
+                "-q", "forall x. B(x) & R(x) & ~B(x)",
+            ]
+        )
+        assert code == 1
+
+    def test_explain(self, capsys):
+        code = main(
+            [
+                "explain",
+                "-w", "colored:n=30,d=3,seed=2",
+                "-q", "B(x) & exists z. (R(z) & ~E(x,z))",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "derived" in out
+
+    def test_delay(self, capsys):
+        code = main(
+            [
+                "delay",
+                "-w", "colored:n=60,d=3,seed=2",
+                "-q", "B(x) & R(y) & ~E(x,y)",
+                "--limit", "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RAM steps/answer" in out
+
+    def test_error_reported_cleanly(self, capsys):
+        code = main(
+            ["query", "-w", "mystery:n=5", "-q", "B(x)"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_tuple_component(self, capsys):
+        code = main(
+            [
+                "query",
+                "-w", "colored:n=20,d=2,seed=0",
+                "-q", "B(x)",
+                "--test", "zap",
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end (downscaled)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(monkeypatch, capsys, name, argv):
+    monkeypatch.setattr(sys, "argv", [name] + argv)
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart.py", [])
+        assert "|q(A)| = 8" in out
+        assert "blue 0 with red 3" in out
+
+    def test_social_recommendations(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "social_recommendations.py", ["120"]
+        )
+        assert "candidate pairs" in out
+        assert "RAM steps per answer" in out
+        assert "newcomers with no active friend" in out
+
+    def test_sensor_grid(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "sensor_grid.py", ["6", "6"])
+        assert "global invariants" in out
+        assert "hand-off pairs" in out
+
+    def test_delay_experiment(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "delay_experiment.py", ["120"])
+        assert "skip-based enumeration" in out
+        assert "list-join baseline" in out
+
+    def test_dynamic_stream(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "dynamic_stream.py", ["100", "6"]
+        )
+        assert "updates maintained" in out
+        assert "True" in out  # maintained count == fresh count

@@ -1,0 +1,55 @@
+"""Tests for the top-level ``repro`` package surface."""
+
+import pytest
+
+import repro
+from repro import Q, Signature, Structure, Var, model_check, parse, prepare
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_thing
+
+    def test_dynamic_query_lazy_import(self):
+        from repro.core.dynamic import DynamicQuery
+
+        assert repro.DynamicQuery is DynamicQuery
+
+
+class TestTopLevelHelpers:
+    @pytest.fixture
+    def db(self):
+        structure = Structure(Signature.of(E=2, B=1, R=1), range(4))
+        structure.add_fact("B", 0)
+        structure.add_fact("R", 2)
+        structure.add_fact("E", 0, 2)
+        structure.add_fact("E", 2, 0)
+        return structure
+
+    def test_prepare_roundtrip(self, db):
+        prepared = prepare(db, "B(x) & R(y) & ~E(x,y)")
+        assert prepared.count() == 0  # the only blue-red pair is an edge
+        assert not prepared.test((0, 2))
+
+    def test_model_check_accepts_text(self, db):
+        assert model_check("exists x. B(x)", db)
+        assert not model_check("forall x. B(x)", db)
+
+    def test_builder_and_parser_agree(self, db):
+        x, y = Q.vars("x", "y")
+        built = Q.B(x) & Q.R(y) & ~Q.E(x, y)
+        assert built == parse("B(x) & R(y) & ~E(x,y)")
+
+    def test_docstring_quickstart_runs(self, db):
+        # The module docstring's example, executed literally.
+        query = parse("B(x) & R(y) & ~E(x,y)")
+        prepared = prepare(db, query)
+        assert prepared.count() == len(list(prepared.enumerate()))

@@ -1,0 +1,185 @@
+"""Tests for repro.util: orderings, iteration helpers, timing."""
+
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.itertools2 import (
+    all_tuples,
+    connected_subsets,
+    distinct_tuples,
+    injections,
+    powerset,
+)
+from repro.util.orderings import DomainOrder
+from repro.util.timing import Stopwatch
+
+
+class TestDomainOrder:
+    def test_rank_by_first_appearance(self):
+        order = DomainOrder(["c", "a", "b", "a"])
+        assert order.rank("c") == 0
+        assert order.rank("a") == 1
+        assert len(order) == 3
+
+    def test_element_inverse(self):
+        order = DomainOrder([5, 3, 9])
+        for element in (5, 3, 9):
+            assert order.element(order.rank(element)) == element
+
+    def test_contains(self):
+        order = DomainOrder([1, 2])
+        assert 1 in order and 7 not in order
+
+    def test_lexicographic_key(self):
+        order = DomainOrder(["b", "a"])
+        assert order.key(("b", "a")) == (0, 1)
+
+    def test_sorted_tuples(self):
+        order = DomainOrder([2, 1, 0])
+        tuples = [(0, 0), (2, 1), (1, 2)]
+        assert order.sorted_tuples(tuples) == [(2, 1), (1, 2), (0, 0)]
+
+    def test_iteration_in_order(self):
+        assert list(DomainOrder([3, 1, 2])) == [3, 1, 2]
+
+
+class TestPowerset:
+    def test_all_subsets(self):
+        subsets = list(powerset([1, 2]))
+        assert subsets == [(), (1,), (2,), (1, 2)]
+
+    def test_size_bounds(self):
+        subsets = list(powerset([1, 2, 3], min_size=1, max_size=2))
+        assert all(1 <= len(s) <= 2 for s in subsets)
+        assert len(subsets) == 6
+
+
+class TestInjections:
+    def test_count(self):
+        # Injections from a 2-element source into a 3-element target: 3*2.
+        assert len(list(injections(2, "abc"))) == 6
+
+    def test_injective(self):
+        for mapping in injections(2, [1, 2, 3]):
+            assert len(set(mapping)) == 2
+
+    def test_empty_source(self):
+        assert list(injections(0, [1, 2])) == [()]
+
+
+class TestTupleGenerators:
+    def test_distinct_tuples(self):
+        tuples = list(distinct_tuples([1, 2, 3], 2))
+        assert (1, 1) not in tuples
+        assert len(tuples) == 6
+
+    def test_all_tuples(self):
+        tuples = list(all_tuples([1, 2], 2))
+        assert (1, 1) in tuples
+        assert len(tuples) == 4
+
+
+class TestConnectedSubsets:
+    @pytest.fixture
+    def path_neighbors(self):
+        # 0 - 1 - 2 - 3 path.
+        adjacency = {0: [1], 1: [0, 2], 2: [1, 3], 3: [2]}
+        return lambda v: adjacency[v]
+
+    def test_contains_seed(self, path_neighbors):
+        for subset in connected_subsets(0, path_neighbors, 3):
+            assert 0 in subset
+
+    def test_respects_max_size(self, path_neighbors):
+        assert all(
+            len(subset) <= 2
+            for subset in connected_subsets(0, path_neighbors, 2)
+        )
+
+    def test_exactly_the_connected_sets(self, path_neighbors):
+        got = set(connected_subsets(0, path_neighbors, 3))
+        want = {
+            frozenset({0}),
+            frozenset({0, 1}),
+            frozenset({0, 1, 2}),
+        }
+        assert got == want
+
+    def test_no_duplicates(self, path_neighbors):
+        subsets = list(connected_subsets(1, path_neighbors, 3))
+        assert len(subsets) == len(set(subsets))
+
+    def test_isolated_seed(self):
+        assert list(connected_subsets(9, lambda v: [], 4)) == [frozenset({9})]
+
+    @given(seed=st.integers(0, 30), max_size=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force_on_random_graphs(self, seed, max_size):
+        import random
+        from itertools import combinations
+
+        rng = random.Random(seed)
+        n = 7
+        edges = set()
+        for _ in range(8):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v:
+                edges.add(frozenset((u, v)))
+        adjacency = {v: [] for v in range(n)}
+        for edge in edges:
+            u, v = tuple(edge)
+            adjacency[u].append(v)
+            adjacency[v].append(u)
+
+        def connected(vertices):
+            vertices = set(vertices)
+            seen = {min(vertices)}
+            frontier = [min(vertices)]
+            while frontier:
+                current = frontier.pop()
+                for other in adjacency[current]:
+                    if other in vertices and other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+            return seen == vertices
+
+        got = set(connected_subsets(0, lambda v: adjacency[v], max_size))
+        want = {
+            frozenset(combo)
+            for size in range(1, max_size + 1)
+            for combo in combinations(range(n), size)
+            if 0 in combo and connected(combo)
+        }
+        assert got == want
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        watch = Stopwatch().start()
+        watch.lap()
+        watch.lap()
+        assert len(watch.laps) == 2
+        assert watch.total == pytest.approx(sum(watch.laps))
+
+    def test_lap_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().lap()
+
+    def test_elapsed_monotone(self):
+        watch = Stopwatch().start()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert second >= first
+
+    def test_percentile(self):
+        watch = Stopwatch()
+        watch.laps = [1.0, 2.0, 3.0, 4.0]
+        assert watch.percentile(0) == 1.0
+        assert watch.percentile(100) == 4.0
+        assert watch.max_lap == 4.0
+
+    def test_percentile_empty(self):
+        assert Stopwatch().percentile(50) == 0.0
