@@ -18,11 +18,14 @@ Quickstart::
 """
 
 from repro.errors import (
+    EngineError,
     EvaluationError,
     ParseError,
     QueryError,
     ReproError,
+    ResultCancelledError,
     SignatureError,
+    StaleResultError,
     UnsupportedQueryError,
 )
 from repro.fo import Var, parse
@@ -33,13 +36,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DynamicQuery",
+    "EngineError",
     "EvaluationError",
     "ParseError",
     "Q",
+    "QueryBatch",
     "QueryError",
     "ReproError",
+    "ResultCancelledError",
     "Signature",
     "SignatureError",
+    "StaleResultError",
     "Structure",
     "UnsupportedQueryError",
     "Var",
@@ -75,4 +82,8 @@ def __getattr__(name):
         from repro.core.dynamic import DynamicQuery
 
         return DynamicQuery
+    if name == "QueryBatch":
+        from repro.engine import QueryBatch
+
+        return QueryBatch
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -142,6 +142,55 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Submit many queries against one workload via the batch engine."""
+    from repro.engine import QueryBatch
+
+    db = parse_workload(args.workload)
+    queries = list(args.query or [])
+    if args.queries_file:
+        try:
+            with open(args.queries_file, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        queries.append(line)
+        except OSError as error:
+            raise ReproError(
+                f"cannot read {args.queries_file!r}: {error}"
+            ) from None
+    if not queries:
+        raise ReproError("batch needs at least one -q/--query or --queries-file")
+    batch = QueryBatch(
+        db, eps=args.eps, workers=args.workers, mode=args.mode
+    )
+    print(f"workload: n={db.cardinality}, degree={db.degree}; "
+          f"{len(queries)} queries")
+    started = time.perf_counter()
+    for text in queries:
+        handle = batch.submit(text)
+        line = f"[{text}]"
+        if args.count:
+            line += f"  count={handle.count()}"
+        print(line)
+        if args.limit:
+            shown = 0
+            for answer in handle.stream():
+                print("  " + ", ".join(str(component) for component in answer))
+                shown += 1
+                if shown >= args.limit:
+                    handle.cancel()
+                    break
+    elapsed = time.perf_counter() - started
+    stats = batch.stats()
+    print(
+        f"batch done in {elapsed:.3f}s; pipeline cache "
+        f"{stats['hits']} hits / {stats['misses']} misses, "
+        f"{stats['graph_templates']} shared graph template(s)"
+    )
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     db = parse_workload(args.workload)
     sentence = parse(args.query)
@@ -199,6 +248,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_parser.add_argument("--limit", type=int, default=0, help="answers to print")
     query_parser.set_defaults(handler=cmd_query)
+
+    batch_parser = sub.add_parser(
+        "batch", help="run many queries through the parallel batch engine"
+    )
+    batch_parser.add_argument("-w", "--workload", required=True, help="workload spec")
+    batch_parser.add_argument(
+        "-q", "--query", action="append", help="FO query text (repeatable)"
+    )
+    batch_parser.add_argument(
+        "--queries-file", help="file with one query per line ('#' comments)"
+    )
+    batch_parser.add_argument("--eps", type=float, default=0.5)
+    batch_parser.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores)"
+    )
+    batch_parser.add_argument(
+        "--mode",
+        choices=["serial", "thread", "process"],
+        default=None,
+        help="force an execution mode (default: cost-model heuristic)",
+    )
+    batch_parser.add_argument("--count", action="store_true")
+    batch_parser.add_argument(
+        "--limit", type=int, default=0, help="answers to print per query"
+    )
+    batch_parser.set_defaults(handler=cmd_batch)
 
     check_parser = sub.add_parser("check", help="model-check a sentence")
     common(check_parser)

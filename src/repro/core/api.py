@@ -54,9 +54,16 @@ class PreparedQuery:
     # -- the three operations -------------------------------------------
 
     def count(self, meter: Optional[CostMeter] = None) -> int:
-        """``|q(A)|`` (Theorem 2.5).  Cached after the first call."""
-        if self._count is None or meter is not None:
-            self._count = count_answers(self.pipeline, meter)
+        """``|q(A)|`` (Theorem 2.5).  Cached after the first call.
+
+        Metered calls recompute (the caller wants the step count) but do
+        not touch the cache, so instrumentation never changes what later
+        unmetered calls observe.
+        """
+        if meter is not None:
+            return count_answers(self.pipeline, meter)
+        if self._count is None:
+            self._count = count_answers(self.pipeline)
         return self._count
 
     def test(
@@ -77,6 +84,27 @@ class PreparedQuery:
             meter=meter,
             skip_mode=skip_mode or self.skip_mode,
             validate=validate,
+        )
+
+    def enumerate_parallel(
+        self,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        skip_mode: Optional[str] = None,
+    ) -> Iterator[Tuple[Element, ...]]:
+        """Branch-parallel enumeration via :mod:`repro.engine`.
+
+        Same answers in the same order as :meth:`enumerate`; branches run
+        concurrently on a pool chosen by the cost-model heuristic (or
+        forced with ``mode`` in ``{"serial", "thread", "process"}``).
+        """
+        from repro.engine.executor import parallel_enumerate
+
+        return parallel_enumerate(
+            self.pipeline,
+            workers=workers,
+            mode=mode,
+            skip_mode=skip_mode or self.skip_mode,
         )
 
     def answers(self) -> List[Tuple[Element, ...]]:

@@ -105,6 +105,30 @@ class ColoredGraph:
                 adjacency[other_id].add(node_id)
         self.adjacency = [frozenset(neighbors) for neighbors in adjacency]
 
+    def clone(self) -> "ColoredGraph":
+        """Structural copy with fresh (empty) per-node color data.
+
+        Node existence, ids, and adjacency depend only on
+        ``(structure, k, link_radius)`` — the per-query part is the unit
+        vectors, which the pipeline attaches afterwards.  Cloning lets
+        :mod:`repro.engine` share the expensive cluster enumeration and
+        edge computation across every query at the same arity and radius
+        while keeping each pipeline's colors isolated.
+        """
+        twin = ColoredGraph(self.structure, self.link_radius, self.k)
+        twin.nodes = [
+            VNode(node.node_id, node.elements, node.positions)
+            for node in self.nodes
+        ]
+        twin._by_key = dict(self._by_key)
+        # Adjacency sets are frozen after finalize_edges(); sharing them is
+        # safe until a clone calls make_mutable(), which replaces the list.
+        twin.adjacency = [frozenset(neighbors) for neighbors in self.adjacency]
+        twin._containing = {
+            element: list(ids) for element, ids in self._containing.items()
+        }
+        return twin
+
     # -- dynamic surgery (used by repro.core.dynamic) ---------------------
 
     def make_mutable(self) -> None:
@@ -195,29 +219,47 @@ def build_colored_graph(
     and have at most ``k`` members, then every tuple over such a set that
     uses all its members and starts at ``a``, then every position set of
     the right size.  Total cost ``O(n * d^{h(k, r)})`` as in the paper.
+
+    Every iteration over set-typed intermediates is sorted by the domain
+    order, so node ids depend only on the structure's content — never on
+    the process's hash seed.  The engine's process mode relies on this:
+    workers rebuild the graph independently and shard branch lists by
+    *position*, which is only sound if every rebuild agrees on the order.
     """
     graph = ColoredGraph(structure, link_radius, k)
     if k == 0:
         graph.finalize_edges(evaluator)
         return graph
 
+    rank = structure.order.rank
+    sorted_ball: Dict[Element, Tuple[Element, ...]] = {}
+
     def link_neighbors(element: Element):
-        return (
-            other
-            for other in evaluator.ball(element, link_radius)
-            if other != element
-        )
+        cached = sorted_ball.get(element)
+        if cached is None:
+            cached = tuple(
+                sorted(
+                    (
+                        other
+                        for other in evaluator.ball(element, link_radius)
+                        if other != element
+                    ),
+                    key=rank,
+                )
+            )
+            sorted_ball[element] = cached
+        return cached
 
     position_sets: Dict[int, List[PositionSet]] = {
         size: list(combinations(range(k), size)) for size in range(1, k + 1)
     }
     for seed in structure.domain:
         for members in connected_subsets(seed, link_neighbors, k):
-            others = tuple(sorted(members - {seed}, key=structure.order.rank))
+            ordered_members = tuple(sorted(members, key=rank))
             # Tuples of every length >= |members| that use all members and
             # start at the seed.
             for length in range(len(members), k + 1):
-                for rest in product(tuple(members), repeat=length - 1):
+                for rest in product(ordered_members, repeat=length - 1):
                     if set(rest) | {seed} != members:
                         continue
                     elements = (seed,) + rest

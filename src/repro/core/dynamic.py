@@ -170,8 +170,8 @@ class DynamicQuery:
         evaluator._memo.clear()
         evaluator._unary_cache.clear()
         # Armed enumerators hold skip/reach memos over the old graph.
-        if hasattr(pipeline, "_armed_enumerators"):
-            del pipeline._armed_enumerators
+        if hasattr(pipeline, "_armed_branches"):
+            del pipeline._armed_branches
         if pipeline.trivial is not None:
             return
         graph = pipeline.graph
@@ -219,10 +219,15 @@ class DynamicQuery:
         order_rank = self.structure.order.rank
 
         def link_neighbors(element):
-            return (
-                other
-                for other in evaluator.ball(element, link)
-                if other != element
+            # Sorted like build_colored_graph: regenerated node ids must
+            # not depend on hash-seed set order.
+            return sorted(
+                (
+                    other
+                    for other in evaluator.ball(element, link)
+                    if other != element
+                ),
+                key=order_rank,
             )
 
         from repro.util.itertools2 import connected_subsets
@@ -236,8 +241,9 @@ class DynamicQuery:
             for members in connected_subsets(seed, link_neighbors, k):
                 if not (members & region):
                     continue  # untouched tuples are still alive
+                ordered_members = tuple(sorted(members, key=order_rank))
                 for length in range(len(members), k + 1):
-                    for rest in product(tuple(members), repeat=length - 1):
+                    for rest in product(ordered_members, repeat=length - 1):
                         if set(rest) | {seed} != members:
                             continue
                         elements = (seed,) + rest

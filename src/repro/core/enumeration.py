@@ -207,7 +207,9 @@ class BranchEnumerator:
     # ------------------------------------------------------------------
 
     def _small_assignments(
-        self, meter: Optional[CostMeter] = None
+        self,
+        meter: Optional[CostMeter] = None,
+        first_slice: Optional[Tuple[int, Optional[int]]] = None,
     ) -> Iterator[Tuple[int, ...]]:
         """Jointly compatible assignments of the small blocks, by DFS.
 
@@ -217,11 +219,19 @@ class BranchEnumerator:
         paper's skip-table, independent of ``n``.  Lazy enumeration keeps
         memory bounded (the eager table can reach the budget on 3-ary
         branches).
+
+        ``first_slice=(start, stop)`` restricts the *first* (outermost)
+        small block's candidate list — shards rooted at disjoint list
+        slices walk disjoint DFS subtrees, so sharded enumeration does no
+        redundant work and slice-order concatenation is exact.
         """
         if not self.small_blocks:
             yield ()
             return
         lists = [self.branch.lists[j] for j in self.small_blocks]
+        if first_slice is not None:
+            start, stop = first_slice
+            lists[0] = lists[0][start:stop]
         chosen: List[int] = []
 
         def extend(depth: int) -> Iterator[Tuple[int, ...]]:
@@ -256,20 +266,80 @@ class BranchEnumerator:
     def __iter__(self) -> Iterator[Tuple[int, ...]]:
         return self.enumerate()
 
+    def outer_size(self) -> int:
+        """Length of the outermost iteration (the sharding granularity).
+
+        Small-block branches are sharded on the first small block's
+        candidate list (disjoint DFS subtrees); branches without small
+        blocks on the first big block's list.  A 0-block branch has the
+        single empty assignment.
+        """
+        if self.small_blocks:
+            return len(self.branch.lists[self.small_blocks[0]])
+        if self.big_blocks:
+            return len(self.skip_lists[self.big_blocks[0]])
+        return 1
+
     def enumerate(
-        self, meter: Optional[CostMeter] = None
+        self,
+        meter: Optional[CostMeter] = None,
+        outer_slice: Optional[Tuple[int, Optional[int]]] = None,
     ) -> Iterator[Tuple[int, ...]]:
-        """Yield block assignments (node id per block, in block order)."""
+        """Yield block assignments (node id per block, in block order).
+
+        ``outer_slice=(start, stop)`` restricts the outermost iteration
+        to positions ``[start, stop)`` — the engine's intra-branch
+        sharding hook.  Shards are independent (no shared cursor), and
+        concatenating them in slice order reproduces the unrestricted
+        enumeration exactly, because the outermost loop advances in a
+        fixed order regardless of what the inner levels produce.
+        """
+        start, stop = outer_slice if outer_slice is not None else (0, None)
         assignment: List[Optional[int]] = [None] * self.block_count
-        if self.small_table is not None:
-            small_source: Iterator[Tuple[int, ...]] = iter(self.small_table)
-        else:
-            small_source = self._small_assignments(meter)
-        for small_assignment in small_source:
-            tick(meter, "enum.small_advance")
-            for block, node in zip(self.small_blocks, small_assignment):
-                assignment[block] = node
-            yield from self._extend(0, assignment, list(small_assignment), meter)
+        if self.small_blocks:
+            if self.small_table is not None:
+                if outer_slice is None:
+                    small_source: Iterator[Tuple[int, ...]] = iter(self.small_table)
+                else:
+                    # Table rows are in DFS order, grouped by the first
+                    # block's candidate; keeping the slice's candidates
+                    # selects a contiguous row range.
+                    allowed = set(
+                        self.branch.lists[self.small_blocks[0]][start:stop]
+                    )
+                    small_source = iter(
+                        [row for row in self.small_table if row[0] in allowed]
+                    )
+            else:
+                small_source = self._small_assignments(
+                    meter, first_slice=outer_slice
+                )
+            for small_assignment in small_source:
+                tick(meter, "enum.small_advance")
+                for block, node in zip(self.small_blocks, small_assignment):
+                    assignment[block] = node
+                yield from self._extend(
+                    0, assignment, list(small_assignment), meter
+                )
+            return
+        if not self.big_blocks:
+            # 0 blocks: the empty tuple is the single answer.
+            if start == 0:
+                tick(meter, "enum.output")
+                yield tuple(assignment)  # type: ignore[arg-type]
+            return
+        # No small blocks: the outermost level is the first big block's
+        # list, walked in list order (the prefix is empty there, so the
+        # skip function degenerates to the identity and a contiguous
+        # slice of the list is a contiguous slice of the iteration).
+        block = self.big_blocks[0]
+        skip_list = self.skip_lists[block]
+        for current in skip_list.nodes[start:stop]:
+            tick(meter, "enum.relevant", count=1)
+            candidate = skip_list.skip(current, frozenset(), meter)
+            assignment[block] = candidate
+            yield from self._extend(1, assignment, [candidate], meter)
+            assignment[block] = None
 
     def _extend(
         self,
@@ -299,26 +369,75 @@ class BranchEnumerator:
             current = skip_list.next(candidate)
 
 
-def arm_enumerators(pipeline: Pipeline, skip_mode: str = "lazy") -> List[BranchEnumerator]:
-    """Build (and cache on the pipeline) one enumerator per branch.
+def arm_enumerator(
+    pipeline: Pipeline, branch_index: int, skip_mode: str = "lazy"
+) -> BranchEnumerator:
+    """Build (and cache on the pipeline) the enumerator of one branch.
 
     Arming is preprocessing work: it grounds the small-block tables and,
     in strict mode, fills the skip cells.  Enumerators are stateless
     between runs (their skip/reach memos are functional caches), so they
-    are shared by every subsequent ``enumerate_answers`` call.
+    are shared by every subsequent enumeration call.  Per-branch caching
+    is the engine's splitting hook: parallel workers arm only the
+    branches assigned to them.
     """
-    cache = getattr(pipeline, "_armed_enumerators", None)
+    cache = getattr(pipeline, "_armed_branches", None)
     if cache is None:
         cache = {}
-        pipeline._armed_enumerators = cache  # type: ignore[attr-defined]
-    enumerators = cache.get(skip_mode)
-    if enumerators is None:
-        enumerators = [
-            BranchEnumerator(pipeline, branch, skip_mode=skip_mode)
-            for branch in pipeline.branches
-        ]
-        cache[skip_mode] = enumerators
-    return enumerators
+        pipeline._armed_branches = cache  # type: ignore[attr-defined]
+    key = (skip_mode, branch_index)
+    enumerator = cache.get(key)
+    if enumerator is None:
+        enumerator = BranchEnumerator(
+            pipeline, pipeline.branches[branch_index], skip_mode=skip_mode
+        )
+        cache[key] = enumerator
+    return enumerator
+
+
+def arm_enumerators(pipeline: Pipeline, skip_mode: str = "lazy") -> List[BranchEnumerator]:
+    """Arm every branch (the serial path's preprocessing step)."""
+    return [
+        arm_enumerator(pipeline, branch_index, skip_mode)
+        for branch_index in range(len(pipeline.branches))
+    ]
+
+
+def trivial_answers(pipeline: Pipeline) -> Iterator[Tuple[Element, ...]]:
+    """The answers of a pipeline whose localized formula is constant."""
+    if not pipeline.trivial:
+        return
+    if pipeline.arity == 0:
+        yield ()
+        return
+    yield from product(pipeline.structure.domain, repeat=pipeline.arity)
+
+
+def enumerate_branch(
+    pipeline: Pipeline,
+    branch_index: int,
+    meter: Optional[CostMeter] = None,
+    skip_mode: str = "lazy",
+    validate: bool = False,
+    outer_slice: Optional[Tuple[int, Optional[int]]] = None,
+) -> Iterator[Tuple[Element, ...]]:
+    """Enumerate the answers of one branch ``(P, t)``, decoded.
+
+    Branches are mutually exclusive, so the branch answer sets partition
+    ``q(A)``; concatenating them in branch-index order reproduces
+    :func:`enumerate_answers` exactly.  This is the unit of work
+    :mod:`repro.engine` distributes across a pool; ``outer_slice``
+    additionally shards *within* the branch (see
+    :meth:`BranchEnumerator.enumerate`) so one heavy branch can feed
+    many workers.
+    """
+    assert pipeline.graph is not None
+    enumerator = arm_enumerator(pipeline, branch_index, skip_mode)
+    plan_index = enumerator.branch.plan.index
+    for node_ids in enumerator.enumerate(meter, outer_slice=outer_slice):
+        if validate:
+            _validate_assignment(pipeline.graph, node_ids)
+        yield pipeline.decode(plan_index, node_ids)
 
 
 def enumerate_answers(
@@ -334,20 +453,16 @@ def enumerate_answers(
     every output — used by the test suite.
     """
     if pipeline.trivial is not None:
-        if not pipeline.trivial:
-            return
-        if pipeline.arity == 0:
-            yield ()
-            return
-        yield from product(pipeline.structure.domain, repeat=pipeline.arity)
+        yield from trivial_answers(pipeline)
         return
-    assert pipeline.graph is not None
-    for enumerator in arm_enumerators(pipeline, skip_mode):
-        branch = enumerator.branch
-        for node_ids in enumerator.enumerate(meter):
-            if validate:
-                _validate_assignment(pipeline.graph, node_ids)
-            yield pipeline.decode(branch.plan.index, node_ids)
+    for branch_index in range(len(pipeline.branches)):
+        yield from enumerate_branch(
+            pipeline,
+            branch_index,
+            meter=meter,
+            skip_mode=skip_mode,
+            validate=validate,
+        )
 
 
 def _validate_assignment(graph: ColoredGraph, node_ids: Tuple[int, ...]) -> None:

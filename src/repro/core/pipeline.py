@@ -104,10 +104,12 @@ class Pipeline:
         budget: Optional[LocalizationBudget] = None,
         max_nodes: int = 5_000_000,
         max_units: int = 16,
+        graph_factory=None,
     ):
         self.structure = structure
         self.query = query
         self.eps = eps
+        self.budget = budget
         self.variables: Tuple[Var, ...] = free_tuple(query, order)
         self.arity = len(self.variables)
 
@@ -134,7 +136,12 @@ class Pipeline:
         self._partition_index: Dict[Partition, int] = {}
         if self.trivial is None:
             self._build_plans(max_units)
-            self.graph = build_colored_graph(
+            # ``graph_factory`` is the engine's preprocessing-sharing hook:
+            # a batch can hand out clones of one cached graph instead of
+            # re-enumerating cluster tuples per query (see
+            # repro.engine.batch.QueryBatch).
+            factory = graph_factory or build_colored_graph
+            self.graph = factory(
                 structure,
                 self.evaluator,
                 self.arity,
@@ -275,6 +282,26 @@ class Pipeline:
                     lists.append(by_block_vector.setdefault(key, []))
                 branch = Branch(plan, signs, lists)
                 self.branches.append(branch)
+
+    @property
+    def branch_count(self) -> int:
+        """How many mutually exclusive ``(P, t)`` branches exist.
+
+        Branches partition the answer set, so this is the engine's unit
+        of parallel work: each branch can be enumerated independently and
+        the results concatenated in branch order reproduce the serial
+        answer order exactly.
+        """
+        return len(self.branches)
+
+    def rebuild_spec(self):
+        """The picklable recipe ``(structure, query, order, eps, budget)``.
+
+        Everything a worker process needs to reconstruct an equivalent
+        pipeline; the heavy derived state (graph, plans, enumerators) is
+        recomputed worker-side and memoized per process.
+        """
+        return (self.structure, self.query, self.variables, self.eps, self.budget)
 
     # ------------------------------------------------------------------
     # Step 5: the encoder f and its inverse

@@ -1,0 +1,55 @@
+"""The parallel batch query engine.
+
+Layers on top of the paper's pipeline (:mod:`repro.core`):
+
+* :mod:`repro.engine.executor` — branch-parallel enumeration of one
+  pipeline across a thread or process pool, with a deterministic merge
+  that reproduces the serial answer order byte-for-byte;
+* :mod:`repro.engine.cache` — LRU pipeline cache keyed by
+  ``(structure fingerprint, normalized formula, order, eps)``;
+* :mod:`repro.engine.batch` — :class:`QueryBatch`, sharing one
+  structure's preprocessing across many queries, returning
+  :class:`ResultHandle` objects with ``.page() / .stream() / .cancel()``.
+
+Quick start::
+
+    from repro.engine import QueryBatch
+
+    batch = QueryBatch(structure, workers=4)
+    handle = batch.submit("B(x) & R(y) & ~E(x,y)")
+    first = handle.page(0, size=20)
+    for answer in handle.stream():
+        ...
+"""
+
+from repro.engine.batch import DEFAULT_PAGE_SIZE, QueryBatch, ResultHandle
+from repro.engine.cache import PipelineCache, cache_key, normalize_formula
+from repro.engine.executor import (
+    BranchTask,
+    branch_works,
+    decide_mode,
+    default_workers,
+    parallel_enumerate,
+    plan_work_units,
+    prearm,
+    run_branches,
+    warm_pool,
+)
+
+__all__ = [
+    "BranchTask",
+    "DEFAULT_PAGE_SIZE",
+    "PipelineCache",
+    "QueryBatch",
+    "ResultHandle",
+    "branch_works",
+    "cache_key",
+    "decide_mode",
+    "default_workers",
+    "normalize_formula",
+    "parallel_enumerate",
+    "plan_work_units",
+    "prearm",
+    "run_branches",
+    "warm_pool",
+]

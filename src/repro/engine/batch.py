@@ -1,0 +1,323 @@
+"""The batch query API: one structure, many queries.
+
+:class:`QueryBatch` amortizes preprocessing across every query asked of
+one structure:
+
+* **pipeline cache** — built pipelines are memoized under
+  ``(structure fingerprint, normalized formula, order, eps)``
+  (:mod:`repro.engine.cache`), so resubmitting a query is O(1);
+* **shared colored graphs** — the cluster enumeration of Steps 3-4
+  depends only on ``(arity, link radius)``, not on the query, so the
+  batch builds one template graph per such pair and hands each pipeline
+  a clone (:meth:`repro.core.colored_graph.ColoredGraph.clone`);
+* **branch-parallel execution** — submissions return a
+  :class:`ResultHandle` whose answers are produced by
+  :mod:`repro.engine.executor` under the cost-model heuristic.
+
+Handles are *stale-safe*: every access revalidates the structure's
+mutation counter, so a handle created before an insertion/deletion (for
+example through :class:`repro.core.dynamic.DynamicQuery` sharing the same
+structure) raises :class:`repro.errors.StaleResultError` instead of
+serving pre-update answers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.colored_graph import ColoredGraph, build_colored_graph
+from repro.core.counting import count_answers
+from repro.core.enumeration import trivial_answers
+from repro.core.pipeline import Pipeline
+from repro.core.testing import test_answer
+from repro.engine.cache import CacheKey, PipelineCache
+from repro.engine.executor import run_branches
+from repro.errors import EngineError, ResultCancelledError, StaleResultError
+from repro.fo.syntax import Formula, Var
+from repro.structures.serialize import fingerprint
+from repro.structures.structure import Structure
+
+Element = Hashable
+Answer = Tuple[Element, ...]
+
+DEFAULT_PAGE_SIZE = 100
+
+
+class ResultHandle:
+    """Paged / streamed access to one submitted query's answers.
+
+    Answers materialize in branch-index order (shards in slice order),
+    so the full sequence is identical to the serial enumeration order.
+    The *merge* is lazy — pages pull only as many chunks as they need.
+    In serial mode that means partial consumption only pays for the
+    branches it touched; in thread/process mode every work unit is
+    submitted to the pool on first access (they compute concurrently),
+    and laziness governs only when results are drained.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        skip_mode: str = "lazy",
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        spec_key: Optional[tuple] = None,
+        executor=None,
+    ):
+        self._pipeline = pipeline
+        self._structure = pipeline.structure
+        self._version = pipeline.structure.version
+        self._skip_mode = skip_mode
+        self._workers = workers
+        self._mode = mode
+        self._spec_key = spec_key
+        self._executor = executor
+        self._answers: List[Answer] = []
+        self._source: Optional[Iterator[List[Answer]]] = None
+        self._count: Optional[int] = None
+        self._done = False
+        self._cancelled = False
+
+    # -- liveness ------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._cancelled:
+            raise ResultCancelledError("this result handle was cancelled")
+        if self._structure.version != self._version:
+            raise StaleResultError(
+                "the structure changed after this handle was created "
+                f"(version {self._version} -> {self._structure.version}); "
+                "re-submit the query"
+            )
+
+    @property
+    def stale(self) -> bool:
+        return self._structure.version != self._version
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # -- lazy production -----------------------------------------------
+
+    def _ensure_source(self) -> None:
+        if self._source is not None or self._done:
+            return
+        if self._pipeline.trivial is not None:
+            self._source = iter([list(trivial_answers(self._pipeline))])
+        else:
+            self._source = run_branches(
+                self._pipeline,
+                workers=self._workers,
+                mode=self._mode,
+                skip_mode=self._skip_mode,
+                spec_key=self._spec_key,
+                executor=self._executor,
+            )
+
+    def _pull(self, needed: Optional[int]) -> None:
+        """Materialize branch chunks until ``needed`` answers (or all)."""
+        self._ensure_source()
+        while not self._done and (
+            needed is None or len(self._answers) < needed
+        ):
+            assert self._source is not None
+            try:
+                chunk = next(self._source)
+            except StopIteration:
+                self._done = True
+                self._source = None
+            except BaseException:
+                # A worker failure mid-production leaves a dead generator
+                # and an unusable prefix; reset so a retry re-executes
+                # from scratch instead of serving partial answers as if
+                # they were complete.
+                self._source = None
+                self._answers = []
+                raise
+            else:
+                self._answers.extend(chunk)
+
+    # -- the public access paths ---------------------------------------
+
+    def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
+        """The ``index``-th page (0-based) of ``size`` answers."""
+        if index < 0 or size < 1:
+            raise EngineError(
+                f"bad page request (index={index}, size={size})"
+            )
+        self._check_live()
+        self._pull((index + 1) * size)
+        return self._answers[index * size : (index + 1) * size]
+
+    def stream(self) -> Iterator[Answer]:
+        """Yield answers one by one; staleness is re-checked per answer."""
+        position = 0
+        while True:
+            self._check_live()
+            if position < len(self._answers):
+                yield self._answers[position]
+                position += 1
+                continue
+            if self._done:
+                return
+            before = len(self._answers)
+            self._pull(before + 1)
+            if len(self._answers) == before and self._done:
+                return
+
+    def all(self) -> List[Answer]:
+        """Materialize and return every answer (serial order)."""
+        self._check_live()
+        self._pull(None)
+        return list(self._answers)
+
+    def count(self) -> int:
+        """``|q(A)|`` via the counting algorithm (no enumeration).
+
+        Cached: the handle is pinned to one structure version (any
+        mutation raises), so the count can never go stale.
+        """
+        self._check_live()
+        if self._count is None:
+            self._count = count_answers(self._pipeline)
+        return self._count
+
+    def test(self, candidate: Sequence[Element]) -> bool:
+        """Constant-time membership test against this query."""
+        self._check_live()
+        return test_answer(self._pipeline, candidate)
+
+    def cancel(self) -> None:
+        """Stop producing; subsequent access raises ResultCancelledError."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        source, self._source = self._source, None
+        if source is not None and hasattr(source, "close"):
+            source.close()
+
+    def __iter__(self) -> Iterator[Answer]:
+        return self.stream()
+
+
+class QueryBatch:
+    """Share one structure's preprocessing across many queries."""
+
+    def __init__(
+        self,
+        structure: Structure,
+        eps: float = 0.5,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+        skip_mode: str = "lazy",
+        cache_capacity: int = 64,
+        share_graphs: bool = True,
+        executor=None,
+    ):
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.structure = structure
+        self.eps = eps
+        self.workers = workers
+        self.mode = mode
+        self.skip_mode = skip_mode
+        self.share_graphs = share_graphs
+        # A long-lived pool (e.g. a warmed ProcessPoolExecutor) shared by
+        # every handle; None means one ephemeral pool per execution.
+        self.executor = executor
+        self.cache = PipelineCache(cache_capacity)
+        self._graph_templates: Dict[Tuple[int, int], ColoredGraph] = {}
+        self._fingerprint = fingerprint(structure)
+        self._version = structure.version
+
+    # -- structure staleness -------------------------------------------
+
+    @property
+    def structure_fingerprint(self) -> str:
+        self._refresh()
+        return self._fingerprint
+
+    def _refresh(self) -> None:
+        """Detect mutations and invalidate every derived cache."""
+        if self.structure.version == self._version:
+            return
+        stale_fingerprint = self._fingerprint
+        self._fingerprint = fingerprint(self.structure)
+        self._version = self.structure.version
+        self._graph_templates.clear()
+        self.cache.invalidate(stale_fingerprint)
+
+    def invalidate(self) -> None:
+        """Drop every cached pipeline and graph template."""
+        self._graph_templates.clear()
+        self.cache.invalidate()
+        self._fingerprint = fingerprint(self.structure)
+        self._version = self.structure.version
+
+    # -- shared preprocessing ------------------------------------------
+
+    def _graph_factory(
+        self, structure, evaluator, arity, link_radius, max_nodes=5_000_000
+    ):
+        """Clone-from-template colored graph construction."""
+        key = (arity, link_radius)
+        template = self._graph_templates.get(key)
+        if template is None:
+            template = build_colored_graph(
+                structure, evaluator, arity, link_radius, max_nodes=max_nodes
+            )
+            self._graph_templates[key] = template
+        return template.clone()
+
+    def prepare(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+    ) -> Tuple[Pipeline, CacheKey]:
+        """The cached pipeline for a query (building it on a miss)."""
+        self._refresh()
+        return self.cache.get_or_build(
+            self.structure,
+            query,
+            order=order,
+            eps=self.eps,
+            structure_fingerprint=self._fingerprint,
+            graph_factory=self._graph_factory if self.share_graphs else None,
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        skip_mode: Optional[str] = None,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> ResultHandle:
+        """Prepare (or reuse) the pipeline and hand back a result handle."""
+        pipeline, key = self.prepare(query, order=order)
+        return ResultHandle(
+            pipeline,
+            skip_mode=skip_mode or self.skip_mode,
+            workers=workers if workers is not None else self.workers,
+            mode=mode if mode is not None else self.mode,
+            spec_key=key,
+            executor=self.executor,
+        )
+
+    def count(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+    ) -> int:
+        """Convenience: count without keeping a handle around."""
+        pipeline, _ = self.prepare(query, order=order)
+        return count_answers(pipeline)
+
+    def stats(self) -> Dict[str, int]:
+        """Cache observability (pipeline cache + graph templates)."""
+        stats = self.cache.stats()
+        stats["graph_templates"] = len(self._graph_templates)
+        return stats

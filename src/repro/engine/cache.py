@@ -1,0 +1,149 @@
+"""Pipeline caching for the batch engine.
+
+Preprocessing (Proposition 3.4) is the expensive half of every query; a
+service answering heavy traffic sees the same (structure, query) pairs
+over and over.  :class:`PipelineCache` memoizes built pipelines under the
+key
+
+    (structure fingerprint, normalized formula text, variable order, eps)
+
+* the *fingerprint* (:func:`repro.structures.serialize.fingerprint`) is a
+  content hash, so any fact insertion/deletion changes the key and stale
+  pipelines simply stop being hit;
+* the *normalized formula* runs the query text through the parser and
+  :func:`repro.fo.normalize.simplify`, so trivially different spellings
+  (``B(x) & R(y)`` vs ``(B(x)) & (R(y))``) share one entry;
+* *order* and *eps* complete the key because they change the pipeline's
+  answer order and localization budget respectively.
+
+Eviction is LRU with a fixed capacity; hits/misses/evictions are counted
+for observability.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.core.pipeline import Pipeline
+from repro.errors import QueryError
+from repro.fo.normalize import simplify
+from repro.fo.parser import parse as parse_query
+from repro.fo.syntax import Formula, Var
+from repro.structures.serialize import fingerprint
+from repro.structures.structure import Structure
+
+CacheKey = Tuple[str, str, Optional[Tuple[str, ...]], float]
+
+
+def coerce_query(query: Union[Formula, str]) -> Formula:
+    """Accept query text or a parsed formula."""
+    if isinstance(query, str):
+        return parse_query(query)
+    if not isinstance(query, Formula):
+        raise QueryError(f"expected a Formula or query text, got {type(query)}")
+    return query
+
+
+def coerce_order(
+    order: Optional[Sequence[Union[Var, str]]]
+) -> Optional[Tuple[Var, ...]]:
+    if order is None:
+        return None
+    return tuple(var if isinstance(var, Var) else Var(var) for var in order)
+
+
+def normalize_formula(query: Formula) -> str:
+    """The formula's cache-key text: simplified, canonically printed."""
+    return str(simplify(query))
+
+
+def cache_key(
+    structure_fingerprint: str,
+    query: Formula,
+    order: Optional[Tuple[Var, ...]],
+    eps: float,
+) -> CacheKey:
+    order_names = tuple(var.name for var in order) if order is not None else None
+    return (structure_fingerprint, normalize_formula(query), order_names, eps)
+
+
+class PipelineCache:
+    """LRU cache of built :class:`Pipeline` objects."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Pipeline]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Pipeline]:
+        pipeline = self._entries.get(key)
+        if pipeline is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return pipeline
+
+    def put(self, key: CacheKey, pipeline: Pipeline) -> None:
+        self._entries[key] = pipeline
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_build(
+        self,
+        structure: Structure,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        eps: float = 0.5,
+        structure_fingerprint: Optional[str] = None,
+        graph_factory=None,
+    ) -> Tuple[Pipeline, CacheKey]:
+        """Return the cached pipeline for the key, building on a miss."""
+        formula = coerce_query(query)
+        variable_order = coerce_order(order)
+        if structure_fingerprint is None:
+            structure_fingerprint = fingerprint(structure)
+        key = cache_key(structure_fingerprint, formula, variable_order, eps)
+        pipeline = self.get(key)
+        if pipeline is None:
+            pipeline = Pipeline(
+                structure,
+                formula,
+                order=variable_order,
+                eps=eps,
+                graph_factory=graph_factory,
+            )
+            self.put(key, pipeline)
+        return pipeline, key
+
+    def invalidate(self, structure_fingerprint: Optional[str] = None) -> int:
+        """Drop entries for one fingerprint (or everything); return count."""
+        if structure_fingerprint is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        stale = [
+            key for key in self._entries if key[0] == structure_fingerprint
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,383 @@
+"""Branch-parallel execution of a prepared pipeline.
+
+The branch decomposition ``(P, t)`` of Proposition 3.4 is embarrassingly
+parallel: branches are mutually exclusive by construction and each one
+enumerates independently over the colored graph.  This module farms the
+branches of one pipeline out to a pool and merges the per-branch outputs
+*deterministically* — results are always consumed in branch-index order,
+so the merged stream is byte-identical to the serial
+:func:`repro.core.enumeration.enumerate_answers` order.
+
+Pool selection follows the cost-model heuristic
+(:func:`repro.storage.cost_model.choose_execution_mode`):
+
+* ``serial`` — tiny workloads; pool overhead dominates;
+* ``thread`` — small structures; workers share the parent's pipeline
+  (arming and skip memos build in-place, no pickling);
+* ``process`` — large structures; each worker rebuilds the pipeline once
+  from a picklable spec (memoized per process) and enumeration scales
+  past the GIL.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+from repro.core.enumeration import (
+    arm_enumerator,
+    enumerate_branch,
+    trivial_answers,
+)
+from repro.core.pipeline import Pipeline
+from repro.errors import EngineError
+from repro.storage.cost_model import choose_execution_mode, estimate_branch_work
+
+Element = Hashable
+Answer = Tuple[Element, ...]
+
+MODES = ("serial", "thread", "process")
+
+
+def default_workers() -> int:
+    """Worker count when the caller does not choose: one per core."""
+    return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class BranchTask:
+    """One picklable unit of parallel work: a branch shard of a pipeline.
+
+    ``spec`` is the pipeline's rebuild recipe
+    (:meth:`repro.core.pipeline.Pipeline.rebuild_spec`) and ``spec_key``
+    a hashable identity for it, so worker processes reconstruct the
+    pipeline once and serve every shard of the same query from the
+    per-process memo.  ``spec`` is ``None`` when the pool's initializer
+    already shipped it (ephemeral pools) — then only the key travels
+    per task.  ``start``/``stop`` bound the branch's outermost
+    iteration (``(0, None)`` = the whole branch).
+    """
+
+    spec: Optional[tuple]
+    spec_key: tuple
+    branch_index: int
+    skip_mode: str
+    start: int = 0
+    stop: Optional[int] = None
+
+    @property
+    def outer_slice(self) -> Optional[Tuple[int, Optional[int]]]:
+        if self.start == 0 and self.stop is None:
+            return None
+        return (self.start, self.stop)
+
+
+# Per-worker-process pipeline memo, keyed by BranchTask.spec_key.  Lives
+# at module level so ProcessPoolExecutor workers keep it across tasks;
+# bounded so a long-lived pool serving many structures/queries cannot
+# grow without limit (each entry pins a full colored graph).
+_WORKER_MEMO_CAPACITY = 8
+_WORKER_PIPELINES: "dict" = {}
+
+
+def _memoize_worker_pipeline(spec_key: tuple, spec: tuple) -> Pipeline:
+    pipeline = _WORKER_PIPELINES.get(spec_key)
+    if pipeline is None:
+        structure, query, variables, eps, budget = spec
+        pipeline = Pipeline(
+            structure, query, order=variables, eps=eps, budget=budget
+        )
+        while len(_WORKER_PIPELINES) >= _WORKER_MEMO_CAPACITY:
+            _WORKER_PIPELINES.pop(next(iter(_WORKER_PIPELINES)))
+        _WORKER_PIPELINES[spec_key] = pipeline
+    else:
+        # Keep insertion order ~LRU: re-append on every hit.
+        _WORKER_PIPELINES.pop(spec_key)
+        _WORKER_PIPELINES[spec_key] = pipeline
+    return pipeline
+
+
+def _init_worker(spec: tuple, spec_key: tuple) -> None:
+    """Pool initializer: build the pipeline once per worker up front, so
+    per-task payloads carry only the key (the structure is shipped once
+    per worker instead of once per shard)."""
+    _memoize_worker_pipeline(spec_key, spec)
+
+
+def _worker_pipeline(task: BranchTask) -> Pipeline:
+    if task.spec is not None:
+        return _memoize_worker_pipeline(task.spec_key, task.spec)
+    pipeline = _WORKER_PIPELINES.get(task.spec_key)
+    if pipeline is None:
+        raise EngineError(
+            "worker has no pipeline for this task and the task carries no "
+            "spec; was the pool initialized/warmed for a different query?"
+        )
+    return pipeline
+
+
+def run_branch_task(task: BranchTask) -> List[Answer]:
+    """Entry point executed inside a worker process."""
+    pipeline = _worker_pipeline(task)
+    return list(
+        enumerate_branch(
+            pipeline,
+            task.branch_index,
+            skip_mode=task.skip_mode,
+            outer_slice=task.outer_slice,
+        )
+    )
+
+
+def warm_task(task: BranchTask) -> bool:
+    """Rebuild (and memoize) the pipeline in a worker, producing nothing.
+
+    Submitting ``workers`` of these before timing/serving queries moves
+    the per-process preprocessing cost out of the request path — the
+    service regime, where one long-lived pool answers many queries.
+    """
+    _worker_pipeline(task)
+    return True
+
+
+def warm_pool(
+    pool,
+    pipeline: Pipeline,
+    workers: int,
+    spec_key: Optional[tuple] = None,
+    skip_mode: str = "lazy",
+) -> None:
+    """Pre-build the pipeline on (up to) every worker of a process pool."""
+    if pipeline.trivial is not None:
+        return
+    if spec_key is None:
+        spec_key = _default_spec_key(pipeline)
+    spec = pipeline.rebuild_spec()
+    task = BranchTask(spec, spec_key, 0, skip_mode)
+    futures = [pool.submit(warm_task, task) for _ in range(workers)]
+    for future in futures:
+        future.result()
+
+
+def branch_works(pipeline: Pipeline) -> List[int]:
+    """Estimated work per branch (the heuristic's input)."""
+    if pipeline.trivial is not None or pipeline.graph is None:
+        return []
+    degree = pipeline.graph.max_degree if pipeline.graph.adjacency else 0
+    return [
+        estimate_branch_work(
+            [len(node_list) for node_list in branch.lists], degree
+        )
+        for branch in pipeline.branches
+    ]
+
+
+def decide_mode(
+    pipeline: Pipeline, workers: Optional[int] = None, mode: Optional[str] = None
+) -> Tuple[str, int]:
+    """Resolve ``(mode, workers)`` for a pipeline, applying the heuristic."""
+    if workers is None:
+        workers = default_workers()
+    if workers < 1:
+        raise EngineError(f"workers must be >= 1, got {workers}")
+    if mode is None:
+        mode = choose_execution_mode(branch_works(pipeline), workers)
+    elif mode not in MODES:
+        raise EngineError(f"unknown execution mode {mode!r}; choose from {MODES}")
+    if mode == "serial":
+        workers = 1
+    return mode, workers
+
+
+def _default_spec_key(pipeline: Pipeline) -> tuple:
+    from repro.structures.serialize import fingerprint
+
+    budget = pipeline.budget
+    return (
+        fingerprint(pipeline.structure),
+        str(pipeline.query),
+        tuple(v.name for v in pipeline.variables),
+        pipeline.eps,
+        None if budget is None else (
+            budget.max_radius, budget.max_count_split, budget.max_derived
+        ),
+    )
+
+
+WorkUnit = Tuple[int, int, Optional[int]]  # (branch_index, start, stop)
+
+
+def plan_work_units(pipeline: Pipeline, workers: int) -> List[WorkUnit]:
+    """Split the pipeline's branches into balanced shards.
+
+    Branch-level splitting alone load-balances poorly: on symmetric
+    queries the all-far partition's branch often carries nearly all the
+    answers.  A branch whose estimated work exceeds the per-worker
+    target is therefore sharded along its outermost iteration
+    (:meth:`BranchEnumerator.outer_size`), keeping shards contiguous so
+    the ordered merge stays exact.  Units are returned in
+    ``(branch, start)`` order — concatenating their outputs reproduces
+    the serial answer order.
+    """
+    works = branch_works(pipeline)
+    total = sum(works)
+    units: List[WorkUnit] = []
+    # Aim for ~2 units per worker so stragglers back-fill.
+    target = max(total // (2 * workers), 1)
+    for branch_index, work in enumerate(works):
+        if work <= target or workers <= 1:
+            units.append((branch_index, 0, None))
+            continue
+        # Sharding granularity comes from the lazily armed enumerator;
+        # the outer structure (small/big block split, list lengths) is
+        # identical across skip modes, so planning is mode-independent.
+        size = arm_enumerator(pipeline, branch_index, "lazy").outer_size()
+        shards = min(-(-work // target), 4 * workers, size)
+        if shards <= 1:
+            units.append((branch_index, 0, None))
+            continue
+        bound = 0
+        for shard in range(shards):
+            start = bound
+            bound = size * (shard + 1) // shards
+            units.append((branch_index, start, bound))
+    return units
+
+
+def _yield_futures(futures) -> Iterator[List[Answer]]:
+    """Drain futures in submission (= branch) order; cancel on abandon."""
+    try:
+        for future in futures:
+            yield future.result()
+    except GeneratorExit:
+        for future in futures:
+            future.cancel()
+        raise
+
+
+def run_branches(
+    pipeline: Pipeline,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    skip_mode: str = "lazy",
+    spec_key: Optional[tuple] = None,
+    executor=None,
+) -> Iterator[List[Answer]]:
+    """Yield each branch's answer list, in branch-index order.
+
+    The deterministic merge: regardless of which worker finishes first,
+    branch ``i``'s list is yielded before branch ``i + 1``'s, so
+    flattening reproduces the serial answer order exactly.
+
+    ``executor`` lets a long-lived service reuse one pool across calls
+    (a ProcessPoolExecutor for ``mode="process"``, a ThreadPoolExecutor
+    for ``mode="thread"``); per-process pipeline memos then amortize the
+    rebuild across every query of the same structure.  Without it a
+    fresh pool is created and torn down per call.
+    """
+    if pipeline.trivial is not None:
+        return
+    mode, workers = decide_mode(pipeline, workers, mode)
+    if mode == "serial":
+        for branch_index in range(len(pipeline.branches)):
+            yield list(
+                enumerate_branch(pipeline, branch_index, skip_mode=skip_mode)
+            )
+        return
+    units = plan_work_units(pipeline, workers)
+    if mode == "thread":
+        # Pre-create the arming cache so concurrent workers never race on
+        # installing the dict itself (per-branch keys are disjoint), and
+        # arm up front: shards of one branch share its enumerator.
+        if getattr(pipeline, "_armed_branches", None) is None:
+            pipeline._armed_branches = {}  # type: ignore[attr-defined]
+        for branch_index in {unit[0] for unit in units}:
+            arm_enumerator(pipeline, branch_index, skip_mode)
+
+        def thread_task(unit: WorkUnit) -> List[Answer]:
+            branch_index, start, stop = unit
+            outer_slice = None if start == 0 and stop is None else (start, stop)
+            return list(
+                enumerate_branch(
+                    pipeline,
+                    branch_index,
+                    skip_mode=skip_mode,
+                    outer_slice=outer_slice,
+                )
+            )
+
+        # Only a thread pool can run the closure over the parent's
+        # pipeline; a process pool handed in by the caller (for process
+        # mode) cannot pickle it — fall back to an ephemeral thread pool.
+        if executor is not None and isinstance(executor, ThreadPoolExecutor):
+            futures = [executor.submit(thread_task, unit) for unit in units]
+            yield from _yield_futures(futures)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(thread_task, unit) for unit in units]
+            yield from _yield_futures(futures)
+        return
+    # Process mode: ship the picklable spec, rebuild per worker (memoized
+    # per process under spec_key).
+    if spec_key is None:
+        spec_key = _default_spec_key(pipeline)
+    spec = pipeline.rebuild_spec()
+    if executor is not None and not isinstance(executor, ThreadPoolExecutor):
+        # External (possibly shared/warmed) process pool: its workers may
+        # serve other queries, so every task must carry the spec.  (A
+        # thread pool is not reused here — rebuilding the pipeline inside
+        # the parent process would only duplicate it.)
+        tasks = [
+            BranchTask(spec, spec_key, branch_index, skip_mode, start, stop)
+            for branch_index, start, stop in units
+        ]
+        futures = [executor.submit(run_branch_task, task) for task in tasks]
+        yield from _yield_futures(futures)
+        return
+    # Ephemeral pool: the initializer ships the spec once per worker;
+    # tasks carry only the key (the structure is not re-pickled per shard).
+    tasks = [
+        BranchTask(None, spec_key, branch_index, skip_mode, start, stop)
+        for branch_index, start, stop in units
+    ]
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
+    ) as pool:
+        futures = [pool.submit(run_branch_task, task) for task in tasks]
+        yield from _yield_futures(futures)
+
+
+def parallel_enumerate(
+    pipeline: Pipeline,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    skip_mode: str = "lazy",
+    executor=None,
+) -> Iterator[Answer]:
+    """Enumerate ``q(A)`` using the branch-parallel engine.
+
+    Same answers, same order as the serial
+    :func:`repro.core.enumeration.enumerate_answers` — only the wall
+    clock differs.
+    """
+    if pipeline.trivial is not None:
+        yield from trivial_answers(pipeline)
+        return
+    for branch_answers in run_branches(
+        pipeline,
+        workers=workers,
+        mode=mode,
+        skip_mode=skip_mode,
+        executor=executor,
+    ):
+        yield from branch_answers
+
+
+def prearm(pipeline: Pipeline, skip_mode: str = "lazy") -> None:
+    """Arm every branch up front (preprocessing, not delay)."""
+    if pipeline.trivial is not None:
+        return
+    for branch_index in range(len(pipeline.branches)):
+        arm_enumerator(pipeline, branch_index, skip_mode)

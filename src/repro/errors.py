@@ -29,3 +29,20 @@ class UnsupportedQueryError(QueryError):
 
 class EvaluationError(ReproError):
     """An internal invariant was violated during evaluation."""
+
+
+class EngineError(ReproError):
+    """The batch query engine was misused or hit an internal failure."""
+
+
+class StaleResultError(EngineError):
+    """A result handle outlived a mutation of its underlying structure.
+
+    Answers computed before the mutation no longer describe the database;
+    the engine refuses to serve them.  Re-submit the query to get a handle
+    against the current state.
+    """
+
+
+class ResultCancelledError(EngineError):
+    """The result handle was cancelled before its answers were consumed."""

@@ -13,7 +13,7 @@ per instrumented site.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 
 class CostMeter:
@@ -63,3 +63,62 @@ def tick(meter: Optional[CostMeter], label: str = "step", count: int = 1) -> Non
     """Module-level helper so call sites stay one-liners."""
     if meter is not None:
         meter.tick(label, count)
+
+
+# ----------------------------------------------------------------------
+# Parallel-execution heuristics (used by repro.engine)
+# ----------------------------------------------------------------------
+
+# Below this many estimated steps a pool costs more than it saves.
+THREAD_WORK_THRESHOLD = 20_000
+# Above this many estimated steps the GIL makes threads pointless and the
+# per-process pipeline rebuild amortizes; switch to processes.
+PROCESS_WORK_THRESHOLD = 500_000
+
+_WORK_CAP = 10**15
+
+
+def estimate_branch_work(list_sizes: Sequence[int], graph_degree: int) -> int:
+    """A RAM-step proxy for enumerating one branch ``(P, t)``.
+
+    The branch's answer count is bounded by the product of its block-list
+    lengths; each output costs a constant number of skip probes whose
+    fan-out scales with the colored-graph degree.  The estimate is
+    deliberately pessimistic (no credit for skip pruning) — it only needs
+    to *rank* branches and workloads, not predict wall-clock.
+    """
+    work = 1
+    for size in list_sizes:
+        if size == 0:
+            return 0
+        work *= size
+        if work >= _WORK_CAP:
+            return _WORK_CAP
+    return min(work * (graph_degree + 1), _WORK_CAP)
+
+
+def choose_execution_mode(
+    branch_works: Sequence[int],
+    workers: int,
+    thread_threshold: int = THREAD_WORK_THRESHOLD,
+    process_threshold: int = PROCESS_WORK_THRESHOLD,
+) -> str:
+    """Pick ``"serial"``, ``"thread"``, or ``"process"`` for a workload.
+
+    * one worker, or small total work (pool setup dominates): serial —
+      note a *single* heavy branch is still parallel-worthy, since the
+      executor shards within branches;
+    * medium total work: threads (cheap to spawn; the structure is small
+      enough that sharing the parent's pipeline beats pickling it);
+    * large total work: processes (each worker rebuilds the pipeline from
+      the picklable spec once and the CPU-bound enumeration scales past
+      the GIL).
+    """
+    if workers <= 1:
+        return "serial"
+    total = sum(work for work in branch_works if work > 0)
+    if total < thread_threshold:
+        return "serial"
+    if total < process_threshold:
+        return "thread"
+    return "process"

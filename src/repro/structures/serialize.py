@@ -17,6 +17,7 @@ structures whose elements are ints or strings without whitespace.
 
 from __future__ import annotations
 
+import hashlib
 import io
 from typing import Hashable, TextIO, Union
 
@@ -63,6 +64,34 @@ def dumps(structure: Structure) -> str:
     buffer = io.StringIO()
     dump(structure, buffer)
     return buffer.getvalue()
+
+
+def fingerprint(structure: Structure) -> str:
+    """Content hash of a structure (signature + domain + facts).
+
+    The hash walks the canonical fact order of :meth:`Structure.iter_facts`
+    so it is independent of insertion order, and uses ``repr`` for element
+    tokens so elements the text format rejects (tuples, values with
+    whitespace) still fingerprint.  Two structures with equal signature,
+    domain order, and fact sets hash identically — the property
+    ``repro.engine`` relies on for its pipeline cache keys.
+    """
+    hasher = hashlib.sha256()
+    for symbol in structure.signature:
+        hasher.update(f"{symbol.name}/{symbol.arity}".encode("utf-8"))
+        hasher.update(b"\x1f")
+    hasher.update(b"\x1e")
+    for element in structure.domain:
+        hasher.update(repr(element).encode("utf-8"))
+        hasher.update(b"\x1f")
+    hasher.update(b"\x1e")
+    for name, fact in structure.iter_facts():
+        hasher.update(name.encode("utf-8"))
+        for element in fact:
+            hasher.update(b"\x1f")
+            hasher.update(repr(element).encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()
 
 
 def load(stream: TextIO) -> Structure:

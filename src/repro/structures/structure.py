@@ -56,6 +56,7 @@ class Structure:
         self._relations: Dict[str, Set[Fact]] = {
             symbol.name: set() for symbol in signature
         }
+        self._version = 0
         self._caches_dirty = True
         self._adjacency: Dict[Element, Set[Element]] = {}
         # How many facts witness each Gaifman edge (keyed by the unordered
@@ -88,6 +89,7 @@ class Structure:
         fact = tuple(elements)
         if fact not in self._relations[relation]:
             self._relations[relation].add(fact)
+            self._version += 1
             if not self._caches_dirty:
                 self._support_fact(fact, +1)
 
@@ -101,6 +103,7 @@ class Structure:
         fact = tuple(elements)
         if fact in self._relations[relation]:
             self._relations[relation].discard(fact)
+            self._version += 1
             if not self._caches_dirty:
                 self._support_fact(fact, -1)
 
@@ -142,6 +145,16 @@ class Structure:
 
     def __contains__(self, element: Element) -> bool:
         return element in self._domain_set
+
+    @property
+    def version(self) -> int:
+        """Mutation counter: bumped on every effective fact change.
+
+        Lets long-lived handles (e.g. ``repro.engine`` result handles)
+        detect that the structure moved on under them without rehashing
+        the whole fact set.
+        """
+        return self._version
 
     @property
     def cardinality(self) -> int:

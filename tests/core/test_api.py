@@ -58,6 +58,24 @@ class TestOperations:
         prepared.count(meter)
         assert meter.steps > 0
 
+    def test_metered_count_does_not_mutate_cache(self, small_colored):
+        """Regression: a metered call used to overwrite the cached count.
+
+        Instrumentation must be read-only — the cache stays empty until
+        an unmetered call fills it, and a metered call in between never
+        replaces the cached value.
+        """
+        prepared = prepare(small_colored, "B(x)")
+        meter = CostMeter()
+        metered = prepared.count(meter)
+        assert prepared._count is None, "metered call populated the cache"
+        cached = prepared.count()
+        assert cached == metered
+        assert prepared._count == cached
+        sentinel = prepared._count
+        prepared.count(CostMeter())
+        assert prepared._count is sentinel, "metered call overwrote the cache"
+
     def test_enumerate_with_meter(self, small_colored):
         prepared = prepare(small_colored, "B(x) & R(y) & ~E(x,y)")
         meter = CostMeter()

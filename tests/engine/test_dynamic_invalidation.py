@@ -1,0 +1,116 @@
+"""Engine caches vs. dynamic updates (insertions / deletions).
+
+The contract: a mutation of the structure — direct, or through
+``repro.core.dynamic.DynamicQuery`` sharing the same structure — must
+(a) make every outstanding ResultHandle raise ``StaleResultError``
+rather than serve pre-update answers, and (b) cause the next submission
+to rebuild against the current state and agree with the dynamically
+maintained pipeline and the naive oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dynamic import DynamicQuery
+from repro.engine import QueryBatch
+from repro.errors import StaleResultError
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.fo.syntax import Var
+from repro.structures.random_gen import random_colored_graph
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def db():
+    return random_colored_graph(24, max_degree=3, seed=7)
+
+
+def missing_unary_fact(structure, relation="B"):
+    """An element the relation does not yet hold of (a real insertion)."""
+    return next(
+        element
+        for element in structure.domain
+        if not structure.has_fact(relation, element)
+    )
+
+
+class TestStaleHandles:
+    def test_insert_staleness(self, db):
+        batch = QueryBatch(db)
+        handle = batch.submit(EXAMPLE)
+        handle.page(0, size=5)  # partially consumed
+        db.add_fact("B", missing_unary_fact(db))
+        assert handle.stale
+        with pytest.raises(StaleResultError):
+            handle.page(1, size=5)
+        with pytest.raises(StaleResultError):
+            handle.all()
+        with pytest.raises(StaleResultError):
+            handle.count()
+
+    def test_delete_staleness(self, db):
+        batch = QueryBatch(db)
+        handle = batch.submit(EXAMPLE)
+        some_edge = next(iter(db.facts("E")))
+        db.remove_fact("E", *some_edge)
+        with pytest.raises(StaleResultError):
+            handle.all()
+
+    def test_stream_raises_mid_iteration(self, db):
+        batch = QueryBatch(db)
+        handle = batch.submit(EXAMPLE)
+        stream = handle.stream()
+        next(stream)
+        db.add_fact("B", missing_unary_fact(db))
+        with pytest.raises(StaleResultError):
+            next(stream)
+
+    def test_noop_mutation_keeps_handle_fresh(self, db):
+        batch = QueryBatch(db)
+        handle = batch.submit(EXAMPLE)
+        existing = next(iter(db.facts("B")))
+        db.add_fact("B", *existing)  # already present: not a mutation
+        handle.all()  # must not raise
+
+
+class TestRebuildAfterUpdate:
+    def test_resubmit_reflects_mutation(self, db):
+        batch = QueryBatch(db)
+        before = batch.submit(EXAMPLE).all()
+        db.add_fact("B", missing_unary_fact(db))
+        after = batch.submit(EXAMPLE).all()
+        want = sorted(naive_answers(parse(EXAMPLE), db, order=(x, y)))
+        assert sorted(after) == want
+        assert before != after or sorted(before) == want
+
+    def test_cache_and_templates_invalidated(self, db):
+        batch = QueryBatch(db)
+        first, _ = batch.prepare(EXAMPLE)
+        assert batch.stats()["graph_templates"] == 1
+        db.add_fact("B", missing_unary_fact(db))
+        second, _ = batch.prepare(EXAMPLE)
+        assert second is not first, "stale pipeline served after a mutation"
+        # Old entries were dropped, not just shadowed.
+        assert batch.stats()["entries"] == 1
+
+    def test_agrees_with_dynamic_query(self):
+        # DynamicQuery maintains its own pipeline in place on the same
+        # structure the batch serves; both views must agree after updates.
+        structure = random_colored_graph(20, max_degree=3, seed=13)
+        dynamic = DynamicQuery(structure, EXAMPLE)
+        batch = QueryBatch(structure)
+        handle = batch.submit(EXAMPLE)
+        handle.page(0)
+
+        dynamic.insert_fact("E", 0, 5)
+        dynamic.insert_fact("B", 7)
+        dynamic.delete_fact("E", 0, 5)
+
+        with pytest.raises(StaleResultError):
+            handle.page(0)
+        fresh = batch.submit(EXAMPLE).all()
+        assert sorted(fresh) == sorted(dynamic.answers())

@@ -1,0 +1,357 @@
+"""Unit tests for the engine: cache keys, LRU, paging, streaming,
+cancellation, the execution-mode heuristic, and preprocessing sharing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import prepare
+from repro.engine import QueryBatch, parallel_enumerate
+from repro.engine.cache import PipelineCache, normalize_formula
+from repro.core.enumeration import arm_enumerator, enumerate_branch
+from repro.engine.executor import branch_works, decide_mode, plan_work_units
+from repro.structures.random_gen import random_colored_graph
+from repro.errors import EngineError, ResultCancelledError
+from repro.fo.parser import parse
+from repro.storage.cost_model import choose_execution_mode, estimate_branch_work
+from repro.structures.serialize import fingerprint
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+
+
+class TestFingerprint:
+    def test_stable_and_order_independent(self, tiny_graph):
+        first = fingerprint(tiny_graph)
+        assert first == fingerprint(tiny_graph)
+        clone = tiny_graph.copy()
+        assert fingerprint(clone) == first
+
+    def test_changes_on_mutation(self, tiny_graph):
+        before = fingerprint(tiny_graph)
+        tiny_graph.add_fact("B", 3)
+        assert fingerprint(tiny_graph) != before
+        tiny_graph.remove_fact("B", 3)
+        assert fingerprint(tiny_graph) == before
+
+    def test_handles_tuple_elements(self, grid_structure):
+        # Grid elements are (row, col) pairs the text format rejects.
+        assert len(fingerprint(grid_structure)) == 64
+
+    def test_version_counts_effective_mutations(self, tiny_graph):
+        version = tiny_graph.version
+        tiny_graph.add_fact("B", 0)  # already present: no-op
+        assert tiny_graph.version == version
+        tiny_graph.add_fact("B", 3)
+        assert tiny_graph.version == version + 1
+
+
+class TestPipelineCache:
+    def test_hit_returns_same_pipeline(self, small_colored):
+        cache = PipelineCache()
+        first, key1 = cache.get_or_build(small_colored, EXAMPLE)
+        second, key2 = cache.get_or_build(small_colored, EXAMPLE)
+        assert first is second
+        assert key1 == key2
+        assert cache.stats()["hits"] == 1
+
+    def test_normalization_merges_spellings(self, small_colored):
+        cache = PipelineCache()
+        first, _ = cache.get_or_build(small_colored, "B(x) & R(y)")
+        second, _ = cache.get_or_build(small_colored, "(B(x)) & (R(y))")
+        assert first is second
+
+    def test_distinct_eps_distinct_entries(self, small_colored):
+        cache = PipelineCache()
+        first, _ = cache.get_or_build(small_colored, EXAMPLE, eps=0.5)
+        second, _ = cache.get_or_build(small_colored, EXAMPLE, eps=0.25)
+        assert first is not second
+
+    def test_distinct_order_distinct_entries(self, small_colored):
+        cache = PipelineCache()
+        first, _ = cache.get_or_build(small_colored, EXAMPLE, order=["x", "y"])
+        second, _ = cache.get_or_build(small_colored, EXAMPLE, order=["y", "x"])
+        assert first is not second
+
+    def test_lru_eviction(self, small_colored):
+        cache = PipelineCache(capacity=2)
+        cache.get_or_build(small_colored, "B(x)")
+        cache.get_or_build(small_colored, "R(x)")
+        cache.get_or_build(small_colored, "B(x) & R(y)")
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+        # "B(x)" was evicted; rebuilding is a miss.
+        cache.get_or_build(small_colored, "B(x)")
+        assert cache.stats()["misses"] == 4
+
+    def test_normalize_formula_text(self):
+        assert normalize_formula(parse("B(x) & R(y)")) == normalize_formula(
+            parse("(B(x)) & (R(y))")
+        )
+
+
+class TestHeuristic:
+    def test_empty_branch_costs_nothing(self):
+        assert estimate_branch_work([10, 0, 5], 4) == 0
+
+    def test_work_scales_with_lists_and_degree(self):
+        small = estimate_branch_work([10, 10], 2)
+        bigger = estimate_branch_work([100, 100], 2)
+        assert bigger > small
+        assert estimate_branch_work([10, 10], 8) > small
+
+    def test_single_heavy_branch_still_parallelizes(self):
+        # Intra-branch sharding makes one heavy branch splittable.
+        assert choose_execution_mode([10**9], workers=8) == "process"
+
+    def test_single_tiny_branch_is_serial(self):
+        assert choose_execution_mode([10], workers=8) == "serial"
+
+    def test_one_worker_is_serial(self):
+        assert choose_execution_mode([10**6, 10**6], workers=1) == "serial"
+
+    def test_small_work_is_serial(self):
+        assert choose_execution_mode([10, 10], workers=4) == "serial"
+
+    def test_medium_work_is_thread(self):
+        assert choose_execution_mode([50_000, 50_000], workers=4) == "thread"
+
+    def test_large_work_is_process(self):
+        assert choose_execution_mode([10**6, 10**6], workers=4) == "process"
+
+    def test_decide_mode_rejects_bad_mode(self, small_colored):
+        prepared = prepare(small_colored, EXAMPLE)
+        with pytest.raises(EngineError):
+            decide_mode(prepared.pipeline, workers=2, mode="fiber")
+
+    def test_branch_works_matches_branches(self, small_colored):
+        prepared = prepare(small_colored, EXAMPLE)
+        works = branch_works(prepared.pipeline)
+        assert len(works) == prepared.pipeline.branch_count
+
+
+class TestResultHandle:
+    def test_paging_covers_all_answers(self, medium_colored):
+        batch = QueryBatch(medium_colored)
+        serial = list(prepare(medium_colored, EXAMPLE).enumerate())
+        handle = batch.submit(EXAMPLE)
+        paged = []
+        index = 0
+        while True:
+            page = handle.page(index, size=37)
+            if not page:
+                break
+            paged.extend(page)
+            index += 1
+        assert paged == serial
+
+    def test_page_is_idempotent(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        assert handle.page(0, size=5) == handle.page(0, size=5)
+
+    def test_bad_page_request(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        with pytest.raises(EngineError):
+            handle.page(-1)
+        with pytest.raises(EngineError):
+            handle.page(0, size=0)
+
+    def test_stream_matches_serial_order(self, medium_colored):
+        serial = list(prepare(medium_colored, EXAMPLE).enumerate())
+        handle = QueryBatch(medium_colored).submit(EXAMPLE)
+        assert list(handle.stream()) == serial
+
+    def test_stream_restarts_from_materialized_prefix(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        first = list(handle.stream())
+        second = list(handle.stream())
+        assert first == second
+
+    def test_count_and_test(self, small_colored):
+        prepared = prepare(small_colored, EXAMPLE)
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        assert handle.count() == prepared.count()
+        answers = prepared.answers()
+        if answers:
+            assert handle.test(answers[0])
+
+    def test_cancel_stops_access(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        stream = handle.stream()
+        next(stream)
+        handle.cancel()
+        assert handle.cancelled
+        with pytest.raises(ResultCancelledError):
+            handle.page(0)
+        with pytest.raises(ResultCancelledError):
+            handle.all()
+
+    def test_cancel_is_idempotent(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        handle.cancel()
+        handle.cancel()
+
+    def test_trivial_query_handles(self, small_colored):
+        # Localization collapses this to a constant-true formula.
+        handle = QueryBatch(small_colored).submit("x = x")
+        answers = handle.all()
+        assert answers == [(a,) for a in small_colored.domain]
+
+
+class TestSharedPreprocessing:
+    def test_graph_template_shared_across_queries(self, small_colored):
+        batch = QueryBatch(small_colored)
+        batch.submit("B(x) & R(y) & ~E(x,y)").all()
+        batch.submit("B(x) & B(y) & ~E(x,y) & x != y").all()
+        # Same arity, same radius: one template serves both pipelines.
+        assert batch.stats()["graph_templates"] == 1
+        assert batch.stats()["misses"] == 2
+
+    def test_shared_graph_answers_match_unshared(self, medium_colored):
+        shared = QueryBatch(medium_colored, share_graphs=True)
+        unshared = QueryBatch(medium_colored, share_graphs=False)
+        for text in (EXAMPLE, "B(x) & R(y) & E(x,y)"):
+            assert shared.submit(text).all() == unshared.submit(text).all()
+
+    def test_pipelines_do_not_share_colors(self, small_colored):
+        batch = QueryBatch(small_colored)
+        first, _ = batch.prepare(EXAMPLE)
+        second, _ = batch.prepare("B(x) & R(y) & E(x,y)")
+        assert first.graph is not second.graph
+
+
+class TestIntraBranchSharding:
+    """One heavy branch must split into contiguous, exact shards."""
+
+    TRIPLE = "B(x) & R(y) & G(z) & ~E(x,y) & ~E(y,z) & ~E(x,z)"
+
+    @pytest.fixture(scope="class")
+    def triple_pipeline(self):
+        db = random_colored_graph(
+            40, max_degree=4, colors=("B", "R", "G"), seed=42
+        )
+        return prepare(db, self.TRIPLE).pipeline
+
+    def test_units_are_ordered_and_contiguous(self, triple_pipeline):
+        units = plan_work_units(triple_pipeline, workers=4)
+        assert [unit[0] for unit in units] == sorted(unit[0] for unit in units)
+        per_branch = {}
+        for branch_index, start, stop in units:
+            per_branch.setdefault(branch_index, []).append((start, stop))
+        for branch_index, slices in per_branch.items():
+            if slices == [(0, None)]:
+                continue
+            size = arm_enumerator(triple_pipeline, branch_index).outer_size()
+            assert slices[0][0] == 0
+            assert slices[-1][1] == size
+            for (_, left_stop), (right_start, _) in zip(slices, slices[1:]):
+                assert left_stop == right_start, "shards must be contiguous"
+
+    def test_heavy_branch_is_sharded(self, triple_pipeline):
+        units = plan_work_units(triple_pipeline, workers=4)
+        assert len(units) > triple_pipeline.branch_count
+
+    def test_shard_concatenation_is_exact(self, triple_pipeline):
+        units = plan_work_units(triple_pipeline, workers=4)
+        sharded = []
+        for branch_index, start, stop in units:
+            outer_slice = None if start == 0 and stop is None else (start, stop)
+            sharded.extend(
+                enumerate_branch(
+                    triple_pipeline, branch_index, outer_slice=outer_slice
+                )
+            )
+        serial = []
+        for branch_index in range(triple_pipeline.branch_count):
+            serial.extend(enumerate_branch(triple_pipeline, branch_index))
+        assert sharded == serial
+
+    def test_shards_exact_in_precompute_mode(self, triple_pipeline):
+        whole = list(
+            enumerate_branch(triple_pipeline, 4, skip_mode="precompute")
+        )
+        size = arm_enumerator(
+            triple_pipeline, 4, skip_mode="precompute"
+        ).outer_size()
+        pieces = []
+        cut = size // 2
+        for outer_slice in ((0, cut), (cut, size)):
+            pieces.extend(
+                enumerate_branch(
+                    triple_pipeline,
+                    4,
+                    skip_mode="precompute",
+                    outer_slice=outer_slice,
+                )
+            )
+        assert pieces == whole
+
+
+class TestExternalExecutors:
+    def test_process_pool_with_thread_mode_falls_back(self, medium_colored):
+        """Regression: thread mode must not pickle its closure into a
+        caller-supplied process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        serial = list(prepare(medium_colored, EXAMPLE).enumerate())
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            batch = QueryBatch(medium_colored, workers=2, executor=pool)
+            got = batch.submit(EXAMPLE, mode="thread").all()
+        assert got == serial
+
+    def test_thread_pool_reused_for_thread_mode(self, medium_colored):
+        from concurrent.futures import ThreadPoolExecutor
+
+        serial = list(prepare(medium_colored, EXAMPLE).enumerate())
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            batch = QueryBatch(medium_colored, workers=2, executor=pool)
+            got = batch.submit(EXAMPLE, mode="thread").all()
+        assert got == serial
+
+
+class TestFailureRecovery:
+    def test_retry_after_worker_failure_is_complete(self, medium_colored):
+        """Regression: a failed pull must not leave partial answers that a
+        retry would serve as the complete result set."""
+        batch = QueryBatch(medium_colored)
+        handle = batch.submit(EXAMPLE)
+        want = list(prepare(medium_colored, EXAMPLE).enumerate())
+
+        def broken_source():
+            yield want[:2]
+            raise RuntimeError("worker died")
+
+        handle._source = broken_source()
+        with pytest.raises(RuntimeError):
+            handle.all()
+        # The retry rebuilds a fresh source and returns everything.
+        assert handle.all() == want
+
+
+class TestBudgetPropagation:
+    def test_rebuild_spec_carries_budget(self, small_colored):
+        from repro.fo.localize import LocalizationBudget
+
+        budget = LocalizationBudget(max_derived=10_000)
+        prepared = prepare(small_colored, EXAMPLE, budget=budget)
+        spec = prepared.pipeline.rebuild_spec()
+        assert spec[4] is budget
+        from repro.engine.executor import _default_spec_key
+
+        keyed = _default_spec_key(prepared.pipeline)
+        default = _default_spec_key(prepare(small_colored, EXAMPLE).pipeline)
+        assert keyed != default, "budget must distinguish worker memo keys"
+
+
+class TestParallelEnumerateEdgeCases:
+    def test_empty_answer_set(self, small_colored):
+        prepared = prepare(small_colored, "B(x) & R(x) & ~(x = x)")
+        assert list(parallel_enumerate(prepared.pipeline, workers=2)) == []
+
+    def test_workers_validation(self, small_colored):
+        prepared = prepare(small_colored, EXAMPLE)
+        with pytest.raises(EngineError):
+            list(parallel_enumerate(prepared.pipeline, workers=0))
+
+    def test_batch_rejects_bad_workers_eagerly(self, small_colored):
+        with pytest.raises(EngineError):
+            QueryBatch(small_colored, workers=0)

@@ -1,0 +1,147 @@
+"""Differential tests: the parallel engine against the serial pipeline
+and the naive product baseline on random (structure, formula) pairs.
+
+The engine's contract is exact: for every query it must produce the
+*same answer sequence* — set AND order — as serial
+``PreparedQuery.enumerate()``, which in turn must agree as a set with
+``baselines.product_enumerate``.  Any divergence, on any generated pair,
+is a bug in the branch splitting, the deterministic merge, or the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro import prepare
+from repro.core.baselines import product_enumerate
+from repro.engine import QueryBatch, parallel_enumerate
+from repro.errors import UnsupportedQueryError
+
+from strategies import formulas, structures, ternary_structures
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def prepare_or_reject(db, formula, order):
+    """Prepare, rejecting formulas outside the pipeline's fragment.
+
+    The pipeline guards its clause expansion (``max_units``) with
+    ``UnsupportedQueryError``; such formulas are out of scope for the
+    engine-vs-serial comparison, not failures.
+    """
+    try:
+        return prepare(db, formula, order=order)
+    except UnsupportedQueryError:
+        assume(False)
+
+
+def assert_engine_matches(db, formula, workers=3, modes=("serial", "thread")):
+    """Engine output must equal serial output exactly, and the oracle as a set."""
+    order = sorted(formula.free)
+    prepared = prepare_or_reject(db, formula, order)
+    serial = list(prepared.enumerate())
+
+    for mode in modes:
+        parallel = list(
+            parallel_enumerate(prepared.pipeline, workers=workers, mode=mode)
+        )
+        assert parallel == serial, (
+            f"mode={mode}: parallel answers (or their order) diverge from serial"
+        )
+
+    oracle = set(product_enumerate(formula, db, order=order))
+    assert set(serial) == oracle, "serial pipeline diverges from the product baseline"
+    assert len(set(serial)) == len(serial), "enumeration repeated a tuple"
+
+
+class TestBinarySignature:
+    @given(
+        db=structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=1),
+    )
+    @settings(max_examples=30, **SETTINGS)
+    def test_quantified(self, db, formula):
+        assert_engine_matches(db, formula)
+
+    @given(
+        db=structures(max_n=12),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=0),
+    )
+    @settings(max_examples=30, **SETTINGS)
+    def test_quantifier_free(self, db, formula):
+        assert_engine_matches(db, formula)
+
+    @given(
+        db=structures(max_n=8),
+        formula=formulas(free_count=1, max_depth=3, max_quantifiers=3),
+    )
+    @settings(max_examples=15, **SETTINGS)
+    def test_deep_quantifier_nesting(self, db, formula):
+        """Up to three nested quantifiers (the new strategy depth)."""
+        assert_engine_matches(db, formula)
+
+
+class TestTernarySignature:
+    @given(
+        db=ternary_structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=0, ternary=True),
+    )
+    @settings(max_examples=25, **SETTINGS)
+    def test_quantifier_free(self, db, formula):
+        assert_engine_matches(db, formula)
+
+    @given(
+        db=ternary_structures(max_n=8),
+        formula=formulas(free_count=2, max_depth=2, max_quantifiers=1, ternary=True),
+    )
+    @settings(max_examples=15, **SETTINGS)
+    def test_quantified(self, db, formula):
+        assert_engine_matches(db, formula)
+
+
+class TestBatchDifferential:
+    """The QueryBatch path (cache + shared graphs) must match too."""
+
+    @given(
+        db=structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=1),
+    )
+    @settings(max_examples=20, **SETTINGS)
+    def test_batch_matches_serial_and_oracle(self, db, formula):
+        order = sorted(formula.free)
+        prepared = prepare_or_reject(db, formula, order)
+        serial = list(prepared.enumerate())
+
+        batch = QueryBatch(db, workers=2, mode="thread")
+        first = batch.submit(formula, order=order).all()
+        # Resubmission hits the pipeline cache; answers must be identical.
+        second = batch.submit(formula, order=order).all()
+        assert first == serial
+        assert second == serial
+        assert batch.stats()["hits"] >= 1
+
+        oracle = set(product_enumerate(formula, db, order=order))
+        assert set(first) == oracle
+
+
+class TestProcessMode:
+    """Process pools are slow to spin up; a few fixed differential cases."""
+
+    QUERIES = [
+        "B(x) & R(y) & ~E(x,y)",
+        "B(x) & R(y) & E(x,y)",
+        "(B(x) | R(x)) & (B(y) | R(y)) & x != y & ~E(x,y)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_process_pool_matches_serial(self, medium_colored, text):
+        prepared = prepare(medium_colored, text)
+        serial = list(prepared.enumerate())
+        parallel = list(
+            parallel_enumerate(prepared.pipeline, workers=2, mode="process")
+        )
+        assert parallel == serial

@@ -3,8 +3,9 @@
 Random formulas are the strongest oracle we have: any divergence between
 the pipeline and the naive semantics on any generated (structure, formula)
 pair is a bug.  Formulas are generated over the colored-graph signature
-``{E/2, B/1, R/1}`` with bounded depth and quantifier nesting, so naive
-evaluation stays affordable.
+``{E/2, B/1, R/1}`` — optionally extended with a ternary relation ``T/3``
+— with bounded depth and quantifier nesting, so naive evaluation stays
+affordable.
 """
 
 from __future__ import annotations
@@ -22,9 +23,12 @@ from repro.fo.syntax import (
     not_,
     or_,
 )
-from repro.structures.random_gen import random_colored_graph
+from repro.structures.random_gen import random_colored_graph, random_structure
+from repro.structures.signature import Signature
 
-VARIABLE_POOL = [Var("x"), Var("y"), Var("z"), Var("w")]
+VARIABLE_POOL = [Var("x"), Var("y"), Var("z"), Var("w"), Var("v")]
+
+TERNARY_SIGNATURE = Signature.of(T=3, E=2, B=1, R=1)
 
 
 @st.composite
@@ -39,7 +43,21 @@ def structures(draw, max_n: int = 16, max_degree: int = 3):
     )
 
 
-def _atoms(variables):
+@st.composite
+def ternary_structures(draw, max_n: int = 12, max_degree: int = 3):
+    """A small random structure over ``{T/3, E/2, B/1, R/1}``.
+
+    Ternary facts put hyperedges in the Gaifman graph (every pair of a
+    fact's components becomes adjacent), exercising the cluster
+    enumeration and the linking radius beyond plain graphs.
+    """
+    n = draw(st.integers(min_value=3, max_value=max_n))
+    degree = draw(st.integers(min_value=2, max_value=max_degree + 1))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    return random_structure(TERNARY_SIGNATURE, n, max_degree=degree, seed=seed)
+
+
+def _atoms(variables, ternary: bool = False):
     options = []
     for var in variables:
         options.append(st.just(RelAtom("B", (var,))))
@@ -54,30 +72,45 @@ def _atoms(variables):
                         lambda bound, l=left, r=right: DistAtom(l, r, bound)
                     )
                 )
+    if ternary:
+        pool = list(variables)
+        for first in pool:
+            for second in pool:
+                for third in pool:
+                    options.append(st.just(RelAtom("T", (first, second, third))))
     return st.one_of(options)
 
 
 @st.composite
-def formulas(draw, free_count: int = 2, max_depth: int = 3, max_quantifiers: int = 1):
+def formulas(
+    draw,
+    free_count: int = 2,
+    max_depth: int = 3,
+    max_quantifiers: int = 1,
+    ternary: bool = False,
+):
     """A random FO formula with the given free variables.
 
     Quantified variables are drawn from the tail of the pool; at most
-    ``max_quantifiers`` quantifiers are introduced to keep the naive
-    oracle fast.
+    ``max_quantifiers`` quantifiers are introduced (nesting up to
+    ``len(VARIABLE_POOL) - free_count`` deep) to keep the naive oracle
+    fast.  ``ternary=True`` adds ``T/3`` atoms for structures over
+    ``TERNARY_SIGNATURE``.
     """
     free_vars = VARIABLE_POOL[:free_count]
 
     def build(depth: int, scope, quantifier_budget: int):
         if depth <= 0:
-            return draw(_atoms(scope))
+            return draw(_atoms(scope, ternary))
+        can_quantify = quantifier_budget > 0 and len(scope) < len(VARIABLE_POOL)
         choice = draw(
             st.sampled_from(
                 ["atom", "not", "and", "or"]
-                + (["exists", "forall"] if quantifier_budget > 0 else [])
+                + (["exists", "forall"] if can_quantify else [])
             )
         )
         if choice == "atom":
-            return draw(_atoms(scope))
+            return draw(_atoms(scope, ternary))
         if choice == "not":
             return not_(build(depth - 1, scope, quantifier_budget))
         if choice in ("and", "or"):

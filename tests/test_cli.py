@@ -135,3 +135,31 @@ class TestCommands:
             ]
         )
         assert code == 2
+
+    def test_batch_count_and_cache(self, capsys, tmp_path):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "# corpus\nB(x) & R(y) & ~E(x,y)\nB(x) & R(y) & E(x,y)\n"
+        )
+        code = main(
+            [
+                "batch",
+                "-w", "colored:n=40,d=3,seed=2",
+                "-q", "B(x) & R(y) & ~E(x,y)",
+                "--queries-file", str(queries),
+                "--count",
+                "--limit", "2",
+                "--workers", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 queries" in out
+        assert out.count("count=") == 3
+        # The duplicated query hits the pipeline cache.
+        assert "1 hits" in out
+
+    def test_batch_without_queries_errors(self, capsys):
+        code = main(["batch", "-w", "colored:n=20,d=3"])
+        assert code == 2
+        assert "at least one" in capsys.readouterr().err
