@@ -1,47 +1,155 @@
-"""E3 — counting is pseudo-linear (Theorem 2.5).
+"""E3 — counting is pseudo-linear (Theorem 2.5), and parallelizes.
 
 Claim: ``|q(A)|`` is computed in time ``~ n^{1+eps}`` even when the answer
 set itself has size ``Theta(n^2)`` — counting never materializes answers.
+The per-branch counts are independent integers (the theorem sums them),
+so the engine's ``parallel_count`` must return the *exact* serial value
+in every execution mode.
 
-Shape to read off group "E3-counting": time roughly doubles with ``n``
-while the counted value roughly *quadruples*.
+Two entry points:
+
+* pytest-benchmark functions (``pytest benchmarks/bench_e3_counting.py
+  --benchmark-only``), groups "E3-counting" / "E3-counting-parallel";
+* a standalone harness (``python benchmarks/bench_e3_counting.py``)
+  that times serial vs. thread vs. process counting over one long-lived
+  :class:`~repro.engine.pool.WorkerPool` and **fails (exit 1) on any
+  parallel/serial count divergence** — CI runs it with ``--smoke``.
 """
 
-import pytest
+from __future__ import annotations
 
-from repro.core.counting import count_answers
-from repro.core.pipeline import Pipeline
-from repro.fo.semantics import naive_count
+import argparse
+import os
+import sys
+import time
 
-from workloads import EXAMPLE_23, colored_graph, query
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if REPO_SRC not in sys.path:  # allow `python benchmarks/bench_e3_counting.py`
+    sys.path.insert(0, REPO_SRC)
+
+from repro.core.counting import count_answers  # noqa: E402
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.engine import WorkerPool, parallel_count  # noqa: E402
+from repro.fo.semantics import naive_count  # noqa: E402
+
+from workloads import EXAMPLE_23, colored_graph, query  # noqa: E402
 
 SIZES = [512, 1024, 2048, 4096]
 DEGREE = 4
 
 
-@pytest.mark.parametrize("n", SIZES)
-@pytest.mark.benchmark(group="E3-counting")
-def bench_count(benchmark, n):
+# ----------------------------------------------------------------------
+# Standalone harness (the CI equality gate)
+# ----------------------------------------------------------------------
+
+
+def run_harness(n: int, workers: int) -> int:
     db = colored_graph(n, DEGREE)
+    print(f"workload: n={db.cardinality}, degree={db.degree}, query={EXAMPLE_23}")
+
+    started = time.perf_counter()
     pipeline = Pipeline(db, query(EXAMPLE_23))
+    print(f"preprocessing: {time.perf_counter() - started:.2f}s; "
+          f"branches={pipeline.branch_count}")
 
-    count = benchmark.pedantic(lambda: count_answers(pipeline), rounds=3, iterations=2)
-    benchmark.extra_info["n"] = n
-    benchmark.extra_info["count"] = count
-    # Quadratically many answers, counted without enumerating them.
-    assert count > n
+    started = time.perf_counter()
+    serial = count_answers(pipeline)
+    serial_elapsed = time.perf_counter() - started
+    print(f"serial:  {serial_elapsed:.3f}s  (count {serial:,})")
+
+    failures = 0
+    with WorkerPool(workers) as pool:
+        for mode in ("thread", "process"):
+            started = time.perf_counter()
+            got = parallel_count(pipeline, workers=workers, mode=mode, pool=pool)
+            elapsed = time.perf_counter() - started
+            speedup = serial_elapsed / elapsed if elapsed > 0 else float("inf")
+            verdict = "exact" if got == serial else f"DIVERGED (got {got:,})"
+            print(f"{mode:7s}: {elapsed:.3f}s  speedup {speedup:.2f}x  [{verdict}]")
+            if got != serial:
+                failures += 1
+    if failures:
+        print(f"FAIL: {failures} mode(s) diverged from the serial count")
+        return 1
+    print(f"OK: all modes returned the exact serial count {serial:,}")
+    return 0
 
 
-@pytest.mark.parametrize("n", [60, 120])
-@pytest.mark.benchmark(group="E3-counting-vs-naive")
-def bench_naive_count_for_reference(benchmark, n):
-    """The O(n^2) naive count at small n — the quadratic strawman."""
-    db = colored_graph(n, DEGREE)
-    formula = query(EXAMPLE_23)
-    count = benchmark.pedantic(
-        lambda: naive_count(formula, db), rounds=2, iterations=1
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload; checks parallel/serial count equality only",
     )
-    benchmark.extra_info["n"] = n
-    # Cross-check correctness while we are here.
-    pipeline = Pipeline(db, formula)
-    assert count_answers(pipeline) == count
+    parser.add_argument("-n", type=int, default=None, help="structure size")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (96 if args.smoke else 2048)
+    return run_harness(n, args.workers)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (the E-series tables)
+# ----------------------------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - standalone invocation
+    pytest = None
+
+if pytest is not None:
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.benchmark(group="E3-counting")
+    def bench_count(benchmark, n):
+        db = colored_graph(n, DEGREE)
+        pipeline = Pipeline(db, query(EXAMPLE_23))
+
+        count = benchmark.pedantic(
+            lambda: count_answers(pipeline), rounds=3, iterations=2
+        )
+        benchmark.extra_info["n"] = n
+        benchmark.extra_info["count"] = count
+        # Quadratically many answers, counted without enumerating them.
+        assert count > n
+
+    @pytest.mark.parametrize("mode", ["thread", "process"])
+    @pytest.mark.benchmark(group="E3-counting-parallel")
+    def bench_parallel_count(benchmark, mode):
+        """Parallel per-branch counting over a warm long-lived pool."""
+        n = SIZES[-1]
+        db = colored_graph(n, DEGREE)
+        pipeline = Pipeline(db, query(EXAMPLE_23))
+        serial = count_answers(pipeline)
+        with WorkerPool(4) as pool:
+            # Warm once (process workers rebuild the pipeline on first use).
+            parallel_count(pipeline, workers=4, mode=mode, pool=pool)
+            count = benchmark.pedantic(
+                lambda: parallel_count(pipeline, workers=4, mode=mode, pool=pool),
+                rounds=3,
+                iterations=1,
+            )
+        benchmark.extra_info["n"] = n
+        benchmark.extra_info["mode"] = mode
+        assert count == serial, "parallel count diverged from serial"
+
+    @pytest.mark.parametrize("n", [60, 120])
+    @pytest.mark.benchmark(group="E3-counting-vs-naive")
+    def bench_naive_count_for_reference(benchmark, n):
+        """The O(n^2) naive count at small n — the quadratic strawman."""
+        db = colored_graph(n, DEGREE)
+        formula = query(EXAMPLE_23)
+        count = benchmark.pedantic(
+            lambda: naive_count(formula, db), rounds=2, iterations=1
+        )
+        benchmark.extra_info["n"] = n
+        # Cross-check correctness while we are here.
+        pipeline = Pipeline(db, formula)
+        assert count_answers(pipeline) == count
+
+
+if __name__ == "__main__":
+    sys.exit(main())

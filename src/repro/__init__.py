@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.errors import (
+    CancelledResultError,
     EngineError,
     EvaluationError,
     ParseError,
@@ -35,6 +36,8 @@ from repro.structures import Signature, Structure
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncQueryBatch",
+    "CancelledResultError",
     "DynamicQuery",
     "EngineError",
     "EvaluationError",
@@ -86,4 +89,8 @@ def __getattr__(name):
         from repro.engine import QueryBatch
 
         return QueryBatch
+    if name == "AsyncQueryBatch":
+        from repro.engine import AsyncQueryBatch
+
+        return AsyncQueryBatch
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

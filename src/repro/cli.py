@@ -161,33 +161,39 @@ def cmd_batch(args: argparse.Namespace) -> int:
             ) from None
     if not queries:
         raise ReproError("batch needs at least one -q/--query or --queries-file")
-    batch = QueryBatch(
+    # The batch owns a long-lived worker pool (lazily started, reused by
+    # every query below); the context manager shuts it down at the end.
+    with QueryBatch(
         db, eps=args.eps, workers=args.workers, mode=args.mode
-    )
-    print(f"workload: n={db.cardinality}, degree={db.degree}; "
-          f"{len(queries)} queries")
-    started = time.perf_counter()
-    for text in queries:
-        handle = batch.submit(text)
-        line = f"[{text}]"
-        if args.count:
-            line += f"  count={handle.count()}"
-        print(line)
-        if args.limit:
-            shown = 0
-            for answer in handle.stream():
-                print("  " + ", ".join(str(component) for component in answer))
-                shown += 1
-                if shown >= args.limit:
-                    handle.cancel()
-                    break
-    elapsed = time.perf_counter() - started
-    stats = batch.stats()
-    print(
-        f"batch done in {elapsed:.3f}s; pipeline cache "
-        f"{stats['hits']} hits / {stats['misses']} misses, "
-        f"{stats['graph_templates']} shared graph template(s)"
-    )
+    ) as batch:
+        print(f"workload: n={db.cardinality}, degree={db.degree}; "
+              f"{len(queries)} queries")
+        started = time.perf_counter()
+        for text in queries:
+            handle = batch.submit(text)
+            line = f"[{text}]"
+            if args.count:
+                # Parallel per-branch counting over the batch pool (the
+                # result is exactly the serial count_answers integer).
+                line += f"  count={handle.count()}"
+            print(line)
+            if args.limit:
+                shown = 0
+                for answer in handle.stream():
+                    print("  " + ", ".join(str(c) for c in answer))
+                    shown += 1
+                    if shown >= args.limit:
+                        handle.cancel()
+                        break
+        elapsed = time.perf_counter() - started
+        stats = batch.stats()
+        print(
+            f"batch done in {elapsed:.3f}s; pipeline cache "
+            f"{stats['hits']} hits / {stats['misses']} misses, "
+            f"{stats['graph_templates']} shared graph template(s); "
+            f"pool: {stats['pool_submits']} submit(s), "
+            f"{stats['pool_restarts']} restart(s)"
+        )
     return 0
 
 

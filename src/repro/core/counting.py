@@ -28,14 +28,34 @@ Pair = Tuple[int, int]
 def count_answers(pipeline: Pipeline, meter: Optional[CostMeter] = None) -> int:
     """``|q(A)|`` in pseudo-linear time (Theorem 2.5)."""
     if pipeline.trivial is not None:
-        if not pipeline.trivial:
-            return 0
-        return pipeline.structure.cardinality ** pipeline.arity
+        return trivial_count(pipeline)
     total = 0
-    assert pipeline.graph is not None
-    for branch in pipeline.branches:
-        total += count_branch(pipeline.graph, branch, meter)
+    for branch_index in range(len(pipeline.branches)):
+        total += count_branch_at(pipeline, branch_index, meter)
     return total
+
+
+def trivial_count(pipeline: Pipeline) -> int:
+    """The count when localization collapsed the query to a constant."""
+    assert pipeline.trivial is not None
+    if not pipeline.trivial:
+        return 0
+    return pipeline.structure.cardinality ** pipeline.arity
+
+
+def count_branch_at(
+    pipeline: Pipeline, branch_index: int, meter: Optional[CostMeter] = None
+) -> int:
+    """Count one branch of a pipeline, addressed by index.
+
+    This is the engine's task-splitting hook (Theorem 2.5 makes ``|q(A)|``
+    a sum of independent per-branch counts): the index is picklable, so a
+    worker process can rebuild the pipeline from its spec and count just
+    this branch.  It is also thread-safe — counting only *reads* the
+    colored graph and the branch lists.
+    """
+    assert pipeline.graph is not None
+    return count_branch(pipeline.graph, pipeline.branches[branch_index], meter)
 
 
 def count_branch(

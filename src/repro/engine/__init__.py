@@ -2,51 +2,81 @@
 
 Layers on top of the paper's pipeline (:mod:`repro.core`):
 
-* :mod:`repro.engine.executor` — branch-parallel enumeration of one
-  pipeline across a thread or process pool, with a deterministic merge
-  that reproduces the serial answer order byte-for-byte;
+* :mod:`repro.engine.executor` — branch-parallel enumeration *and
+  counting* of one pipeline across a thread or process pool, with a
+  deterministic merge that reproduces the serial answer order
+  byte-for-byte (and, for :func:`parallel_count`, the exact serial
+  count);
+* :mod:`repro.engine.pool` — :class:`WorkerPool`, the long-lived,
+  lazily-started, crash-restarting worker pool each
+  :class:`QueryBatch` owns;
 * :mod:`repro.engine.cache` — LRU pipeline cache keyed by
   ``(structure fingerprint, normalized formula, order, eps)``;
 * :mod:`repro.engine.batch` — :class:`QueryBatch`, sharing one
   structure's preprocessing across many queries, returning
-  :class:`ResultHandle` objects with ``.page() / .stream() / .cancel()``.
+  :class:`ResultHandle` objects with ``.page() / .stream() / .count() /
+  .cancel()``;
+* :mod:`repro.engine.aio` — :class:`AsyncQueryBatch`, the asyncio
+  front-end bridging pool futures to awaitables.
 
 Quick start::
 
     from repro.engine import QueryBatch
 
-    batch = QueryBatch(structure, workers=4)
-    handle = batch.submit("B(x) & R(y) & ~E(x,y)")
-    first = handle.page(0, size=20)
-    for answer in handle.stream():
-        ...
+    with QueryBatch(structure, workers=4) as batch:
+        handle = batch.submit("B(x) & R(y) & ~E(x,y)")
+        first = handle.page(0, size=20)
+        total = handle.count()      # parallel per-branch counting
+        for answer in handle.stream():
+            ...
+
+Async::
+
+    from repro.engine import AsyncQueryBatch
+
+    async with AsyncQueryBatch(structure, workers=4) as batch:
+        handle = await batch.submit("B(x) & R(y) & ~E(x,y)")
+        total = await handle.count()
+        async for answer in handle.stream():
+            ...
 """
 
+from repro.engine.aio import AsyncQueryBatch, AsyncResultHandle
 from repro.engine.batch import DEFAULT_PAGE_SIZE, QueryBatch, ResultHandle
 from repro.engine.cache import PipelineCache, cache_key, normalize_formula
 from repro.engine.executor import (
     BranchTask,
     branch_works,
+    count_works,
+    decide_count_mode,
     decide_mode,
     default_workers,
+    parallel_count,
     parallel_enumerate,
     plan_work_units,
     prearm,
     run_branches,
     warm_pool,
 )
+from repro.engine.pool import WorkerPool
 
 __all__ = [
+    "AsyncQueryBatch",
+    "AsyncResultHandle",
     "BranchTask",
     "DEFAULT_PAGE_SIZE",
     "PipelineCache",
     "QueryBatch",
     "ResultHandle",
+    "WorkerPool",
     "branch_works",
     "cache_key",
+    "count_works",
+    "decide_count_mode",
     "decide_mode",
     "default_workers",
     "normalize_formula",
+    "parallel_count",
     "parallel_enumerate",
     "plan_work_units",
     "prearm",

@@ -1,0 +1,260 @@
+"""Asyncio front-end over the batch engine.
+
+:class:`AsyncQueryBatch` lets an event-loop application (an API server,
+a notebook) drive :class:`repro.engine.batch.QueryBatch` without blocking
+the loop: every blocking stage — pipeline preparation, branch pulls,
+counting — runs on a worker thread, and the underlying thread/process
+fan-out still happens in the batch's own long-lived
+:class:`~repro.engine.pool.WorkerPool`.
+
+Semantics carried over from the synchronous engine:
+
+* answers arrive in the exact serial enumeration order;
+* ``await``-ing a handle whose structure has mutated raises
+  :class:`repro.errors.StaleResultError`;
+* a cancelled handle raises :class:`repro.errors.CancelledResultError`.
+
+Cancellation propagates *into* the engine: when the task awaiting a pull
+is cancelled (or a stream is abandoned), the wrapped
+:meth:`ResultHandle.cancel` runs as soon as the in-flight pull retires,
+which closes the branch generator and cancels its pending pool futures —
+the pool slots are released instead of computing unread answers.
+
+Quick start::
+
+    async with AsyncQueryBatch(structure, workers=4) as batch:
+        handle = await batch.submit("B(x) & R(y) & ~E(x,y)")
+        total = await handle.count()
+        async for answer in handle.stream():
+            ...
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import AsyncIterator, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.batch import DEFAULT_PAGE_SIZE, QueryBatch, ResultHandle
+from repro.fo.syntax import Formula, Var
+from repro.structures.structure import Structure
+
+Element = Hashable
+Answer = Tuple[Element, ...]
+
+
+class AsyncResultHandle:
+    """Awaitable facade over one :class:`ResultHandle`.
+
+    Access is serialized by an :class:`asyncio.Lock` — the synchronous
+    handle's pull path is not re-entrant, and one query's answers arrive
+    in one order anyway.  Concurrency across *different* handles is the
+    intended scaling axis.
+    """
+
+    def __init__(self, handle: ResultHandle):
+        self._handle = handle
+        self._lock = asyncio.Lock()
+        # Cancellation must never run concurrently with a pull: the
+        # handle's generator cannot be closed while executing.  A pull in
+        # flight on a worker thread is tracked under this mutex; a cancel
+        # that arrives meanwhile is deferred to the pull's retirement.
+        self._sync = threading.Lock()
+        self._pull_active = False
+        self._cancel_requested = False
+
+    @property
+    def inner(self) -> ResultHandle:
+        return self._handle
+
+    @property
+    def cancelled(self) -> bool:
+        return self._handle.cancelled
+
+    @property
+    def stale(self) -> bool:
+        return self._handle.stale
+
+    async def _call(self, fn, *args):
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            with self._sync:
+                self._pull_active = True
+            future = loop.run_in_executor(None, self._pull_wrapper, fn, args)
+            try:
+                # shield: a task cancellation must not cancel the inner
+                # future — the wrapper is guaranteed to run (and retire
+                # the pull) even if it was still queued when cancelled.
+                return await asyncio.shield(future)
+            except asyncio.CancelledError:
+                # The worker thread cannot be interrupted mid-pull;
+                # request cancellation — it lands the moment the
+                # in-flight pull retires, releasing its pool futures.
+                self._cancel_quietly()
+                # The abandoned pull's outcome is intentionally unread.
+                future.add_done_callback(
+                    lambda f: f.exception() if not f.cancelled() else None
+                )
+                raise
+
+    def _pull_wrapper(self, fn, args):
+        """Run one blocking pull; honor a cancel deferred while it ran."""
+        try:
+            return fn(*args)
+        finally:
+            with self._sync:
+                self._pull_active = False
+                requested = self._cancel_requested
+            if requested:
+                self._do_cancel()
+
+    def _cancel_quietly(self) -> None:
+        """Cancel now, or defer until the in-flight pull retires."""
+        with self._sync:
+            if self._pull_active:
+                self._cancel_requested = True
+                return
+        self._do_cancel()
+
+    def _do_cancel(self) -> None:
+        try:
+            self._handle.cancel()
+        except Exception:  # pragma: no cover - cancel() does not raise today
+            pass
+
+    # -- the awaitable access paths ------------------------------------
+
+    async def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
+        """The ``index``-th page, pulled off-loop."""
+        return await self._call(self._handle.page, index, size)
+
+    async def all(self) -> List[Answer]:
+        """Every answer (serial order), pulled off-loop."""
+        return await self._call(self._handle.all)
+
+    async def count(self) -> int:
+        """``|q(A)|`` via the (possibly parallel) counting engine."""
+        return await self._call(self._handle.count)
+
+    async def test(self, candidate: Sequence[Element]) -> bool:
+        """Constant-time membership test."""
+        return await self._call(self._handle.test, candidate)
+
+    async def stream(
+        self, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> AsyncIterator[Answer]:
+        """Yield answers one by one; pulls happen a page at a time.
+
+        Abandoning the stream (``break``, task cancellation, closing the
+        async generator) cancels the underlying handle — a partially
+        consumed stream does not keep pool workers busy.
+        """
+        index = 0
+        exhausted = False
+        try:
+            while True:
+                page = await self._call(self._handle.page, index, page_size)
+                if not page:
+                    exhausted = True
+                    return
+                for answer in page:
+                    yield answer
+                if len(page) < page_size:
+                    exhausted = True
+                    return
+                index += 1
+        finally:
+            if not exhausted and not self._handle.cancelled:
+                self._cancel_quietly()
+
+    async def cancel(self) -> None:
+        """Cancel the handle (deferred past any in-flight pull)."""
+        async with self._lock:
+            self._cancel_quietly()
+
+    def __aiter__(self) -> AsyncIterator[Answer]:
+        return self.stream()
+
+
+class AsyncQueryBatch:
+    """Asyncio wrapper around a (possibly shared) :class:`QueryBatch`.
+
+    Construct it from a structure (the batch is owned, and closed by
+    :meth:`close` / ``async with``) or from an existing ``QueryBatch``
+    (whose lifecycle stays with the caller).
+    """
+
+    def __init__(
+        self,
+        structure_or_batch: Union[Structure, QueryBatch],
+        **batch_options,
+    ):
+        if isinstance(structure_or_batch, QueryBatch):
+            if batch_options:
+                raise TypeError(
+                    "batch options only apply when constructing from a "
+                    "structure; configure the QueryBatch directly instead"
+                )
+            self._batch = structure_or_batch
+            self._owned = False
+        else:
+            self._batch = QueryBatch(structure_or_batch, **batch_options)
+            self._owned = True
+        # Pipeline builds mutate the shared cache and are CPU-heavy;
+        # serialize them.  Handle pulls (the actual answer production) run
+        # outside this lock, so handles still progress concurrently.
+        self._submit_lock = asyncio.Lock()
+
+    @property
+    def batch(self) -> QueryBatch:
+        return self._batch
+
+    async def submit(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        **submit_options,
+    ) -> AsyncResultHandle:
+        """Prepare (or cache-hit) the pipeline off-loop; await the handle."""
+        async with self._submit_lock:
+            handle = await asyncio.to_thread(
+                self._batch.submit, query, order=order, **submit_options
+            )
+        return AsyncResultHandle(handle)
+
+    async def count(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+    ) -> int:
+        """``|q(A)|`` without keeping a handle around."""
+        async with self._submit_lock:
+            handle = await asyncio.to_thread(
+                self._batch.submit, query, order=order
+            )
+        return await AsyncResultHandle(handle).count()
+
+    async def stream(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> AsyncIterator[Answer]:
+        """Submit and stream in one call."""
+        handle = await self.submit(query, order=order)
+        async for answer in handle.stream(page_size=page_size):
+            yield answer
+
+    async def close(self) -> None:
+        """Close the owned batch (and its worker pool).  Idempotent.
+
+        A wrapped caller-owned batch is left open.
+        """
+        if self._owned:
+            await asyncio.to_thread(self._batch.close)
+
+    async def __aenter__(self) -> "AsyncQueryBatch":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

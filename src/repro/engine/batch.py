@@ -19,6 +19,13 @@ mutation counter, so a handle created before an insertion/deletion (for
 example through :class:`repro.core.dynamic.DynamicQuery` sharing the same
 structure) raises :class:`repro.errors.StaleResultError` instead of
 serving pre-update answers.
+
+The batch owns a long-lived :class:`repro.engine.pool.WorkerPool`:
+lazily started on the first parallel submission, warm-reused by every
+later one, restarted transparently when a process worker dies, and shut
+down by :meth:`QueryBatch.close` (or the ``with`` statement).  Callers
+that managed their own executor before PR 2 can still pass ``executor=``;
+it takes precedence over the owned pool.
 """
 
 from __future__ import annotations
@@ -26,13 +33,13 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.colored_graph import ColoredGraph, build_colored_graph
-from repro.core.counting import count_answers
 from repro.core.enumeration import trivial_answers
 from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
 from repro.engine.cache import CacheKey, PipelineCache
-from repro.engine.executor import run_branches
-from repro.errors import EngineError, ResultCancelledError, StaleResultError
+from repro.engine.executor import parallel_count, run_branches
+from repro.engine.pool import WorkerPool
+from repro.errors import CancelledResultError, EngineError, StaleResultError
 from repro.fo.syntax import Formula, Var
 from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
@@ -63,6 +70,7 @@ class ResultHandle:
         mode: Optional[str] = None,
         spec_key: Optional[tuple] = None,
         executor=None,
+        pool: Optional[WorkerPool] = None,
     ):
         self._pipeline = pipeline
         self._structure = pipeline.structure
@@ -72,6 +80,7 @@ class ResultHandle:
         self._mode = mode
         self._spec_key = spec_key
         self._executor = executor
+        self._pool = pool
         self._answers: List[Answer] = []
         self._source: Optional[Iterator[List[Answer]]] = None
         self._count: Optional[int] = None
@@ -82,7 +91,7 @@ class ResultHandle:
 
     def _check_live(self) -> None:
         if self._cancelled:
-            raise ResultCancelledError("this result handle was cancelled")
+            raise CancelledResultError("this result handle was cancelled")
         if self._structure.version != self._version:
             raise StaleResultError(
                 "the structure changed after this handle was created "
@@ -113,6 +122,7 @@ class ResultHandle:
                 skip_mode=self._skip_mode,
                 spec_key=self._spec_key,
                 executor=self._executor,
+                pool=self._pool,
             )
 
     def _pull(self, needed: Optional[int]) -> None:
@@ -175,12 +185,24 @@ class ResultHandle:
     def count(self) -> int:
         """``|q(A)|`` via the counting algorithm (no enumeration).
 
-        Cached: the handle is pinned to one structure version (any
-        mutation raises), so the count can never go stale.
+        Per-branch counts run through the engine (cost-model decided,
+        over the batch pool when one is attached); the result is exactly
+        :func:`repro.core.counting.count_answers`.  Cached: the handle is
+        pinned to one structure version (any mutation raises), so the
+        count can never go stale.  After :meth:`cancel` this raises
+        :class:`repro.errors.CancelledResultError` — it never computes
+        from, or returns, a partially pulled handle.
         """
         self._check_live()
         if self._count is None:
-            self._count = count_answers(self._pipeline)
+            self._count = parallel_count(
+                self._pipeline,
+                workers=self._workers,
+                mode=self._mode,
+                spec_key=self._spec_key,
+                executor=self._executor,
+                pool=self._pool,
+            )
         return self._count
 
     def test(self, candidate: Sequence[Element]) -> bool:
@@ -189,7 +211,7 @@ class ResultHandle:
         return test_answer(self._pipeline, candidate)
 
     def cancel(self) -> None:
-        """Stop producing; subsequent access raises ResultCancelledError."""
+        """Stop producing; subsequent access raises CancelledResultError."""
         if self._cancelled:
             return
         self._cancelled = True
@@ -223,9 +245,14 @@ class QueryBatch:
         self.mode = mode
         self.skip_mode = skip_mode
         self.share_graphs = share_graphs
-        # A long-lived pool (e.g. a warmed ProcessPoolExecutor) shared by
-        # every handle; None means one ephemeral pool per execution.
+        # Legacy escape hatch: a caller-supplied concurrent.futures
+        # executor overrides the owned pool for every handle.
         self.executor = executor
+        # The batch-owned worker pool: lazily started (serial workloads
+        # never create OS resources), warm-reused across submits, and
+        # restarted when a process worker dies.  close() shuts it down.
+        self.pool = WorkerPool(workers)
+        self._closed = False
         self.cache = PipelineCache(cache_capacity)
         self._graph_templates: Dict[Tuple[int, int], ColoredGraph] = {}
         self._fingerprint = fingerprint(structure)
@@ -297,6 +324,7 @@ class QueryBatch:
         mode: Optional[str] = None,
     ) -> ResultHandle:
         """Prepare (or reuse) the pipeline and hand back a result handle."""
+        self._check_open()
         pipeline, key = self.prepare(query, order=order)
         return ResultHandle(
             pipeline,
@@ -305,19 +333,67 @@ class QueryBatch:
             mode=mode if mode is not None else self.mode,
             spec_key=key,
             executor=self.executor,
+            pool=self.pool if self.executor is None else None,
         )
 
     def count(
         self,
         query: Union[Formula, str],
         order: Optional[Sequence[Union[Var, str]]] = None,
+        workers: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> int:
-        """Convenience: count without keeping a handle around."""
-        pipeline, _ = self.prepare(query, order=order)
-        return count_answers(pipeline)
+        """Convenience: count without keeping a handle around.
+
+        Exactly :func:`repro.core.counting.count_answers`, computed by
+        the parallel engine when the counting cost model says it pays.
+        """
+        self._check_open()
+        pipeline, key = self.prepare(query, order=order)
+        return parallel_count(
+            pipeline,
+            workers=workers if workers is not None else self.workers,
+            mode=mode if mode is not None else self.mode,
+            spec_key=key,
+            executor=self.executor,
+            pool=self.pool if self.executor is None else None,
+        )
 
     def stats(self) -> Dict[str, int]:
-        """Cache observability (pipeline cache + graph templates)."""
+        """Cache observability (pipeline cache + graph templates + pool)."""
         stats = self.cache.stats()
         stats["graph_templates"] = len(self._graph_templates)
+        stats.update(
+            {f"pool_{key}": value for key, value in self.pool.stats().items()}
+        )
         return stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("this QueryBatch is closed")
+
+    def close(self) -> None:
+        """Shut down the owned worker pool.  Idempotent.
+
+        Existing handles keep any answers they already pulled; new
+        submissions (and new parallel pulls through the pool) raise
+        :class:`repro.errors.EngineError`.  A caller-supplied
+        ``executor=`` is *not* shut down — its lifecycle belongs to the
+        caller.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+
+    def __enter__(self) -> "QueryBatch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

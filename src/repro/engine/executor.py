@@ -21,29 +21,29 @@ Pool selection follows the cost-model heuristic
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Hashable, Iterator, List, Optional, Tuple
 
+from repro.core.counting import count_answers, count_branch_at, trivial_count
 from repro.core.enumeration import (
     arm_enumerator,
     enumerate_branch,
     trivial_answers,
 )
 from repro.core.pipeline import Pipeline
+from repro.engine.pool import WorkerPool, default_workers
 from repro.errors import EngineError
-from repro.storage.cost_model import choose_execution_mode, estimate_branch_work
+from repro.storage.cost_model import (
+    choose_execution_mode,
+    estimate_branch_work,
+    estimate_count_work,
+)
 
 Element = Hashable
 Answer = Tuple[Element, ...]
 
 MODES = ("serial", "thread", "process")
-
-
-def default_workers() -> int:
-    """Worker count when the caller does not choose: one per core."""
-    return os.cpu_count() or 1
 
 
 @dataclass(frozen=True)
@@ -131,6 +131,16 @@ def run_branch_task(task: BranchTask) -> List[Answer]:
     )
 
 
+def count_branch_task(task: BranchTask) -> int:
+    """Count one branch inside a worker process (Theorem 2.5 term).
+
+    ``start``/``stop`` are ignored: counting walks no enumeration order,
+    so the unit of parallel counting work is a whole branch.
+    """
+    pipeline = _worker_pipeline(task)
+    return count_branch_at(pipeline, task.branch_index)
+
+
 def warm_task(task: BranchTask) -> bool:
     """Rebuild (and memoize) the pipeline in a worker, producing nothing.
 
@@ -150,6 +160,8 @@ def warm_pool(
     skip_mode: str = "lazy",
 ) -> None:
     """Pre-build the pipeline on (up to) every worker of a process pool."""
+    if isinstance(pool, WorkerPool):
+        pool = pool.executor_for("process")
     if pipeline.trivial is not None:
         return
     if spec_key is None:
@@ -174,21 +186,50 @@ def branch_works(pipeline: Pipeline) -> List[int]:
     ]
 
 
-def decide_mode(
-    pipeline: Pipeline, workers: Optional[int] = None, mode: Optional[str] = None
-) -> Tuple[str, int]:
-    """Resolve ``(mode, workers)`` for a pipeline, applying the heuristic."""
+def count_works(pipeline: Pipeline) -> List[int]:
+    """Estimated *counting* work per branch (the count heuristic's input)."""
+    if pipeline.trivial is not None or pipeline.graph is None:
+        return []
+    degree = pipeline.graph.max_degree if pipeline.graph.adjacency else 0
+    return [
+        estimate_count_work(
+            [len(node_list) for node_list in branch.lists], degree
+        )
+        for branch in pipeline.branches
+    ]
+
+
+def _resolve_mode(pipeline, workers, mode, works_fn) -> Tuple[str, int]:
     if workers is None:
         workers = default_workers()
     if workers < 1:
         raise EngineError(f"workers must be >= 1, got {workers}")
     if mode is None:
-        mode = choose_execution_mode(branch_works(pipeline), workers)
+        mode = choose_execution_mode(works_fn(pipeline), workers)
     elif mode not in MODES:
         raise EngineError(f"unknown execution mode {mode!r}; choose from {MODES}")
     if mode == "serial":
         workers = 1
     return mode, workers
+
+
+def decide_mode(
+    pipeline: Pipeline, workers: Optional[int] = None, mode: Optional[str] = None
+) -> Tuple[str, int]:
+    """Resolve ``(mode, workers)`` for a pipeline, applying the heuristic."""
+    return _resolve_mode(pipeline, workers, mode, branch_works)
+
+
+def decide_count_mode(
+    pipeline: Pipeline, workers: Optional[int] = None, mode: Optional[str] = None
+) -> Tuple[str, int]:
+    """Like :func:`decide_mode`, but weighted by the counting cost model.
+
+    Counting a branch is usually far cheaper than enumerating it (no
+    answer materialization), so workloads that enumerate in process mode
+    often still count serially or on threads.
+    """
+    return _resolve_mode(pipeline, workers, mode, count_works)
 
 
 def _default_spec_key(pipeline: Pipeline) -> tuple:
@@ -264,6 +305,7 @@ def run_branches(
     skip_mode: str = "lazy",
     spec_key: Optional[tuple] = None,
     executor=None,
+    pool: Optional[WorkerPool] = None,
 ) -> Iterator[List[Answer]]:
     """Yield each branch's answer list, in branch-index order.
 
@@ -271,11 +313,13 @@ def run_branches(
     branch ``i``'s list is yielded before branch ``i + 1``'s, so
     flattening reproduces the serial answer order exactly.
 
-    ``executor`` lets a long-lived service reuse one pool across calls
-    (a ProcessPoolExecutor for ``mode="process"``, a ThreadPoolExecutor
-    for ``mode="thread"``); per-process pipeline memos then amortize the
-    rebuild across every query of the same structure.  Without it a
-    fresh pool is created and torn down per call.
+    ``pool`` is the batch-owned :class:`~repro.engine.pool.WorkerPool`:
+    long-lived, lazily started, restarted after worker crashes; its
+    per-process pipeline memos amortize rebuilds across every query of
+    the same structure.  ``executor`` is the legacy escape hatch — a
+    caller-supplied ``concurrent.futures`` executor that takes precedence
+    over ``pool``.  With neither, a fresh pool is created and torn down
+    per call.
     """
     if pipeline.trivial is not None:
         return
@@ -315,8 +359,14 @@ def run_branches(
             futures = [executor.submit(thread_task, unit) for unit in units]
             yield from _yield_futures(futures)
             return
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(thread_task, unit) for unit in units]
+        if pool is not None:
+            futures = [
+                pool.submit("thread", thread_task, unit) for unit in units
+            ]
+            yield from _yield_futures(futures)
+            return
+        with ThreadPoolExecutor(max_workers=workers) as ephemeral:
+            futures = [ephemeral.submit(thread_task, unit) for unit in units]
             yield from _yield_futures(futures)
         return
     # Process mode: ship the picklable spec, rebuild per worker (memoized
@@ -336,6 +386,17 @@ def run_branches(
         futures = [executor.submit(run_branch_task, task) for task in tasks]
         yield from _yield_futures(futures)
         return
+    if pool is not None:
+        # Batch-owned long-lived pool: like the external case its workers
+        # serve many queries, so tasks carry the spec (memoized worker-side
+        # under spec_key after the first shard arrives).
+        tasks = [
+            BranchTask(spec, spec_key, branch_index, skip_mode, start, stop)
+            for branch_index, start, stop in units
+        ]
+        futures = [pool.submit("process", run_branch_task, task) for task in tasks]
+        yield from _yield_futures(futures)
+        return
     # Ephemeral pool: the initializer ships the spec once per worker;
     # tasks carry only the key (the structure is not re-pickled per shard).
     tasks = [
@@ -344,8 +405,8 @@ def run_branches(
     ]
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
-    ) as pool:
-        futures = [pool.submit(run_branch_task, task) for task in tasks]
+    ) as ephemeral:
+        futures = [ephemeral.submit(run_branch_task, task) for task in tasks]
         yield from _yield_futures(futures)
 
 
@@ -355,6 +416,7 @@ def parallel_enumerate(
     mode: Optional[str] = None,
     skip_mode: str = "lazy",
     executor=None,
+    pool: Optional[WorkerPool] = None,
 ) -> Iterator[Answer]:
     """Enumerate ``q(A)`` using the branch-parallel engine.
 
@@ -371,8 +433,81 @@ def parallel_enumerate(
         mode=mode,
         skip_mode=skip_mode,
         executor=executor,
+        pool=pool,
     ):
         yield from branch_answers
+
+
+def parallel_count(
+    pipeline: Pipeline,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    spec_key: Optional[tuple] = None,
+    executor=None,
+    pool: Optional[WorkerPool] = None,
+) -> int:
+    """``|q(A)|`` with the per-branch counts computed in parallel.
+
+    Theorem 2.5 makes the total a sum of *independent* per-branch counts,
+    so parallelism cannot change the result: every mode computes the same
+    exact integers and adds them in branch order.  The return value is
+    guaranteed equal to :func:`repro.core.counting.count_answers` — the
+    differential suite (``tests/engine/test_count_differential.py``) and
+    the E3 smoke gate enforce this.
+
+    Mode selection uses the *counting* cost model
+    (:func:`repro.storage.cost_model.estimate_count_work`): counting never
+    materializes answers, so it goes parallel later than enumeration.
+    ``pool``/``executor`` follow :func:`run_branches` semantics (batch
+    pool vs. legacy caller-supplied executor vs. ephemeral).
+    """
+    if pipeline.trivial is not None:
+        return trivial_count(pipeline)
+    mode, workers = decide_count_mode(pipeline, workers, mode)
+    if mode == "serial":
+        return count_answers(pipeline)
+    indices = range(len(pipeline.branches))
+    if mode == "thread":
+        # Counting only reads the colored graph and branch lists, so
+        # threads share the parent pipeline with no arming or pickling.
+        if executor is not None and isinstance(executor, ThreadPoolExecutor):
+            submit = executor.submit
+        elif pool is not None:
+            def submit(fn, *args):
+                return pool.submit("thread", fn, *args)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as ephemeral:
+                futures = [
+                    ephemeral.submit(count_branch_at, pipeline, i)
+                    for i in indices
+                ]
+                return sum(future.result() for future in futures)
+        futures = [submit(count_branch_at, pipeline, i) for i in indices]
+        return sum(future.result() for future in futures)
+    # Process mode: one task per branch, pipeline rebuilt (memoized) per
+    # worker exactly as for enumeration.  Dispatch mirrors run_branches:
+    # a long-lived executor/pool serves many queries, so its tasks carry
+    # the spec; an ephemeral pool ships it once via the initializer.
+    if spec_key is None:
+        spec_key = _default_spec_key(pipeline)
+    spec = pipeline.rebuild_spec()
+    if executor is not None and not isinstance(executor, ThreadPoolExecutor):
+        submit = executor.submit
+    elif pool is not None:
+        def submit(fn, *args):
+            return pool.submit("process", fn, *args)
+    else:
+        tasks = [BranchTask(None, spec_key, i, "lazy") for i in indices]
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(spec, spec_key),
+        ) as ephemeral:
+            futures = [ephemeral.submit(count_branch_task, t) for t in tasks]
+            return sum(future.result() for future in futures)
+    tasks = [BranchTask(spec, spec_key, i, "lazy") for i in indices]
+    futures = [submit(count_branch_task, task) for task in tasks]
+    return sum(future.result() for future in futures)
 
 
 def prearm(pipeline: Pipeline, skip_mode: str = "lazy") -> None:

@@ -44,5 +44,15 @@ class StaleResultError(EngineError):
     """
 
 
-class ResultCancelledError(EngineError):
-    """The result handle was cancelled before its answers were consumed."""
+class CancelledResultError(EngineError):
+    """The result handle was cancelled before its answers were consumed.
+
+    Every access path — ``page`` / ``stream`` / ``all`` / ``count`` /
+    ``test`` — raises this after :meth:`ResultHandle.cancel`; a cancelled
+    handle never serves the partial prefix it may have pulled.
+    """
+
+
+# Legacy alias (pre-PR-2 spelling); new code should catch
+# CancelledResultError.
+ResultCancelledError = CancelledResultError

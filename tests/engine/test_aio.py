@@ -1,0 +1,201 @@
+"""Tests for the asyncio front-end (`repro.engine.aio`).
+
+Run with plain pytest via ``asyncio.run`` — no pytest-asyncio needed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro import prepare
+from repro.engine import AsyncQueryBatch, QueryBatch
+from repro.errors import CancelledResultError, StaleResultError
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+QUERIES = [
+    "B(x)",
+    "R(x)",
+    "B(x) & R(y)",
+    "B(x) & R(y) & ~E(x,y)",
+    "B(x) & R(y) & E(x,y)",
+    "B(x) & B(y) & x != y",
+]
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def mutate(structure, color="B"):
+    """An effective mutation: color some element that lacks ``color``
+    (a no-op add_fact would not bump Structure.version)."""
+    victim = next(
+        e for e in structure.domain if not structure.has_fact(color, e)
+    )
+    structure.add_fact(color, victim)
+
+
+class TestConcurrentSubmits:
+    def test_many_concurrent_awaits(self, medium_colored):
+        """Many queries submitted and drained concurrently must each match
+        their serial result exactly."""
+        want = {
+            text: list(prepare(medium_colored, text).enumerate())
+            for text in QUERIES
+        }
+
+        async def main():
+            async with AsyncQueryBatch(medium_colored, workers=2) as batch:
+                handles = await asyncio.gather(
+                    *[batch.submit(text) for text in QUERIES]
+                )
+                results = await asyncio.gather(
+                    *[handle.all() for handle in handles]
+                )
+                counts = await asyncio.gather(
+                    *[handle.count() for handle in handles]
+                )
+            return results, counts
+
+        results, counts = run(main())
+        for text, answers, count in zip(QUERIES, results, counts):
+            assert answers == want[text], f"async answers diverge for {text}"
+            assert count == len(want[text])
+
+    def test_stream_matches_serial_order(self, medium_colored):
+        serial = list(prepare(medium_colored, EXAMPLE).enumerate())
+
+        async def main():
+            async with AsyncQueryBatch(medium_colored, workers=2) as batch:
+                handle = await batch.submit(EXAMPLE)
+                return [answer async for answer in handle.stream(page_size=7)]
+
+        assert run(main()) == serial
+
+    def test_batch_stream_shortcut(self, small_colored):
+        serial = list(prepare(small_colored, EXAMPLE).enumerate())
+
+        async def main():
+            async with AsyncQueryBatch(small_colored) as batch:
+                return [a async for a in batch.stream(EXAMPLE)]
+
+        assert run(main()) == serial
+
+    def test_wrapping_an_existing_batch_leaves_it_open(self, small_colored):
+        async def main():
+            inner = QueryBatch(small_colored, workers=2)
+            async with AsyncQueryBatch(inner) as batch:
+                assert await batch.count(EXAMPLE) >= 0
+            assert not inner.closed
+            inner.close()
+
+        run(main())
+
+    def test_options_rejected_when_wrapping(self, small_colored):
+        inner = QueryBatch(small_colored)
+        with pytest.raises(TypeError):
+            AsyncQueryBatch(inner, workers=2)
+        inner.close()
+
+
+class TestCancellation:
+    def test_cancel_mid_stream_cancels_handle(self, medium_colored):
+        """Cancelling the consuming task propagates to the handle, which
+        releases its pool work; later access raises CancelledResultError."""
+
+        async def main():
+            async with AsyncQueryBatch(medium_colored, workers=2) as batch:
+                handle = await batch.submit(EXAMPLE)
+                started = asyncio.Event()
+
+                async def consume():
+                    async for _ in handle.stream(page_size=3):
+                        started.set()
+                        await asyncio.sleep(3600)  # park mid-stream
+
+                task = asyncio.create_task(consume())
+                await asyncio.wait_for(started.wait(), timeout=60)
+                task.cancel()
+                with pytest.raises(asyncio.CancelledError):
+                    await task
+                # The cancel lands once any in-flight pull retires.
+                deadline = time.monotonic() + 30
+                while not handle.cancelled and time.monotonic() < deadline:
+                    await asyncio.sleep(0.01)
+                assert handle.cancelled
+                with pytest.raises(CancelledResultError):
+                    await handle.all()
+                with pytest.raises(CancelledResultError):
+                    await handle.count()
+
+        run(main())
+
+    def test_abandoned_stream_cancels_handle(self, medium_colored):
+        async def main():
+            async with AsyncQueryBatch(medium_colored, workers=2) as batch:
+                handle = await batch.submit(EXAMPLE)
+                async for _ in handle.stream(page_size=2):
+                    break  # abandon after one answer
+                # The generator's finalizer runs on a later loop tick.
+                deadline = time.monotonic() + 30
+                while not handle.cancelled and time.monotonic() < deadline:
+                    await asyncio.sleep(0.01)
+                assert handle.cancelled
+
+        run(main())
+
+    def test_explicit_cancel(self, small_colored):
+        async def main():
+            async with AsyncQueryBatch(small_colored) as batch:
+                handle = await batch.submit(EXAMPLE)
+                await handle.page(0, size=3)
+                await handle.cancel()
+                assert handle.cancelled
+                with pytest.raises(CancelledResultError):
+                    await handle.page(0)
+
+        run(main())
+
+    def test_fully_consumed_stream_is_not_cancelled(self, small_colored):
+        async def main():
+            async with AsyncQueryBatch(small_colored) as batch:
+                handle = await batch.submit(EXAMPLE)
+                drained = [a async for a in handle.stream()]
+                assert not handle.cancelled
+                assert drained == await handle.all()
+
+        run(main())
+
+
+class TestStaleness:
+    def test_stale_surfaces_through_awaitable(self, small_colored):
+        """A dynamic update between pulls must raise StaleResultError out
+        of the next ``await``, not serve pre-update answers."""
+
+        async def main():
+            async with AsyncQueryBatch(small_colored, workers=2) as batch:
+                handle = await batch.submit(EXAMPLE)
+                await handle.page(0, size=2)
+                # Mutate the structure (bumps Structure.version).
+                mutate(small_colored)
+                assert handle.stale
+                with pytest.raises(StaleResultError):
+                    await handle.all()
+                with pytest.raises(StaleResultError):
+                    async for _ in handle.stream():
+                        pass
+
+        run(main())
+
+    def test_stale_count_surfaces(self, small_colored):
+        async def main():
+            async with AsyncQueryBatch(small_colored) as batch:
+                handle = await batch.submit(EXAMPLE)
+                mutate(small_colored, color="R")
+                with pytest.raises(StaleResultError):
+                    await handle.count()
+
+        run(main())

@@ -1,0 +1,180 @@
+"""Differential tests: ``parallel_count`` against serial ``count_answers``.
+
+Theorem 2.5 makes ``|q(A)|`` a sum of independent per-branch counts, so
+the parallel engine must return the *exact* serial integer — in every
+execution mode, for every worker count, on every (structure, formula)
+pair.  Any divergence is a bug in the branch splitting, the worker-side
+pipeline rebuild, or the summation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro import prepare
+from repro.core.counting import count_answers
+from repro.engine import QueryBatch, WorkerPool, parallel_count
+from repro.errors import UnsupportedQueryError
+from repro.fo.semantics import naive_count
+
+from strategies import formulas, structures, ternary_structures
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    """One long-lived pool for the whole module — warm reuse is exactly
+    the regime the engine runs in, and it keeps process tests affordable."""
+    with WorkerPool(2) as pool:
+        yield pool
+
+
+def prepare_or_reject(db, formula, order=None):
+    try:
+        return prepare(db, formula, order=order)
+    except UnsupportedQueryError:
+        assume(False)
+
+
+def assert_counts_match(db, formula, pool, modes=("serial", "thread")):
+    order = sorted(formula.free)
+    prepared = prepare_or_reject(db, formula, order)
+    serial = count_answers(prepared.pipeline)
+    for mode in modes:
+        for workers in (1, 2, 3, 4):
+            got = parallel_count(
+                prepared.pipeline, workers=workers, mode=mode, pool=pool
+            )
+            assert got == serial, (
+                f"mode={mode}, workers={workers}: parallel count {got} "
+                f"!= serial {serial}"
+            )
+    # And serial itself against the naive oracle, closing the loop.
+    assert serial == naive_count(formula, db)
+
+
+class TestBinarySignature:
+    @given(
+        db=structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=1),
+    )
+    @settings(max_examples=25, **SETTINGS)
+    def test_quantified(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool)
+
+    @given(
+        db=structures(max_n=12),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=0),
+    )
+    @settings(max_examples=25, **SETTINGS)
+    def test_quantifier_free(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool)
+
+    @given(
+        db=structures(max_n=8),
+        formula=formulas(free_count=1, max_depth=3, max_quantifiers=3),
+    )
+    @settings(max_examples=10, **SETTINGS)
+    def test_deep_quantifier_nesting(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool)
+
+
+class TestTernarySignature:
+    @given(
+        db=ternary_structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=0, ternary=True),
+    )
+    @settings(max_examples=20, **SETTINGS)
+    def test_quantifier_free(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool)
+
+    @given(
+        db=ternary_structures(max_n=8),
+        formula=formulas(free_count=2, max_depth=2, max_quantifiers=1, ternary=True),
+    )
+    @settings(max_examples=10, **SETTINGS)
+    def test_quantified(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool)
+
+
+class TestProcessMode:
+    """Process tasks pickle specs and rebuild worker-side; a smaller
+    Hypothesis budget plus a fixed corpus keeps the suite fast."""
+
+    @given(
+        db=structures(max_n=8),
+        formula=formulas(free_count=2, max_depth=2, max_quantifiers=0),
+    )
+    @settings(max_examples=5, **SETTINGS)
+    def test_random_pairs(self, db, formula, shared_pool):
+        assert_counts_match(db, formula, shared_pool, modes=("process",))
+
+    QUERIES = [
+        "B(x) & R(y) & ~E(x,y)",
+        "B(x) & R(y) & E(x,y)",
+        "(B(x) | R(x)) & (B(y) | R(y)) & x != y & ~E(x,y)",
+        "exists z. E(x,z) & R(z)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_corpus(self, medium_colored, text, workers, shared_pool):
+        prepared = prepare(medium_colored, text)
+        serial = count_answers(prepared.pipeline)
+        got = parallel_count(
+            prepared.pipeline, workers=workers, mode="process", pool=shared_pool
+        )
+        assert got == serial
+
+
+class TestTrivialAndEmpty:
+    def test_trivially_true(self, small_colored, shared_pool):
+        prepared = prepare(small_colored, "x = x")
+        serial = count_answers(prepared.pipeline)
+        assert serial == small_colored.cardinality
+        for mode in ("serial", "thread", "process"):
+            assert (
+                parallel_count(
+                    prepared.pipeline, workers=2, mode=mode, pool=shared_pool
+                )
+                == serial
+            )
+
+    def test_empty_answer_set(self, small_colored, shared_pool):
+        prepared = prepare(small_colored, "B(x) & R(x) & ~(x = x)")
+        for mode in ("serial", "thread", "process"):
+            assert (
+                parallel_count(
+                    prepared.pipeline, workers=2, mode=mode, pool=shared_pool
+                )
+                == 0
+            )
+
+
+class TestBatchCountPath:
+    """QueryBatch.count() and ResultHandle.count() ride the same engine."""
+
+    @given(
+        db=structures(max_n=10),
+        formula=formulas(free_count=2, max_depth=3, max_quantifiers=1),
+    )
+    @settings(max_examples=15, **SETTINGS)
+    def test_batch_count_matches_serial(self, db, formula):
+        order = sorted(formula.free)
+        prepared = prepare_or_reject(db, formula, order)
+        serial = count_answers(prepared.pipeline)
+        with QueryBatch(db, workers=2) as batch:
+            assert batch.count(formula, order=order) == serial
+            assert batch.submit(formula, order=order).count() == serial
+
+    @pytest.mark.parametrize("mode", ["serial", "thread", "process"])
+    def test_forced_modes_through_batch(self, medium_colored, mode):
+        text = "B(x) & R(y) & ~E(x,y)"
+        serial = count_answers(prepare(medium_colored, text).pipeline)
+        with QueryBatch(medium_colored, workers=2, mode=mode) as batch:
+            assert batch.count(text) == serial

@@ -11,9 +11,13 @@ from repro.engine.cache import PipelineCache, normalize_formula
 from repro.core.enumeration import arm_enumerator, enumerate_branch
 from repro.engine.executor import branch_works, decide_mode, plan_work_units
 from repro.structures.random_gen import random_colored_graph
-from repro.errors import EngineError, ResultCancelledError
+from repro.errors import CancelledResultError, EngineError, ResultCancelledError
 from repro.fo.parser import parse
-from repro.storage.cost_model import choose_execution_mode, estimate_branch_work
+from repro.storage.cost_model import (
+    choose_execution_mode,
+    estimate_branch_work,
+    estimate_count_work,
+)
 from repro.structures.serialize import fingerprint
 
 EXAMPLE = "B(x) & R(y) & ~E(x,y)"
@@ -128,6 +132,32 @@ class TestHeuristic:
         works = branch_works(prepared.pipeline)
         assert len(works) == prepared.pipeline.branch_count
 
+    def test_count_works_matches_branches(self, small_colored):
+        from repro.engine import count_works
+
+        prepared = prepare(small_colored, EXAMPLE)
+        works = count_works(prepared.pipeline)
+        assert len(works) == prepared.pipeline.branch_count
+        assert all(work >= 1 for work in works)
+
+    def test_count_work_far_below_enumeration_work(self):
+        # Counting never materializes the quadratic answer set.
+        sizes = [1000, 1000]
+        assert estimate_count_work(sizes, 4) < estimate_branch_work(sizes, 4)
+
+    def test_count_work_grows_with_blocks(self):
+        two = estimate_count_work([50, 50], 3)
+        three = estimate_count_work([50, 50, 50], 3)
+        assert three > two  # 2^(b choose 2) leaves
+
+    def test_decide_count_mode_rejects_bad_mode(self, small_colored):
+        from repro.engine import decide_count_mode
+
+        prepared = prepare(small_colored, EXAMPLE)
+        with pytest.raises(EngineError):
+            decide_count_mode(prepared.pipeline, workers=2, mode="fiber")
+        assert decide_count_mode(prepared.pipeline, workers=1) == ("serial", 1)
+
 
 class TestResultHandle:
     def test_paging_covers_all_answers(self, medium_colored):
@@ -189,6 +219,27 @@ class TestResultHandle:
         handle = QueryBatch(small_colored).submit(EXAMPLE)
         handle.cancel()
         handle.cancel()
+
+    def test_count_after_cancel_raises(self, small_colored):
+        """Regression: count() on a cancelled handle must raise a clear
+        CancelledResultError — never compute from (or return alongside)
+        the partial prefix the handle pulled before cancellation."""
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        stream = handle.stream()
+        next(stream)  # partial pull
+        handle.cancel()
+        with pytest.raises(CancelledResultError):
+            handle.count()
+        # The legacy exception name still catches it.
+        with pytest.raises(ResultCancelledError):
+            handle.count()
+
+    def test_count_cached_before_cancel_still_raises(self, small_colored):
+        handle = QueryBatch(small_colored).submit(EXAMPLE)
+        assert handle.count() >= 0  # cache the count
+        handle.cancel()
+        with pytest.raises(CancelledResultError):
+            handle.count()
 
     def test_trivial_query_handles(self, small_colored):
         # Localization collapses this to a constant-true formula.

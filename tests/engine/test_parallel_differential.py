@@ -116,13 +116,13 @@ class TestBatchDifferential:
         prepared = prepare_or_reject(db, formula, order)
         serial = list(prepared.enumerate())
 
-        batch = QueryBatch(db, workers=2, mode="thread")
-        first = batch.submit(formula, order=order).all()
-        # Resubmission hits the pipeline cache; answers must be identical.
-        second = batch.submit(formula, order=order).all()
-        assert first == serial
-        assert second == serial
-        assert batch.stats()["hits"] >= 1
+        with QueryBatch(db, workers=2, mode="thread") as batch:
+            first = batch.submit(formula, order=order).all()
+            # Resubmission hits the pipeline cache; answers must be identical.
+            second = batch.submit(formula, order=order).all()
+            assert first == serial
+            assert second == serial
+            assert batch.stats()["hits"] >= 1
 
         oracle = set(product_enumerate(formula, db, order=order))
         assert set(first) == oracle
