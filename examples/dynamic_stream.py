@@ -3,8 +3,10 @@
 The paper's conclusion asks whether the preprocessed data structure can
 be maintained when tuples are inserted or deleted (answered for the
 general case by Vigny, arXiv:2010.02982).  This example drives the
-library's local-recomputation maintainer (`repro.core.dynamic`) with a
-simulated edit stream on a social graph and compares, at each step,
+session API's dynamic maintenance — ``Database.insert_fact`` /
+``Database.remove_fact`` locally recompute every eligible cached plan —
+with a simulated edit stream on a social graph and compares, at each
+step,
 
 * the maintained count (updated locally, cost ~ a query-radius ball) and
 * a from-scratch recount on the mutated structure (the naive oracle),
@@ -18,9 +20,7 @@ import random
 import sys
 import time
 
-from repro.core.dynamic import DynamicQuery
-from repro.core.pipeline import Pipeline
-from repro.fo.parser import parse
+from repro import Database
 from repro.structures import random_colored_graph
 
 
@@ -28,48 +28,50 @@ def main() -> None:
     members = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
     updates = int(sys.argv[2]) if len(sys.argv) > 2 else 30
 
-    db = random_colored_graph(
+    structure = random_colored_graph(
         members, max_degree=5, colors=("Active", "Newcomer"), seed=99
     ).copy()
-    query = parse("Active(x) & Newcomer(y) & x != y & ~E(x,y)")
+    query_text = "Active(x) & Newcomer(y) & x != y & ~E(x,y)"
 
-    print(f"network: {db.cardinality:,} members, degree {db.degree}")
-    started = time.perf_counter()
-    dyn = DynamicQuery(db, query)
-    print(f"initial preprocessing: {time.perf_counter() - started:.3f}s")
-    print(f"initial candidate count: {dyn.count():,}\n")
+    print(f"network: {structure.cardinality:,} members, degree {structure.degree}")
+    with Database(structure) as db:
+        started = time.perf_counter()
+        query = db.query(query_text)
+        print(f"initial preprocessing: {time.perf_counter() - started:.3f}s")
+        print(f"initial candidate count: {query.count():,}")
+        maintained = db.stats()["maintained_plans"]
+        print(f"maintained plans in session cache: {maintained}\n")
 
-    rng = random.Random(4)
-    domain = list(db.domain)
-    update_time = 0.0
-    for step in range(updates):
-        a, b = rng.choice(domain), rng.choice(domain)
+        rng = random.Random(4)
+        domain = list(structure.domain)
+        update_time = 0.0
+        for step in range(updates):
+            a, b = rng.choice(domain), rng.choice(domain)
+            t0 = time.perf_counter()
+            if structure.has_fact("E", a, b):
+                db.remove_fact("E", a, b)
+                action = f"unfriend {a} ~ {b}"
+            else:
+                db.insert_fact("E", a, b)
+                action = f"befriend {a} ~ {b}"
+            update_time += time.perf_counter() - t0
+            if step < 5 or step == updates - 1:
+                # The same Query object stays live across updates.
+                print(f"  step {step:3d}: {action:24s} count -> {query.count():,}")
+            elif step == 5:
+                print("  ...")
+
+        print(f"\n{updates} updates maintained in {update_time:.3f}s "
+              f"({update_time / updates * 1e3:.1f} ms/update)")
+
         t0 = time.perf_counter()
-        if db.has_fact("E", a, b):
-            dyn.delete_fact("E", a, b)
-            action = f"unfriend {a} ~ {b}"
-        else:
-            dyn.insert_fact("E", a, b)
-            action = f"befriend {a} ~ {b}"
-        update_time += time.perf_counter() - t0
-        if step < 5 or step == updates - 1:
-            print(f"  step {step:3d}: {action:24s} count -> {dyn.count():,}")
-        elif step == 5:
-            print("  ...")
-
-    print(f"\n{updates} updates maintained in {update_time:.3f}s "
-          f"({update_time / updates * 1e3:.1f} ms/update)")
-
-    t0 = time.perf_counter()
-    fresh = Pipeline(db, query)
-    from repro.core.counting import count_answers
-
-    fresh_count = count_answers(fresh)
-    rebuild = time.perf_counter() - t0
-    print(f"full re-preprocessing for comparison: {rebuild:.3f}s")
-    maintained = dyn.count()
-    print(f"maintained count {maintained:,} == fresh count {fresh_count:,}: "
-          f"{maintained == fresh_count}")
+        with Database(structure) as fresh_session:
+            fresh_count = fresh_session.query(query_text).count()
+        rebuild = time.perf_counter() - t0
+        print(f"full re-preprocessing for comparison: {rebuild:.3f}s")
+        maintained_count = query.count()
+        print(f"maintained count {maintained_count:,} == fresh count "
+              f"{fresh_count:,}: {maintained_count == fresh_count}")
 
 
 if __name__ == "__main__":

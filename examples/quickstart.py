@@ -1,17 +1,19 @@
 """Quickstart: the paper's running example (Example 2.3) end to end.
 
-Builds a small colored graph, prepares the query
+Builds a small colored graph, opens a :class:`repro.Database` session,
+and prepares the query
 
     B(x) & R(y) & ~E(x,y)      "blue-red pairs not linked by an edge"
 
-and exercises the three operations the paper proves efficient:
+exercising the three operations the paper proves efficient —
 counting (Theorem 2.5), testing (Theorem 2.6), and constant-delay
-enumeration (Theorem 2.7).
+enumeration (Theorem 2.7) — plus the session extras: the plan report
+(``Query.explain``) and an in-place dynamic update.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Signature, Structure, parse, prepare
+from repro import Database, Signature, Structure
 
 
 def build_database() -> Structure:
@@ -29,29 +31,36 @@ def build_database() -> Structure:
 
 
 def main() -> None:
-    db = build_database()
-    print(f"database: {db}")
-    print(f"Gaifman degree: {db.degree}")
+    structure = build_database()
+    print(f"database: {structure}")
+    print(f"Gaifman degree: {structure.degree}")
 
-    query = parse("B(x) & R(y) & ~E(x,y)")
-    print(f"\nquery: {query}")
+    # One session owns the pipeline cache, the shared graph templates,
+    # and (should a plan go parallel) the worker pool.
+    with Database(structure) as db:
+        # Pseudo-linear preprocessing (Proposition 3.4) happens here.
+        query = db.query("B(x) & R(y) & ~E(x,y)")
+        print(f"\nquery: {query.formula}")
 
-    # Pseudo-linear preprocessing (Proposition 3.4).
-    prepared = prepare(db, query)
-    print("\n--- preprocessing report ---")
-    print(prepared.explain())
+        print("\n--- chosen plan ---")
+        print(query.explain().describe())
 
-    # Theorem 2.5: count without enumerating.
-    print(f"\n|q(A)| = {prepared.count()}")
+        # Theorem 2.5: count without enumerating.
+        print(f"\n|q(A)| = {query.count()}")
 
-    # Theorem 2.6: constant-time membership tests.
-    print(f"test (0, 3): {prepared.test((0, 3))}   (far apart -> answer)")
-    print(f"test (0, 1): {prepared.test((0, 1))}   (adjacent  -> not an answer)")
+        # Theorem 2.6: constant-time membership tests.
+        print(f"test (0, 3): {query.test((0, 3))}   (far apart -> answer)")
+        print(f"test (0, 1): {query.test((0, 1))}   (adjacent  -> not an answer)")
 
-    # Theorem 2.7: constant-delay enumeration.
-    print("\nanswers:")
-    for blue, red in prepared.enumerate():
-        print(f"  blue {blue} with red {red}")
+        # Theorem 2.7: constant-delay enumeration.
+        print("\nanswers:")
+        for blue, red in query.answers():
+            print(f"  blue {blue} with red {red}")
+
+        # Dynamic updates maintain eligible cached plans in place —
+        # the same Query object reflects the new state.
+        db.insert_fact("B", 1)  # node 1 becomes blue *and* red
+        print(f"\nafter insert B(1): |q(A)| = {query.count()}")
 
 
 if __name__ == "__main__":

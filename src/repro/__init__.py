@@ -6,15 +6,20 @@ first-order queries over databases of low degree* (PODS 2014 / LMCS 2022).
 
 Quickstart::
 
-    from repro import Signature, Structure, parse, prepare
+    from repro import Database, Signature, Structure
 
     db = Structure(Signature.of(E=2, B=1, R=1), range(4))
     db.add_fact("B", 0); db.add_fact("R", 2); db.add_fact("E", 0, 1)
-    query = parse("B(x) & R(y) & ~E(x,y)")
-    prepared = prepare(db, query)           # pseudo-linear preprocessing
-    prepared.count()                        # Theorem 2.5
-    prepared.test((0, 2))                   # Theorem 2.6
-    list(prepared.enumerate())              # Theorem 2.7, constant delay
+    with Database(db) as session:
+        query = session.query("B(x) & R(y) & ~E(x,y)")
+        query.count()                     # Theorem 2.5
+        query.test((0, 2))                # Theorem 2.6
+        list(query.answers())             # Theorem 2.7, constant delay
+        session.insert_fact("E", 0, 2)    # plans maintained in place
+        query.count()                     # reflects the update
+
+The legacy front-ends (``prepare``, ``DynamicQuery``, ``QueryBatch``,
+``AsyncQueryBatch``) remain as deprecated shims over the session layer.
 """
 
 from repro.errors import (
@@ -24,27 +29,30 @@ from repro.errors import (
     ParseError,
     QueryError,
     ReproError,
-    ResultCancelledError,
     SignatureError,
     StaleResultError,
     UnsupportedQueryError,
 )
-from repro.fo import Var, parse
+from repro.fo import Var, coerce_formula, parse
 from repro.fo.builder import Q
 from repro.structures import Signature, Structure
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Answers",
     "AsyncQueryBatch",
     "CancelledResultError",
+    "Database",
     "DynamicQuery",
     "EngineError",
     "EvaluationError",
     "ParseError",
     "Q",
+    "Query",
     "QueryBatch",
     "QueryError",
+    "QueryPlan",
     "ReproError",
     "ResultCancelledError",
     "Signature",
@@ -53,6 +61,7 @@ __all__ = [
     "Structure",
     "UnsupportedQueryError",
     "Var",
+    "coerce_formula",
     "model_check",
     "parse",
     "prepare",
@@ -64,33 +73,44 @@ def prepare(structure, query, eps=0.5, **kwargs):
     """Preprocess ``query`` on ``structure`` for counting / testing /
     constant-delay enumeration.  See :class:`repro.core.api.PreparedQuery`.
 
+    .. deprecated:: Use :class:`repro.Database` — ``Database(structure)``
+        then ``db.query(...)``.
+
     Imported lazily to keep ``import repro`` light.
     """
     from repro.core.api import prepare as _prepare
 
-    return _prepare(structure, query, eps=eps, **kwargs)
+    # _stacklevel=3: attribute the deprecation warning to the caller of
+    # this wrapper, not to the forwarding line below.
+    return _prepare(structure, query, eps=eps, _stacklevel=3, **kwargs)
 
 
 def model_check(sentence, structure, **kwargs):
     """Decide ``A |= sentence`` in pseudo-linear time (Theorem 2.4)."""
     from repro.core.model_checking import model_check as _model_check
 
-    if isinstance(sentence, str):
-        sentence = parse(sentence)
-    return _model_check(sentence, structure, **kwargs)
+    return _model_check(coerce_formula(sentence), structure, **kwargs)
+
+
+# Heavy (or deprecated) surface, resolved lazily so ``import repro``
+# stays light and deprecation warnings fire at use, not import.
+_LAZY_EXPORTS = {
+    "Answers": ("repro.session", "Answers"),
+    "Database": ("repro.session", "Database"),
+    "Query": ("repro.session", "Query"),
+    "QueryPlan": ("repro.session", "QueryPlan"),
+    "DynamicQuery": ("repro.core.dynamic", "DynamicQuery"),
+    "QueryBatch": ("repro.engine", "QueryBatch"),
+    "AsyncQueryBatch": ("repro.engine", "AsyncQueryBatch"),
+    "ResultCancelledError": ("repro.errors", "ResultCancelledError"),
+}
 
 
 def __getattr__(name):
-    if name == "DynamicQuery":
-        from repro.core.dynamic import DynamicQuery
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
 
-        return DynamicQuery
-    if name == "QueryBatch":
-        from repro.engine import QueryBatch
-
-        return QueryBatch
-    if name == "AsyncQueryBatch":
-        from repro.engine import AsyncQueryBatch
-
-        return AsyncQueryBatch
-    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    module_name, attribute = target
+    return getattr(importlib.import_module(module_name), attribute)

@@ -30,10 +30,10 @@ import sys
 import time
 from typing import Dict
 
-from repro.core.api import prepare
 from repro.core.model_checking import model_check
 from repro.errors import ReproError
 from repro.fo.parser import parse
+from repro.session import Database
 from repro.storage.cost_model import CostMeter
 from repro.structures.random_gen import (
     cycle_graph,
@@ -117,35 +117,40 @@ def _parse_tuple(text: str, structure: Structure):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    """Count / test / enumerate one query through a Database session."""
     db = parse_workload(args.workload)
-    query = parse(args.query)
-    started = time.perf_counter()
-    prepared = prepare(db, query, eps=args.eps)
-    preprocessing = time.perf_counter() - started
-    print(
-        f"workload: n={db.cardinality}, degree={db.degree}; "
-        f"preprocessing {preprocessing:.3f}s"
-    )
-    if args.count:
-        print(f"count: {prepared.count()}")
-    for probe in args.test or []:
-        candidate = _parse_tuple(probe, db)
-        print(f"test {candidate}: {prepared.test(candidate)}")
-    if args.limit:
-        shown = 0
-        for answer in prepared.enumerate():
-            print("  " + ", ".join(str(component) for component in answer))
-            shown += 1
-            if shown >= args.limit:
-                break
-        print(f"({shown} answers shown)")
+    # One Database per invocation: cache, graph templates, and (if the
+    # backend goes parallel) the worker pool all come from this session.
+    with Database(db, eps=args.eps, workers=args.workers) as session:
+        started = time.perf_counter()
+        query = session.query(args.query, backend=args.backend)
+        preprocessing = time.perf_counter() - started
+        print(
+            f"workload: n={db.cardinality}, degree={db.degree}; "
+            f"preprocessing {preprocessing:.3f}s"
+        )
+        if args.explain:
+            print(query.explain().describe())
+        if args.count:
+            print(f"count: {query.count()}")
+        for probe in args.test or []:
+            candidate = _parse_tuple(probe, db)
+            print(f"test {candidate}: {query.test(candidate)}")
+        if args.limit:
+            shown = 0
+            answers = query.answers()
+            for answer in answers:
+                print("  " + ", ".join(str(component) for component in answer))
+                shown += 1
+                if shown >= args.limit:
+                    answers.cancel()
+                    break
+            print(f"({shown} answers shown)")
     return 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    """Submit many queries against one workload via the batch engine."""
-    from repro.engine import QueryBatch
-
+    """Submit many queries against one workload via a Database session."""
     db = parse_workload(args.workload)
     queries = list(args.query or [])
     if args.queries_file:
@@ -161,32 +166,32 @@ def cmd_batch(args: argparse.Namespace) -> int:
             ) from None
     if not queries:
         raise ReproError("batch needs at least one -q/--query or --queries-file")
-    # The batch owns a long-lived worker pool (lazily started, reused by
-    # every query below); the context manager shuts it down at the end.
-    with QueryBatch(
-        db, eps=args.eps, workers=args.workers, mode=args.mode
-    ) as batch:
+    # The session owns a long-lived worker pool (lazily started, reused by
+    # every query below); the context manager shuts it down at the end —
+    # pool lifecycle and stats come from one place for `query` and `batch`.
+    with Database(db, eps=args.eps, workers=args.workers) as session:
         print(f"workload: n={db.cardinality}, degree={db.degree}; "
               f"{len(queries)} queries")
         started = time.perf_counter()
         for text in queries:
-            handle = batch.submit(text)
+            query = session.query(text, backend=args.mode)
             line = f"[{text}]"
             if args.count:
-                # Parallel per-branch counting over the batch pool (the
+                # Parallel per-branch counting over the session pool (the
                 # result is exactly the serial count_answers integer).
-                line += f"  count={handle.count()}"
+                line += f"  count={query.count()}"
             print(line)
             if args.limit:
                 shown = 0
-                for answer in handle.stream():
+                answers = query.answers()
+                for answer in answers:
                     print("  " + ", ".join(str(c) for c in answer))
                     shown += 1
                     if shown >= args.limit:
-                        handle.cancel()
+                        answers.cancel()
                         break
         elapsed = time.perf_counter() - started
-        stats = batch.stats()
+        stats = session.stats()
         print(
             f"batch done in {elapsed:.3f}s; pipeline cache "
             f"{stats['hits']} hits / {stats['misses']} misses, "
@@ -208,24 +213,33 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
+    from repro.core.api import preprocessing_report
+
     db = parse_workload(args.workload)
-    prepared = prepare(db, parse(args.query), eps=args.eps)
-    print(prepared.explain())
+    with Database(db, eps=args.eps) as session:
+        query = session.query(args.query)
+        print(preprocessing_report(query.pipeline))
+        print(query.explain().describe())
     return 0
 
 
 def cmd_delay(args: argparse.Namespace) -> int:
+    from repro.core.enumeration import enumerate_answers
+
     db = parse_workload(args.workload)
-    prepared = prepare(db, parse(args.query), eps=args.eps)
     meter = CostMeter()
     produced = 0
-    started = time.perf_counter()
-    for _ in prepared.enumerate(meter=meter):
-        meter.mark()
-        produced += 1
-        if args.limit and produced >= args.limit:
-            break
-    elapsed = time.perf_counter() - started
+    with Database(db, eps=args.eps) as session:
+        query = session.query(args.query)
+        started = time.perf_counter()
+        # Metered serial enumeration: the same primitive the session's
+        # serial backend drives, instrumented with RAM-step marks.
+        for _ in enumerate_answers(query.pipeline, meter=meter):
+            meter.mark()
+            produced += 1
+            if args.limit and produced >= args.limit:
+                break
+        elapsed = time.perf_counter() - started
     deltas = meter.deltas() or [0]
     print(f"answers: {produced}")
     if produced:
@@ -246,13 +260,29 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-q", "--query", required=True, help="FO query text")
         p.add_argument("--eps", type=float, default=0.5)
 
-    query_parser = sub.add_parser("query", help="count / test / enumerate")
+    query_parser = sub.add_parser(
+        "query", help="count / test / enumerate through a Database session"
+    )
     common(query_parser)
     query_parser.add_argument("--count", action="store_true")
     query_parser.add_argument(
         "--test", action="append", metavar="a,b", help="tuple to test (repeatable)"
     )
     query_parser.add_argument("--limit", type=int, default=0, help="answers to print")
+    query_parser.add_argument(
+        "--backend",
+        choices=["auto", "serial", "thread", "process"],
+        default=None,
+        help="force an execution backend (default: cost-model heuristic)",
+    )
+    query_parser.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores)"
+    )
+    query_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the chosen plan (branches, shards, backend, costs)",
+    )
     query_parser.set_defaults(handler=cmd_query)
 
     batch_parser = sub.add_parser(
@@ -271,9 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument(
         "--mode",
-        choices=["serial", "thread", "process"],
+        choices=["auto", "serial", "thread", "process"],
         default=None,
-        help="force an execution mode (default: cost-model heuristic)",
+        help="force an execution backend (default: cost-model heuristic)",
     )
     batch_parser.add_argument("--count", action="store_true")
     batch_parser.add_argument(

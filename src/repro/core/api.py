@@ -1,4 +1,9 @@
-"""Public facade: :func:`prepare` and :class:`PreparedQuery`.
+"""Legacy single-query facade: :func:`prepare` and :class:`PreparedQuery`.
+
+.. deprecated::
+    Use :class:`repro.session.Database` — ``db.query(...)`` exposes the
+    same three operations plus ``answers()`` paging/streaming, backend
+    selection, ``explain()``, and in-place dynamic maintenance.
 
 ``prepare(structure, query, eps)`` runs the pseudo-linear preprocessing of
 Proposition 3.4 once; the returned handle then offers the paper's three
@@ -8,19 +13,22 @@ operations at their claimed costs:
   preprocessing; the call itself reuses the pipeline),
 * :meth:`PreparedQuery.test` — Theorem 2.6, constant time per tuple,
 * :meth:`PreparedQuery.enumerate` — Theorem 2.7, constant delay.
+
+The pipeline is built *through* the session layer (one construction code
+path: cache, shared graph templates); the metered operation variants
+(``meter=``) call the same core primitives the session backends use, so
+instrumented runs measure exactly what production serves.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Hashable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.counting import count_answers
 from repro.core.enumeration import enumerate_answers
-from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
-from repro.errors import QueryError
 from repro.fo.localize import LocalizationBudget
-from repro.fo.parser import parse as parse_query
 from repro.fo.syntax import Formula, Var
 from repro.storage.cost_model import CostMeter
 from repro.structures.structure import Structure
@@ -28,8 +36,37 @@ from repro.structures.structure import Structure
 Element = Hashable
 
 
+def preprocessing_report(pipeline) -> str:
+    """A human-readable account of one pipeline's preprocessing.
+
+    Shared by :meth:`PreparedQuery.explain` and the CLI ``explain``
+    command (which pairs it with the session's structured
+    :class:`repro.session.QueryPlan`).
+    """
+    stats = pipeline.stats()
+    localized = pipeline.localized
+    lines = [
+        f"query arity: {stats['arity']} "
+        f"({', '.join(v.name for v in pipeline.variables)})",
+        f"localized radius r = {stats['radius']} "
+        f"(cluster linking distance {stats['link_radius']})",
+        f"derived unary predicates: {stats['derived_predicates']}",
+        f"partitions considered: {stats['partitions']}",
+        f"enumeration branches (P, t): {stats['branches']}",
+        f"colored graph: {stats['graph_nodes']} nodes, "
+        f"max degree {stats['graph_max_degree']}",
+        f"structure: n = {stats['structure_size']}, "
+        f"degree d = {stats['structure_degree']}",
+    ]
+    if localized.derived_formulas:
+        lines.append("derived predicates:")
+        for name, formula in localized.derived_formulas.items():
+            lines.append(f"  {name} := {formula}")
+    return "\n".join(lines)
+
+
 class PreparedQuery:
-    """A query preprocessed against one structure."""
+    """A query preprocessed against one structure (legacy handle)."""
 
     def __init__(
         self,
@@ -40,15 +77,20 @@ class PreparedQuery:
         budget: Optional[LocalizationBudget] = None,
         skip_mode: str = "lazy",
     ):
-        variable_order: Optional[Tuple[Var, ...]] = None
-        if order is not None:
-            variable_order = tuple(
-                var if isinstance(var, Var) else Var(var) for var in order
-            )
+        from repro.session import Database
+
         self.skip_mode = skip_mode
-        self.pipeline = Pipeline(
-            structure, query, order=variable_order, eps=eps, budget=budget
+        # A private single-query session: construction (parsing, cache,
+        # graph templates) goes through the one session code path.  The
+        # pool is lazy, so no OS resource is created, and maintenance is
+        # off — this facade has no update API.
+        self._database = Database(
+            structure, eps=eps, skip_mode=skip_mode, maintain=False
         )
+        self._query = self._database.query(
+            query, order=order, budget=budget, skip_mode=skip_mode
+        )
+        self.pipeline = self._query.pipeline
         self._count: Optional[int] = None
 
     # -- the three operations -------------------------------------------
@@ -128,26 +170,7 @@ class PreparedQuery:
 
     def explain(self) -> str:
         """A human-readable account of the preprocessing."""
-        stats = self.stats()
-        localized = self.pipeline.localized
-        lines = [
-            f"query arity: {stats['arity']} "
-            f"({', '.join(v.name for v in self.variables)})",
-            f"localized radius r = {stats['radius']} "
-            f"(cluster linking distance {stats['link_radius']})",
-            f"derived unary predicates: {stats['derived_predicates']}",
-            f"partitions considered: {stats['partitions']}",
-            f"enumeration branches (P, t): {stats['branches']}",
-            f"colored graph: {stats['graph_nodes']} nodes, "
-            f"max degree {stats['graph_max_degree']}",
-            f"structure: n = {stats['structure_size']}, "
-            f"degree d = {stats['structure_degree']}",
-        ]
-        if localized.derived_formulas:
-            lines.append("derived predicates:")
-            for name, formula in localized.derived_formulas.items():
-                lines.append(f"  {name} := {formula}")
-        return "\n".join(lines)
+        return preprocessing_report(self.pipeline)
 
 
 def prepare(
@@ -157,12 +180,21 @@ def prepare(
     eps: float = 0.5,
     budget: Optional[LocalizationBudget] = None,
     skip_mode: str = "lazy",
+    _stacklevel: int = 2,
 ) -> PreparedQuery:
-    """Preprocess ``query`` (a formula or query text) against ``structure``."""
-    if isinstance(query, str):
-        query = parse_query(query)
-    if not isinstance(query, Formula):
-        raise QueryError(f"expected a Formula or query text, got {type(query)}")
+    """Preprocess ``query`` (a formula or query text) against ``structure``.
+
+    .. deprecated:: Use ``repro.session.Database(structure).query(...)``.
+
+    ``_stacklevel`` lets re-exporting wrappers (``repro.prepare``) point
+    the deprecation warning at the *caller's* line, not their own.
+    """
+    warnings.warn(
+        "prepare() is deprecated; use repro.session.Database — "
+        "db.query(...) gives count/test/answers through one session",
+        DeprecationWarning,
+        stacklevel=_stacklevel,
+    )
     return PreparedQuery(
         structure, query, order=order, eps=eps, budget=budget, skip_mode=skip_mode
     )

@@ -28,10 +28,17 @@ atoms compare against structure-wide totals (``|U|``), which a single
 update shifts *globally*; maintaining them needs Vigny's heavier
 machinery and is out of scope here (raises
 :class:`UnsupportedQueryError`).
+
+The machinery lives in :class:`PipelineMaintainer`, which maintains *one*
+pipeline in place and is what :class:`repro.session.Database` attaches to
+every eligible cached plan.  :class:`DynamicQuery` is the legacy
+single-query facade over it (deprecated — use
+``Database.insert_fact`` / ``Database.remove_fact``).
 """
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left, insort
 from typing import Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -39,8 +46,9 @@ from repro.core.counting import count_answers
 from repro.core.enumeration import enumerate_answers
 from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
-from repro.errors import QueryError, UnsupportedQueryError
-from repro.fo.syntax import CountCmp, Formula, Var, subformulas
+from repro.errors import UnsupportedQueryError
+from repro.fo import coerce_formula
+from repro.fo.syntax import CountCmp, Var, subformulas
 from repro.storage.cost_model import CostMeter
 from repro.structures.gaifman_graph import ball_of_set
 from repro.structures.structure import Structure
@@ -48,101 +56,86 @@ from repro.structures.structure import Structure
 Element = Hashable
 
 
-class DynamicQuery:
-    """A prepared query that stays consistent while facts change.
+def maintenance_blockers(pipeline: Pipeline) -> List[str]:
+    """Why a pipeline cannot be locally maintained (empty = eligible)."""
+    blockers: List[str] = []
+    localized = pipeline.localized
+    if localized.derived_formulas:
+        blockers.append(
+            "localization materialized derived predicates (unrelativized "
+            "quantifiers with far witnesses); see [Vig20] for the general "
+            "machinery"
+        )
+    if pipeline.trivial is None and any(
+        isinstance(node, CountCmp) for node in subformulas(localized.formula)
+    ):
+        blockers.append(
+            "counting atoms compare against structure-wide totals"
+        )
+    return blockers
 
-    The wrapped structure is mutated in place through
-    :meth:`insert_fact` / :meth:`delete_fact`; the domain is fixed.
+
+def supports_maintenance(pipeline: Pipeline) -> bool:
+    """True when :class:`PipelineMaintainer` can keep the pipeline fresh."""
+    return not maintenance_blockers(pipeline)
+
+
+class PipelineMaintainer:
+    """Keeps one built :class:`Pipeline` consistent under fact updates.
+
+    The maintainer does not own the mutation: callers that coordinate
+    several pipelines over one structure (:class:`repro.session.Database`)
+    use the split-phase API — :meth:`reach` before *and* after the
+    mutation, then :meth:`refresh` — so the structure is mutated exactly
+    once.  :meth:`insert_fact` / :meth:`delete_fact` bundle the phases for
+    the single-pipeline case.
     """
 
-    def __init__(
-        self,
-        structure: Structure,
-        query,
-        order: Optional[Sequence[Var]] = None,
-        eps: float = 0.5,
-    ):
-        if isinstance(query, str):
-            from repro.fo.parser import parse
-
-            query = parse(query)
-        self.structure = structure
-        self.pipeline = Pipeline(structure, query, order=order, eps=eps)
-        self._check_supported()
-        if self.pipeline.graph is not None:
-            self.pipeline.graph.make_mutable()
+    def __init__(self, pipeline: Pipeline):
+        blockers = maintenance_blockers(pipeline)
+        if blockers:
+            raise UnsupportedQueryError(
+                "dynamic updates do not support this query: "
+                + "; ".join(blockers)
+            )
+        self.pipeline = pipeline
+        self.structure: Structure = pipeline.structure
+        if pipeline.graph is not None:
+            pipeline.graph.make_mutable()
         self.updates_applied = 0
 
-    def _check_supported(self) -> None:
-        localized = self.pipeline.localized
-        if localized.derived_formulas:
-            raise UnsupportedQueryError(
-                "dynamic updates do not support queries whose localization "
-                "materialized derived predicates (unrelativized quantifiers "
-                "with far witnesses); see [Vig20] for the general machinery"
-            )
-        if self.pipeline.trivial is None and any(
-            isinstance(node, CountCmp)
-            for node in subformulas(localized.formula)
-        ):
-            raise UnsupportedQueryError(
-                "dynamic updates do not support counting atoms (they compare "
-                "against structure-wide totals)"
-            )
-
     # ------------------------------------------------------------------
-    # Mutations
+    # Single-pipeline mutations (the DynamicQuery path)
     # ------------------------------------------------------------------
 
-    def insert_fact(self, relation: str, *elements: Element) -> None:
+    def insert_fact(self, relation: str, *elements: Element) -> bool:
         """Insert a fact and refresh the affected region."""
         if self.structure.has_fact(relation, *elements):
-            return
+            return False
         # The region is the union of the touched elements' reach *before*
         # and *after* the mutation: an inserted edge extends reach, a
         # deleted one used to provide it.
-        region = self._reach(elements)
+        region = self.reach(elements)
         self.structure.add_fact(relation, *elements)
-        region |= self._reach(elements)
-        self._refresh(elements, region)
+        region |= self.reach(elements)
+        self.refresh(elements, region)
+        return True
 
-    def delete_fact(self, relation: str, *elements: Element) -> None:
+    def delete_fact(self, relation: str, *elements: Element) -> bool:
         """Delete a fact and refresh the affected region."""
         if not self.structure.has_fact(relation, *elements):
-            return
-        region = self._reach(elements)
+            return False
+        region = self.reach(elements)
         self.structure.remove_fact(relation, *elements)
-        region |= self._reach(elements)
-        self._refresh(elements, region)
+        region |= self.reach(elements)
+        self.refresh(elements, region)
+        return True
 
-    def _reach(self, touched: Sequence[Element]) -> Set[Element]:
+    def reach(self, touched: Sequence[Element]) -> Set[Element]:
+        """Every element an update to ``touched`` can affect (one side)."""
         return set(
             ball_of_set(self.structure, set(touched), self.refresh_radius)
         )
-
-    # ------------------------------------------------------------------
-    # The three operations (delegation)
-    # ------------------------------------------------------------------
-
-    def count(self, meter: Optional[CostMeter] = None) -> int:
-        return count_answers(self.pipeline, meter)
-
-    def test(self, candidate: Sequence[Element], meter: Optional[CostMeter] = None) -> bool:
-        return test_answer(self.pipeline, candidate, meter)
-
-    def enumerate(self, meter: Optional[CostMeter] = None) -> Iterator[Tuple[Element, ...]]:
-        return enumerate_answers(self.pipeline, meter=meter)
-
-    def answers(self) -> List[Tuple[Element, ...]]:
-        return list(self.enumerate())
-
-    @property
-    def arity(self) -> int:
-        return self.pipeline.arity
-
-    # ------------------------------------------------------------------
-    # Local recomputation
-    # ------------------------------------------------------------------
 
     @property
     def refresh_radius(self) -> int:
@@ -160,7 +153,16 @@ class DynamicQuery:
         """
         return self.pipeline.link_radius + 1
 
-    def _refresh(self, touched: Sequence[Element], region: Set[Element]) -> None:
+    # ------------------------------------------------------------------
+    # Local recomputation
+    # ------------------------------------------------------------------
+
+    def refresh(self, touched: Sequence[Element], region: Set[Element]) -> None:
+        """Re-derive every neighborhood-determined quantity in ``region``.
+
+        ``region`` must be the union of :meth:`reach` computed before and
+        after the structure mutation was applied.
+        """
         self.updates_applied += 1
         pipeline = self.pipeline
         evaluator = pipeline.evaluator
@@ -280,3 +282,75 @@ class DynamicQuery:
                 key = (plan.index, block, vector)
                 bucket = pipeline.block_vector_index.setdefault(key, [])
                 insort(bucket, node_id)
+
+
+class DynamicQuery:
+    """A prepared query that stays consistent while facts change.
+
+    .. deprecated::
+        Use :class:`repro.session.Database` — ``db.insert_fact()`` /
+        ``db.remove_fact()`` maintain *every* eligible cached plan through
+        the same machinery.
+
+    The wrapped structure is mutated in place through
+    :meth:`insert_fact` / :meth:`delete_fact`; the domain is fixed.
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        query,
+        order: Optional[Sequence[Var]] = None,
+        eps: float = 0.5,
+    ):
+        warnings.warn(
+            "DynamicQuery is deprecated; use repro.session.Database — "
+            "db.insert_fact()/db.remove_fact() maintain every eligible "
+            "cached plan",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        query = coerce_formula(query)
+        self.structure = structure
+        self.pipeline = Pipeline(structure, query, order=order, eps=eps)
+        self._maintainer = PipelineMaintainer(self.pipeline)
+
+    @property
+    def updates_applied(self) -> int:
+        return self._maintainer.updates_applied
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def insert_fact(self, relation: str, *elements: Element) -> None:
+        """Insert a fact and refresh the affected region."""
+        self._maintainer.insert_fact(relation, *elements)
+
+    def delete_fact(self, relation: str, *elements: Element) -> None:
+        """Delete a fact and refresh the affected region."""
+        self._maintainer.delete_fact(relation, *elements)
+
+    # ------------------------------------------------------------------
+    # The three operations (delegation)
+    # ------------------------------------------------------------------
+
+    def count(self, meter: Optional[CostMeter] = None) -> int:
+        return count_answers(self.pipeline, meter)
+
+    def test(self, candidate: Sequence[Element], meter: Optional[CostMeter] = None) -> bool:
+        return test_answer(self.pipeline, candidate, meter)
+
+    def enumerate(self, meter: Optional[CostMeter] = None) -> Iterator[Tuple[Element, ...]]:
+        return enumerate_answers(self.pipeline, meter=meter)
+
+    def answers(self) -> List[Tuple[Element, ...]]:
+        return list(self.enumerate())
+
+    @property
+    def arity(self) -> int:
+        return self.pipeline.arity
+
+    @property
+    def refresh_radius(self) -> int:
+        return self._maintainer.refresh_radius

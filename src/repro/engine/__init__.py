@@ -1,4 +1,4 @@
-"""The parallel batch query engine.
+"""The parallel batch engine (execution layer of :mod:`repro.session`).
 
 Layers on top of the paper's pipeline (:mod:`repro.core`):
 
@@ -9,77 +9,72 @@ Layers on top of the paper's pipeline (:mod:`repro.core`):
   count);
 * :mod:`repro.engine.pool` — :class:`WorkerPool`, the long-lived,
   lazily-started, crash-restarting worker pool each
-  :class:`QueryBatch` owns;
+  :class:`repro.session.Database` owns;
 * :mod:`repro.engine.cache` — LRU pipeline cache keyed by
-  ``(structure fingerprint, normalized formula, order, eps)``;
-* :mod:`repro.engine.batch` — :class:`QueryBatch`, sharing one
-  structure's preprocessing across many queries, returning
-  :class:`ResultHandle` objects with ``.page() / .stream() / .count() /
-  .cancel()``;
-* :mod:`repro.engine.aio` — :class:`AsyncQueryBatch`, the asyncio
-  front-end bridging pool futures to awaitables.
+  ``(structure fingerprint, normalized formula, order, eps)``, with
+  targeted re-keying for dynamically maintained plans;
+* :mod:`repro.engine.batch` — :class:`QueryBatch` / :class:`ResultHandle`,
+  the deprecated batch facade (thin shims over the session layer);
+* :mod:`repro.engine.aio` — :class:`AsyncQueryBatch`, the deprecated
+  asyncio facade (the unified :class:`repro.session.Answers` handle is
+  awaitable directly).
 
-Quick start::
+Preferred front-end::
 
-    from repro.engine import QueryBatch
+    from repro.session import Database
 
-    with QueryBatch(structure, workers=4) as batch:
-        handle = batch.submit("B(x) & R(y) & ~E(x,y)")
-        first = handle.page(0, size=20)
-        total = handle.count()      # parallel per-branch counting
-        for answer in handle.stream():
+    with Database(structure, workers=4) as db:
+        answers = db.query("B(x) & R(y) & ~E(x,y)").answers()
+        first = answers.page(0, size=20)
+        total = answers.count()     # parallel per-branch counting
+        for answer in answers:
             ...
 
-Async::
-
-    from repro.engine import AsyncQueryBatch
-
-    async with AsyncQueryBatch(structure, workers=4) as batch:
-        handle = await batch.submit("B(x) & R(y) & ~E(x,y)")
-        total = await handle.count()
-        async for answer in handle.stream():
-            ...
+Exports resolve lazily: the deprecated facades warn at use, not at
+``import repro.engine``, and the module plays no part in import cycles
+with the session layer it now sits under.
 """
 
-from repro.engine.aio import AsyncQueryBatch, AsyncResultHandle
-from repro.engine.batch import DEFAULT_PAGE_SIZE, QueryBatch, ResultHandle
-from repro.engine.cache import PipelineCache, cache_key, normalize_formula
-from repro.engine.executor import (
-    BranchTask,
-    branch_works,
-    count_works,
-    decide_count_mode,
-    decide_mode,
-    default_workers,
-    parallel_count,
-    parallel_enumerate,
-    plan_work_units,
-    prearm,
-    run_branches,
-    warm_pool,
-)
-from repro.engine.pool import WorkerPool
+_EXPORTS = {
+    "AsyncQueryBatch": ("repro.engine.aio", "AsyncQueryBatch"),
+    "AsyncResultHandle": ("repro.engine.aio", "AsyncResultHandle"),
+    "BranchTask": ("repro.engine.executor", "BranchTask"),
+    "DEFAULT_PAGE_SIZE": ("repro.engine.batch", "DEFAULT_PAGE_SIZE"),
+    "PipelineCache": ("repro.engine.cache", "PipelineCache"),
+    "QueryBatch": ("repro.engine.batch", "QueryBatch"),
+    "ResultHandle": ("repro.engine.batch", "ResultHandle"),
+    "WorkerPool": ("repro.engine.pool", "WorkerPool"),
+    "branch_works": ("repro.engine.executor", "branch_works"),
+    "cache_key": ("repro.engine.cache", "cache_key"),
+    "count_works": ("repro.engine.executor", "count_works"),
+    "decide_count_mode": ("repro.engine.executor", "decide_count_mode"),
+    "decide_mode": ("repro.engine.executor", "decide_mode"),
+    "default_workers": ("repro.engine.executor", "default_workers"),
+    "normalize_formula": ("repro.engine.cache", "normalize_formula"),
+    "parallel_count": ("repro.engine.executor", "parallel_count"),
+    "parallel_enumerate": ("repro.engine.executor", "parallel_enumerate"),
+    "plan_work_units": ("repro.engine.executor", "plan_work_units"),
+    "prearm": ("repro.engine.executor", "prearm"),
+    "run_branches": ("repro.engine.executor", "run_branches"),
+    "warm_pool": ("repro.engine.executor", "warm_pool"),
+}
 
-__all__ = [
-    "AsyncQueryBatch",
-    "AsyncResultHandle",
-    "BranchTask",
-    "DEFAULT_PAGE_SIZE",
-    "PipelineCache",
-    "QueryBatch",
-    "ResultHandle",
-    "WorkerPool",
-    "branch_works",
-    "cache_key",
-    "count_works",
-    "decide_count_mode",
-    "decide_mode",
-    "default_workers",
-    "normalize_formula",
-    "parallel_count",
-    "parallel_enumerate",
-    "plan_work_units",
-    "prearm",
-    "run_branches",
-    "warm_pool",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    target = _EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module 'repro.engine' has no attribute {name!r}"
+        )
+    import importlib
+
+    module_name, attribute = target
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: resolve each name once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,24 +1,24 @@
-"""Asyncio front-end over the batch engine.
+"""Asyncio front-end over the batch engine — now a thin shim.
 
-:class:`AsyncQueryBatch` lets an event-loop application (an API server,
-a notebook) drive :class:`repro.engine.batch.QueryBatch` without blocking
-the loop: every blocking stage — pipeline preparation, branch pulls,
-counting — runs on a worker thread, and the underlying thread/process
-fan-out still happens in the batch's own long-lived
-:class:`~repro.engine.pool.WorkerPool`.
+.. deprecated::
+    The unified :class:`repro.session.Answers` handle exposes the same
+    awaitable surface directly (``await answers.acount()``,
+    ``async for answer in answers``), so an event-loop application can
+    use :class:`repro.session.Database` without this wrapper.
 
-Semantics carried over from the synchronous engine:
+:class:`AsyncQueryBatch` / :class:`AsyncResultHandle` keep the pre-session
+API: every blocking stage — pipeline preparation, branch pulls, counting —
+runs on a worker thread, the loop never stalls, and the underlying
+thread/process fan-out still happens in the session's long-lived
+:class:`~repro.engine.pool.WorkerPool`.  Semantics are those of the
+wrapped :class:`~repro.session.answers.Answers` object:
 
 * answers arrive in the exact serial enumeration order;
 * ``await``-ing a handle whose structure has mutated raises
   :class:`repro.errors.StaleResultError`;
-* a cancelled handle raises :class:`repro.errors.CancelledResultError`.
-
-Cancellation propagates *into* the engine: when the task awaiting a pull
-is cancelled (or a stream is abandoned), the wrapped
-:meth:`ResultHandle.cancel` runs as soon as the in-flight pull retires,
-which closes the branch generator and cancels its pending pool futures —
-the pool slots are released instead of computing unread answers.
+* a cancelled handle raises :class:`repro.errors.CancelledResultError`;
+* cancelling the awaiting task (or abandoning a stream) propagates into
+  the engine as soon as the in-flight pull retires, releasing pool slots.
 
 Quick start::
 
@@ -32,7 +32,7 @@ Quick start::
 from __future__ import annotations
 
 import asyncio
-import threading
+import warnings
 from typing import AsyncIterator, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.batch import DEFAULT_PAGE_SIZE, QueryBatch, ResultHandle
@@ -46,22 +46,13 @@ Answer = Tuple[Element, ...]
 class AsyncResultHandle:
     """Awaitable facade over one :class:`ResultHandle`.
 
-    Access is serialized by an :class:`asyncio.Lock` — the synchronous
-    handle's pull path is not re-entrant, and one query's answers arrive
-    in one order anyway.  Concurrency across *different* handles is the
-    intended scaling axis.
+    The wrapped handle is an :class:`~repro.session.answers.Answers`,
+    which carries the awaitable machinery itself; this class only maps
+    the legacy method names (``page`` instead of ``apage``, ...) onto it.
     """
 
     def __init__(self, handle: ResultHandle):
         self._handle = handle
-        self._lock = asyncio.Lock()
-        # Cancellation must never run concurrently with a pull: the
-        # handle's generator cannot be closed while executing.  A pull in
-        # flight on a worker thread is tracked under this mutex; a cancel
-        # that arrives meanwhile is deferred to the pull's retirement.
-        self._sync = threading.Lock()
-        self._pull_active = False
-        self._cancel_requested = False
 
     @property
     def inner(self) -> ResultHandle:
@@ -75,72 +66,25 @@ class AsyncResultHandle:
     def stale(self) -> bool:
         return self._handle.stale
 
-    async def _call(self, fn, *args):
-        async with self._lock:
-            loop = asyncio.get_running_loop()
-            with self._sync:
-                self._pull_active = True
-            future = loop.run_in_executor(None, self._pull_wrapper, fn, args)
-            try:
-                # shield: a task cancellation must not cancel the inner
-                # future — the wrapper is guaranteed to run (and retire
-                # the pull) even if it was still queued when cancelled.
-                return await asyncio.shield(future)
-            except asyncio.CancelledError:
-                # The worker thread cannot be interrupted mid-pull;
-                # request cancellation — it lands the moment the
-                # in-flight pull retires, releasing its pool futures.
-                self._cancel_quietly()
-                # The abandoned pull's outcome is intentionally unread.
-                future.add_done_callback(
-                    lambda f: f.exception() if not f.cancelled() else None
-                )
-                raise
-
-    def _pull_wrapper(self, fn, args):
-        """Run one blocking pull; honor a cancel deferred while it ran."""
-        try:
-            return fn(*args)
-        finally:
-            with self._sync:
-                self._pull_active = False
-                requested = self._cancel_requested
-            if requested:
-                self._do_cancel()
-
-    def _cancel_quietly(self) -> None:
-        """Cancel now, or defer until the in-flight pull retires."""
-        with self._sync:
-            if self._pull_active:
-                self._cancel_requested = True
-                return
-        self._do_cancel()
-
-    def _do_cancel(self) -> None:
-        try:
-            self._handle.cancel()
-        except Exception:  # pragma: no cover - cancel() does not raise today
-            pass
-
     # -- the awaitable access paths ------------------------------------
 
     async def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
         """The ``index``-th page, pulled off-loop."""
-        return await self._call(self._handle.page, index, size)
+        return await self._handle.apage(index, size)
 
     async def all(self) -> List[Answer]:
         """Every answer (serial order), pulled off-loop."""
-        return await self._call(self._handle.all)
+        return await self._handle.aall()
 
     async def count(self) -> int:
         """``|q(A)|`` via the (possibly parallel) counting engine."""
-        return await self._call(self._handle.count)
+        return await self._handle.acount()
 
     async def test(self, candidate: Sequence[Element]) -> bool:
         """Constant-time membership test."""
-        return await self._call(self._handle.test, candidate)
+        return await self._handle.atest(candidate)
 
-    async def stream(
+    def stream(
         self, page_size: int = DEFAULT_PAGE_SIZE
     ) -> AsyncIterator[Answer]:
         """Yield answers one by one; pulls happen a page at a time.
@@ -149,35 +93,22 @@ class AsyncResultHandle:
         async generator) cancels the underlying handle — a partially
         consumed stream does not keep pool workers busy.
         """
-        index = 0
-        exhausted = False
-        try:
-            while True:
-                page = await self._call(self._handle.page, index, page_size)
-                if not page:
-                    exhausted = True
-                    return
-                for answer in page:
-                    yield answer
-                if len(page) < page_size:
-                    exhausted = True
-                    return
-                index += 1
-        finally:
-            if not exhausted and not self._handle.cancelled:
-                self._cancel_quietly()
+        return self._handle.astream(page_size=page_size)
 
     async def cancel(self) -> None:
         """Cancel the handle (deferred past any in-flight pull)."""
-        async with self._lock:
-            self._cancel_quietly()
+        await self._handle.acancel()
 
     def __aiter__(self) -> AsyncIterator[Answer]:
-        return self.stream()
+        return self._handle.astream()
 
 
 class AsyncQueryBatch:
     """Asyncio wrapper around a (possibly shared) :class:`QueryBatch`.
+
+    .. deprecated:: Use :class:`repro.session.Database` — its
+        :class:`~repro.session.answers.Answers` handles are awaitable
+        directly.
 
     Construct it from a structure (the batch is owned, and closed by
     :meth:`close` / ``async with``) or from an existing ``QueryBatch``
@@ -189,6 +120,12 @@ class AsyncQueryBatch:
         structure_or_batch: Union[Structure, QueryBatch],
         **batch_options,
     ):
+        warnings.warn(
+            "AsyncQueryBatch is deprecated; repro.session.Database "
+            "answers are awaitable directly (acount/apage/astream)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if isinstance(structure_or_batch, QueryBatch):
             if batch_options:
                 raise TypeError(
@@ -198,7 +135,9 @@ class AsyncQueryBatch:
             self._batch = structure_or_batch
             self._owned = False
         else:
-            self._batch = QueryBatch(structure_or_batch, **batch_options)
+            self._batch = QueryBatch(
+                structure_or_batch, _warn_deprecated=False, **batch_options
+            )
             self._owned = True
         # Pipeline builds mutate the shared cache and are CPU-heavy;
         # serialize them.  Handle pulls (the actual answer production) run

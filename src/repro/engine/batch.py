@@ -1,65 +1,50 @@
-"""The batch query API: one structure, many queries.
+"""The legacy batch query API — now a thin shim over :mod:`repro.session`.
 
-:class:`QueryBatch` amortizes preprocessing across every query asked of
-one structure:
+.. deprecated::
+    Use :class:`repro.session.Database`: ``db.query(...).answers()``
+    returns the unified :class:`~repro.session.answers.Answers` handle
+    (sync *and* async), and ``db.insert_fact()/db.remove_fact()`` keep
+    eligible cached plans fresh instead of invalidating everything.
 
-* **pipeline cache** — built pipelines are memoized under
-  ``(structure fingerprint, normalized formula, order, eps)``
-  (:mod:`repro.engine.cache`), so resubmitting a query is O(1);
-* **shared colored graphs** — the cluster enumeration of Steps 3-4
-  depends only on ``(arity, link radius)``, not on the query, so the
-  batch builds one template graph per such pair and hands each pipeline
-  a clone (:meth:`repro.core.colored_graph.ColoredGraph.clone`);
-* **branch-parallel execution** — submissions return a
-  :class:`ResultHandle` whose answers are produced by
-  :mod:`repro.engine.executor` under the cost-model heuristic.
-
-Handles are *stale-safe*: every access revalidates the structure's
-mutation counter, so a handle created before an insertion/deletion (for
-example through :class:`repro.core.dynamic.DynamicQuery` sharing the same
-structure) raises :class:`repro.errors.StaleResultError` instead of
-serving pre-update answers.
-
-The batch owns a long-lived :class:`repro.engine.pool.WorkerPool`:
-lazily started on the first parallel submission, warm-reused by every
-later one, restarted transparently when a process worker dies, and shut
-down by :meth:`QueryBatch.close` (or the ``with`` statement).  Callers
-that managed their own executor before PR 2 can still pass ``executor=``;
-it takes precedence over the owned pool.
+:class:`QueryBatch` delegates its state — pipeline cache, shared
+colored-graph templates, worker pool, staleness tracking — to an owned
+:class:`~repro.session.database.Database`, so both front-ends share one
+implementation; only the surface differs.  :class:`ResultHandle` *is*
+an :class:`~repro.session.answers.Answers` (a subclass kept for the
+legacy constructor signature and name), so handle semantics — lazy
+branch-order merge, ``StaleResultError`` pinning,
+``CancelledResultError`` after cancel — are literally the same object
+behavior.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
 
-from repro.core.colored_graph import ColoredGraph, build_colored_graph
-from repro.core.enumeration import trivial_answers
 from repro.core.pipeline import Pipeline
-from repro.core.testing import test_answer
-from repro.engine.cache import CacheKey, PipelineCache
-from repro.engine.executor import parallel_count, run_branches
+from repro.engine.cache import CacheKey
 from repro.engine.pool import WorkerPool
-from repro.errors import CancelledResultError, EngineError, StaleResultError
+from repro.errors import EngineError
 from repro.fo.syntax import Formula, Var
-from repro.structures.serialize import fingerprint
+from repro.session.answers import DEFAULT_PAGE_SIZE, Answers
+from repro.session.backends import resolve_backend
+from repro.session.database import Database
 from repro.structures.structure import Structure
 
 Element = Hashable
 Answer = Tuple[Element, ...]
 
-DEFAULT_PAGE_SIZE = 100
+__all__ = ["DEFAULT_PAGE_SIZE", "QueryBatch", "ResultHandle"]
 
 
-class ResultHandle:
+class ResultHandle(Answers):
     """Paged / streamed access to one submitted query's answers.
 
-    Answers materialize in branch-index order (shards in slice order),
-    so the full sequence is identical to the serial enumeration order.
-    The *merge* is lazy — pages pull only as many chunks as they need.
-    In serial mode that means partial consumption only pays for the
-    branches it touched; in thread/process mode every work unit is
-    submitted to the pool on first access (they compute concurrently),
-    and laziness governs only when results are drained.
+    Kept as a named subclass of the unified
+    :class:`~repro.session.answers.Answers` handle so existing imports,
+    ``isinstance`` checks, and the pre-session constructor signature
+    (``mode=`` instead of ``backend=``) keep working.
     """
 
     def __init__(
@@ -72,159 +57,22 @@ class ResultHandle:
         executor=None,
         pool: Optional[WorkerPool] = None,
     ):
-        self._pipeline = pipeline
-        self._structure = pipeline.structure
-        self._version = pipeline.structure.version
-        self._skip_mode = skip_mode
-        self._workers = workers
-        self._mode = mode
-        self._spec_key = spec_key
-        self._executor = executor
-        self._pool = pool
-        self._answers: List[Answer] = []
-        self._source: Optional[Iterator[List[Answer]]] = None
-        self._count: Optional[int] = None
-        self._done = False
-        self._cancelled = False
-
-    # -- liveness ------------------------------------------------------
-
-    def _check_live(self) -> None:
-        if self._cancelled:
-            raise CancelledResultError("this result handle was cancelled")
-        if self._structure.version != self._version:
-            raise StaleResultError(
-                "the structure changed after this handle was created "
-                f"(version {self._version} -> {self._structure.version}); "
-                "re-submit the query"
-            )
-
-    @property
-    def stale(self) -> bool:
-        return self._structure.version != self._version
-
-    @property
-    def cancelled(self) -> bool:
-        return self._cancelled
-
-    # -- lazy production -----------------------------------------------
-
-    def _ensure_source(self) -> None:
-        if self._source is not None or self._done:
-            return
-        if self._pipeline.trivial is not None:
-            self._source = iter([list(trivial_answers(self._pipeline))])
-        else:
-            self._source = run_branches(
-                self._pipeline,
-                workers=self._workers,
-                mode=self._mode,
-                skip_mode=self._skip_mode,
-                spec_key=self._spec_key,
-                executor=self._executor,
-                pool=self._pool,
-            )
-
-    def _pull(self, needed: Optional[int]) -> None:
-        """Materialize branch chunks until ``needed`` answers (or all)."""
-        self._ensure_source()
-        while not self._done and (
-            needed is None or len(self._answers) < needed
-        ):
-            assert self._source is not None
-            try:
-                chunk = next(self._source)
-            except StopIteration:
-                self._done = True
-                self._source = None
-            except BaseException:
-                # A worker failure mid-production leaves a dead generator
-                # and an unusable prefix; reset so a retry re-executes
-                # from scratch instead of serving partial answers as if
-                # they were complete.
-                self._source = None
-                self._answers = []
-                raise
-            else:
-                self._answers.extend(chunk)
-
-    # -- the public access paths ---------------------------------------
-
-    def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
-        """The ``index``-th page (0-based) of ``size`` answers."""
-        if index < 0 or size < 1:
-            raise EngineError(
-                f"bad page request (index={index}, size={size})"
-            )
-        self._check_live()
-        self._pull((index + 1) * size)
-        return self._answers[index * size : (index + 1) * size]
-
-    def stream(self) -> Iterator[Answer]:
-        """Yield answers one by one; staleness is re-checked per answer."""
-        position = 0
-        while True:
-            self._check_live()
-            if position < len(self._answers):
-                yield self._answers[position]
-                position += 1
-                continue
-            if self._done:
-                return
-            before = len(self._answers)
-            self._pull(before + 1)
-            if len(self._answers) == before and self._done:
-                return
-
-    def all(self) -> List[Answer]:
-        """Materialize and return every answer (serial order)."""
-        self._check_live()
-        self._pull(None)
-        return list(self._answers)
-
-    def count(self) -> int:
-        """``|q(A)|`` via the counting algorithm (no enumeration).
-
-        Per-branch counts run through the engine (cost-model decided,
-        over the batch pool when one is attached); the result is exactly
-        :func:`repro.core.counting.count_answers`.  Cached: the handle is
-        pinned to one structure version (any mutation raises), so the
-        count can never go stale.  After :meth:`cancel` this raises
-        :class:`repro.errors.CancelledResultError` — it never computes
-        from, or returns, a partially pulled handle.
-        """
-        self._check_live()
-        if self._count is None:
-            self._count = parallel_count(
-                self._pipeline,
-                workers=self._workers,
-                mode=self._mode,
-                spec_key=self._spec_key,
-                executor=self._executor,
-                pool=self._pool,
-            )
-        return self._count
-
-    def test(self, candidate: Sequence[Element]) -> bool:
-        """Constant-time membership test against this query."""
-        self._check_live()
-        return test_answer(self._pipeline, candidate)
-
-    def cancel(self) -> None:
-        """Stop producing; subsequent access raises CancelledResultError."""
-        if self._cancelled:
-            return
-        self._cancelled = True
-        source, self._source = self._source, None
-        if source is not None and hasattr(source, "close"):
-            source.close()
-
-    def __iter__(self) -> Iterator[Answer]:
-        return self.stream()
+        super().__init__(
+            pipeline,
+            backend=resolve_backend(mode),
+            skip_mode=skip_mode,
+            workers=workers,
+            spec_key=spec_key,
+            executor=executor,
+            pool=pool,
+        )
 
 
 class QueryBatch:
-    """Share one structure's preprocessing across many queries."""
+    """Share one structure's preprocessing across many queries.
+
+    .. deprecated:: Use :class:`repro.session.Database`.
+    """
 
     def __init__(
         self,
@@ -236,66 +84,79 @@ class QueryBatch:
         cache_capacity: int = 64,
         share_graphs: bool = True,
         executor=None,
+        _warn_deprecated: bool = True,
     ):
-        if workers is not None and workers < 1:
-            raise EngineError(f"workers must be >= 1, got {workers}")
-        self.structure = structure
-        self.eps = eps
-        self.workers = workers
+        if _warn_deprecated:
+            warnings.warn(
+                "QueryBatch is deprecated; use repro.session.Database — "
+                "db.query(...).answers() is the unified handle",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if mode is not None:
+            resolve_backend(mode)  # fail fast on unknown modes
+        # maintain=False: this facade has no update API — mutations reach
+        # it externally, where the fingerprint-keyed invalidation (the
+        # legacy contract) applies; skipping maintainer setup keeps
+        # submit() costs identical to the pre-session engine.
+        self._db = Database(
+            structure,
+            eps=eps,
+            workers=workers,
+            skip_mode=skip_mode,
+            cache_capacity=cache_capacity,
+            share_graphs=share_graphs,
+            maintain=False,
+        )
         self.mode = mode
-        self.skip_mode = skip_mode
-        self.share_graphs = share_graphs
         # Legacy escape hatch: a caller-supplied concurrent.futures
         # executor overrides the owned pool for every handle.
         self.executor = executor
-        # The batch-owned worker pool: lazily started (serial workloads
-        # never create OS resources), warm-reused across submits, and
-        # restarted when a process worker dies.  close() shuts it down.
-        self.pool = WorkerPool(workers)
-        self._closed = False
-        self.cache = PipelineCache(cache_capacity)
-        self._graph_templates: Dict[Tuple[int, int], ColoredGraph] = {}
-        self._fingerprint = fingerprint(structure)
-        self._version = structure.version
 
-    # -- structure staleness -------------------------------------------
+    # -- delegated session state ---------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The session object this batch fronts."""
+        return self._db
+
+    @property
+    def structure(self) -> Structure:
+        return self._db.structure
+
+    @property
+    def eps(self) -> float:
+        return self._db.eps
+
+    @property
+    def workers(self) -> Optional[int]:
+        return self._db.workers
+
+    @property
+    def skip_mode(self) -> str:
+        return self._db.skip_mode
+
+    @property
+    def share_graphs(self) -> bool:
+        return self._db.share_graphs
+
+    @property
+    def pool(self) -> WorkerPool:
+        return self._db.pool
+
+    @property
+    def cache(self):
+        return self._db.cache
 
     @property
     def structure_fingerprint(self) -> str:
-        self._refresh()
-        return self._fingerprint
-
-    def _refresh(self) -> None:
-        """Detect mutations and invalidate every derived cache."""
-        if self.structure.version == self._version:
-            return
-        stale_fingerprint = self._fingerprint
-        self._fingerprint = fingerprint(self.structure)
-        self._version = self.structure.version
-        self._graph_templates.clear()
-        self.cache.invalidate(stale_fingerprint)
+        return self._db.structure_fingerprint
 
     def invalidate(self) -> None:
         """Drop every cached pipeline and graph template."""
-        self._graph_templates.clear()
-        self.cache.invalidate()
-        self._fingerprint = fingerprint(self.structure)
-        self._version = self.structure.version
+        self._db.invalidate()
 
     # -- shared preprocessing ------------------------------------------
-
-    def _graph_factory(
-        self, structure, evaluator, arity, link_radius, max_nodes=5_000_000
-    ):
-        """Clone-from-template colored graph construction."""
-        key = (arity, link_radius)
-        template = self._graph_templates.get(key)
-        if template is None:
-            template = build_colored_graph(
-                structure, evaluator, arity, link_radius, max_nodes=max_nodes
-            )
-            self._graph_templates[key] = template
-        return template.clone()
 
     def prepare(
         self,
@@ -303,15 +164,7 @@ class QueryBatch:
         order: Optional[Sequence[Union[Var, str]]] = None,
     ) -> Tuple[Pipeline, CacheKey]:
         """The cached pipeline for a query (building it on a miss)."""
-        self._refresh()
-        return self.cache.get_or_build(
-            self.structure,
-            query,
-            order=order,
-            eps=self.eps,
-            structure_fingerprint=self._fingerprint,
-            graph_factory=self._graph_factory if self.share_graphs else None,
-        )
+        return self._db._prepare(query, order=order)
 
     # -- submission ----------------------------------------------------
 
@@ -328,12 +181,12 @@ class QueryBatch:
         pipeline, key = self.prepare(query, order=order)
         return ResultHandle(
             pipeline,
-            skip_mode=skip_mode or self.skip_mode,
-            workers=workers if workers is not None else self.workers,
+            skip_mode=skip_mode or self._db.skip_mode,
+            workers=workers if workers is not None else self._db.workers,
             mode=mode if mode is not None else self.mode,
             spec_key=key,
             executor=self.executor,
-            pool=self.pool if self.executor is None else None,
+            pool=self._db.pool if self.executor is None else None,
         )
 
     def count(
@@ -348,34 +201,22 @@ class QueryBatch:
         Exactly :func:`repro.core.counting.count_answers`, computed by
         the parallel engine when the counting cost model says it pays.
         """
-        self._check_open()
-        pipeline, key = self.prepare(query, order=order)
-        return parallel_count(
-            pipeline,
-            workers=workers if workers is not None else self.workers,
-            mode=mode if mode is not None else self.mode,
-            spec_key=key,
-            executor=self.executor,
-            pool=self.pool if self.executor is None else None,
-        )
+        return self.submit(
+            query, order=order, workers=workers, mode=mode
+        ).count()
 
     def stats(self) -> Dict[str, int]:
         """Cache observability (pipeline cache + graph templates + pool)."""
-        stats = self.cache.stats()
-        stats["graph_templates"] = len(self._graph_templates)
-        stats.update(
-            {f"pool_{key}": value for key, value in self.pool.stats().items()}
-        )
-        return stats
+        return self._db.stats()
 
     # -- lifecycle -----------------------------------------------------
 
     @property
     def closed(self) -> bool:
-        return self._closed
+        return self._db.closed
 
     def _check_open(self) -> None:
-        if self._closed:
+        if self._db.closed:
             raise EngineError("this QueryBatch is closed")
 
     def close(self) -> None:
@@ -387,10 +228,7 @@ class QueryBatch:
         ``executor=`` is *not* shut down — its lifecycle belongs to the
         caller.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self.pool.close()
+        self._db.close()
 
     def __enter__(self) -> "QueryBatch":
         return self

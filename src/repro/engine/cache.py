@@ -26,23 +26,17 @@ from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import Pipeline
-from repro.errors import QueryError
+from repro.fo import coerce_formula
 from repro.fo.normalize import simplify
-from repro.fo.parser import parse as parse_query
 from repro.fo.syntax import Formula, Var
 from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
 
 CacheKey = Tuple[str, str, Optional[Tuple[str, ...]], float]
 
-
-def coerce_query(query: Union[Formula, str]) -> Formula:
-    """Accept query text or a parsed formula."""
-    if isinstance(query, str):
-        return parse_query(query)
-    if not isinstance(query, Formula):
-        raise QueryError(f"expected a Formula or query text, got {type(query)}")
-    return query
+# Backwards-compatible alias: the one query-coercion helper now lives in
+# ``repro.fo`` so every entry point shares it.
+coerce_query = coerce_formula
 
 
 def coerce_order(
@@ -82,6 +76,9 @@ class PipelineCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
 
     def get(self, key: CacheKey) -> Optional[Pipeline]:
         pipeline = self._entries.get(key)
@@ -125,6 +122,23 @@ class PipelineCache:
             )
             self.put(key, pipeline)
         return pipeline, key
+
+    def rekey(self, old_fingerprint: str, new_fingerprint: str, keep) -> int:
+        """Targeted invalidation after an in-session dynamic update.
+
+        Entries whose full key is in ``keep`` (their pipelines were
+        maintained in place) move from ``old_fingerprint`` to
+        ``new_fingerprint`` and stay hits; every other entry under the
+        old fingerprint is dropped.  Returns how many entries moved.
+        LRU recency is preserved for the movers.
+        """
+        moved = 0
+        for key in [k for k in self._entries if k[0] == old_fingerprint]:
+            pipeline = self._entries.pop(key)
+            if key in keep:
+                self._entries[(new_fingerprint,) + key[1:]] = pipeline
+                moved += 1
+        return moved
 
     def invalidate(self, structure_fingerprint: Optional[str] = None) -> int:
         """Drop entries for one fingerprint (or everything); return count."""

@@ -53,6 +53,19 @@ class CancelledResultError(EngineError):
     """
 
 
-# Legacy alias (pre-PR-2 spelling); new code should catch
-# CancelledResultError.
-ResultCancelledError = CancelledResultError
+def __getattr__(name: str):
+    # Legacy alias (pre-PR-2 spelling); new code should catch
+    # CancelledResultError.  Accessing the old name warns but keeps
+    # working — it resolves to the very same class, so existing
+    # ``except ResultCancelledError`` blocks still match.
+    if name == "ResultCancelledError":
+        import warnings
+
+        warnings.warn(
+            "ResultCancelledError was renamed to CancelledResultError; "
+            "the alias will be removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return CancelledResultError
+    raise AttributeError(f"module 'repro.errors' has no attribute {name!r}")

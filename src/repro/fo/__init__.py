@@ -1,6 +1,9 @@
 """First-order logic substrate: syntax, parser, reference semantics,
 normal forms, and structure-assisted Gaifman localization."""
 
+from typing import Union
+
+from repro.errors import QueryError
 from repro.fo.parser import parse
 from repro.fo.semantics import (
     evaluate,
@@ -38,6 +41,23 @@ from repro.fo.syntax import (
     or_,
 )
 
+def coerce_formula(query: Union[Formula, str]) -> Formula:
+    """The one place query input is normalized: text or :class:`Formula`.
+
+    Every public entry point — ``Database.query``, ``prepare``,
+    ``QueryBatch.submit``, ``DynamicQuery``, the pipeline cache — accepts
+    ``str | Formula`` through this helper, so parsing behavior and the
+    error message are identical everywhere.
+    """
+    if isinstance(query, str):
+        return parse(query)
+    if not isinstance(query, Formula):
+        raise QueryError(
+            f"expected a Formula or query text, got {type(query).__name__}"
+        )
+    return query
+
+
 __all__ = [
     "And",
     "CountCmp",
@@ -59,6 +79,7 @@ __all__ = [
     "Var",
     "and_",
     "atom",
+    "coerce_formula",
     "eq",
     "evaluate",
     "exists",

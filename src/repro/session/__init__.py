@@ -1,0 +1,56 @@
+"""The unified session API: one :class:`Database`, every query mode.
+
+The paper exposes exactly three operations — count (Theorem 2.5), test
+(Theorem 2.6), constant-delay enumerate (Theorem 2.7).  This package
+exposes exactly one way to reach them::
+
+    from repro.session import Database
+
+    with Database(structure, workers=4) as db:
+        q = db.query("B(x) & R(y) & ~E(x,y)")
+        q.count()
+        q.test((0, 2))
+        answers = q.answers()          # one handle: sync AND async
+        answers.page(0, size=50)
+        async for a in answers: ...    # same object, off-loop pulls
+        print(q.explain().describe())  # branches, shards, backend, costs
+        db.insert_fact("B", 3)         # maintained plans stay fresh
+
+Execution strategy (serial / thread / process) is chosen per plan by the
+cost model and overridable via ``db.query(..., backend=...)`` — see
+:mod:`repro.session.backends`.  The legacy front-ends (``prepare``,
+``DynamicQuery``, ``QueryBatch``, ``AsyncQueryBatch``) remain as thin
+deprecated shims over this layer.
+"""
+
+from repro.session.answers import DEFAULT_PAGE_SIZE, Answers
+from repro.session.backends import (
+    AUTO,
+    BACKENDS,
+    PROCESS,
+    SERIAL,
+    THREAD,
+    ExecutionBackend,
+    ExecutionPlan,
+    PoolBackend,
+    resolve_backend,
+)
+from repro.session.database import Database
+from repro.session.query import Query, QueryPlan
+
+__all__ = [
+    "AUTO",
+    "Answers",
+    "BACKENDS",
+    "DEFAULT_PAGE_SIZE",
+    "Database",
+    "ExecutionBackend",
+    "ExecutionPlan",
+    "PROCESS",
+    "PoolBackend",
+    "Query",
+    "QueryPlan",
+    "SERIAL",
+    "THREAD",
+    "resolve_backend",
+]

@@ -1,0 +1,369 @@
+"""The one answers handle: paged / streamed / counted, sync *and* async.
+
+:class:`Answers` unifies what used to be two objects —
+``repro.engine.batch.ResultHandle`` (sync pulls) and
+``repro.engine.aio.AsyncResultHandle`` (awaitable facade) — behind a
+single handle returned by :meth:`repro.session.Query.answers`:
+
+* **sync**: ``page`` / ``stream`` / ``all`` / ``count`` / ``test`` /
+  ``cancel`` / ``for answer in answers``;
+* **async**: ``apage`` / ``astream`` / ``aall`` / ``acount`` / ``atest``
+  / ``acancel`` / ``async for answer in answers`` — blocking pulls run on
+  a worker thread, the loop never stalls, and cancelling the awaiting
+  task propagates into the engine (pool slots are released instead of
+  computing unread answers).
+
+Semantics shared by both faces:
+
+* answers materialize in branch-index order (shards in slice order), so
+  the full sequence is byte-identical to serial enumeration;
+* the handle is pinned to the structure version at creation — any
+  mutation makes every later access raise
+  :class:`repro.errors.StaleResultError` instead of serving pre-update
+  answers;
+* after :meth:`cancel`, every access raises
+  :class:`repro.errors.CancelledResultError`; a cancelled handle never
+  serves the partial prefix it may have pulled.
+
+The legacy classes remain importable as thin shims over this one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import (
+    AsyncIterator,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.counting import trivial_count
+from repro.core.enumeration import trivial_answers
+from repro.core.pipeline import Pipeline
+from repro.core.testing import test_answer
+from repro.engine.pool import WorkerPool
+from repro.errors import CancelledResultError, EngineError, StaleResultError
+from repro.session.backends import (
+    ExecutionBackend,
+    ExecutionPlan,
+    resolve_backend,
+)
+
+Element = Hashable
+Answer = Tuple[Element, ...]
+
+DEFAULT_PAGE_SIZE = 100
+
+
+class Answers:
+    """Unified access to one prepared query's answer sequence.
+
+    The *merge* is lazy — pages pull only as many branch chunks as they
+    need.  In serial mode partial consumption only pays for the branches
+    it touched; in thread/process mode every work unit is submitted to
+    the pool on first access (they compute concurrently), and laziness
+    governs only when results are drained.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        backend: Optional[ExecutionBackend] = None,
+        skip_mode: str = "lazy",
+        workers: Optional[int] = None,
+        spec_key: Optional[tuple] = None,
+        executor=None,
+        pool: Optional[WorkerPool] = None,
+    ):
+        self._pipeline = pipeline
+        self._structure = pipeline.structure
+        self._version = pipeline.structure.version
+        self._backend = resolve_backend(backend)
+        self._plan = ExecutionPlan(
+            pipeline,
+            skip_mode=skip_mode,
+            workers=workers,
+            spec_key=spec_key,
+            executor=executor,
+            pool=pool,
+        )
+        self._answers: List[Answer] = []
+        self._source: Optional[Iterator[List[Answer]]] = None
+        self._count: Optional[int] = None
+        self._done = False
+        self._cancelled = False
+        # Async machinery (created lazily on first awaitable access).
+        self._alock: Optional[asyncio.Lock] = None
+        self._sync = threading.Lock()
+        self._pull_active = False
+        self._cancel_requested = False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def backend(self) -> str:
+        """The requested strategy name (``auto`` until forced)."""
+        return self._backend.name
+
+    @property
+    def backend_used(self) -> Optional[str]:
+        """The concrete mode enumeration ran under (None before any pull,
+        ``"serial"`` for trivial pipelines)."""
+        return self._plan.used_mode
+
+    @property
+    def count_backend_used(self) -> Optional[str]:
+        """The concrete mode the count ran under (None before count())."""
+        return self._plan.used_count_mode
+
+    # -- liveness ------------------------------------------------------
+
+    def _check_live(self) -> None:
+        if self._cancelled:
+            raise CancelledResultError("this answers handle was cancelled")
+        if self._structure.version != self._version:
+            raise StaleResultError(
+                "the structure changed after this handle was created "
+                f"(version {self._version} -> {self._structure.version}); "
+                "re-run the query"
+            )
+
+    @property
+    def stale(self) -> bool:
+        return self._structure.version != self._version
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # -- lazy production -----------------------------------------------
+
+    def _ensure_source(self) -> None:
+        if self._source is not None or self._done:
+            return
+        if self._pipeline.trivial is not None:
+            self._plan.used_mode = "serial"
+            self._source = iter([list(trivial_answers(self._pipeline))])
+        else:
+            self._source = self._backend.run(self._plan)
+
+    def _pull(self, needed: Optional[int]) -> None:
+        """Materialize branch chunks until ``needed`` answers (or all)."""
+        self._ensure_source()
+        while not self._done and (
+            needed is None or len(self._answers) < needed
+        ):
+            assert self._source is not None
+            try:
+                chunk = next(self._source)
+            except StopIteration:
+                self._done = True
+                self._source = None
+            except BaseException:
+                # A worker failure mid-production leaves a dead generator
+                # and an unusable prefix; reset so a retry re-executes
+                # from scratch instead of serving partial answers as if
+                # they were complete.
+                self._source = None
+                self._answers = []
+                raise
+            else:
+                self._answers.extend(chunk)
+
+    # -- the synchronous access paths ----------------------------------
+
+    def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
+        """The ``index``-th page (0-based) of ``size`` answers."""
+        if index < 0 or size < 1:
+            raise EngineError(
+                f"bad page request (index={index}, size={size})"
+            )
+        self._check_live()
+        self._pull((index + 1) * size)
+        return self._answers[index * size : (index + 1) * size]
+
+    def stream(self) -> Iterator[Answer]:
+        """Yield answers one by one; staleness is re-checked per answer."""
+        position = 0
+        while True:
+            self._check_live()
+            if position < len(self._answers):
+                yield self._answers[position]
+                position += 1
+                continue
+            if self._done:
+                return
+            before = len(self._answers)
+            self._pull(before + 1)
+            if len(self._answers) == before and self._done:
+                return
+
+    def all(self) -> List[Answer]:
+        """Materialize and return every answer (serial order)."""
+        self._check_live()
+        self._pull(None)
+        return list(self._answers)
+
+    def count(self) -> int:
+        """``|q(A)|`` via the counting algorithm (no enumeration).
+
+        Per-branch counts run through the backend (cost-model decided for
+        ``auto``, over the session pool when one is attached); the result
+        is exactly :func:`repro.core.counting.count_answers`.  Cached: the
+        handle is pinned to one structure version (any mutation raises),
+        so the count can never go stale.  After :meth:`cancel` this raises
+        :class:`repro.errors.CancelledResultError` — it never computes
+        from, or returns, a partially pulled handle.
+        """
+        self._check_live()
+        if self._count is None:
+            if self._pipeline.trivial is not None:
+                self._plan.used_count_mode = "serial"
+                self._count = trivial_count(self._pipeline)
+            else:
+                self._count = self._backend.count(self._plan)
+        return self._count
+
+    def test(self, candidate: Sequence[Element]) -> bool:
+        """Constant-time membership test against this query."""
+        self._check_live()
+        return test_answer(self._pipeline, candidate)
+
+    def cancel(self) -> None:
+        """Stop producing; subsequent access raises CancelledResultError.
+
+        Safe to call from any thread, including while an async pull is in
+        flight on a worker thread: the handle is marked cancelled
+        immediately (later accesses raise), but closing the branch
+        generator — which cannot happen while it is executing — is
+        deferred until that pull retires.
+        """
+        if self._cancelled:
+            return
+        self._cancelled = True
+        with self._sync:
+            if self._pull_active:
+                self._cancel_requested = True
+                return
+        self._close_source()
+
+    def _close_source(self) -> None:
+        source, self._source = self._source, None
+        if source is not None and hasattr(source, "close"):
+            source.close()
+
+    def __iter__(self) -> Iterator[Answer]:
+        return self.stream()
+
+    # -- the awaitable access paths ------------------------------------
+    #
+    # One lock serializes async access: the sync pull path is not
+    # re-entrant, and one query's answers arrive in one order anyway.
+    # Concurrency across *different* handles is the intended scaling
+    # axis.  Cancellation must never run concurrently with a pull (the
+    # branch generator cannot be closed while executing), so a cancel
+    # arriving during an in-flight pull is deferred to its retirement.
+
+    def _async_lock(self) -> asyncio.Lock:
+        if self._alock is None:
+            self._alock = asyncio.Lock()
+        return self._alock
+
+    async def _acall(self, fn, *args):
+        async with self._async_lock():
+            loop = asyncio.get_running_loop()
+            with self._sync:
+                self._pull_active = True
+            future = loop.run_in_executor(None, self._pull_wrapper, fn, args)
+            try:
+                # shield: a task cancellation must not cancel the inner
+                # future — the wrapper is guaranteed to run (and retire
+                # the pull) even if it was still queued when cancelled.
+                return await asyncio.shield(future)
+            except asyncio.CancelledError:
+                # The worker thread cannot be interrupted mid-pull;
+                # request cancellation — it lands the moment the
+                # in-flight pull retires, releasing its pool futures.
+                self._cancel_quietly()
+                # The abandoned pull's outcome is intentionally unread.
+                future.add_done_callback(
+                    lambda f: f.exception() if not f.cancelled() else None
+                )
+                raise
+
+    def _pull_wrapper(self, fn, args):
+        """Run one blocking pull; honor a cancel deferred while it ran."""
+        try:
+            return fn(*args)
+        finally:
+            with self._sync:
+                self._pull_active = False
+                requested = self._cancel_requested
+                self._cancel_requested = False
+            if requested:
+                self._close_source()
+
+    def _cancel_quietly(self) -> None:
+        """Cancel without raising (cancel() defers past in-flight pulls)."""
+        try:
+            self.cancel()
+        except Exception:  # pragma: no cover - cancel() does not raise today
+            pass
+
+    async def apage(
+        self, index: int, size: int = DEFAULT_PAGE_SIZE
+    ) -> List[Answer]:
+        """The ``index``-th page, pulled off-loop."""
+        return await self._acall(self.page, index, size)
+
+    async def aall(self) -> List[Answer]:
+        """Every answer (serial order), pulled off-loop."""
+        return await self._acall(self.all)
+
+    async def acount(self) -> int:
+        """``|q(A)|`` via the (possibly parallel) counting engine."""
+        return await self._acall(self.count)
+
+    async def atest(self, candidate: Sequence[Element]) -> bool:
+        """Constant-time membership test, off-loop."""
+        return await self._acall(self.test, candidate)
+
+    async def astream(
+        self, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> AsyncIterator[Answer]:
+        """Yield answers one by one; pulls happen a page at a time.
+
+        Abandoning the stream (``break``, task cancellation, closing the
+        async generator) cancels the handle — a partially consumed stream
+        does not keep pool workers busy.
+        """
+        index = 0
+        exhausted = False
+        try:
+            while True:
+                page = await self._acall(self.page, index, page_size)
+                if not page:
+                    exhausted = True
+                    return
+                for answer in page:
+                    yield answer
+                if len(page) < page_size:
+                    exhausted = True
+                    return
+                index += 1
+        finally:
+            if not exhausted and not self._cancelled:
+                self._cancel_quietly()
+
+    async def acancel(self) -> None:
+        """Cancel the handle (deferred past any in-flight pull)."""
+        async with self._async_lock():
+            self._cancel_quietly()
+
+    def __aiter__(self) -> AsyncIterator[Answer]:
+        return self.astream()

@@ -1,0 +1,334 @@
+""":class:`Database` — the one session object every front-end plugs into.
+
+A ``Database`` owns, for one structure:
+
+* the **pipeline cache** (:class:`repro.engine.cache.PipelineCache`),
+  keyed by ``(structure fingerprint, normalized formula, order, eps)``;
+* the shared **colored-graph templates** (cluster enumeration depends
+  only on ``(arity, link radius)``, so equal-shape queries clone one
+  template instead of re-enumerating);
+* a lazily-started, crash-restarting **worker pool**
+  (:class:`repro.engine.pool.WorkerPool`) that serial workloads never
+  pay for;
+* the **dynamic maintainers**: every cached plan the local-recomputation
+  machinery supports (:class:`repro.core.dynamic.PipelineMaintainer`) is
+  kept fresh *in place* through :meth:`insert_fact` /
+  :meth:`remove_fact`, while ineligible plans get targeted invalidation
+  — the session never throws away the whole cache just because one fact
+  changed.
+
+``db.query("...")`` returns a :class:`repro.session.Query` plan object
+with ``.count() / .test(tuple) / .answers() / .explain()``; execution
+strategy is chosen per plan by the cost model and overridable with
+``backend=`` (see :mod:`repro.session.backends`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
+
+from repro.core.colored_graph import ColoredGraph, build_colored_graph
+from repro.core.dynamic import PipelineMaintainer, supports_maintenance
+from repro.core.pipeline import Pipeline
+from repro.engine.cache import CacheKey, PipelineCache, coerce_order
+from repro.engine.pool import WorkerPool
+from repro.errors import EngineError
+from repro.fo import coerce_formula
+from repro.fo.syntax import Formula, Var
+from repro.session.query import Query
+from repro.structures.serialize import fingerprint
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+
+class Database:
+    """One structure, one cache, one pool — every query mode in one place.
+
+    Quick start::
+
+        from repro.session import Database
+
+        with Database(structure, workers=4) as db:
+            q = db.query("B(x) & R(y) & ~E(x,y)")
+            q.count()                     # Theorem 2.5
+            q.test((0, 2))                # Theorem 2.6
+            for answer in q.answers():    # Theorem 2.7, constant delay
+                ...
+            db.insert_fact("B", 3)        # maintained plans stay fresh
+            q.count()                     # reflects the update
+    """
+
+    def __init__(
+        self,
+        structure: Structure,
+        eps: float = 0.5,
+        workers: Optional[int] = None,
+        skip_mode: str = "lazy",
+        cache_capacity: int = 64,
+        share_graphs: bool = True,
+        maintain: bool = True,
+    ):
+        if workers is not None and workers < 1:
+            raise EngineError(f"workers must be >= 1, got {workers}")
+        self.structure = structure
+        self.eps = eps
+        self.workers = workers
+        self.skip_mode = skip_mode
+        self.share_graphs = share_graphs
+        self.maintain = maintain
+        self.pool = WorkerPool(workers)
+        self.cache = PipelineCache(cache_capacity)
+        self._graph_templates: Dict[Tuple[int, int], ColoredGraph] = {}
+        self._maintainers: Dict[CacheKey, PipelineMaintainer] = {}
+        self._fingerprint = fingerprint(structure)
+        self._version = structure.version
+        self._closed = False
+
+    # -- the public query surface --------------------------------------
+
+    def query(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        backend=None,
+        skip_mode: Optional[str] = None,
+        workers: Optional[int] = None,
+        budget=None,
+    ) -> Query:
+        """Preprocess (or cache-hit) ``query`` and return its plan object.
+
+        ``backend`` forces an execution strategy (``"serial"`` /
+        ``"thread"`` / ``"process"``, or any
+        :class:`~repro.session.backends.ExecutionBackend`); the default
+        ``"auto"`` lets the cost model decide per plan.  ``budget`` (a
+        :class:`repro.fo.localize.LocalizationBudget`) bypasses the cache
+        — budgets change pipeline shape and are not part of the cache
+        key.
+        """
+        self._check_open()
+        return Query(
+            self,
+            coerce_formula(query),
+            order=coerce_order(order),
+            backend=backend,
+            skip_mode=skip_mode,
+            workers=workers,
+            budget=budget,
+        )
+
+    def count(self, query, order=None, **options) -> int:
+        """Convenience: ``db.query(...).count()``."""
+        return self.query(query, order=order, **options).count()
+
+    def test(self, query, candidate: Sequence[Element], **options) -> bool:
+        """Convenience: ``db.query(...).test(candidate)``."""
+        return self.query(query, **options).test(candidate)
+
+    # -- dynamic updates -----------------------------------------------
+
+    def insert_fact(self, relation: str, *elements: Element) -> bool:
+        """Insert a fact; keep maintainable cached plans fresh in place.
+
+        Returns ``True`` when the structure changed (the fact was new).
+        Plans the local-recomputation maintainer supports are updated in
+        ``O(d^h(|q|))`` — independent of ``n`` — and stay cache-hits;
+        only the ineligible plans are invalidated (targeted, not
+        whole-cache).
+        """
+        self._check_open()
+        self._refresh()
+        if self.structure.has_fact(relation, *elements):
+            return False
+        return self._apply_update(True, relation, elements)
+
+    def remove_fact(self, relation: str, *elements: Element) -> bool:
+        """Delete a fact; same maintenance contract as :meth:`insert_fact`."""
+        self._check_open()
+        self._refresh()
+        if not self.structure.has_fact(relation, *elements):
+            return False
+        return self._apply_update(False, relation, elements)
+
+    def _apply_update(
+        self, insert: bool, relation: str, elements: Tuple[Element, ...]
+    ) -> bool:
+        self._prune_maintainers()
+        # Phase 1: each maintainer's reach *before* the mutation (a
+        # deleted edge used to provide connectivity).
+        pre_regions = {
+            key: maintainer.reach(elements)
+            for key, maintainer in self._maintainers.items()
+        }
+        if insert:
+            self.structure.add_fact(relation, *elements)
+        else:
+            self.structure.remove_fact(relation, *elements)
+        # Phase 2: local recomputation on every maintained plan.
+        for key, maintainer in self._maintainers.items():
+            region = pre_regions[key] | maintainer.reach(elements)
+            maintainer.refresh(elements, region)
+        # Phase 3: targeted invalidation.  Maintained plans move to the
+        # new fingerprint key (still cache-hits); everything else for the
+        # old fingerprint is dropped; graph templates are
+        # structure-derived, so they rebuild on demand.
+        old_fingerprint = self._fingerprint
+        self._fingerprint = fingerprint(self.structure)
+        self._version = self.structure.version
+        self._graph_templates.clear()
+        kept = self.cache.rekey(
+            old_fingerprint,
+            self._fingerprint,
+            keep=set(self._maintainers),
+        )
+        self._maintainers = {
+            (self._fingerprint,) + key[1:]: maintainer
+            for key, maintainer in self._maintainers.items()
+        }
+        assert kept == len(self._maintainers), "maintained plan lost its entry"
+        return True
+
+    # -- structure staleness -------------------------------------------
+
+    @property
+    def structure_fingerprint(self) -> str:
+        self._refresh()
+        return self._fingerprint
+
+    def _refresh(self) -> None:
+        """Detect *external* mutations and invalidate every derived cache.
+
+        Updates applied through :meth:`insert_fact` / :meth:`remove_fact`
+        never reach this path; a direct ``structure.add_fact`` by the
+        caller does, and costs the full fingerprint-keyed invalidation —
+        the maintainers never saw the pre-update neighborhoods, so their
+        pipelines cannot be trusted.
+        """
+        if self.structure.version == self._version:
+            return
+        stale_fingerprint = self._fingerprint
+        self._fingerprint = fingerprint(self.structure)
+        self._version = self.structure.version
+        self._graph_templates.clear()
+        self._maintainers.clear()
+        self.cache.invalidate(stale_fingerprint)
+
+    def invalidate(self) -> None:
+        """Drop every cached pipeline, maintainer, and graph template."""
+        self._graph_templates.clear()
+        self._maintainers.clear()
+        self.cache.invalidate()
+        self._fingerprint = fingerprint(self.structure)
+        self._version = self.structure.version
+
+    # -- shared preprocessing ------------------------------------------
+
+    def _graph_factory(
+        self, structure, evaluator, arity, link_radius, max_nodes=5_000_000
+    ):
+        """Clone-from-template colored graph construction."""
+        key = (arity, link_radius)
+        template = self._graph_templates.get(key)
+        if template is None:
+            template = build_colored_graph(
+                structure, evaluator, arity, link_radius, max_nodes=max_nodes
+            )
+            self._graph_templates[key] = template
+        return template.clone()
+
+    def _prepare(
+        self,
+        query: Union[Formula, str],
+        order: Optional[Sequence[Union[Var, str]]] = None,
+        budget=None,
+    ) -> Tuple[Pipeline, Optional[CacheKey]]:
+        """The cached pipeline for a query (building it on a miss)."""
+        self._refresh()
+        if budget is not None:
+            # Budgets change pipeline shape but are not part of the cache
+            # key; budgeted plans are built fresh and never cached.
+            pipeline = Pipeline(
+                self.structure,
+                coerce_formula(query),
+                order=coerce_order(order),
+                eps=self.eps,
+                budget=budget,
+            )
+            return pipeline, None
+        pipeline, key = self.cache.get_or_build(
+            self.structure,
+            query,
+            order=order,
+            eps=self.eps,
+            structure_fingerprint=self._fingerprint,
+            graph_factory=self._graph_factory if self.share_graphs else None,
+        )
+        if (
+            self.maintain
+            and key not in self._maintainers
+            and supports_maintenance(pipeline)
+        ):
+            self._maintainers[key] = PipelineMaintainer(pipeline)
+        self._prune_maintainers()
+        return pipeline, key
+
+    def _prune_maintainers(self) -> None:
+        """Cache evictions may drop maintained plans; never maintain
+        pipelines nothing can hit anymore."""
+        if self._maintainers:
+            self._maintainers = {
+                key: maintainer
+                for key, maintainer in self._maintainers.items()
+                if key in self.cache
+            }
+
+    def _is_maintained(self, key: Optional[CacheKey]) -> bool:
+        return key is not None and key in self._maintainers
+
+    # -- observability -------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cache + template + maintainer + pool observability counters."""
+        stats = self.cache.stats()
+        stats["graph_templates"] = len(self._graph_templates)
+        stats["maintained_plans"] = len(self._maintainers)
+        stats.update(
+            {f"pool_{key}": value for key, value in self.pool.stats().items()}
+        )
+        return stats
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("this Database session is closed")
+
+    def close(self) -> None:
+        """Shut down the owned worker pool.  Idempotent.
+
+        Outstanding :class:`~repro.session.answers.Answers` handles keep
+        any answers they already pulled; new queries (and new parallel
+        pulls through the pool) raise :class:`repro.errors.EngineError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.pool.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"Database(n={self.structure.cardinality}, "
+            f"cache={len(self.cache)}, maintained={len(self._maintainers)}, "
+            f"{state})"
+        )

@@ -1,0 +1,246 @@
+"""The :class:`Query` plan object and its :class:`QueryPlan` explanation.
+
+``db.query("...")`` preprocesses once (through the session's pipeline
+cache) and returns a :class:`Query` exposing the paper's three
+operations — :meth:`Query.count` (Theorem 2.5), :meth:`Query.test`
+(Theorem 2.6), :meth:`Query.answers` (Theorem 2.7, constant delay) —
+plus :meth:`Query.explain`, which reports the chosen plan: branch count,
+shard layout, execution backend, and the cost-model estimates behind the
+choice.
+
+A ``Query`` is a *live* view of the session: after
+``db.insert_fact()`` / ``db.remove_fact()`` it transparently re-resolves
+its pipeline — O(1) when the plan was locally maintained, a rebuild
+otherwise.  :class:`~repro.session.answers.Answers` handles, by
+contrast, are pinned snapshots: a mutation makes an outstanding handle
+raise :class:`repro.errors.StaleResultError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.counting import count_answers
+from repro.core.testing import test_answer
+from repro.engine.executor import (
+    branch_works,
+    count_works,
+    plan_work_units,
+)
+from repro.fo.syntax import Formula, Var
+from repro.session.answers import Answers
+from repro.session.backends import ExecutionPlan, PoolBackend, resolve_backend
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """What :meth:`Query.explain` returns: the decisions, made inspectable.
+
+    ``backend`` / ``count_backend`` are the concrete execution modes the
+    cost model (or a forced backend) resolves to for this plan —
+    the same decision procedure the engine applies at pull time, so the
+    report matches what actually runs.
+    """
+
+    query: str
+    variables: Tuple[str, ...]
+    backend_requested: str
+    backend: str
+    count_backend: str
+    workers: int
+    branch_count: int
+    shards: Tuple[Tuple[int, int, Optional[int]], ...]
+    branch_costs: Tuple[int, ...]
+    count_costs: Tuple[int, ...]
+    trivial: Optional[bool]
+    cached: bool = field(default=False)
+    maintained: bool = field(default=False)
+
+    @property
+    def total_cost(self) -> int:
+        return sum(self.branch_costs)
+
+    def describe(self) -> str:
+        """A human-readable account of the plan (CLI ``--explain``)."""
+        lines = [
+            f"query: {self.query}",
+            f"variables: ({', '.join(self.variables)})",
+            f"backend: {self.backend} (requested: {self.backend_requested}, "
+            f"count: {self.count_backend}, workers: {self.workers})",
+            f"branches: {self.branch_count}, shards: {len(self.shards)}",
+            f"estimated work: {self.total_cost} steps "
+            f"(count: {sum(self.count_costs)})",
+            f"pipeline: {'trivially ' + str(self.trivial) if self.trivial is not None else 'built'}"
+            f"{', cached' if self.cached else ''}"
+            f"{', dynamically maintained' if self.maintained else ''}",
+        ]
+        if self.shards:
+            layout = ", ".join(
+                f"b{branch}[{start}:{'' if stop is None else stop}]"
+                for branch, start, stop in self.shards
+            )
+            lines.append(f"shard layout: {layout}")
+        return "\n".join(lines)
+
+
+class Query:
+    """One prepared query inside a :class:`repro.session.Database`."""
+
+    def __init__(
+        self,
+        database,
+        formula: Formula,
+        order: Optional[Tuple[Var, ...]] = None,
+        backend=None,
+        skip_mode: Optional[str] = None,
+        workers: Optional[int] = None,
+        budget=None,
+    ):
+        self._db = database
+        self._formula = formula
+        self._order = order
+        self._backend = resolve_backend(backend)
+        self._skip_mode = skip_mode or database.skip_mode
+        self._workers = workers if workers is not None else database.workers
+        self._budget = budget
+        self._pipeline, self._key = database._prepare(
+            formula, order=order, budget=budget
+        )
+        self._resolved_version = self._pipeline.structure.version
+        self._cached_count: Optional[Tuple[int, int]] = None
+
+    # -- plan resolution ----------------------------------------------
+
+    def _resolve(self):
+        """The current pipeline: re-resolved after session mutations.
+
+        O(1) while the structure is unchanged, a cache hit when the plan
+        was dynamically maintained (or still fresh), and a rebuild only
+        when the session had to invalidate it.
+        """
+        if self._db.structure.version != self._resolved_version:
+            self._pipeline, self._key = self._db._prepare(
+                self._formula, order=self._order, budget=self._budget
+            )
+            self._resolved_version = self._pipeline.structure.version
+        return self._pipeline
+
+    @property
+    def pipeline(self):
+        """The underlying preprocessing output (current as of this call)."""
+        return self._resolve()
+
+    @property
+    def formula(self) -> Formula:
+        return self._formula
+
+    @property
+    def variables(self) -> Tuple[Var, ...]:
+        """The free variables, in answer-tuple order."""
+        return self._pipeline.variables
+
+    @property
+    def arity(self) -> int:
+        return self._pipeline.arity
+
+    @property
+    def backend(self) -> str:
+        """The requested execution strategy ("auto" unless forced)."""
+        return self._backend.name
+
+    def _execution_plan(self, pipeline) -> ExecutionPlan:
+        return ExecutionPlan(
+            pipeline,
+            skip_mode=self._skip_mode,
+            workers=self._workers,
+            spec_key=self._key,
+            executor=None,
+            pool=self._db.pool,
+        )
+
+    # -- the three operations ------------------------------------------
+
+    def count(self) -> int:
+        """``|q(A)|`` (Theorem 2.5).  Cached until the next update."""
+        pipeline = self._resolve()
+        version = self._db.structure.version
+        if self._cached_count is not None and self._cached_count[0] == version:
+            return self._cached_count[1]
+        self._db._check_open()
+        if pipeline.trivial is not None:
+            value = count_answers(pipeline)
+        else:
+            value = self._backend.count(self._execution_plan(pipeline))
+        self._cached_count = (version, value)
+        return value
+
+    def test(self, candidate: Sequence[Element]) -> bool:
+        """Constant-time membership test (Theorem 2.6)."""
+        return test_answer(self._resolve(), candidate)
+
+    def answers(self) -> Answers:
+        """A fresh :class:`Answers` handle (Theorem 2.7, constant delay).
+
+        The handle is pinned to the current structure version; later
+        updates make *it* stale while the ``Query`` itself stays live.
+        """
+        pipeline = self._resolve()
+        self._db._check_open()
+        return Answers(
+            pipeline,
+            backend=self._backend,
+            skip_mode=self._skip_mode,
+            workers=self._workers,
+            spec_key=self._key,
+            pool=self._db.pool,
+        )
+
+    def __iter__(self):
+        return iter(self.answers())
+
+    # -- introspection -------------------------------------------------
+
+    def explain(self) -> QueryPlan:
+        """The chosen plan: branches, shards, backend, cost estimates."""
+        pipeline = self._resolve()
+        plan = self._execution_plan(pipeline)
+        if pipeline.trivial is not None:
+            mode, workers = "serial", 1
+            count_mode = "serial"
+        elif isinstance(self._backend, PoolBackend):
+            mode, workers = self._backend.resolve(plan)
+            count_mode, _ = self._backend.resolve_count(plan)
+        else:
+            # A custom backend decides internally; report its name.
+            mode, workers = self._backend.name, plan.workers or 0
+            count_mode = self._backend.name
+        shards: Tuple[Tuple[int, int, Optional[int]], ...] = ()
+        if pipeline.trivial is None and mode != "serial":
+            shards = tuple(plan_work_units(pipeline, workers))
+        return QueryPlan(
+            query=str(self._formula),
+            variables=tuple(v.name for v in pipeline.variables),
+            backend_requested=self._backend.name,
+            backend=mode,
+            count_backend=count_mode,
+            workers=workers,
+            branch_count=pipeline.branch_count,
+            shards=shards,
+            branch_costs=tuple(branch_works(pipeline)),
+            count_costs=tuple(count_works(pipeline)),
+            trivial=pipeline.trivial,
+            cached=self._key is not None,
+            maintained=self._db._is_maintained(self._key),
+        )
+
+    def stats(self) -> dict:
+        """Preprocessing statistics (graph size, branches, radii, ...)."""
+        return self._resolve().stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Query({str(self._formula)!r}, backend={self._backend.name!r})"
+        )

@@ -1,0 +1,180 @@
+"""Front-end differential suite: every entry point, one answer.
+
+The acceptance contract of the session refactor: for a corpus of
+(structure, query) pairs — including ternary relations and nested
+quantifiers — ``Database.query(...)`` must produce *byte-identical*
+enumeration order, exact-equal counts, and identical test verdicts
+versus every legacy front-end (``prepare``/``PreparedQuery``,
+``QueryBatch``/``ResultHandle``, ``AsyncQueryBatch``), on both fixed
+corpus queries and Hypothesis-generated random structures/formulas.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+
+from repro import Database, prepare
+from repro.engine import AsyncQueryBatch, QueryBatch
+from repro.errors import UnsupportedQueryError
+from repro.fo import parse
+from repro.fo.semantics import naive_answers
+
+from strategies import formulas, structures, ternary_structures
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+CORPUS = [
+    "B(x)",
+    "B(x) & R(y) & ~E(x,y)",                     # Example 2.3
+    "B(x) & R(y) & (E(x,y) | E(y,x))",
+    "B(x) & B(y) & ~E(x,y) & ~E(y,x) & x != y",
+    "dist(x,y) > 2 & B(x) & R(y)",
+    "exists z. E(x,z) & E(z,y) & x != y",        # nested witness
+    "B(x) & exists z. (R(z) & dist(x,z) > 2)",   # derived predicates
+    "forall z. E(x,z) -> B(z)",
+    "exists z. exists w. E(z,w) & B(z) & R(w) & ~E(x,z)",  # nested quantifiers
+]
+
+TERNARY_CORPUS = [
+    "T(x,y,y) & B(x)",
+    "B(x) & exists z. T(x,z,y)",
+    "T(x,y,y) & ~B(y) & dist(x,y) <= 2",
+]
+
+
+def quiet(fn, *args, **kwargs):
+    """Run a deprecated front-end without polluting the warning log."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return fn(*args, **kwargs)
+
+
+def front_end_results(structure, formula, order):
+    """(answers, count, verdicts) from each front-end, same inputs."""
+    probes = []
+    session_db = Database(structure)
+    session_query = session_db.query(formula, order=order)
+    session_answers = session_query.answers().all()
+    # Probe a mix of real answers and non-answers.
+    probes = session_answers[:3] + [
+        tuple(reversed(answer)) for answer in session_answers[:2]
+    ]
+    if order:
+        first = next(iter(structure.domain))
+        probes.append((first,) * len(order))
+
+    def capture(answers, count, test):
+        return {
+            "answers": answers,
+            "count": count,
+            "verdicts": [test(probe) for probe in probes],
+        }
+
+    results = {
+        "session": capture(
+            session_answers, session_query.count(), session_query.test
+        )
+    }
+
+    prepared = quiet(prepare, structure, formula, order=order)
+    results["prepare"] = capture(
+        list(prepared.enumerate()), prepared.count(), prepared.test
+    )
+
+    with quiet(QueryBatch, structure) as batch:
+        handle = batch.submit(formula, order=order)
+        results["batch"] = capture(handle.all(), handle.count(), handle.test)
+
+    async def async_face():
+        async with quiet(AsyncQueryBatch, structure) as async_batch:
+            handle = await async_batch.submit(formula, order=order)
+            answers = await handle.all()
+            count = await handle.count()
+            verdicts = [await handle.test(probe) for probe in probes]
+            return {"answers": answers, "count": count, "verdicts": verdicts}
+
+    results["asyncio"] = asyncio.run(async_face())
+    session_db.close()
+    return results
+
+
+def assert_front_ends_agree(structure, formula_text_or_formula):
+    formula = (
+        parse(formula_text_or_formula)
+        if isinstance(formula_text_or_formula, str)
+        else formula_text_or_formula
+    )
+    order = sorted(formula.free)
+    try:
+        results = front_end_results(structure, formula, order)
+    except UnsupportedQueryError:
+        assume(False)
+        return
+    reference = results.pop("session")
+    # The session must equal the oracle as a set ...
+    oracle = set(naive_answers(formula, structure, order=order))
+    assert set(reference["answers"]) == oracle
+    assert reference["count"] == len(oracle)
+    # ... and every legacy front-end byte-for-byte (order included).
+    for name, result in results.items():
+        assert result["answers"] == reference["answers"], (
+            f"{name}: answers (or their order) diverge from the session"
+        )
+        assert result["count"] == reference["count"], f"{name}: count diverges"
+        assert result["verdicts"] == reference["verdicts"], (
+            f"{name}: test verdicts diverge"
+        )
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("text", CORPUS)
+    def test_binary_corpus(self, small_colored, text):
+        assert_front_ends_agree(small_colored, text)
+
+    @pytest.mark.parametrize("text", CORPUS[:4])
+    def test_three_colors(self, three_colored, text):
+        assert_front_ends_agree(three_colored, text)
+
+    @pytest.mark.parametrize("text", TERNARY_CORPUS)
+    def test_ternary_corpus(self, ternary_structure, text):
+        assert_front_ends_agree(ternary_structure, text)
+
+
+class TestHypothesis:
+    @given(db=structures(max_n=10), formula=formulas(free_count=2, max_depth=3, max_quantifiers=1))
+    @settings(max_examples=20, **SETTINGS)
+    def test_random_binary(self, db, formula):
+        assert_front_ends_agree(db, formula)
+
+    @given(db=structures(max_n=8), formula=formulas(free_count=1, max_depth=3, max_quantifiers=2))
+    @settings(max_examples=10, **SETTINGS)
+    def test_random_nested_quantifiers(self, db, formula):
+        assert_front_ends_agree(db, formula)
+
+    @given(
+        db=ternary_structures(max_n=9),
+        formula=formulas(free_count=2, max_depth=2, max_quantifiers=1, ternary=True),
+    )
+    @settings(max_examples=10, **SETTINGS)
+    def test_random_ternary(self, db, formula):
+        assert_front_ends_agree(db, formula)
+
+
+class TestExplainReportsReality:
+    def test_explain_backend_matches_execution(self, medium_colored):
+        with Database(medium_colored, workers=2) as db:
+            for backend in (None, "serial", "thread"):
+                query = db.query(
+                    "B(x) & R(y) & ~E(x,y)", backend=backend, workers=2
+                )
+                plan = query.explain()
+                answers = query.answers()
+                answers.all()
+                assert answers.backend_used == plan.backend

@@ -1,0 +1,132 @@
+"""The legacy facades warn — and keep working — as session shims."""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+import pytest
+
+import repro
+from repro.errors import CancelledResultError
+from repro.structures.random_gen import random_colored_graph
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+
+
+@pytest.fixture
+def structure():
+    return random_colored_graph(20, max_degree=3, seed=5)
+
+
+class TestErrorAlias:
+    def test_alias_warns_and_is_same_class(self):
+        with pytest.warns(DeprecationWarning, match="CancelledResultError"):
+            from repro.errors import ResultCancelledError
+        assert ResultCancelledError is CancelledResultError
+
+    def test_alias_via_top_level_package(self):
+        with pytest.warns(DeprecationWarning):
+            alias = repro.ResultCancelledError
+        assert alias is CancelledResultError
+
+    def test_alias_still_catches(self, structure):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.errors import ResultCancelledError
+            from repro.session import Database
+
+            with Database(structure) as db:
+                answers = db.query(EXAMPLE).answers()
+                answers.cancel()
+                with pytest.raises(ResultCancelledError):
+                    answers.all()
+
+    def test_unknown_error_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            from repro import errors
+
+            errors.NoSuchError
+
+
+class TestLegacyFacadesWarn:
+    def test_prepare_warns_but_works(self, structure):
+        with pytest.warns(DeprecationWarning, match="prepare"):
+            prepared = repro.prepare(structure, EXAMPLE)
+        assert prepared.count() == len(list(prepared.enumerate()))
+
+    def test_query_batch_warns_but_works(self, structure):
+        with pytest.warns(DeprecationWarning, match="QueryBatch"):
+            batch = repro.QueryBatch(structure)
+        with batch:
+            handle = batch.submit(EXAMPLE)
+            assert handle.count() == len(handle.all())
+
+    def test_async_query_batch_warns_but_works(self, structure):
+        async def main():
+            with pytest.warns(DeprecationWarning, match="AsyncQueryBatch"):
+                batch = repro.AsyncQueryBatch(structure)
+            async with batch:
+                handle = await batch.submit(EXAMPLE)
+                return await handle.count(), len(await handle.all())
+
+        count, total = asyncio.run(main())
+        assert count == total
+
+    def test_dynamic_query_warns_but_works(self, structure):
+        with pytest.warns(DeprecationWarning, match="DynamicQuery"):
+            dynamic = repro.DynamicQuery(structure, EXAMPLE)
+        before = dynamic.count()
+        victim = next(
+            e for e in structure.domain if not structure.has_fact("B", e)
+        )
+        dynamic.insert_fact("B", victim)
+        assert dynamic.count() >= before
+
+    def test_session_api_does_not_warn(self, structure):
+        from repro.session import Database
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            with Database(structure) as db:
+                query = db.query(EXAMPLE)
+                query.count()
+                query.answers().all()
+                query.explain()
+                db.insert_fact(
+                    "B",
+                    next(
+                        e
+                        for e in structure.domain
+                        if not structure.has_fact("B", e)
+                    ),
+                )
+
+
+class TestShimsShareImplementation:
+    def test_result_handle_is_answers(self, structure):
+        from repro.engine.batch import ResultHandle
+        from repro.session import Answers
+
+        assert issubclass(ResultHandle, Answers)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with repro.QueryBatch(structure) as batch:
+                handle = batch.submit(EXAMPLE)
+                assert isinstance(handle, Answers)
+
+    def test_query_batch_fronts_a_database(self, structure):
+        from repro.session import Database
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with repro.QueryBatch(structure) as batch:
+                assert isinstance(batch.database, Database)
+                assert batch.pool is batch.database.pool
+                assert batch.cache is batch.database.cache
+
+    def test_coerce_query_alias(self):
+        from repro.engine.cache import coerce_query
+        from repro.fo import coerce_formula
+
+        assert coerce_query is coerce_formula

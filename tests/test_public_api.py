@@ -14,6 +14,25 @@ class TestExports:
         for name in repro.__all__:
             assert getattr(repro, name) is not None
 
+    def test_all_matches_what_actually_imports(self):
+        """``__all__`` is exactly the public surface: every listed name
+        resolves (eager or lazy), nothing is listed twice, and every
+        public module-level attribute is listed."""
+        assert len(repro.__all__) == len(set(repro.__all__)), "duplicate export"
+        resolved = {name: getattr(repro, name) for name in repro.__all__}
+        assert all(value is not None for value in resolved.values())
+        # Lazy exports must also all be listed in __all__.
+        for lazy_name in repro._LAZY_EXPORTS:
+            assert lazy_name in repro.__all__, f"{lazy_name} missing from __all__"
+        public_attributes = {
+            name
+            for name, value in vars(repro).items()
+            if not name.startswith("_")
+            and not isinstance(value, type(repro))  # sub-modules aren't API
+        }
+        undeclared = public_attributes - set(repro.__all__)
+        assert not undeclared, f"public names missing from __all__: {undeclared}"
+
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
             repro.not_a_thing
@@ -22,6 +41,32 @@ class TestExports:
         from repro.core.dynamic import DynamicQuery
 
         assert repro.DynamicQuery is DynamicQuery
+
+    def test_session_exports_lazy_import(self):
+        from repro.session import Answers, Database, Query, QueryPlan
+
+        assert repro.Database is Database
+        assert repro.Query is Query
+        assert repro.Answers is Answers
+        assert repro.QueryPlan is QueryPlan
+
+    def test_session_package_all_resolves(self):
+        import repro.session
+
+        for name in repro.session.__all__:
+            assert getattr(repro.session, name) is not None
+
+    def test_engine_package_all_resolves(self):
+        import repro.engine
+
+        for name in repro.engine.__all__:
+            assert getattr(repro.engine, name) is not None
+
+    def test_py_typed_marker_ships(self):
+        import pathlib
+
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").is_file()
 
 
 class TestTopLevelHelpers:
@@ -50,6 +95,10 @@ class TestTopLevelHelpers:
 
     def test_docstring_quickstart_runs(self, db):
         # The module docstring's example, executed literally.
-        query = parse("B(x) & R(y) & ~E(x,y)")
-        prepared = prepare(db, query)
-        assert prepared.count() == len(list(prepared.enumerate()))
+        from repro import Database
+
+        with Database(db) as session:
+            query = session.query("B(x) & R(y) & ~E(x,y)")
+            assert query.count() == len(list(query.answers()))
+            session.insert_fact("E", 0, 2)
+            assert query.count() == len(list(query.answers()))
