@@ -1,0 +1,227 @@
+"""E12 — columnar answer transport vs. pickled tuple lists.
+
+Claim: process-mode enumeration no longer pays for shipping whole
+pickled answer lists back to the parent.  The columnar codec (interned
+element ids, per-column fixed-width buffers, bounded ``chunk_rows``
+chunks, opportunistic zlib) cuts the parent-received bytes by >= 2x on
+the large triple workload while keeping the merged output
+*byte-identical* to serial enumeration, and the bounded chunks + lazy
+decode lower the time-to-first-chunk (the ``Answers.page(0)`` latency
+floor).
+
+Two entry points:
+
+* a standalone harness (``python benchmarks/bench_e12_transport.py``)
+  that measures bytes + time-to-first-chunk for both transports,
+  **fails (exit 1) on any transport/serial divergence**, and in full
+  mode also fails if the columnar codec does not reach the 2x byte
+  reduction; CI runs ``--smoke``, which sweeps every
+  transport x chunk-size configuration on a tiny workload and enforces
+  byte-identity only;
+* both modes emit ``BENCH_transport.json`` (bytes transferred,
+  time-to-first-chunk, ratio) so future PRs can track the trajectory.
+
+Methodology notes: the process pool is warmed first (worker pipeline
+rebuilds are preprocessing in the service regime); pickle-transport
+bytes are measured by re-pickling each received shard list — the same
+payload ``multiprocessing`` moved, modulo constant framing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pickle
+import sys
+import time
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+if REPO_SRC not in sys.path:  # allow `python benchmarks/bench_e12_transport.py`
+    sys.path.insert(0, REPO_SRC)
+
+from repro.core.pipeline import Pipeline  # noqa: E402
+from repro.engine import (  # noqa: E402
+    WorkerPool,
+    parallel_enumerate,
+    prearm,
+    run_branches,
+    warm_pool,
+)
+from repro.engine.transport import TransferStats  # noqa: E402
+from repro.fo.parser import parse  # noqa: E402
+from repro.structures.random_gen import random_colored_graph  # noqa: E402
+
+TRIPLE_QUERY = "B(x) & R(y) & G(z) & ~E(x,y) & ~E(y,z) & ~E(x,z)"
+
+DEFAULT_JSON = "BENCH_transport.json"
+
+
+def build_workload(n: int, degree: int = 4, seed: int = 42):
+    db = random_colored_graph(n, max_degree=degree, colors=("B", "R", "G"), seed=seed)
+    return db, parse(TRIPLE_QUERY)
+
+
+def output_digest(answers) -> str:
+    hasher = hashlib.sha256()
+    for answer in answers:
+        hasher.update(repr(answer).encode("utf-8"))
+        hasher.update(b"\x1e")
+    return hasher.hexdigest()
+
+
+def measure(pipeline, pool, workers, transport, chunk_rows):
+    """One process-mode run: (answers, bytes_to_parent, ttfc, total_time).
+
+    ``bytes_to_parent`` is the columnar codec's actual received bytes
+    (TransferStats) or the re-pickled size of each shard list for the
+    legacy transport; ``ttfc`` is the time until the first chunk of
+    answers is decoded and available (the first-page latency floor).
+    """
+    stats = TransferStats()
+    started = time.perf_counter()
+    chunks = run_branches(
+        pipeline,
+        workers=workers,
+        mode="process",
+        pool=pool,
+        transport=transport,
+        chunk_rows=chunk_rows,
+        transfer_stats=stats,
+    )
+    answers = []
+    ttfc = None
+    pickled_bytes = 0
+    for chunk in chunks:
+        if ttfc is None:
+            ttfc = time.perf_counter() - started
+        if transport == "pickle":
+            pickled_bytes += len(pickle.dumps(chunk))
+        answers.extend(chunk)
+    total = time.perf_counter() - started
+    if ttfc is None:
+        ttfc = total
+    received = stats.bytes_received if transport == "columnar" else pickled_bytes
+    return answers, received, ttfc, total
+
+
+def run_harness(
+    n: int, workers: int, smoke: bool, json_path: str, require_ratio: float
+) -> int:
+    db, query = build_workload(n)
+    print(f"workload: n={db.cardinality}, degree={db.degree}, query={TRIPLE_QUERY}")
+
+    started = time.perf_counter()
+    pipeline = Pipeline(db, query)
+    print(f"preprocessing: {time.perf_counter() - started:.2f}s; "
+          f"branches={pipeline.branch_count}")
+
+    prearm(pipeline)
+    serial = list(parallel_enumerate(pipeline, mode="serial"))
+    serial_digest = output_digest(serial)
+    print(f"serial: {len(serial)} answers")
+
+    failures = 0
+    report = {
+        "workload": {"n": db.cardinality, "workers": workers, "answers": len(serial)},
+        "runs": [],
+    }
+
+    chunk_configs = (1, 7, None) if smoke else (None,)
+    results = {}
+    with WorkerPool(workers) as pool:
+        started = time.perf_counter()
+        warm_pool(pool, pipeline, workers)
+        print(f"process pool warm-up ({workers} workers): "
+              f"{time.perf_counter() - started:.2f}s")
+        for transport in ("pickle", "columnar"):
+            for chunk_rows in chunk_configs:
+                answers, received, ttfc, total = measure(
+                    pipeline, pool, workers, transport, chunk_rows
+                )
+                identical = output_digest(answers) == serial_digest
+                label = f"{transport:8s} chunk_rows={chunk_rows or 'auto'}"
+                verdict = "byte-identical" if identical else "DIVERGED"
+                print(
+                    f"{label}: {received:>10d} bytes to parent, "
+                    f"first chunk {ttfc * 1000:.1f}ms, total {total:.2f}s "
+                    f"[{verdict}]"
+                )
+                if not identical:
+                    failures += 1
+                if chunk_rows is None:
+                    results[transport] = (received, ttfc)
+                report["runs"].append(
+                    {
+                        "transport": transport,
+                        "chunk_rows": chunk_rows,
+                        "bytes_to_parent": received,
+                        "time_to_first_chunk_s": round(ttfc, 6),
+                        "total_s": round(total, 6),
+                        "identical": identical,
+                    }
+                )
+
+    pickle_bytes, pickle_ttfc = results["pickle"]
+    columnar_bytes, columnar_ttfc = results["columnar"]
+    # None (JSON null), never float('inf'): json.dump would emit the
+    # non-standard Infinity literal and break strict consumers.
+    ratio = (
+        round(pickle_bytes / columnar_bytes, 2) if columnar_bytes else None
+    )
+    report["bytes_ratio"] = ratio
+    report["ttfc_ratio"] = (
+        round(pickle_ttfc / columnar_ttfc, 2) if columnar_ttfc else None
+    )
+    ratio_text = f"{ratio:.1f}x" if ratio is not None else "n/a (0 bytes)"
+    print(
+        f"bytes: pickle {pickle_bytes} vs columnar {columnar_bytes} "
+        f"({ratio_text} smaller); first chunk: pickle {pickle_ttfc * 1000:.1f}ms "
+        f"vs columnar {columnar_ttfc * 1000:.1f}ms"
+    )
+
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"wrote {json_path}")
+
+    if failures:
+        print(f"FAIL: {failures} configuration(s) diverged from the serial output")
+        return 1
+    if not smoke and ratio is not None and ratio < require_ratio:
+        print(
+            f"FAIL: columnar transport only {ratio:.2f}x smaller than pickle "
+            f"(target >= {require_ratio}x)"
+        )
+        return 1
+    print(f"OK: all transports byte-identical; columnar ships {ratio_text} "
+          f"fewer bytes to the parent")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload; sweep every transport x chunk config, "
+        "enforce byte-identity only",
+    )
+    parser.add_argument("-n", type=int, default=None, help="structure size")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--require-ratio",
+        type=float,
+        default=2.0,
+        help="minimum pickle/columnar byte ratio in full mode",
+    )
+    parser.add_argument("--json", default=DEFAULT_JSON, help="report path")
+    args = parser.parse_args(argv)
+    n = args.n if args.n is not None else (48 if args.smoke else 140)
+    return run_harness(n, args.workers, args.smoke, args.json, args.require_ratio)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

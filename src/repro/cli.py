@@ -123,7 +123,12 @@ def cmd_query(args: argparse.Namespace) -> int:
     # backend goes parallel) the worker pool all come from this session.
     with Database(db, eps=args.eps, workers=args.workers) as session:
         started = time.perf_counter()
-        query = session.query(args.query, backend=args.backend)
+        query = session.query(
+            args.query,
+            backend=args.backend,
+            chunk_rows=getattr(args, "chunk_rows", None),
+            transport=getattr(args, "transport", None),
+        )
         preprocessing = time.perf_counter() - started
         print(
             f"workload: n={db.cardinality}, degree={db.degree}; "
@@ -281,7 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument(
         "--explain",
         action="store_true",
-        help="print the chosen plan (branches, shards, backend, costs)",
+        help="print the chosen plan (branches, shards, backend, transport, costs)",
+    )
+    query_parser.add_argument(
+        "--chunk-rows",
+        dest="chunk_rows",
+        type=int,
+        default=None,
+        help="answers per process-transport chunk (default: cost model)",
+    )
+    query_parser.add_argument(
+        "--transport",
+        choices=["columnar", "pickle"],
+        default=None,
+        help="process-mode answer transport (default: columnar)",
     )
     query_parser.set_defaults(handler=cmd_query)
 

@@ -105,11 +105,16 @@ class Pipeline:
         max_nodes: int = 5_000_000,
         max_units: int = 16,
         graph_factory=None,
+        intern=None,
     ):
         self.structure = structure
         self.query = query
         self.eps = eps
         self.budget = budget
+        # Dense element<->id table for the columnar answer transport;
+        # built lazily from the domain order, or adopted from a rebuild
+        # spec so worker processes share the parent's table verbatim.
+        self._intern = intern
         self.variables: Tuple[Var, ...] = free_tuple(query, order)
         self.arity = len(self.variables)
 
@@ -294,14 +299,42 @@ class Pipeline:
         """
         return len(self.branches)
 
+    @property
+    def intern_table(self):
+        """The dense element<->id table of the columnar answer transport.
+
+        Derived from the domain's fixed linear order, so independently
+        rebuilt pipelines over the same structure agree on every id; a
+        worker process adopts the parent's table from the rebuild spec
+        instead of rebuilding it.
+        """
+        if self._intern is None:
+            from repro.engine.transport import InternTable
+
+            self._intern = InternTable(self.structure.domain)
+        return self._intern
+
     def rebuild_spec(self):
-        """The picklable recipe ``(structure, query, order, eps, budget)``.
+        """The picklable recipe ``(structure, query, order, eps, budget,
+        intern_table_or_None)``.
 
         Everything a worker process needs to reconstruct an equivalent
         pipeline; the heavy derived state (graph, plans, enumerators) is
-        recomputed worker-side and memoized per process.
+        recomputed worker-side and memoized per process.  The intern
+        table ships *when already built* (the columnar transport forces
+        it before specs are cut), so both transport sides share one
+        table; paths that never move answers (counting, warming, pickle
+        transport) ship ``None`` and a worker that does need the table
+        derives the identical one from the domain order.
         """
-        return (self.structure, self.query, self.variables, self.eps, self.budget)
+        return (
+            self.structure,
+            self.query,
+            self.variables,
+            self.eps,
+            self.budget,
+            self._intern,
+        )
 
     # ------------------------------------------------------------------
     # Step 5: the encoder f and its inverse

@@ -39,10 +39,13 @@ _EXPORTS = {
     "AsyncQueryBatch": ("repro.engine.aio", "AsyncQueryBatch"),
     "AsyncResultHandle": ("repro.engine.aio", "AsyncResultHandle"),
     "BranchTask": ("repro.engine.executor", "BranchTask"),
+    "ColumnarCodec": ("repro.engine.transport", "ColumnarCodec"),
     "DEFAULT_PAGE_SIZE": ("repro.engine.batch", "DEFAULT_PAGE_SIZE"),
+    "InternTable": ("repro.engine.transport", "InternTable"),
     "PipelineCache": ("repro.engine.cache", "PipelineCache"),
     "QueryBatch": ("repro.engine.batch", "QueryBatch"),
     "ResultHandle": ("repro.engine.batch", "ResultHandle"),
+    "TransferStats": ("repro.engine.transport", "TransferStats"),
     "WorkerPool": ("repro.engine.pool", "WorkerPool"),
     "branch_works": ("repro.engine.executor", "branch_works"),
     "cache_key": ("repro.engine.cache", "cache_key"),
@@ -55,7 +58,9 @@ _EXPORTS = {
     "parallel_enumerate": ("repro.engine.executor", "parallel_enumerate"),
     "plan_work_units": ("repro.engine.executor", "plan_work_units"),
     "prearm": ("repro.engine.executor", "prearm"),
+    "resolve_chunk_rows": ("repro.engine.executor", "resolve_chunk_rows"),
     "run_branches": ("repro.engine.executor", "run_branches"),
+    "transfer_works": ("repro.engine.executor", "transfer_works"),
     "warm_pool": ("repro.engine.executor", "warm_pool"),
 }
 

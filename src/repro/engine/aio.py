@@ -139,10 +139,10 @@ class AsyncQueryBatch:
                 structure_or_batch, _warn_deprecated=False, **batch_options
             )
             self._owned = True
-        # Pipeline builds mutate the shared cache and are CPU-heavy;
-        # serialize them.  Handle pulls (the actual answer production) run
-        # outside this lock, so handles still progress concurrently.
-        self._submit_lock = asyncio.Lock()
+        # No submit lock: the session layer is thread-safe and holds
+        # per-cache-key build locks, so two *distinct* cold queries build
+        # their pipelines concurrently while racing submits of the same
+        # query still build exactly once.
 
     @property
     def batch(self) -> QueryBatch:
@@ -154,11 +154,14 @@ class AsyncQueryBatch:
         order: Optional[Sequence[Union[Var, str]]] = None,
         **submit_options,
     ) -> AsyncResultHandle:
-        """Prepare (or cache-hit) the pipeline off-loop; await the handle."""
-        async with self._submit_lock:
-            handle = await asyncio.to_thread(
-                self._batch.submit, query, order=order, **submit_options
-            )
+        """Prepare (or cache-hit) the pipeline off-loop; await the handle.
+
+        Concurrent cold submits of distinct queries overlap their
+        pipeline builds (per-cache-key locking in the session layer).
+        """
+        handle = await asyncio.to_thread(
+            self._batch.submit, query, order=order, **submit_options
+        )
         return AsyncResultHandle(handle)
 
     async def count(
@@ -167,10 +170,9 @@ class AsyncQueryBatch:
         order: Optional[Sequence[Union[Var, str]]] = None,
     ) -> int:
         """``|q(A)|`` without keeping a handle around."""
-        async with self._submit_lock:
-            handle = await asyncio.to_thread(
-                self._batch.submit, query, order=order
-            )
+        handle = await asyncio.to_thread(
+            self._batch.submit, query, order=order
+        )
         return await AsyncResultHandle(handle).count()
 
     async def stream(

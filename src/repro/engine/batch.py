@@ -56,6 +56,8 @@ class ResultHandle(Answers):
         spec_key: Optional[tuple] = None,
         executor=None,
         pool: Optional[WorkerPool] = None,
+        chunk_rows: Optional[int] = None,
+        transport: Optional[str] = None,
     ):
         super().__init__(
             pipeline,
@@ -65,6 +67,8 @@ class ResultHandle(Answers):
             spec_key=spec_key,
             executor=executor,
             pool=pool,
+            chunk_rows=chunk_rows,
+            transport=transport,
         )
 
 
@@ -175,6 +179,8 @@ class QueryBatch:
         skip_mode: Optional[str] = None,
         workers: Optional[int] = None,
         mode: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
+        transport: Optional[str] = None,
     ) -> ResultHandle:
         """Prepare (or reuse) the pipeline and hand back a result handle."""
         self._check_open()
@@ -187,6 +193,8 @@ class QueryBatch:
             spec_key=key,
             executor=self.executor,
             pool=self._db.pool if self.executor is None else None,
+            chunk_rows=chunk_rows,
+            transport=transport,
         )
 
     def count(

@@ -33,11 +33,22 @@ from repro.core.enumeration import (
 )
 from repro.core.pipeline import Pipeline
 from repro.engine.pool import WorkerPool, default_workers
+from repro.engine.transport import (
+    ColumnarCodec,
+    TransferStats,
+    encode_answers,
+    resolve_transport,
+    width_for,
+)
 from repro.errors import EngineError
 from repro.storage.cost_model import (
+    COLUMNAR_BYTES_PER_VALUE,
+    PICKLE_BYTES_PER_VALUE,
     choose_execution_mode,
+    default_chunk_rows,
     estimate_branch_work,
     estimate_count_work,
+    estimate_transfer_work,
 )
 
 Element = Hashable
@@ -66,6 +77,9 @@ class BranchTask:
     skip_mode: str
     start: int = 0
     stop: Optional[int] = None
+    # Columnar-transport chunk bound (resolved parent-side; read only by
+    # run_branch_task_encoded).
+    chunk_rows: Optional[int] = None
 
     @property
     def outer_slice(self) -> Optional[Tuple[int, Optional[int]]]:
@@ -85,9 +99,10 @@ _WORKER_PIPELINES: "dict" = {}
 def _memoize_worker_pipeline(spec_key: tuple, spec: tuple) -> Pipeline:
     pipeline = _WORKER_PIPELINES.get(spec_key)
     if pipeline is None:
-        structure, query, variables, eps, budget = spec
+        structure, query, variables, eps, budget, intern = spec
         pipeline = Pipeline(
-            structure, query, order=variables, eps=eps, budget=budget
+            structure, query, order=variables, eps=eps, budget=budget,
+            intern=intern,
         )
         while len(_WORKER_PIPELINES) >= _WORKER_MEMO_CAPACITY:
             _WORKER_PIPELINES.pop(next(iter(_WORKER_PIPELINES)))
@@ -119,7 +134,7 @@ def _worker_pipeline(task: BranchTask) -> Pipeline:
 
 
 def run_branch_task(task: BranchTask) -> List[Answer]:
-    """Entry point executed inside a worker process."""
+    """Entry point executed inside a worker process (pickle transport)."""
     pipeline = _worker_pipeline(task)
     return list(
         enumerate_branch(
@@ -128,6 +143,31 @@ def run_branch_task(task: BranchTask) -> List[Answer]:
             skip_mode=task.skip_mode,
             outer_slice=task.outer_slice,
         )
+    )
+
+
+def run_branch_task_encoded(task: BranchTask) -> List[bytes]:
+    """Entry point executed inside a worker process (columnar transport).
+
+    Instead of one picklable list of answer tuples, the shard comes back
+    as bounded columnar buffers (``task.chunk_rows`` rows each) over the
+    pipeline's intern table — the parent decodes them lazily, so its
+    first page never waits on the whole shard's serialization.
+    """
+    pipeline = _worker_pipeline(task)
+    codec = ColumnarCodec(pipeline.intern_table)
+    chunk_rows = task.chunk_rows or default_chunk_rows(
+        pipeline.arity, pipeline.intern_table.id_width()
+    )
+    return encode_answers(
+        enumerate_branch(
+            pipeline,
+            task.branch_index,
+            skip_mode=task.skip_mode,
+            outer_slice=task.outer_slice,
+        ),
+        codec,
+        chunk_rows,
     )
 
 
@@ -199,13 +239,55 @@ def count_works(pipeline: Pipeline) -> List[int]:
     ]
 
 
-def _resolve_mode(pipeline, workers, mode, works_fn) -> Tuple[str, int]:
+def transfer_works(pipeline: Pipeline, transport=None) -> List[int]:
+    """Estimated per-branch cost of shipping answers to the parent.
+
+    Only process mode pays it; the estimate follows the plan's transport
+    — the columnar codec moves a bounded few bytes per value, pickled
+    tuple lists roughly three times that — so the cost model can decline
+    process mode exactly when serialization would eat the speedup.
+    """
+    if pipeline.trivial is not None or pipeline.graph is None:
+        return []
+    # Intern-id width follows from the domain size alone — don't force
+    # the intern table just to estimate (serial/thread plans never
+    # build it).
+    id_width = width_for(max(pipeline.structure.cardinality - 1, 0))
+    bytes_per_value = (
+        PICKLE_BYTES_PER_VALUE
+        if resolve_transport(transport) == "pickle"
+        else min(COLUMNAR_BYTES_PER_VALUE, id_width)
+    )
+    return [
+        estimate_transfer_work(
+            [len(node_list) for node_list in branch.lists],
+            pipeline.arity,
+            bytes_per_value,
+        )
+        for branch in pipeline.branches
+    ]
+
+
+def resolve_chunk_rows(pipeline: Pipeline, chunk_rows: Optional[int]) -> int:
+    """The effective transport chunk bound (cost-model default)."""
+    if chunk_rows is not None:
+        if chunk_rows < 1:
+            raise EngineError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        return chunk_rows
+    id_width = width_for(max(pipeline.structure.cardinality - 1, 0))
+    return default_chunk_rows(pipeline.arity, id_width)
+
+
+def _resolve_mode(pipeline, workers, mode, works_fn, transfer_fn=None) -> Tuple[str, int]:
     if workers is None:
         workers = default_workers()
     if workers < 1:
         raise EngineError(f"workers must be >= 1, got {workers}")
     if mode is None:
-        mode = choose_execution_mode(works_fn(pipeline), workers)
+        transfer = sum(transfer_fn(pipeline)) if transfer_fn is not None else None
+        mode = choose_execution_mode(
+            works_fn(pipeline), workers, transfer_work=transfer
+        )
     elif mode not in MODES:
         raise EngineError(f"unknown execution mode {mode!r}; choose from {MODES}")
     if mode == "serial":
@@ -214,10 +296,21 @@ def _resolve_mode(pipeline, workers, mode, works_fn) -> Tuple[str, int]:
 
 
 def decide_mode(
-    pipeline: Pipeline, workers: Optional[int] = None, mode: Optional[str] = None
+    pipeline: Pipeline,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    transport=None,
 ) -> Tuple[str, int]:
-    """Resolve ``(mode, workers)`` for a pipeline, applying the heuristic."""
-    return _resolve_mode(pipeline, workers, mode, branch_works)
+    """Resolve ``(mode, workers)`` for a pipeline, applying the heuristic.
+
+    The enumeration heuristic weighs the answer-transfer term: a
+    workload whose estimated serialization cost dominates its compute
+    stays on threads (zero-copy) even past the process threshold.
+    """
+    def transfer(p: Pipeline) -> List[int]:
+        return transfer_works(p, transport)
+
+    return _resolve_mode(pipeline, workers, mode, branch_works, transfer)
 
 
 def decide_count_mode(
@@ -298,6 +391,33 @@ def _yield_futures(futures) -> Iterator[List[Answer]]:
         raise
 
 
+def _yield_encoded(
+    futures,
+    codec: ColumnarCodec,
+    transfer_stats: Optional[TransferStats] = None,
+    pool: Optional[WorkerPool] = None,
+) -> Iterator[List[Answer]]:
+    """Decode columnar shard results lazily, in submission order.
+
+    Each future resolves to a list of bounded byte buffers; buffers are
+    decoded one at a time as the consumer pulls, so a first page costs
+    one chunk's decode, not a shard's unpickling.
+    """
+    try:
+        for future in futures:
+            for buf in future.result():
+                chunk = codec.decode(buf)
+                if transfer_stats is not None:
+                    transfer_stats.record(len(buf), len(chunk))
+                if pool is not None:
+                    pool.record_transfer(len(buf))
+                yield chunk
+    except GeneratorExit:
+        for future in futures:
+            future.cancel()
+        raise
+
+
 def run_branches(
     pipeline: Pipeline,
     workers: Optional[int] = None,
@@ -306,12 +426,19 @@ def run_branches(
     spec_key: Optional[tuple] = None,
     executor=None,
     pool: Optional[WorkerPool] = None,
+    chunk_rows: Optional[int] = None,
+    transport: Optional[str] = None,
+    transfer_stats: Optional[TransferStats] = None,
 ) -> Iterator[List[Answer]]:
-    """Yield each branch's answer list, in branch-index order.
+    """Yield answer chunks, in branch-index (then slice, then chunk) order.
 
     The deterministic merge: regardless of which worker finishes first,
-    branch ``i``'s list is yielded before branch ``i + 1``'s, so
-    flattening reproduces the serial answer order exactly.
+    branch ``i``'s chunks are yielded before branch ``i + 1``'s, so
+    flattening reproduces the serial answer order exactly.  Serial and
+    thread modes yield one in-process list per branch/shard (zero-copy);
+    process mode yields decoded columnar chunks of at most ``chunk_rows``
+    answers each (``transport="pickle"`` restores the legacy whole-list
+    transfer, e.g. for differential testing).
 
     ``pool`` is the batch-owned :class:`~repro.engine.pool.WorkerPool`:
     long-lived, lazily started, restarted after worker crashes; its
@@ -319,11 +446,13 @@ def run_branches(
     the same structure.  ``executor`` is the legacy escape hatch — a
     caller-supplied ``concurrent.futures`` executor that takes precedence
     over ``pool``.  With neither, a fresh pool is created and torn down
-    per call.
+    per call.  ``transfer_stats`` receives per-chunk byte/row accounting
+    for the columnar path (observability; the bench uses it).
     """
+    transport = resolve_transport(transport)
     if pipeline.trivial is not None:
         return
-    mode, workers = decide_mode(pipeline, workers, mode)
+    mode, workers = decide_mode(pipeline, workers, mode, transport=transport)
     if mode == "serial":
         for branch_index in range(len(pipeline.branches)):
             yield list(
@@ -370,44 +499,73 @@ def run_branches(
             yield from _yield_futures(futures)
         return
     # Process mode: ship the picklable spec, rebuild per worker (memoized
-    # per process under spec_key).
+    # per process under spec_key).  The columnar transport (default)
+    # returns bounded encoded chunks decoded lazily parent-side; the
+    # pickle transport returns the legacy whole answer list per shard.
     if spec_key is None:
         spec_key = _default_spec_key(pipeline)
+    columnar = transport == "columnar"
+    if columnar:
+        rows_per_chunk: Optional[int] = resolve_chunk_rows(pipeline, chunk_rows)
+        task_fn = run_branch_task_encoded
+        # Force the intern table BEFORE cutting specs: the table then
+        # ships inside every spec and the decode side is this exact
+        # object (pickle-transport and counting paths ship None and
+        # never pay the table build).
+        codec = ColumnarCodec(pipeline.intern_table)
+    else:
+        rows_per_chunk = None
+        task_fn = run_branch_task
+        codec = None
     spec = pipeline.rebuild_spec()
+
+    def drain(futures) -> Iterator[List[Answer]]:
+        if columnar:
+            return _yield_encoded(futures, codec, transfer_stats, pool)
+        return _yield_futures(futures)
+
     if executor is not None and not isinstance(executor, ThreadPoolExecutor):
         # External (possibly shared/warmed) process pool: its workers may
         # serve other queries, so every task must carry the spec.  (A
         # thread pool is not reused here — rebuilding the pipeline inside
         # the parent process would only duplicate it.)
         tasks = [
-            BranchTask(spec, spec_key, branch_index, skip_mode, start, stop)
+            BranchTask(
+                spec, spec_key, branch_index, skip_mode, start, stop,
+                rows_per_chunk,
+            )
             for branch_index, start, stop in units
         ]
-        futures = [executor.submit(run_branch_task, task) for task in tasks]
-        yield from _yield_futures(futures)
+        futures = [executor.submit(task_fn, task) for task in tasks]
+        yield from drain(futures)
         return
     if pool is not None:
         # Batch-owned long-lived pool: like the external case its workers
         # serve many queries, so tasks carry the spec (memoized worker-side
         # under spec_key after the first shard arrives).
         tasks = [
-            BranchTask(spec, spec_key, branch_index, skip_mode, start, stop)
+            BranchTask(
+                spec, spec_key, branch_index, skip_mode, start, stop,
+                rows_per_chunk,
+            )
             for branch_index, start, stop in units
         ]
-        futures = [pool.submit("process", run_branch_task, task) for task in tasks]
-        yield from _yield_futures(futures)
+        futures = [pool.submit("process", task_fn, task) for task in tasks]
+        yield from drain(futures)
         return
     # Ephemeral pool: the initializer ships the spec once per worker;
     # tasks carry only the key (the structure is not re-pickled per shard).
     tasks = [
-        BranchTask(None, spec_key, branch_index, skip_mode, start, stop)
+        BranchTask(
+            None, spec_key, branch_index, skip_mode, start, stop, rows_per_chunk
+        )
         for branch_index, start, stop in units
     ]
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
     ) as ephemeral:
-        futures = [ephemeral.submit(run_branch_task, task) for task in tasks]
-        yield from _yield_futures(futures)
+        futures = [ephemeral.submit(task_fn, task) for task in tasks]
+        yield from drain(futures)
 
 
 def parallel_enumerate(
@@ -417,12 +575,15 @@ def parallel_enumerate(
     skip_mode: str = "lazy",
     executor=None,
     pool: Optional[WorkerPool] = None,
+    chunk_rows: Optional[int] = None,
+    transport: Optional[str] = None,
+    transfer_stats: Optional[TransferStats] = None,
 ) -> Iterator[Answer]:
     """Enumerate ``q(A)`` using the branch-parallel engine.
 
     Same answers, same order as the serial
     :func:`repro.core.enumeration.enumerate_answers` — only the wall
-    clock differs.
+    clock (and, in process mode, the wire format) differs.
     """
     if pipeline.trivial is not None:
         yield from trivial_answers(pipeline)
@@ -434,6 +595,9 @@ def parallel_enumerate(
         skip_mode=skip_mode,
         executor=executor,
         pool=pool,
+        chunk_rows=chunk_rows,
+        transport=transport,
+        transfer_stats=transfer_stats,
     ):
         yield from branch_answers
 

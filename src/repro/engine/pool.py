@@ -58,6 +58,7 @@ class WorkerPool:
         self._closed = False
         self._submits = 0
         self._restarts = 0
+        self._bytes_received = 0
 
     # -- introspection -------------------------------------------------
 
@@ -74,12 +75,23 @@ class WorkerPool:
         """How many broken process pools were replaced so far."""
         return self._restarts
 
+    @property
+    def bytes_received(self) -> int:
+        """Transport bytes the parent pulled off this pool's futures."""
+        return self._bytes_received
+
+    def record_transfer(self, nbytes: int) -> None:
+        """Account one received transport chunk (columnar process mode)."""
+        with self._lock:
+            self._bytes_received += nbytes
+
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {
                 "workers": self.workers,
                 "submits": self._submits,
                 "restarts": self._restarts,
+                "bytes_received": self._bytes_received,
                 "thread_pool_live": int(self._thread is not None),
                 "process_pool_live": int(self._process is not None),
                 "closed": int(self._closed),

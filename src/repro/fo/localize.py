@@ -401,7 +401,12 @@ class _Localizer:
         for outer in other:
             sides[outer] = 1
         separated = separate(body, sides, threshold, self)
-        separated = simplify(separated)
+        # to_dnf requires NNF: localizing a negated subformula (or
+        # separation itself) can leave Not over And/Or, which to_dnf
+        # would otherwise treat as one opaque "literal" spanning both
+        # sides — and a witness literal mentioning an outer variable
+        # cannot be materialized as a unary predicate.
+        separated = simplify(to_nnf(separated))
         if isinstance(separated, FalseF):
             return FALSE
         clauses = to_dnf(separated)

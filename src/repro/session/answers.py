@@ -47,6 +47,7 @@ from repro.core.enumeration import trivial_answers
 from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
 from repro.engine.pool import WorkerPool
+from repro.engine.transport import TransferStats
 from repro.errors import CancelledResultError, EngineError, StaleResultError
 from repro.session.backends import (
     ExecutionBackend,
@@ -79,6 +80,8 @@ class Answers:
         spec_key: Optional[tuple] = None,
         executor=None,
         pool: Optional[WorkerPool] = None,
+        chunk_rows: Optional[int] = None,
+        transport: Optional[str] = None,
     ):
         self._pipeline = pipeline
         self._structure = pipeline.structure
@@ -91,6 +94,9 @@ class Answers:
             spec_key=spec_key,
             executor=executor,
             pool=pool,
+            chunk_rows=chunk_rows,
+            transport=transport,
+            transfer_stats=TransferStats(),
         )
         self._answers: List[Answer] = []
         self._source: Optional[Iterator[List[Answer]]] = None
@@ -121,6 +127,20 @@ class Answers:
         """The concrete mode the count ran under (None before count())."""
         return self._plan.used_count_mode
 
+    @property
+    def transport_used(self) -> Optional[str]:
+        """The answer transport of the last run (``"columnar"`` /
+        ``"pickle"`` in process mode, ``"none"`` for in-process zero-copy,
+        ``None`` before any pull)."""
+        return self._plan.used_transport
+
+    @property
+    def transport_stats(self):
+        """Received-bytes accounting of the columnar transport
+        (:class:`repro.engine.transport.TransferStats`; zeros for
+        in-process modes and the pickle transport)."""
+        return self._plan.transfer_stats
+
     # -- liveness ------------------------------------------------------
 
     def _check_live(self) -> None:
@@ -148,6 +168,7 @@ class Answers:
             return
         if self._pipeline.trivial is not None:
             self._plan.used_mode = "serial"
+            self._plan.used_transport = "none"
             self._source = iter([list(trivial_answers(self._pipeline))])
         else:
             self._source = self._backend.run(self._plan)

@@ -30,6 +30,7 @@ from repro.engine.executor import (
     run_branches,
 )
 from repro.engine.pool import WorkerPool
+from repro.engine.transport import TransferStats, resolve_transport
 from repro.errors import EngineError
 
 Element = Hashable
@@ -42,9 +43,12 @@ class ExecutionPlan:
 
     ``pool`` is the session-owned :class:`WorkerPool` (lazily started);
     ``executor`` is the legacy caller-managed override that takes
-    precedence over it.  ``used_mode`` / ``used_count_mode`` record what
-    actually ran, for :meth:`repro.session.Query.explain` and the
-    differential suite.
+    precedence over it.  ``chunk_rows`` / ``transport`` configure the
+    process-mode answer transport (``None`` = cost-model default chunk
+    size, columnar codec); ``transfer_stats`` collects the columnar
+    path's received-bytes accounting.  ``used_mode`` /
+    ``used_count_mode`` / ``used_transport`` record what actually ran,
+    for :meth:`repro.session.Query.explain` and the differential suite.
     """
 
     pipeline: Pipeline
@@ -53,8 +57,12 @@ class ExecutionPlan:
     spec_key: Optional[tuple] = None
     executor: object = None
     pool: Optional[WorkerPool] = None
+    chunk_rows: Optional[int] = None
+    transport: Optional[str] = None
+    transfer_stats: Optional[TransferStats] = field(default=None, compare=False)
     used_mode: Optional[str] = field(default=None, compare=False)
     used_count_mode: Optional[str] = field(default=None, compare=False)
+    used_transport: Optional[str] = field(default=None, compare=False)
 
 
 @runtime_checkable
@@ -90,7 +98,9 @@ class PoolBackend:
 
     def resolve(self, plan: ExecutionPlan) -> Tuple[str, int]:
         """The concrete ``(mode, workers)`` enumeration would use."""
-        return decide_mode(plan.pipeline, plan.workers, self._mode)
+        return decide_mode(
+            plan.pipeline, plan.workers, self._mode, transport=plan.transport
+        )
 
     def resolve_count(self, plan: ExecutionPlan) -> Tuple[str, int]:
         """The concrete ``(mode, workers)`` counting would use."""
@@ -99,6 +109,9 @@ class PoolBackend:
     def run(self, plan: ExecutionPlan) -> Iterator[List[Answer]]:
         mode, workers = self.resolve(plan)
         plan.used_mode = mode
+        plan.used_transport = (
+            resolve_transport(plan.transport) if mode == "process" else "none"
+        )
         return run_branches(
             plan.pipeline,
             workers=workers,
@@ -107,6 +120,9 @@ class PoolBackend:
             spec_key=plan.spec_key,
             executor=plan.executor,
             pool=plan.pool,
+            chunk_rows=plan.chunk_rows,
+            transport=plan.transport,
+            transfer_stats=plan.transfer_stats,
         )
 
     def count(self, plan: ExecutionPlan) -> int:

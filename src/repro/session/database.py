@@ -25,12 +25,13 @@ strategy is chosen per plan by the cost model and overridable with
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
 
 from repro.core.colored_graph import ColoredGraph, build_colored_graph
 from repro.core.dynamic import PipelineMaintainer, supports_maintenance
 from repro.core.pipeline import Pipeline
-from repro.engine.cache import CacheKey, PipelineCache, coerce_order
+from repro.engine.cache import CacheKey, PipelineCache, cache_key, coerce_order
 from repro.engine.pool import WorkerPool
 from repro.errors import EngineError
 from repro.fo import coerce_formula
@@ -40,6 +41,51 @@ from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
 
 Element = Hashable
+
+
+class _ReadWriteLock:
+    """Many concurrent readers XOR one writer, writer-preferring.
+
+    Pipeline builds hold the read side (they overlap freely — that is
+    the whole point of the per-key build locks), while
+    ``insert_fact``/``remove_fact`` hold the write side, so a mutation
+    can never tear a build's structure reads or let a pre-update
+    pipeline land in the post-update cache.  Writer preference keeps a
+    steady query stream from starving updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
 
 
 class Database:
@@ -79,11 +125,27 @@ class Database:
         self.maintain = maintain
         self.pool = WorkerPool(workers)
         self.cache = PipelineCache(cache_capacity)
-        self._graph_templates: Dict[Tuple[int, int], ColoredGraph] = {}
+        # Keyed by (structure fingerprint, arity, link_radius).
+        self._graph_templates: Dict[Tuple[str, int, int], ColoredGraph] = {}
         self._maintainers: Dict[CacheKey, PipelineMaintainer] = {}
         self._fingerprint = fingerprint(structure)
         self._version = structure.version
         self._closed = False
+        # Concurrency: the session is thread-safe.  Shared mutable state
+        # (cache, templates, maintainers, fingerprint) hides behind one
+        # short-critical-section RLock; the *expensive* pipeline builds
+        # run outside it under per-cache-key locks, so two cold queries
+        # with distinct keys build concurrently while two racing calls
+        # for the same key build once (the loser blocks, then cache-hits).
+        self._state_lock = threading.RLock()
+        # Builds read the structure concurrently; session updates write.
+        self._structure_lock = _ReadWriteLock()
+        self._locks_guard = threading.Lock()
+        # key -> [lock, lease count]; entries live only while a build (or
+        # a waiter) holds a lease, so the registry is bounded by the
+        # number of in-flight prepares.
+        self._build_locks: Dict[CacheKey, list] = {}
+        self._template_locks: Dict[Tuple[str, int, int], threading.Lock] = {}
 
     # -- the public query surface --------------------------------------
 
@@ -95,6 +157,8 @@ class Database:
         skip_mode: Optional[str] = None,
         workers: Optional[int] = None,
         budget=None,
+        chunk_rows: Optional[int] = None,
+        transport: Optional[str] = None,
     ) -> Query:
         """Preprocess (or cache-hit) ``query`` and return its plan object.
 
@@ -104,7 +168,10 @@ class Database:
         ``"auto"`` lets the cost model decide per plan.  ``budget`` (a
         :class:`repro.fo.localize.LocalizationBudget`) bypasses the cache
         — budgets change pipeline shape and are not part of the cache
-        key.
+        key.  ``chunk_rows`` / ``transport`` override the process-mode
+        answer transport (default: columnar codec, cost-model chunk
+        size; ``transport="pickle"`` restores the legacy whole-list
+        transfer).
         """
         self._check_open()
         return Query(
@@ -115,6 +182,8 @@ class Database:
             skip_mode=skip_mode,
             workers=workers,
             budget=budget,
+            chunk_rows=chunk_rows,
+            transport=transport,
         )
 
     def count(self, query, order=None, **options) -> int:
@@ -137,20 +206,30 @@ class Database:
         whole-cache).
         """
         self._check_open()
-        self._refresh()
-        if self.structure.has_fact(relation, *elements):
-            return False
-        return self._apply_update(True, relation, elements)
+        self._structure_lock.acquire_write()
+        try:
+            with self._state_lock:
+                self._refresh_locked()
+                if self.structure.has_fact(relation, *elements):
+                    return False
+                return self._apply_update_locked(True, relation, elements)
+        finally:
+            self._structure_lock.release_write()
 
     def remove_fact(self, relation: str, *elements: Element) -> bool:
         """Delete a fact; same maintenance contract as :meth:`insert_fact`."""
         self._check_open()
-        self._refresh()
-        if not self.structure.has_fact(relation, *elements):
-            return False
-        return self._apply_update(False, relation, elements)
+        self._structure_lock.acquire_write()
+        try:
+            with self._state_lock:
+                self._refresh_locked()
+                if not self.structure.has_fact(relation, *elements):
+                    return False
+                return self._apply_update_locked(False, relation, elements)
+        finally:
+            self._structure_lock.release_write()
 
-    def _apply_update(
+    def _apply_update_locked(
         self, insert: bool, relation: str, elements: Tuple[Element, ...]
     ) -> bool:
         self._prune_maintainers()
@@ -176,6 +255,8 @@ class Database:
         self._fingerprint = fingerprint(self.structure)
         self._version = self.structure.version
         self._graph_templates.clear()
+        with self._locks_guard:
+            self._template_locks.clear()
         kept = self.cache.rekey(
             old_fingerprint,
             self._fingerprint,
@@ -192,10 +273,15 @@ class Database:
 
     @property
     def structure_fingerprint(self) -> str:
-        self._refresh()
-        return self._fingerprint
+        with self._state_lock:
+            self._refresh_locked()
+            return self._fingerprint
 
     def _refresh(self) -> None:
+        with self._state_lock:
+            self._refresh_locked()
+
+    def _refresh_locked(self) -> None:
         """Detect *external* mutations and invalidate every derived cache.
 
         Updates applied through :meth:`insert_fact` / :meth:`remove_fact`
@@ -210,30 +296,79 @@ class Database:
         self._fingerprint = fingerprint(self.structure)
         self._version = self.structure.version
         self._graph_templates.clear()
+        with self._locks_guard:
+            self._template_locks.clear()
         self._maintainers.clear()
         self.cache.invalidate(stale_fingerprint)
 
     def invalidate(self) -> None:
         """Drop every cached pipeline, maintainer, and graph template."""
-        self._graph_templates.clear()
-        self._maintainers.clear()
-        self.cache.invalidate()
-        self._fingerprint = fingerprint(self.structure)
-        self._version = self.structure.version
+        with self._state_lock:
+            self._graph_templates.clear()
+            self._maintainers.clear()
+            self.cache.invalidate()
+            self._fingerprint = fingerprint(self.structure)
+            self._version = self.structure.version
+        with self._locks_guard:
+            self._template_locks.clear()
 
     # -- shared preprocessing ------------------------------------------
+
+    def _lease_build_lock(self, key: CacheKey) -> threading.Lock:
+        """Take a lease on the per-cache-key build lock.
+
+        Distinct keys get distinct locks, so cold builds of *different*
+        queries overlap; racing builds of the *same* key serialize and
+        the loser lands on the winner's cache entry.  Leasing (instead
+        of pruning idle locks) guarantees a lock handed to one thread is
+        never replaced under another: the entry lives exactly as long as
+        some prepare holds a lease, so the registry is bounded by the
+        number of concurrent prepares.  Pair with
+        :meth:`_release_build_lock`.
+        """
+        with self._locks_guard:
+            entry = self._build_locks.get(key)
+            if entry is None:
+                entry = self._build_locks[key] = [threading.Lock(), 0]
+            entry[1] += 1
+            return entry[0]
+
+    def _release_build_lock(self, key: CacheKey) -> None:
+        with self._locks_guard:
+            entry = self._build_locks.get(key)
+            if entry is not None:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    del self._build_locks[key]
+
+    def _template_lock_for(self, key) -> threading.Lock:
+        with self._locks_guard:
+            lock = self._template_locks.get(key)
+            if lock is None:
+                lock = self._template_locks[key] = threading.Lock()
+            return lock
 
     def _graph_factory(
         self, structure, evaluator, arity, link_radius, max_nodes=5_000_000
     ):
-        """Clone-from-template colored graph construction."""
-        key = (arity, link_radius)
-        template = self._graph_templates.get(key)
-        if template is None:
-            template = build_colored_graph(
-                structure, evaluator, arity, link_radius, max_nodes=max_nodes
-            )
-            self._graph_templates[key] = template
+        """Clone-from-template colored graph construction.
+
+        Guarded per ``(fingerprint, arity, link_radius)``: concurrent
+        cold builds of equal-shape queries enumerate cluster tuples
+        once; different shapes build their templates in parallel.  The
+        fingerprint in the key makes a template built against one
+        structure state unreachable after any mutation, even the
+        uncoordinated direct-mutation kind.
+        """
+        with self._state_lock:
+            key = (self._fingerprint, arity, link_radius)
+        with self._template_lock_for(key):
+            template = self._graph_templates.get(key)
+            if template is None:
+                template = build_colored_graph(
+                    structure, evaluator, arity, link_radius, max_nodes=max_nodes
+                )
+                self._graph_templates[key] = template
         return template.clone()
 
     def _prepare(
@@ -242,35 +377,70 @@ class Database:
         order: Optional[Sequence[Union[Var, str]]] = None,
         budget=None,
     ) -> Tuple[Pipeline, Optional[CacheKey]]:
-        """The cached pipeline for a query (building it on a miss)."""
-        self._refresh()
-        if budget is not None:
-            # Budgets change pipeline shape but are not part of the cache
-            # key; budgeted plans are built fresh and never cached.
-            pipeline = Pipeline(
-                self.structure,
-                coerce_formula(query),
-                order=coerce_order(order),
-                eps=self.eps,
-                budget=budget,
-            )
-            return pipeline, None
-        pipeline, key = self.cache.get_or_build(
-            self.structure,
-            query,
-            order=order,
-            eps=self.eps,
-            structure_fingerprint=self._fingerprint,
-            graph_factory=self._graph_factory if self.share_graphs else None,
-        )
-        if (
-            self.maintain
-            and key not in self._maintainers
-            and supports_maintenance(pipeline)
-        ):
-            self._maintainers[key] = PipelineMaintainer(pipeline)
-        self._prune_maintainers()
-        return pipeline, key
+        """The cached pipeline for a query (building it on a miss).
+
+        Thread-safe: the whole prepare holds the structure lock's *read*
+        side (session updates hold the write side, so a mutation can
+        neither tear a build's structure reads nor slip between key
+        computation and cache insertion), cache bookkeeping runs under
+        the session state lock, and the expensive :class:`Pipeline`
+        build runs under the key's own lease
+        (:meth:`_lease_build_lock`) — distinct cold queries no longer
+        serialize their builds behind one another.  Mutating the
+        structure *directly* (not through the session) remains
+        uncoordinated: the legacy contract — stale handles, full
+        fingerprint-keyed invalidation at the next access — applies.
+        """
+        formula = coerce_formula(query)
+        variable_order = coerce_order(order)
+        self._structure_lock.acquire_read()
+        try:
+            if budget is not None:
+                # Budgets change pipeline shape but are not part of the
+                # cache key; budgeted plans are built fresh, never cached.
+                pipeline = Pipeline(
+                    self.structure,
+                    formula,
+                    order=variable_order,
+                    eps=self.eps,
+                    budget=budget,
+                )
+                return pipeline, None
+            with self._state_lock:
+                self._refresh_locked()
+                key = cache_key(
+                    self._fingerprint, formula, variable_order, self.eps
+                )
+            build_lock = self._lease_build_lock(key)
+            try:
+                with build_lock:
+                    with self._state_lock:
+                        pipeline = self.cache.get(key)
+                    if pipeline is None:
+                        pipeline = Pipeline(
+                            self.structure,
+                            formula,
+                            order=variable_order,
+                            eps=self.eps,
+                            graph_factory=(
+                                self._graph_factory if self.share_graphs else None
+                            ),
+                        )
+                        with self._state_lock:
+                            self.cache.put(key, pipeline)
+                    with self._state_lock:
+                        if (
+                            self.maintain
+                            and key not in self._maintainers
+                            and supports_maintenance(pipeline)
+                        ):
+                            self._maintainers[key] = PipelineMaintainer(pipeline)
+                        self._prune_maintainers()
+            finally:
+                self._release_build_lock(key)
+            return pipeline, key
+        finally:
+            self._structure_lock.release_read()
 
     def _prune_maintainers(self) -> None:
         """Cache evictions may drop maintained plans; never maintain

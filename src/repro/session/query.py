@@ -27,12 +27,30 @@ from repro.engine.executor import (
     branch_works,
     count_works,
     plan_work_units,
+    resolve_chunk_rows,
+    transfer_works,
 )
+from repro.engine.transport import (
+    estimate_encoded_bytes,
+    resolve_transport,
+    width_for,
+)
+from repro.errors import EngineError
 from repro.fo.syntax import Formula, Var
 from repro.session.answers import Answers
 from repro.session.backends import ExecutionPlan, PoolBackend, resolve_backend
+from repro.storage.cost_model import PICKLE_BYTES_PER_VALUE, estimate_rows
 
 Element = Hashable
+
+
+def _estimated_rows(pipeline) -> int:
+    """Pessimistic answer-count bound (the cost model's per-branch
+    capped product, summed over branches)."""
+    return sum(
+        estimate_rows([len(node_list) for node_list in branch.lists])
+        for branch in pipeline.branches
+    )
 
 
 @dataclass(frozen=True)
@@ -58,6 +76,13 @@ class QueryPlan:
     trivial: Optional[bool]
     cached: bool = field(default=False)
     maintained: bool = field(default=False)
+    # Answer-transport report: which codec ships process-mode answers
+    # back ("columnar" / "pickle"; "none" = in-process zero-copy), the
+    # chunk bound, and the estimated parent-received bytes.
+    transport: str = "none"
+    chunk_rows: Optional[int] = None
+    transfer_bytes: int = 0
+    transfer_costs: Tuple[int, ...] = ()
 
     @property
     def total_cost(self) -> int:
@@ -65,11 +90,19 @@ class QueryPlan:
 
     def describe(self) -> str:
         """A human-readable account of the plan (CLI ``--explain``)."""
+        if self.transport == "none":
+            transport_line = "transport: none (in-process, zero-copy)"
+        else:
+            transport_line = (
+                f"transport: {self.transport} (chunk_rows: {self.chunk_rows}, "
+                f"est. {self.transfer_bytes} bytes to parent)"
+            )
         lines = [
             f"query: {self.query}",
             f"variables: ({', '.join(self.variables)})",
             f"backend: {self.backend} (requested: {self.backend_requested}, "
             f"count: {self.count_backend}, workers: {self.workers})",
+            transport_line,
             f"branches: {self.branch_count}, shards: {len(self.shards)}",
             f"estimated work: {self.total_cost} steps "
             f"(count: {sum(self.count_costs)})",
@@ -98,6 +131,8 @@ class Query:
         skip_mode: Optional[str] = None,
         workers: Optional[int] = None,
         budget=None,
+        chunk_rows: Optional[int] = None,
+        transport: Optional[str] = None,
     ):
         self._db = database
         self._formula = formula
@@ -106,6 +141,10 @@ class Query:
         self._skip_mode = skip_mode or database.skip_mode
         self._workers = workers if workers is not None else database.workers
         self._budget = budget
+        if chunk_rows is not None and chunk_rows < 1:
+            raise EngineError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self._chunk_rows = chunk_rows
+        self._transport = resolve_transport(transport) if transport else None
         self._pipeline, self._key = database._prepare(
             formula, order=order, budget=budget
         )
@@ -159,6 +198,8 @@ class Query:
             spec_key=self._key,
             executor=None,
             pool=self._db.pool,
+            chunk_rows=self._chunk_rows,
+            transport=self._transport,
         )
 
     # -- the three operations ------------------------------------------
@@ -196,6 +237,8 @@ class Query:
             workers=self._workers,
             spec_key=self._key,
             pool=self._db.pool,
+            chunk_rows=self._chunk_rows,
+            transport=self._transport,
         )
 
     def __iter__(self):
@@ -220,6 +263,23 @@ class Query:
         shards: Tuple[Tuple[int, int, Optional[int]], ...] = ()
         if pipeline.trivial is None and mode != "serial":
             shards = tuple(plan_work_units(pipeline, workers))
+        transport = "none"
+        chunk_rows: Optional[int] = None
+        transfer_bytes = 0
+        transfer_costs: Tuple[int, ...] = ()
+        if pipeline.trivial is None and mode == "process":
+            transport = resolve_transport(self._transport)
+            transfer_costs = tuple(transfer_works(pipeline, transport))
+            rows = _estimated_rows(pipeline)
+            arity = pipeline.arity
+            if transport == "columnar":
+                chunk_rows = resolve_chunk_rows(pipeline, self._chunk_rows)
+                id_width = width_for(max(pipeline.structure.cardinality - 1, 0))
+                transfer_bytes = estimate_encoded_bytes(
+                    rows, arity, id_width, chunk_rows
+                )
+            else:
+                transfer_bytes = rows * arity * PICKLE_BYTES_PER_VALUE
         return QueryPlan(
             query=str(self._formula),
             variables=tuple(v.name for v in pipeline.variables),
@@ -234,6 +294,10 @@ class Query:
             trivial=pipeline.trivial,
             cached=self._key is not None,
             maintained=self._db._is_maintained(self._key),
+            transport=transport,
+            chunk_rows=chunk_rows,
+            transfer_bytes=transfer_bytes,
+            transfer_costs=transfer_costs,
         )
 
     def stats(self) -> dict:

@@ -77,6 +77,65 @@ PROCESS_WORK_THRESHOLD = 500_000
 
 _WORK_CAP = 10**15
 
+# -- answer-transport cost terms (process mode ships answers back) -----
+#
+# Ballpark bytes one answer *value* costs on the wire: pickled tuples of
+# small ints run ~8-12 bytes/value once tuple/memo opcodes are amortized;
+# the columnar codec is bounded by the intern-id width (<= 4 bytes for
+# any realistic domain) before offset narrowing and compression shrink it
+# further.  One RAM step per machine word moved keeps the term in the
+# same unit as the work estimates.
+PICKLE_BYTES_PER_VALUE = 12
+COLUMNAR_BYTES_PER_VALUE = 4
+TRANSFER_BYTES_PER_STEP = 8
+
+# The columnar transport aims chunks at this many bytes: big enough to
+# amortize per-chunk headers and the zlib call, small enough that the
+# parent's first page never waits on a megabyte of undecoded rows.
+TARGET_CHUNK_BYTES = 1 << 16
+MIN_CHUNK_ROWS = 64
+MAX_CHUNK_ROWS = 8192
+
+
+def default_chunk_rows(arity: int, id_width: int) -> int:
+    """Rows per transport chunk when the caller does not choose.
+
+    Sized off the cost model's byte target: ``chunk_rows`` such that one
+    encoded chunk lands near :data:`TARGET_CHUNK_BYTES`, clamped so tiny
+    arities do not produce million-row chunks (first-page latency) and
+    huge arities still amortize chunk headers.
+    """
+    row_bytes = max(arity * id_width, 1)
+    return max(MIN_CHUNK_ROWS, min(MAX_CHUNK_ROWS, TARGET_CHUNK_BYTES // row_bytes))
+
+
+def estimate_rows(list_sizes: Sequence[int]) -> int:
+    """Pessimistic answer-count bound for one branch: the (capped)
+    product of its block-list lengths — the shared input of the work,
+    transfer, and explain-report estimates."""
+    rows = 1
+    for size in list_sizes:
+        if size == 0:
+            return 0
+        rows *= size
+        if rows >= _WORK_CAP:
+            return _WORK_CAP
+    return rows
+
+
+def estimate_transfer_work(
+    list_sizes: Sequence[int], arity: int, bytes_per_value: int
+) -> int:
+    """RAM-step proxy for shipping one branch's answers to the parent.
+
+    The branch's answer count is bounded by :func:`estimate_rows` (the
+    same pessimistic bound :func:`estimate_branch_work` uses); each
+    answer moves ``arity * bytes_per_value`` bytes across the process
+    boundary at :data:`TRANSFER_BYTES_PER_STEP` bytes per step.
+    """
+    rows = estimate_rows(list_sizes)
+    return min(rows * arity * bytes_per_value // TRANSFER_BYTES_PER_STEP, _WORK_CAP)
+
 
 def estimate_branch_work(list_sizes: Sequence[int], graph_degree: int) -> int:
     """A RAM-step proxy for enumerating one branch ``(P, t)``.
@@ -122,6 +181,7 @@ def choose_execution_mode(
     workers: int,
     thread_threshold: int = THREAD_WORK_THRESHOLD,
     process_threshold: int = PROCESS_WORK_THRESHOLD,
+    transfer_work: Optional[int] = None,
 ) -> str:
     """Pick ``"serial"``, ``"thread"``, or ``"process"`` for a workload.
 
@@ -132,7 +192,11 @@ def choose_execution_mode(
       enough that sharing the parent's pipeline beats pickling it);
     * large total work: processes (each worker rebuilds the pipeline from
       the picklable spec once and the CPU-bound enumeration scales past
-      the GIL).
+      the GIL) — *unless* ``transfer_work`` (the estimated cost of
+      shipping the answers back, :func:`estimate_transfer_work`) would
+      eat the multi-core speedup: answers cross the process boundary on
+      the serialized parent side, so when moving them costs more than
+      half the compute, threads win despite the GIL.
     """
     if workers <= 1:
         return "serial"
@@ -140,5 +204,7 @@ def choose_execution_mode(
     if total < thread_threshold:
         return "serial"
     if total < process_threshold:
+        return "thread"
+    if transfer_work is not None and 2 * transfer_work > total:
         return "thread"
     return "process"

@@ -69,29 +69,47 @@ def dumps(structure: Structure) -> str:
 def fingerprint(structure: Structure) -> str:
     """Content hash of a structure (signature + domain + facts).
 
-    The hash walks the canonical fact order of :meth:`Structure.iter_facts`
-    so it is independent of insertion order, and uses ``repr`` for element
-    tokens so elements the text format rejects (tuples, values with
+    Facts enter through an XOR accumulator of per-fact digests, so the
+    hash is independent of insertion order, and element tokens use
+    ``repr`` so elements the text format rejects (tuples, values with
     whitespace) still fingerprint.  Two structures with equal signature,
     domain order, and fact sets hash identically — the property
     ``repro.engine`` relies on for its pipeline cache keys.
+
+    Amortized O(1): the accumulator is *rolling* — maintained by
+    ``add_fact`` / ``remove_fact`` with one digest per update
+    (:meth:`Structure.content_fingerprint`) — so fingerprinting after a
+    dynamic update costs one sha256, not a walk over every fact.
+    :func:`fingerprint_full` recomputes from scratch and must always
+    agree (the incremental-fingerprint differential suite enforces it).
     """
-    hasher = hashlib.sha256()
+    return structure.content_fingerprint()
+
+
+def fingerprint_full(structure: Structure) -> str:
+    """O(||A||) from-scratch recompute of :func:`fingerprint`.
+
+    The differential oracle for the rolling accumulator: walks every
+    fact of the *current* state without touching (or trusting) the
+    structure's cached fingerprint state.
+    """
+    from repro.structures.structure import _FP_BYTES, _fact_digest
+
+    header = hashlib.sha256()
     for symbol in structure.signature:
-        hasher.update(f"{symbol.name}/{symbol.arity}".encode("utf-8"))
-        hasher.update(b"\x1f")
-    hasher.update(b"\x1e")
+        header.update(f"{symbol.name}/{symbol.arity}".encode("utf-8"))
+        header.update(b"\x1f")
+    header.update(b"\x1e")
     for element in structure.domain:
-        hasher.update(repr(element).encode("utf-8"))
-        hasher.update(b"\x1f")
-    hasher.update(b"\x1e")
+        header.update(repr(element).encode("utf-8"))
+        header.update(b"\x1f")
+    header.update(b"\x1e")
+    acc = 0
     for name, fact in structure.iter_facts():
-        hasher.update(name.encode("utf-8"))
-        for element in fact:
-            hasher.update(b"\x1f")
-            hasher.update(repr(element).encode("utf-8"))
-        hasher.update(b"\x1e")
-    return hasher.hexdigest()
+        acc ^= _fact_digest(name, fact)
+    return hashlib.sha256(
+        header.digest() + acc.to_bytes(_FP_BYTES, "big")
+    ).hexdigest()
 
 
 def load(stream: TextIO) -> Structure:

@@ -14,6 +14,7 @@ Size conventions follow the paper:
 
 from __future__ import annotations
 
+import hashlib
 from typing import (
     Dict,
     FrozenSet,
@@ -33,6 +34,25 @@ from repro.util.orderings import DomainOrder
 
 Element = Hashable
 Fact = Tuple[Element, ...]
+
+_FP_BYTES = 32  # sha256 digest size; the rolling accumulator's word width
+
+
+def _fact_digest(relation: str, fact: Fact) -> int:
+    """A 256-bit hash of one fact record, XOR-combinable across facts.
+
+    XOR makes the fact-set accumulator order-independent *and*
+    self-inverse: inserting a fact and removing it apply the same
+    operation, so a rolling accumulator needs exactly one digest per
+    update — the O(1) maintenance :meth:`Structure.content_fingerprint`
+    relies on.  Facts are sets (no duplicates), so the pairwise-cancel
+    weakness of XOR hashing cannot trigger.
+    """
+    hasher = hashlib.sha256(relation.encode("utf-8"))
+    for element in fact:
+        hasher.update(b"\x1f")
+        hasher.update(repr(element).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "big")
 
 
 class Structure:
@@ -58,6 +78,13 @@ class Structure:
         }
         self._version = 0
         self._caches_dirty = True
+        # Rolling content-fingerprint state (initialized lazily by
+        # content_fingerprint(); None = not yet demanded).  The header
+        # digest covers signature + domain, which never mutate after
+        # construction; the accumulator XORs one digest per fact and is
+        # maintained in O(1) by add_fact/remove_fact.
+        self._fp_header: Optional[bytes] = None
+        self._fp_acc: Optional[int] = None
         self._adjacency: Dict[Element, Set[Element]] = {}
         # How many facts witness each Gaifman edge (keyed by the unordered
         # element pair); lets mutations update adjacency incrementally.
@@ -90,6 +117,8 @@ class Structure:
         if fact not in self._relations[relation]:
             self._relations[relation].add(fact)
             self._version += 1
+            if self._fp_acc is not None:
+                self._fp_acc ^= _fact_digest(relation, fact)
             if not self._caches_dirty:
                 self._support_fact(fact, +1)
 
@@ -104,6 +133,8 @@ class Structure:
         if fact in self._relations[relation]:
             self._relations[relation].discard(fact)
             self._version += 1
+            if self._fp_acc is not None:
+                self._fp_acc ^= _fact_digest(relation, fact)
             if not self._caches_dirty:
                 self._support_fact(fact, -1)
 
@@ -160,6 +191,48 @@ class Structure:
     def cardinality(self) -> int:
         """``|A|``: the number of domain elements."""
         return len(self._domain)
+
+    # ------------------------------------------------------------------
+    # Content fingerprint (rolling)
+    # ------------------------------------------------------------------
+
+    def _header_digest(self) -> bytes:
+        if self._fp_header is None:
+            hasher = hashlib.sha256()
+            for symbol in self.signature:
+                hasher.update(f"{symbol.name}/{symbol.arity}".encode("utf-8"))
+                hasher.update(b"\x1f")
+            hasher.update(b"\x1e")
+            for element in self._domain:
+                hasher.update(repr(element).encode("utf-8"))
+                hasher.update(b"\x1f")
+            hasher.update(b"\x1e")
+            self._fp_header = hasher.digest()
+        return self._fp_header
+
+    def content_fingerprint(self) -> str:
+        """Content hash of the structure, maintained in O(1) per update.
+
+        The fact set enters as an XOR accumulator of per-fact digests
+        (:func:`_fact_digest`) — insertion-order independent, and updated
+        with a single digest by :meth:`add_fact` / :meth:`remove_fact`
+        once initialized — combined with a one-time header digest over
+        signature and domain (immutable after construction).  The first
+        call walks every fact (O(||A||)); every later call is O(1), so
+        fingerprint-keyed caches (:mod:`repro.engine.cache`) survive
+        tiny-update streams without rehashing the whole structure.
+        Equal to :func:`repro.structures.serialize.fingerprint_full` by
+        construction — the differential suite enforces it.
+        """
+        if self._fp_acc is None:
+            acc = 0
+            for name, facts in self._relations.items():
+                for fact in facts:
+                    acc ^= _fact_digest(name, fact)
+            self._fp_acc = acc
+        return hashlib.sha256(
+            self._header_digest() + self._fp_acc.to_bytes(_FP_BYTES, "big")
+        ).hexdigest()
 
     @property
     def size(self) -> int:

@@ -1,6 +1,16 @@
-"""Tests for RAM step accounting."""
+"""Tests for RAM step accounting and the execution-mode heuristics."""
 
-from repro.storage.cost_model import CostMeter, tick
+from repro.storage.cost_model import (
+    COLUMNAR_BYTES_PER_VALUE,
+    MAX_CHUNK_ROWS,
+    MIN_CHUNK_ROWS,
+    PICKLE_BYTES_PER_VALUE,
+    CostMeter,
+    choose_execution_mode,
+    default_chunk_rows,
+    estimate_transfer_work,
+    tick,
+)
 
 
 class TestCostMeter:
@@ -52,3 +62,48 @@ class TestCostMeter:
         meter = CostMeter()
         tick(meter, "y", count=4)
         assert meter.steps == 4
+
+
+class TestTransferTerm:
+    def test_transfer_work_scales_with_rows_and_width(self):
+        thin = estimate_transfer_work([100, 100], 2, COLUMNAR_BYTES_PER_VALUE)
+        fat = estimate_transfer_work([100, 100], 2, PICKLE_BYTES_PER_VALUE)
+        assert 0 < thin < fat
+
+    def test_transfer_work_zero_for_empty_branch(self):
+        assert estimate_transfer_work([100, 0], 2, 4) == 0
+
+    def test_no_transfer_term_keeps_legacy_choice(self):
+        assert choose_execution_mode([10**6, 10**6], workers=4) == "process"
+
+    def test_cheap_transfer_keeps_process(self):
+        works = [10**6, 10**6]
+        assert (
+            choose_execution_mode(works, workers=4, transfer_work=10**5)
+            == "process"
+        )
+
+    def test_dominant_transfer_declines_process(self):
+        """When shipping the answers costs more than half the compute,
+        the multi-core speedup is gone — stay on zero-copy threads."""
+        works = [10**6, 10**6]
+        assert (
+            choose_execution_mode(works, workers=4, transfer_work=2 * 10**6)
+            == "thread"
+        )
+
+    def test_transfer_term_ignored_below_process_threshold(self):
+        assert (
+            choose_execution_mode([50_000], workers=4, transfer_work=10**9)
+            == "thread"
+        )
+
+
+class TestDefaultChunkRows:
+    def test_clamped_to_bounds(self):
+        assert default_chunk_rows(1, 1) == MAX_CHUNK_ROWS
+        assert default_chunk_rows(512, 8) == MIN_CHUNK_ROWS
+
+    def test_shrinks_as_rows_widen(self):
+        assert default_chunk_rows(2, 1) >= default_chunk_rows(8, 4)
+        assert default_chunk_rows(3, 2) >= 1

@@ -1,0 +1,161 @@
+"""Differential suite for the rolling (incremental) content fingerprint.
+
+The contract: after ANY stream of effective/no-op inserts and removals,
+the O(1)-maintained rolling hash equals the O(||A||) from-scratch
+recompute (:func:`repro.structures.serialize.fingerprint_full`) — and
+two structures with equal content hash identically regardless of the
+update path that produced them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.session import Database
+from repro.structures import Signature, Structure
+from repro.structures.serialize import fingerprint, fingerprint_full
+
+SIG = Signature.of(E=2, B=1, T=3)
+ARITIES = {"E": 2, "B": 1, "T": 3}
+DOMAIN = 18
+
+
+def fresh(n: int = DOMAIN) -> Structure:
+    return Structure(SIG, range(n))
+
+
+def apply_ops(structure: Structure, ops) -> None:
+    for insert, relation, fact in ops:
+        if insert:
+            structure.add_fact(relation, *fact)
+        else:
+            structure.remove_fact(relation, *fact)
+
+
+@st.composite
+def update_op(draw):
+    relation = draw(st.sampled_from(sorted(ARITIES)))
+    fact = tuple(
+        draw(st.integers(0, DOMAIN - 1)) for _ in range(ARITIES[relation])
+    )
+    return (draw(st.booleans()), relation, fact)
+
+
+operations = st.lists(update_op(), max_size=60)
+
+
+class TestRollingEqualsFull:
+    def test_1000_mixed_updates(self):
+        """The acceptance gate: >=1000 mixed inserts/removals, rolling ==
+        full recompute throughout (checked periodically) and at the end."""
+        structure = fresh()
+        # Initialize the rolling accumulator BEFORE the stream, so every
+        # update exercises the O(1) maintenance path.
+        assert fingerprint(structure) == fingerprint_full(structure)
+        rng = random.Random(0xF1A9)
+        for step in range(1200):
+            relation = rng.choice(sorted(ARITIES))
+            fact = tuple(
+                rng.randrange(DOMAIN) for _ in range(ARITIES[relation])
+            )
+            if rng.random() < 0.55:
+                structure.add_fact(relation, *fact)
+            else:
+                structure.remove_fact(relation, *fact)
+            if step % 97 == 0:
+                assert fingerprint(structure) == fingerprint_full(structure)
+        assert fingerprint(structure) == fingerprint_full(structure)
+        # The final state also matches a structure built from scratch in
+        # a different insertion order.
+        rebuilt = fresh()
+        facts = [
+            (name, fact)
+            for name in SIG.names()
+            for fact in structure.facts(name)
+        ]
+        rng.shuffle(facts)
+        for name, fact in facts:
+            rebuilt.add_fact(name, *fact)
+        assert fingerprint(rebuilt) == fingerprint(structure)
+
+    def test_noop_updates_keep_hash(self):
+        structure = fresh()
+        structure.add_fact("E", 0, 1)
+        before = fingerprint(structure)
+        structure.add_fact("E", 0, 1)      # duplicate insert: no-op
+        structure.remove_fact("E", 3, 4)   # absent removal: no-op
+        assert fingerprint(structure) == before
+
+    def test_insert_then_remove_restores_hash(self):
+        structure = fresh()
+        before = fingerprint(structure)
+        structure.add_fact("T", 1, 2, 3)
+        assert fingerprint(structure) != before
+        structure.remove_fact("T", 1, 2, 3)
+        assert fingerprint(structure) == before
+
+    def test_lazy_initialization_after_updates(self):
+        """Fingerprinting only after a burst of updates still agrees."""
+        structure = fresh()
+        structure.add_fact("E", 0, 1)
+        structure.add_fact("B", 5)
+        structure.remove_fact("E", 0, 1)
+        assert fingerprint(structure) == fingerprint_full(structure)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=operations)
+    def test_randomized_streams(self, ops):
+        streamed = fresh()
+        fingerprint(streamed)  # arm the rolling accumulator up front
+        apply_ops(streamed, ops)
+        assert fingerprint(streamed) == fingerprint_full(streamed)
+        # Equal content from a fresh build (set semantics, any order).
+        rebuilt = fresh()
+        for name in SIG.names():
+            for fact in streamed.facts(name):
+                rebuilt.add_fact(name, *fact)
+        assert fingerprint(rebuilt) == fingerprint(streamed)
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=operations)
+    def test_rolling_never_armed_matches_armed(self, ops):
+        """Same stream, one structure fingerprinted from the start and one
+        only at the end: identical hashes."""
+        armed, cold = fresh(), fresh()
+        fingerprint(armed)
+        apply_ops(armed, ops)
+        apply_ops(cold, ops)
+        assert fingerprint(armed) == fingerprint(cold)
+
+
+class TestSessionIntegration:
+    def test_database_updates_ride_the_rolling_hash(self):
+        structure = Structure(Signature.of(E=2, B=1, R=1), range(12))
+        for i in range(11):
+            structure.add_fact("E", i, i + 1)
+            structure.add_fact("E", i + 1, i)
+        structure.add_fact("B", 0)
+        structure.add_fact("R", 5)
+        with Database(structure) as db:
+            rng = random.Random(3)
+            for _ in range(50):
+                node = rng.randrange(12)
+                if rng.random() < 0.5:
+                    db.insert_fact("B", node)
+                else:
+                    db.remove_fact("B", node)
+            assert db.structure_fingerprint == fingerprint_full(structure)
+
+    def test_derived_structures_fingerprint_consistently(self, tiny_graph=None):
+        structure = fresh()
+        structure.add_fact("E", 0, 1)
+        fingerprint(structure)  # arm
+        clone = structure.copy()
+        assert fingerprint(clone) == fingerprint(structure)
+        restricted = structure.restrict_signature(["E"])
+        assert fingerprint(restricted) == fingerprint_full(restricted)
+        induced = structure.induced_substructure(range(5))
+        assert fingerprint(induced) == fingerprint_full(induced)

@@ -8,9 +8,10 @@ from the naive semantics.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 
 from repro import prepare
+from repro.errors import UnsupportedQueryError
 from repro.fo.semantics import naive_answers, naive_test
 from repro.fo.syntax import Var
 
@@ -19,10 +20,18 @@ from strategies import formulas, structures
 x, y = Var("x"), Var("y")
 
 
-def assert_all_operations_match(db, query):
+def assert_all_operations_match(db, query, reject_unsupported=False):
     order = sorted(query.free)
     want = sorted(naive_answers(query, db, order=order))
-    prepared = prepare(db, query, order=order)
+    try:
+        prepared = prepare(db, query, order=order)
+    except UnsupportedQueryError:
+        # Fuzzing only: formulas whose clause expansion trips the
+        # pipeline's max_units budget are outside the supported fragment
+        # (same convention as the engine differential suites), not bugs.
+        if reject_unsupported:
+            assume(False)
+        raise
 
     got = sorted(prepared.enumerate(validate=True))
     assert got == want, "enumeration diverges from the oracle"
@@ -58,16 +67,16 @@ class TestFuzzing:
            db=structures(max_n=10))
     @settings(max_examples=40, deadline=None)
     def test_random_quantifier_free(self, formula, db):
-        assert_all_operations_match(db, formula)
+        assert_all_operations_match(db, formula, reject_unsupported=True)
 
     @given(formula=formulas(free_count=2, max_depth=2, max_quantifiers=1),
            db=structures(max_n=9))
     @settings(max_examples=30, deadline=None)
     def test_random_single_quantifier(self, formula, db):
-        assert_all_operations_match(db, formula)
+        assert_all_operations_match(db, formula, reject_unsupported=True)
 
     @given(formula=formulas(free_count=1, max_depth=2, max_quantifiers=2),
            db=structures(max_n=8))
     @settings(max_examples=20, deadline=None)
     def test_random_two_quantifiers(self, formula, db):
-        assert_all_operations_match(db, formula)
+        assert_all_operations_match(db, formula, reject_unsupported=True)
