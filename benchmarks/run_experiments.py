@@ -446,6 +446,48 @@ def e12_transport(sizes, workers=4) -> None:
           "is the hard gate)\n")
 
 
+def e13_updates(sizes) -> None:
+    """E13: transactional batch commits vs one-at-a-time maintenance."""
+    from bench_e13_updates import (
+        run_batch,
+        run_singles,
+        update_stream,
+    )
+    from repro.structures.random_gen import random_colored_graph
+
+    print("## E13 — transactional batch updates (facts/sec)\n")
+    rows = []
+    for n in sizes:
+        db = random_colored_graph(n, max_degree=4, seed=42)
+        ops = update_stream(db, 100)
+        singles_t, singles_db, _ = run_singles(db, ops)
+        batch_t, batch_db, passes, result = run_batch(db, ops)
+        identical = (
+            batch_db.structure_fingerprint == singles_db.structure_fingerprint
+        )
+        rows.append(
+            (
+                n,
+                result.ops_effective,
+                f"{len(ops) / singles_t:.0f}",
+                f"{len(ops) / batch_t:.0f}",
+                f"{singles_t / batch_t:.1f}x",
+                passes,
+                identical,
+            )
+        )
+        singles_db.close()
+        batch_db.close()
+    table(
+        ["n", "effective", "singles (f/s)", "batch (f/s)", "speedup",
+         "passes/plan", "identical"],
+        rows,
+    )
+    print("(one transaction = one maintenance pass per cached plan over "
+          "the whole changeset; identical final fingerprints are the "
+          "hard gate)\n")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--fast", action="store_true", help="smaller sweeps")
@@ -467,6 +509,7 @@ def main() -> None:
     e10_dynamic(mid)
     e11_parallel([96, 128] if not args.fast else [48, 64])
     e12_transport([96, 128] if not args.fast else [48, 64])
+    e13_updates([256, 512] if not args.fast else [96, 128])
 
 
 if __name__ == "__main__":

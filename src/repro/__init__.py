@@ -26,11 +26,13 @@ from repro.errors import (
     CancelledResultError,
     EngineError,
     EvaluationError,
+    FrozenStructureError,
     ParseError,
     QueryError,
     ReproError,
     SignatureError,
     StaleResultError,
+    TransactionError,
     UnsupportedQueryError,
 )
 from repro.fo import Var, coerce_formula, parse
@@ -43,10 +45,13 @@ __all__ = [
     "Answers",
     "AsyncQueryBatch",
     "CancelledResultError",
+    "Changeset",
+    "CommitResult",
     "Database",
     "DynamicQuery",
     "EngineError",
     "EvaluationError",
+    "FrozenStructureError",
     "ParseError",
     "Q",
     "Query",
@@ -57,8 +62,11 @@ __all__ = [
     "ResultCancelledError",
     "Signature",
     "SignatureError",
+    "Snapshot",
     "StaleResultError",
     "Structure",
+    "Transaction",
+    "TransactionError",
     "UnsupportedQueryError",
     "Var",
     "coerce_formula",
@@ -96,9 +104,13 @@ def model_check(sentence, structure, **kwargs):
 # stays light and deprecation warnings fire at use, not import.
 _LAZY_EXPORTS = {
     "Answers": ("repro.session", "Answers"),
+    "Changeset": ("repro.session", "Changeset"),
+    "CommitResult": ("repro.session", "CommitResult"),
     "Database": ("repro.session", "Database"),
     "Query": ("repro.session", "Query"),
     "QueryPlan": ("repro.session", "QueryPlan"),
+    "Snapshot": ("repro.session", "Snapshot"),
+    "Transaction": ("repro.session", "Transaction"),
     "DynamicQuery": ("repro.core.dynamic", "DynamicQuery"),
     "QueryBatch": ("repro.engine", "QueryBatch"),
     "AsyncQueryBatch": ("repro.engine", "AsyncQueryBatch"),

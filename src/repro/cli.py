@@ -12,6 +12,10 @@ Examples::
                             -q "B(x) & exists z. (R(z) & ~E(x,z))"
     python -m repro delay   -w colored:n=4000,d=4 \\
                             -q "B(x) & R(y) & ~E(x,y)" --limit 50000
+    python -m repro update  -w colored:n=2000,d=4 --file changes.jsonl \\
+                            -q "B(x) & R(y) & ~E(x,y)"
+    python -m repro query   -w colored:n=2000,d=4 -q "B(x)" --count \\
+                            --apply changes.jsonl --at-version 0
 
 Workload specs are ``name:key=value,...``:
 
@@ -104,6 +108,53 @@ def parse_workload(spec: str) -> Structure:
     )
 
 
+def _load_changeset(path: str, structure: Structure):
+    from repro.session import load_changeset_jsonl
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return load_changeset_jsonl(handle, structure=structure)
+    except OSError as error:
+        raise ReproError(f"cannot read {path!r}: {error}") from None
+
+
+def _resolve_view(session: Database, args: argparse.Namespace):
+    """Apply ``--apply`` (one atomic transaction) and resolve
+    ``--at-version`` to the pre-commit snapshot or the live head.
+
+    With ``--apply`` the pre-commit state is snapshotted first, so
+    ``--at-version <old>`` queries the database as it was before the
+    changeset committed while ``--at-version <new>`` (or no flag)
+    queries the head.
+    """
+    snapshot = None
+    apply_path = getattr(args, "apply", None)
+    at_version = getattr(args, "at_version", None)
+    if apply_path:
+        if at_version is not None:
+            snapshot = session.snapshot()
+        changeset = _load_changeset(apply_path, session.structure)
+        result = session.apply(changeset)
+        print(
+            f"applied {result.ops_submitted} op(s), "
+            f"{result.ops_effective} effective; version "
+            f"{result.version_before} -> {result.version_after}"
+            + (" (forked: old version stays pinned)" if result.forked else "")
+        )
+    if at_version is None:
+        return session
+    views = {session.version: session}
+    if snapshot is not None:
+        views[snapshot.version] = snapshot
+    view = views.get(at_version)
+    if view is None:
+        raise ReproError(
+            f"--at-version {at_version} is not available; "
+            f"choose from {sorted(views)}"
+        )
+    return view
+
+
 def _parse_tuple(text: str, structure: Structure):
     components = []
     for chunk in text.split(","):
@@ -122,8 +173,9 @@ def cmd_query(args: argparse.Namespace) -> int:
     # One Database per invocation: cache, graph templates, and (if the
     # backend goes parallel) the worker pool all come from this session.
     with Database(db, eps=args.eps, workers=args.workers) as session:
+        view = _resolve_view(session, args)
         started = time.perf_counter()
-        query = session.query(
+        query = view.query(
             args.query,
             backend=args.backend,
             chunk_rows=getattr(args, "chunk_rows", None),
@@ -175,11 +227,12 @@ def cmd_batch(args: argparse.Namespace) -> int:
     # every query below); the context manager shuts it down at the end —
     # pool lifecycle and stats come from one place for `query` and `batch`.
     with Database(db, eps=args.eps, workers=args.workers) as session:
+        view = _resolve_view(session, args)
         print(f"workload: n={db.cardinality}, degree={db.degree}; "
               f"{len(queries)} queries")
         started = time.perf_counter()
         for text in queries:
-            query = session.query(text, backend=args.mode)
+            query = view.query(text, backend=args.mode)
             line = f"[{text}]"
             if args.count:
                 # Parallel per-branch counting over the session pool (the
@@ -204,6 +257,48 @@ def cmd_batch(args: argparse.Namespace) -> int:
             f"pool: {stats['pool_submits']} submit(s), "
             f"{stats['pool_restarts']} restart(s)"
         )
+    return 0
+
+
+def cmd_update(args: argparse.Namespace) -> int:
+    """Apply a JSONL changeset in one atomic transaction.
+
+    ``-q`` queries (repeatable) are prepared *before* the commit — so
+    their cached plans are what the batch maintenance refreshes — and
+    re-counted afterwards, showing the update's effect.
+    """
+    db = parse_workload(args.workload)
+    with Database(db, eps=args.eps, workers=args.workers) as session:
+        print(f"workload: n={db.cardinality}, degree={db.degree}")
+        warmed = []
+        for text in args.query or []:
+            query = session.query(text)
+            warmed.append((text, query, query.count()))
+        changeset = _load_changeset(args.file, session.structure)
+        started = time.perf_counter()
+        result = session.apply(changeset)
+        elapsed = time.perf_counter() - started
+        print(
+            f"changeset: {result.ops_submitted} op(s), "
+            f"{result.ops_effective} effective"
+        )
+        print(
+            f"version: {result.version_before} -> {result.version_after}; "
+            f"fingerprint {result.fingerprint_before[:12]}... -> "
+            f"{result.fingerprint_after[:12]}..."
+        )
+        print(
+            f"maintained plans refreshed in one pass: "
+            f"{result.maintained_plans}; forked: {result.forked}"
+        )
+        rate = (
+            f" ({result.ops_effective / elapsed:.0f} facts/s)"
+            if elapsed > 0 and result.ops_effective
+            else ""
+        )
+        print(f"commit took {elapsed:.3f}s{rate}")
+        for text, query, before in warmed:
+            print(f"[{text}]  count {before} -> {query.count()}")
     return 0
 
 
@@ -251,6 +346,23 @@ def cmd_delay(args: argparse.Namespace) -> int:
         print(f"wall time/answer: {elapsed / produced * 1e6:.2f} us")
     print(f"RAM steps/answer: max {max(deltas)}, mean {sum(deltas)/len(deltas):.1f}")
     return 0
+
+
+def _add_version_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--apply",
+        metavar="changeset.jsonl",
+        default=None,
+        help="apply this JSONL changeset (one transaction) before querying",
+    )
+    parser.add_argument(
+        "--at-version",
+        dest="at_version",
+        type=int,
+        default=None,
+        help="query a pinned version: the pre---apply snapshot's version "
+        "or the head's (default: head)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -301,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-mode answer transport (default: columnar)",
     )
+    _add_version_flags(query_parser)
     query_parser.set_defaults(handler=cmd_query)
 
     batch_parser = sub.add_parser(
@@ -327,7 +440,31 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument(
         "--limit", type=int, default=0, help="answers to print per query"
     )
+    _add_version_flags(batch_parser)
     batch_parser.set_defaults(handler=cmd_batch)
+
+    update_parser = sub.add_parser(
+        "update", help="apply a JSONL changeset in one atomic transaction"
+    )
+    update_parser.add_argument(
+        "-w", "--workload", required=True, help="workload spec"
+    )
+    update_parser.add_argument(
+        "--file",
+        required=True,
+        help='changeset JSONL: {"op": "insert", "relation": "E", "elements": [0, 1]}',
+    )
+    update_parser.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        help="query to warm before the commit and re-count after (repeatable)",
+    )
+    update_parser.add_argument("--eps", type=float, default=0.5)
+    update_parser.add_argument(
+        "--workers", type=int, default=None, help="pool size (default: cores)"
+    )
+    update_parser.set_defaults(handler=cmd_update)
 
     check_parser = sub.add_parser("check", help="model-check a sentence")
     common(check_parser)

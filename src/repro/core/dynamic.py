@@ -80,6 +80,49 @@ def supports_maintenance(pipeline: Pipeline) -> bool:
     return not maintenance_blockers(pipeline)
 
 
+UpdateOp = Tuple[bool, str, Tuple[Element, ...]]
+
+
+def net_effects(
+    structure: Structure, ops: Sequence[UpdateOp]
+) -> List[UpdateOp]:
+    """The net fact changes of replaying ``ops`` in order on ``structure``.
+
+    Each op is ``(insert, relation, elements)`` with replay semantics
+    matching ``add_fact``/``remove_fact``: inserting a present fact and
+    removing an absent one are no-ops, and a remove-then-reinsert of the
+    same fact cancels out.  The result contains exactly one op per fact
+    whose final presence differs from its initial presence — what a
+    batch commit actually needs to apply and maintain.  Order follows
+    first touch, so replaying the result is deterministic.
+    """
+    initial: dict = {}
+    final: dict = {}
+    touch_order: List[Tuple[str, Tuple[Element, ...]]] = []
+    for insert, relation, elements in ops:
+        fact = (relation, tuple(elements))
+        if fact not in initial:
+            initial[fact] = structure.has_fact(relation, *fact[1])
+            final[fact] = initial[fact]
+            touch_order.append(fact)
+        final[fact] = bool(insert)
+    return [
+        (final[fact], fact[0], fact[1])
+        for fact in touch_order
+        if final[fact] != initial[fact]
+    ]
+
+
+def apply_ops(structure: Structure, ops: Sequence[UpdateOp]) -> None:
+    """Apply ``(insert, relation, elements)`` triples to ``structure``
+    in order (the one op-application loop every commit path shares)."""
+    for insert, relation, elements in ops:
+        if insert:
+            structure.add_fact(relation, *elements)
+        else:
+            structure.remove_fact(relation, *elements)
+
+
 class PipelineMaintainer:
     """Keeps one built :class:`Pipeline` consistent under fact updates.
 
@@ -130,6 +173,39 @@ class PipelineMaintainer:
         region |= self.reach(elements)
         self.refresh(elements, region)
         return True
+
+    def apply_batch(self, ops: Sequence[UpdateOp]) -> int:
+        """Apply many fact updates with *one* local-recomputation pass.
+
+        ``ops`` are ``(insert, relation, elements)`` triples replayed in
+        order; no-ops and cancelling pairs are netted out first
+        (:func:`net_effects`).  The refresh region is the union of the
+        touched elements' reach *before* and *after* the whole batch —
+        sound because maintenance only has to reconcile the initial and
+        final structures (intermediate states are unobservable), and
+        every node whose neighborhood-determined data differs between
+        them lies within the query radius of a changed fact in one of
+        the two Gaifman graphs.  Returns the number of effective
+        updates; zero means nothing was touched (and no refresh ran).
+
+        INVARIANT SHARED WITH THE SESSION: the multi-maintainer commit
+        (``Database._commit_in_place_locked``) runs this exact
+        pre-reach / apply-once / post-reach / refresh sequence per
+        maintainer; a change to the region computation here must be
+        mirrored there (and vice versa) or batched and per-fact
+        maintenance silently diverge.
+        """
+        effective = net_effects(self.structure, ops)
+        if not effective:
+            return 0
+        touched = tuple(
+            {element for _, _, elements in effective for element in elements}
+        )
+        region = self.reach(touched)
+        apply_ops(self.structure, effective)
+        region |= self.reach(touched)
+        self.refresh(touched, region)
+        return len(effective)
 
     def reach(self, touched: Sequence[Element]) -> Set[Element]:
         """Every element an update to ``touched`` can affect (one side)."""

@@ -14,8 +14,11 @@ thread/process fan-out still happens in the session's long-lived
 wrapped :class:`~repro.session.answers.Answers` object:
 
 * answers arrive in the exact serial enumeration order;
-* ``await``-ing a handle whose structure has mutated raises
-  :class:`repro.errors.StaleResultError`;
+* ``await``-ing a handle whose database has moved on raises
+  :class:`repro.errors.StaleResultError` — this facade keeps the
+  historical raise-on-mutation contract, unlike session
+  :class:`~repro.session.answers.Answers` handles, which pin their
+  version and keep streaming byte-identically across commits;
 * a cancelled handle raises :class:`repro.errors.CancelledResultError`;
 * cancelling the awaiting task (or abandoning a stream) propagates into
   the engine as soon as the in-flight pull retires, releasing pool slots.

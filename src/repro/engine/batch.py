@@ -44,7 +44,13 @@ class ResultHandle(Answers):
     Kept as a named subclass of the unified
     :class:`~repro.session.answers.Answers` handle so existing imports,
     ``isinstance`` checks, and the pre-session constructor signature
-    (``mode=`` instead of ``backend=``) keep working.
+    (``mode=`` instead of ``backend=``) keep working.  Unlike session
+    handles — which pin their version and keep streaming byte-
+    identically across commits — this facade keeps the historical
+    contract: *any* mutation of the underlying database (an in-place
+    structure change, or a session commit reported by
+    ``version_source``) makes every later access raise
+    :class:`repro.errors.StaleResultError`.
     """
 
     def __init__(
@@ -58,6 +64,7 @@ class ResultHandle(Answers):
         pool: Optional[WorkerPool] = None,
         chunk_rows: Optional[int] = None,
         transport: Optional[str] = None,
+        version_source=None,
     ):
         super().__init__(
             pipeline,
@@ -69,6 +76,8 @@ class ResultHandle(Answers):
             pool=pool,
             chunk_rows=chunk_rows,
             transport=transport,
+            version_source=version_source,
+            stale_policy="raise",
         )
 
 
@@ -195,6 +204,10 @@ class QueryBatch:
             pool=self._db.pool if self.executor is None else None,
             chunk_rows=chunk_rows,
             transport=transport,
+            # Deprecation shim: session commits (which fork the head
+            # rather than bump this pipeline's structure) must still
+            # raise StaleResultError on this legacy facade.
+            version_source=self._db._head_version,
         )
 
     def count(

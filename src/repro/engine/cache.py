@@ -70,6 +70,12 @@ class PipelineCache:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[CacheKey, Pipeline]" = OrderedDict()
+        # fingerprint tag -> pin count: entries under a retained tag are
+        # never LRU-evicted (live snapshots/answer handles may still
+        # plan against them); the cache may exceed capacity by the
+        # number of retained *entries* — the capacity budget applies to
+        # the unpinned population.
+        self._retained: Dict[str, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -92,9 +98,48 @@ class PipelineCache:
     def put(self, key: CacheKey, pipeline: Pipeline) -> None:
         self._entries[key] = pipeline
         self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        if len(self._entries) <= self.capacity:
+            return
+        if not self._retained:
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return
+        # Pinned entries ride *above* capacity: the budget applies to the
+        # unpinned population, so a pile of retained snapshot versions
+        # can never starve head caching (evicting the entry just
+        # inserted would silently disable caching and maintenance).
+        retained_entries = sum(
+            1 for k in self._entries if k[0] in self._retained
+        )
+        allowed = self.capacity + retained_entries
+        if len(self._entries) <= allowed:
+            return
+        # Evict oldest-first among the unpinned entries only.
+        for candidate in [k for k in self._entries if k[0] not in self._retained]:
+            if len(self._entries) <= allowed:
+                return
+            del self._entries[candidate]
             self.evictions += 1
+
+    # -- snapshot retention --------------------------------------------
+
+    def retain(self, structure_fingerprint: str) -> None:
+        """Protect one fingerprint's entries from LRU eviction."""
+        self._retained[structure_fingerprint] = (
+            self._retained.get(structure_fingerprint, 0) + 1
+        )
+
+    def release(self, structure_fingerprint: str) -> None:
+        """Drop one retention pin (a no-op for unretained fingerprints)."""
+        count = self._retained.get(structure_fingerprint, 0) - 1
+        if count > 0:
+            self._retained[structure_fingerprint] = count
+        else:
+            self._retained.pop(structure_fingerprint, None)
+
+    def retained(self, structure_fingerprint: str) -> bool:
+        return structure_fingerprint in self._retained
 
     def get_or_build(
         self,
@@ -140,6 +185,10 @@ class PipelineCache:
                 moved += 1
         return moved
 
+    def discard(self, key: CacheKey) -> None:
+        """Drop one entry (a no-op when absent)."""
+        self._entries.pop(key, None)
+
     def invalidate(self, structure_fingerprint: Optional[str] = None) -> int:
         """Drop entries for one fingerprint (or everything); return count."""
         if structure_fingerprint is None:
@@ -160,4 +209,5 @@ class PipelineCache:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "retained_fingerprints": len(self._retained),
         }

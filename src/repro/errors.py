@@ -31,8 +31,28 @@ class EvaluationError(ReproError):
     """An internal invariant was violated during evaluation."""
 
 
+class FrozenStructureError(ReproError):
+    """A mutation was attempted on a frozen snapshot structure.
+
+    Commits that overlap live snapshots or answer handles freeze the old
+    structure head (its facts back pinned reads forever) and move the
+    database to a copy-on-write fork; mutate through the session —
+    ``db.transaction()`` / ``db.apply()`` / ``db.insert_fact()`` — not
+    through a retained reference to a superseded head.
+    """
+
+
 class EngineError(ReproError):
     """The batch query engine was misused or hit an internal failure."""
+
+
+class TransactionError(EngineError):
+    """A session transaction was misused.
+
+    Raised for writes on a committed/rolled-back transaction, commits of
+    an already-finished transaction, or malformed changeset operations;
+    the buffered changes are discarded and the database is untouched.
+    """
 
 
 class StaleResultError(EngineError):

@@ -14,7 +14,18 @@ exposes exactly one way to reach them::
         answers.page(0, size=50)
         async for a in answers: ...    # same object, off-loop pulls
         print(q.explain().describe())  # branches, shards, backend, costs
-        db.insert_fact("B", 3)         # maintained plans stay fresh
+        with db.transaction() as tx:   # one maintenance pass per plan
+            tx.insert_fact("B", 3)
+            tx.insert_many("E", [(0, 3), (3, 0)])
+        with db.snapshot() as snap:    # version-pinned reads
+            snap.query("B(x)").count() # never goes stale
+
+Reads are snapshot-isolated: ``db.snapshot()`` pins a version, and
+every ``Answers`` handle stays on the version it was planned against —
+a concurrent commit forks the head copy-on-write instead of raising
+``StaleResultError``.  Writes batch through ``db.transaction()`` /
+``db.apply(changeset)``: one lock acquisition, one fingerprint roll,
+one maintenance pass per cached plan, one cache re-key per commit.
 
 Execution strategy (serial / thread / process) is chosen per plan by the
 cost model and overridable via ``db.query(..., backend=...)`` — see
@@ -37,11 +48,20 @@ from repro.session.backends import (
 )
 from repro.session.database import Database
 from repro.session.query import Query, QueryPlan
+from repro.session.snapshot import Snapshot
+from repro.session.transaction import (
+    Changeset,
+    CommitResult,
+    Transaction,
+    load_changeset_jsonl,
+)
 
 __all__ = [
     "AUTO",
     "Answers",
     "BACKENDS",
+    "Changeset",
+    "CommitResult",
     "DEFAULT_PAGE_SIZE",
     "Database",
     "ExecutionBackend",
@@ -51,6 +71,9 @@ __all__ = [
     "Query",
     "QueryPlan",
     "SERIAL",
+    "Snapshot",
     "THREAD",
+    "Transaction",
+    "load_changeset_jsonl",
     "resolve_backend",
 ]

@@ -17,10 +17,15 @@ Semantics shared by both faces:
 
 * answers materialize in branch-index order (shards in slice order), so
   the full sequence is byte-identical to serial enumeration;
-* the handle is pinned to the structure version at creation — any
-  mutation makes every later access raise
-  :class:`repro.errors.StaleResultError` instead of serving pre-update
-  answers;
+* the handle is *pinned* to the structure version it was planned
+  against: a session handle holds a version pin, so a concurrent
+  commit forks the database head and leaves this handle's version
+  frozen — it streams to completion byte-identically, and never raises
+  :class:`repro.errors.StaleResultError` (the pin is released on
+  cancel or garbage collection).  Only a *direct* structure mutation
+  (bypassing the session) still raises, and the legacy engine facades
+  (``ResultHandle``) keep the historical raise-on-any-commit contract
+  via ``stale_policy="raise"``;
 * after :meth:`cancel`, every access raises
   :class:`repro.errors.CancelledResultError`; a cancelled handle never
   serves the partial prefix it may have pulled.
@@ -32,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import weakref
 from typing import (
     AsyncIterator,
     Hashable,
@@ -82,10 +88,31 @@ class Answers:
         pool: Optional[WorkerPool] = None,
         chunk_rows: Optional[int] = None,
         transport: Optional[str] = None,
+        pin=None,
+        version_source=None,
+        stale_policy: str = "pin",
     ):
+        if stale_policy not in ("pin", "raise"):
+            raise EngineError(
+                f"stale_policy must be 'pin' or 'raise', got {stale_policy!r}"
+            )
         self._pipeline = pipeline
         self._structure = pipeline.structure
         self._version = pipeline.structure.version
+        # Snapshot pinning: `pin` keeps the session from refreshing this
+        # pipeline in place (commits fork instead); `version_source`
+        # reports the database head's version so `stale` stays
+        # informative across forks; policy "raise" restores the legacy
+        # raise-on-any-commit contract for the engine facades.
+        self._pin = pin
+        self._version_source = version_source
+        self._source_version = (
+            version_source() if version_source is not None else None
+        )
+        self._stale_policy = stale_policy
+        self._pin_finalizer = (
+            weakref.finalize(self, pin.release) if pin is not None else None
+        )
         self._backend = resolve_backend(backend)
         self._plan = ExecutionPlan(
             pipeline,
@@ -147,15 +174,45 @@ class Answers:
         if self._cancelled:
             raise CancelledResultError("this answers handle was cancelled")
         if self._structure.version != self._version:
+            # Session commits can never move a pinned handle's structure
+            # (they fork the head instead); only a direct mutation — or,
+            # for un-pinned legacy handles, an in-place commit — lands
+            # here.
             raise StaleResultError(
                 "the structure changed after this handle was created "
                 f"(version {self._version} -> {self._structure.version}); "
                 "re-run the query"
             )
+        if (
+            self._stale_policy == "raise"
+            and self._version_source is not None
+            and self._version_source() != self._source_version
+        ):
+            raise StaleResultError(
+                "the database committed past this handle (version "
+                f"{self._source_version} -> {self._version_source()}); "
+                "re-run the query (session handles pin their version "
+                "instead of raising)"
+            )
 
     @property
     def stale(self) -> bool:
-        return self._structure.version != self._version
+        """Whether the database moved past this handle's version.
+
+        A pinned session handle keeps serving its version byte-
+        identically even when stale — staleness is informative, not an
+        error, unless the legacy ``stale_policy="raise"`` applies.
+        """
+        if self._structure.version != self._version:
+            return True
+        if self._version_source is not None:
+            return self._version_source() != self._source_version
+        return False
+
+    @property
+    def pinned(self) -> bool:
+        """True while this handle holds a version pin on its session."""
+        return self._pin is not None and not self._pin.released
 
     @property
     def cancelled(self) -> bool:
@@ -267,11 +324,21 @@ class Answers:
         if self._cancelled:
             return
         self._cancelled = True
+        self._release_pin()
         with self._sync:
             if self._pull_active:
                 self._cancel_requested = True
                 return
         self._close_source()
+
+    def _release_pin(self) -> None:
+        """Give the version pin back to the session (idempotent)."""
+        pin, self._pin = self._pin, None
+        if self._pin_finalizer is not None:
+            self._pin_finalizer.detach()
+            self._pin_finalizer = None
+        if pin is not None:
+            pin.release()
 
     def _close_source(self) -> None:
         source, self._source = self._source, None

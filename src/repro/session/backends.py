@@ -49,6 +49,14 @@ class ExecutionPlan:
     path's received-bytes accounting.  ``used_mode`` /
     ``used_count_mode`` / ``used_transport`` record what actually ran,
     for :meth:`repro.session.Query.explain` and the differential suite.
+
+    Snapshot contract: ``pipeline`` (and ``pipeline.structure``) may
+    belong to a *pinned* version whose structure is frozen — a commit
+    has moved the session head to a copy-on-write fork.  Backends must
+    treat both as strictly read-only; process-mode workers that rebuild
+    the pipeline from its spec receive the frozen structure by value,
+    so every execution mode enumerates the pinned version
+    byte-identically.
     """
 
     pipeline: Pipeline

@@ -13,9 +13,15 @@ A ``Database`` owns, for one structure:
 * the **dynamic maintainers**: every cached plan the local-recomputation
   machinery supports (:class:`repro.core.dynamic.PipelineMaintainer`) is
   kept fresh *in place* through :meth:`insert_fact` /
-  :meth:`remove_fact`, while ineligible plans get targeted invalidation
-  — the session never throws away the whole cache just because one fact
-  changed.
+  :meth:`remove_fact` / :meth:`transaction` / :meth:`apply` — a batch
+  commit pays ONE maintenance pass per plan for the whole changeset —
+  while ineligible plans get targeted invalidation — the session never
+  throws away the whole cache just because one fact changed;
+* the **version pins**: :meth:`snapshot` (and every
+  :class:`~repro.session.answers.Answers` handle) pins the version it
+  was planned against; a commit overlapping a live pin forks the
+  structure copy-on-write and freezes the old head, so pinned readers
+  keep enumerating byte-identically instead of going stale.
 
 ``db.query("...")`` returns a :class:`repro.session.Query` plan object
 with ``.count() / .test(tuple) / .answers() / .explain()``; execution
@@ -29,18 +35,53 @@ import threading
 from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
 
 from repro.core.colored_graph import ColoredGraph, build_colored_graph
-from repro.core.dynamic import PipelineMaintainer, supports_maintenance
+from repro.core.dynamic import (
+    PipelineMaintainer,
+    apply_ops,
+    net_effects,
+    supports_maintenance,
+)
 from repro.core.pipeline import Pipeline
 from repro.engine.cache import CacheKey, PipelineCache, cache_key, coerce_order
 from repro.engine.pool import WorkerPool
-from repro.errors import EngineError
+from repro.errors import EngineError, SignatureError
 from repro.fo import coerce_formula
 from repro.fo.syntax import Formula, Var
 from repro.session.query import Query
+from repro.session.snapshot import Snapshot
+from repro.session.transaction import (
+    Changeset,
+    CommitResult,
+    Transaction,
+    coerce_op,
+)
 from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
 
 Element = Hashable
+
+
+class _VersionPin:
+    """One revocable hold on a structure version's derived state.
+
+    Held by :class:`~repro.session.snapshot.Snapshot` objects and
+    :class:`~repro.session.answers.Answers` handles.  While any pin on
+    the current fingerprint is live, commits take the copy-on-write fork
+    path (the pinned version stays frozen and byte-identical); releasing
+    the last pin on a superseded version purges its cached pipelines.
+    ``release()`` is idempotent and safe from any thread (including GC
+    finalizers).
+    """
+
+    __slots__ = ("_db", "tag", "released")
+
+    def __init__(self, db, tag: str):
+        self._db = db
+        self.tag = tag
+        self.released = False
+
+    def release(self) -> None:
+        self._db._release(self)
 
 
 class _ReadWriteLock:
@@ -101,8 +142,12 @@ class Database:
             q.test((0, 2))                # Theorem 2.6
             for answer in q.answers():    # Theorem 2.7, constant delay
                 ...
-            db.insert_fact("B", 3)        # maintained plans stay fresh
-            q.count()                     # reflects the update
+            with db.transaction() as tx:  # atomic batch: one
+                tx.insert_fact("B", 3)    # maintenance pass per plan
+                tx.remove_fact("E", 0, 2)
+            q.count()                     # reflects the commit
+            with db.snapshot() as snap:   # pinned reads, never stale
+                snap.query("B(x)").count()
     """
 
     def __init__(
@@ -130,6 +175,15 @@ class Database:
         self._maintainers: Dict[CacheKey, PipelineMaintainer] = {}
         self._fingerprint = fingerprint(structure)
         self._version = structure.version
+        # Cache keys use a *generation-tagged* fingerprint.  The
+        # generation bumps on every copy-on-write fork, so entries built
+        # against a superseded frozen structure can never be cache-hit
+        # by a later head whose *content* fingerprint happens to return
+        # to the same value (remove-then-reinsert across a fork): the
+        # frozen pipeline would serve — and worse, be maintained
+        # against — the wrong structure object.
+        self._generation = 0
+        self._cache_tag = self._tag(self._fingerprint)
         self._closed = False
         # Concurrency: the session is thread-safe.  Shared mutable state
         # (cache, templates, maintainers, fingerprint) hides behind one
@@ -146,6 +200,10 @@ class Database:
         # number of in-flight prepares.
         self._build_locks: Dict[CacheKey, list] = {}
         self._template_locks: Dict[Tuple[str, int, int], threading.Lock] = {}
+        # fingerprint -> live pin count (snapshots + answers handles).
+        # Guarded by _state_lock; a pinned current fingerprint routes
+        # commits onto the copy-on-write fork path.
+        self._pins: Dict[str, int] = {}
 
     # -- the public query surface --------------------------------------
 
@@ -194,80 +252,305 @@ class Database:
         """Convenience: ``db.query(...).test(candidate)``."""
         return self.query(query, **options).test(candidate)
 
+    def _tag(self, content_fingerprint: str) -> str:
+        """The cache/pin key for one (fork generation, content) state."""
+        return f"{self._generation}:{content_fingerprint}"
+
+    # -- snapshot-isolated reads ---------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """An immutable view pinned at the current fingerprint/version.
+
+        Reads through the snapshot never block writers and never raise
+        :class:`~repro.errors.StaleResultError`: a commit that overlaps a
+        live snapshot moves the database head to a copy-on-write fork and
+        freezes the old structure, so the snapshot keeps serving its
+        version byte-identically.  Close the snapshot (``with`` / GC) to
+        release the pin; the last release on a superseded version purges
+        its retained cache entries.
+        """
+        self._check_open()
+        with self._state_lock:
+            self._refresh_locked()
+            pin = self._retain(self._cache_tag)
+            return Snapshot(
+                self,
+                self.structure,
+                self._fingerprint,
+                self.structure.version,
+                pin,
+                tag=self._cache_tag,
+            )
+
+    @property
+    def version(self) -> int:
+        """The head structure's monotonic version (continues across forks)."""
+        return self.structure.version
+
+    def _head_version(self) -> int:
+        """Callable form of :attr:`version` for handle staleness probes."""
+        return self.structure.version
+
+    # -- version pinning -----------------------------------------------
+
+    def _retain(self, tag: str) -> _VersionPin:
+        """Register one pin on a version tag (caller may hold _state_lock)."""
+        with self._state_lock:
+            self._pins[tag] = self._pins.get(tag, 0) + 1
+            self.cache.retain(tag)
+            return _VersionPin(self, tag)
+
+    def _release(self, pin: _VersionPin) -> None:
+        with self._state_lock:
+            if pin.released:
+                return
+            pin.released = True
+            tag = pin.tag
+            self.cache.release(tag)
+            count = self._pins.get(tag, 0) - 1
+            if count > 0:
+                self._pins[tag] = count
+                return
+            self._pins.pop(tag, None)
+            if tag != self._cache_tag:
+                # The head moved past this version and nothing reads it
+                # anymore: its pipelines are unreachable — purge them.
+                self.cache.invalidate(tag)
+
+    def _pin_current(self, expected_version: int) -> Optional[_VersionPin]:
+        """Pin the head iff it is still at ``expected_version``.
+
+        Atomic with respect to commits (both sides hold ``_state_lock``),
+        so an :class:`Answers` handle that wins a pin is guaranteed its
+        pipeline will never be refreshed in place underneath it.
+        """
+        with self._state_lock:
+            self._refresh_locked()
+            if self.structure.version != expected_version:
+                return None
+            return self._retain(self._cache_tag)
+
+    def _pinned_locked(self) -> bool:
+        return self._pins.get(self._cache_tag, 0) > 0
+
     # -- dynamic updates -----------------------------------------------
 
     def insert_fact(self, relation: str, *elements: Element) -> bool:
-        """Insert a fact; keep maintainable cached plans fresh in place.
+        """Insert one fact (an atomic one-op transaction).
 
         Returns ``True`` when the structure changed (the fact was new).
         Plans the local-recomputation maintainer supports are updated in
         ``O(d^h(|q|))`` — independent of ``n`` — and stay cache-hits;
         only the ineligible plans are invalidated (targeted, not
-        whole-cache).
+        whole-cache).  Batch several updates with :meth:`transaction` /
+        :meth:`apply` to pay the maintenance pass once for all of them.
         """
-        self._check_open()
-        self._structure_lock.acquire_write()
-        try:
-            with self._state_lock:
-                self._refresh_locked()
-                if self.structure.has_fact(relation, *elements):
-                    return False
-                return self._apply_update_locked(True, relation, elements)
-        finally:
-            self._structure_lock.release_write()
+        return self._commit([(True, relation, tuple(elements))]).changed
 
     def remove_fact(self, relation: str, *elements: Element) -> bool:
         """Delete a fact; same maintenance contract as :meth:`insert_fact`."""
+        return self._commit([(False, relation, tuple(elements))]).changed
+
+    def transaction(self) -> Transaction:
+        """A buffered write transaction committing atomically on exit::
+
+            with db.transaction() as tx:
+                tx.insert_fact("E", 0, 1)
+                tx.remove_fact("B", 3)
+                tx.insert_many("B", [(4,), (5,)])
+
+        The whole changeset commits with one structure-lock acquisition,
+        one rolling-fingerprint roll, one maintenance pass per cached
+        plan, and one cache re-key; an exception inside the block (or a
+        commit-time failure) leaves structure, cache, and fingerprint
+        untouched.
+        """
+        self._check_open()
+        return Transaction(self)
+
+    def apply(self, changes) -> CommitResult:
+        """Atomically apply a changeset (see :meth:`transaction`).
+
+        ``changes`` is a :class:`~repro.session.transaction.Changeset`
+        or any iterable of ``(op, relation, elements)`` triples where
+        ``op`` is a bool (insert?) or ``"insert"``/``"remove"``.  Replay
+        semantics match calling ``insert_fact``/``remove_fact`` in
+        order; no-ops and cancelling pairs are netted out before any
+        maintenance runs.
+        """
+        if isinstance(changes, Changeset):
+            ops = list(changes.ops)
+        else:
+            ops = [coerce_op(op) for op in changes]
+        return self._commit(ops)
+
+    def _commit(self, ops) -> CommitResult:
+        """One atomic commit: validate, net, apply, maintain, re-key."""
         self._check_open()
         self._structure_lock.acquire_write()
         try:
             with self._state_lock:
                 self._refresh_locked()
-                if not self.structure.has_fact(relation, *elements):
-                    return False
-                return self._apply_update_locked(False, relation, elements)
+                structure = self.structure
+                # Validate everything before touching anything: an
+                # atomic commit must fail *entirely* up front.  Domain
+                # membership only matters for inserts — removing a fact
+                # over unknown elements is a no-op, exactly like the
+                # pre-transaction remove_fact contract.
+                for insert, relation, elements in ops:
+                    symbol = structure.signature.symbol(relation)
+                    if len(elements) != symbol.arity:
+                        raise SignatureError(
+                            f"{relation} has arity {symbol.arity}, got "
+                            f"{len(elements)} arguments"
+                        )
+                    if insert:
+                        for element in elements:
+                            if element not in structure:
+                                raise ValueError(
+                                    f"element {element!r} is not in the domain"
+                                )
+                effective = net_effects(structure, ops)
+                version_before = structure.version
+                fingerprint_before = self._fingerprint
+                if not effective:
+                    return CommitResult(
+                        ops_submitted=len(ops),
+                        ops_effective=0,
+                        version_before=version_before,
+                        version_after=version_before,
+                        fingerprint_before=fingerprint_before,
+                        fingerprint_after=fingerprint_before,
+                    )
+                if self._pinned_locked():
+                    maintained = self._commit_forked_locked(effective)
+                    forked = True
+                else:
+                    maintained = self._commit_in_place_locked(effective)
+                    forked = False
+                return CommitResult(
+                    ops_submitted=len(ops),
+                    ops_effective=len(effective),
+                    version_before=version_before,
+                    version_after=self.structure.version,
+                    fingerprint_before=fingerprint_before,
+                    fingerprint_after=self._fingerprint,
+                    maintained_plans=maintained,
+                    forked=forked,
+                )
         finally:
             self._structure_lock.release_write()
 
-    def _apply_update_locked(
-        self, insert: bool, relation: str, elements: Tuple[Element, ...]
-    ) -> bool:
+    def _revert_ops_locked(self, applied) -> None:
+        """Undo applied ops (reverse order); restore fingerprint tracking.
+
+        The rolling fact accumulator makes the reverted fingerprint equal
+        the pre-commit one by construction; re-sync ``_version`` so the
+        next access does not mistake the revert for an external mutation.
+        """
+        for insert, relation, elements in reversed(applied):
+            if insert:
+                self.structure.remove_fact(relation, *elements)
+            else:
+                self.structure.add_fact(relation, *elements)
+        self._version = self.structure.version
+
+    def _commit_in_place_locked(self, effective) -> int:
+        """The fast path: nothing pins the current version, so cached
+        plans are maintained *in place* — one local-recomputation pass
+        per maintained plan for the whole batch — and the cache re-keys
+        to the new fingerprint."""
         self._prune_maintainers()
-        # Phase 1: each maintainer's reach *before* the mutation (a
+        touched = tuple(
+            {element for _, _, elements in effective for element in elements}
+        )
+        # Phase 1: each maintainer's reach *before* the mutations (a
         # deleted edge used to provide connectivity).
         pre_regions = {
-            key: maintainer.reach(elements)
+            key: maintainer.reach(touched)
             for key, maintainer in self._maintainers.items()
         }
-        if insert:
-            self.structure.add_fact(relation, *elements)
-        else:
-            self.structure.remove_fact(relation, *elements)
-        # Phase 2: local recomputation on every maintained plan.
-        for key, maintainer in self._maintainers.items():
-            region = pre_regions[key] | maintainer.reach(elements)
-            maintainer.refresh(elements, region)
-        # Phase 3: targeted invalidation.  Maintained plans move to the
-        # new fingerprint key (still cache-hits); everything else for the
-        # old fingerprint is dropped; graph templates are
-        # structure-derived, so they rebuild on demand.
-        old_fingerprint = self._fingerprint
+        # Phase 2: apply the whole batch to the structure.
+        applied = []
+        try:
+            for op in effective:
+                insert, relation, elements = op
+                if insert:
+                    self.structure.add_fact(relation, *elements)
+                else:
+                    self.structure.remove_fact(relation, *elements)
+                applied.append(op)
+        except BaseException:
+            self._revert_ops_locked(applied)
+            raise
+        # Phase 3: ONE local recomputation per maintained plan, over the
+        # union of pre/post reach — sound because maintenance only
+        # reconciles the initial and final structures.  This mirrors
+        # PipelineMaintainer.apply_batch (the single-maintainer form);
+        # keep the region computation in lockstep with it.
+        try:
+            for key, maintainer in self._maintainers.items():
+                region = pre_regions[key] | maintainer.reach(touched)
+                maintainer.refresh(touched, region)
+        except BaseException:
+            # A half-refreshed maintained plan cannot be trusted against
+            # either version: revert the facts and drop exactly the
+            # maintained entries (untouched cache entries stay valid).
+            self._revert_ops_locked(applied)
+            for key in self._maintainers:
+                self.cache.discard(key)
+            self._maintainers.clear()
+            raise
+        # Phase 4: one fingerprint roll + one cache re-key.  Maintained
+        # plans move to the new fingerprint key (still cache-hits);
+        # everything else for the old fingerprint is dropped; graph
+        # templates are structure-derived, so they rebuild on demand.
+        old_tag = self._cache_tag
         self._fingerprint = fingerprint(self.structure)
+        self._cache_tag = self._tag(self._fingerprint)
         self._version = self.structure.version
         self._graph_templates.clear()
         with self._locks_guard:
             self._template_locks.clear()
         kept = self.cache.rekey(
-            old_fingerprint,
-            self._fingerprint,
+            old_tag,
+            self._cache_tag,
             keep=set(self._maintainers),
         )
         self._maintainers = {
-            (self._fingerprint,) + key[1:]: maintainer
+            (self._cache_tag,) + key[1:]: maintainer
             for key, maintainer in self._maintainers.items()
         }
         assert kept == len(self._maintainers), "maintained plan lost its entry"
-        return True
+        return kept
+
+    def _commit_forked_locked(self, effective) -> int:
+        """The snapshot-isolated path: live pins hold the current
+        version, so the commit forks the structure copy-on-write,
+        freezes the old head (pinned readers keep it byte-identical
+        forever), and moves the session to the fork.  The old version's
+        cache entries stay retained until the last pin drops; the new
+        head rebuilds its plans on demand."""
+        old_structure = self.structure
+        new_structure = old_structure.fork()
+        apply_ops(new_structure, effective)
+        # Point of no return — everything above touched only the fork.
+        old_structure.freeze()
+        self.structure = new_structure
+        # New fork generation: even if a later commit returns the head
+        # to this *content*, the frozen generation's cache entries stay
+        # unreachable from it.
+        self._generation += 1
+        self._fingerprint = fingerprint(new_structure)
+        self._cache_tag = self._tag(self._fingerprint)
+        self._version = new_structure.version
+        self._graph_templates.clear()
+        with self._locks_guard:
+            self._template_locks.clear()
+        # The maintainers' pipelines belong to the frozen head now; the
+        # new head re-attaches maintainers as its plans rebuild.
+        self._maintainers.clear()
+        return 0
 
     # -- structure staleness -------------------------------------------
 
@@ -292,14 +575,15 @@ class Database:
         """
         if self.structure.version == self._version:
             return
-        stale_fingerprint = self._fingerprint
+        stale_tag = self._cache_tag
         self._fingerprint = fingerprint(self.structure)
+        self._cache_tag = self._tag(self._fingerprint)
         self._version = self.structure.version
         self._graph_templates.clear()
         with self._locks_guard:
             self._template_locks.clear()
         self._maintainers.clear()
-        self.cache.invalidate(stale_fingerprint)
+        self.cache.invalidate(stale_tag)
 
     def invalidate(self) -> None:
         """Drop every cached pipeline, maintainer, and graph template."""
@@ -308,6 +592,7 @@ class Database:
             self._maintainers.clear()
             self.cache.invalidate()
             self._fingerprint = fingerprint(self.structure)
+            self._cache_tag = self._tag(self._fingerprint)
             self._version = self.structure.version
         with self._locks_guard:
             self._template_locks.clear()
@@ -348,28 +633,31 @@ class Database:
                 lock = self._template_locks[key] = threading.Lock()
             return lock
 
-    def _graph_factory(
-        self, structure, evaluator, arity, link_radius, max_nodes=5_000_000
-    ):
-        """Clone-from-template colored graph construction.
+    def _graph_factory_for(self, tag: str):
+        """Clone-from-template colored graph construction, bound to one
+        structure version.
 
-        Guarded per ``(fingerprint, arity, link_radius)``: concurrent
+        Guarded per ``(version tag, arity, link_radius)``: concurrent
         cold builds of equal-shape queries enumerate cluster tuples
         once; different shapes build their templates in parallel.  The
-        fingerprint in the key makes a template built against one
-        structure state unreachable after any mutation, even the
-        uncoordinated direct-mutation kind.
+        generation-tagged fingerprint in the key makes a template built
+        against one structure state unreachable from any other —
+        snapshot builds at an old version and head builds at the new
+        one never share.
         """
-        with self._state_lock:
-            key = (self._fingerprint, arity, link_radius)
-        with self._template_lock_for(key):
-            template = self._graph_templates.get(key)
-            if template is None:
-                template = build_colored_graph(
-                    structure, evaluator, arity, link_radius, max_nodes=max_nodes
-                )
-                self._graph_templates[key] = template
-        return template.clone()
+
+        def factory(structure, evaluator, arity, link_radius, max_nodes=5_000_000):
+            key = (tag, arity, link_radius)
+            with self._template_lock_for(key):
+                template = self._graph_templates.get(key)
+                if template is None:
+                    template = build_colored_graph(
+                        structure, evaluator, arity, link_radius, max_nodes=max_nodes
+                    )
+                    self._graph_templates[key] = template
+            return template.clone()
+
+        return factory
 
     def _prepare(
         self,
@@ -377,70 +665,94 @@ class Database:
         order: Optional[Sequence[Union[Var, str]]] = None,
         budget=None,
     ) -> Tuple[Pipeline, Optional[CacheKey]]:
-        """The cached pipeline for a query (building it on a miss).
+        """The cached pipeline for a query at the *head* version
+        (building it on a miss).
 
         Thread-safe: the whole prepare holds the structure lock's *read*
-        side (session updates hold the write side, so a mutation can
+        side (session commits hold the write side, so a mutation can
         neither tear a build's structure reads nor slip between key
-        computation and cache insertion), cache bookkeeping runs under
-        the session state lock, and the expensive :class:`Pipeline`
-        build runs under the key's own lease
-        (:meth:`_lease_build_lock`) — distinct cold queries no longer
-        serialize their builds behind one another.  Mutating the
-        structure *directly* (not through the session) remains
-        uncoordinated: the legacy contract — stale handles, full
-        fingerprint-keyed invalidation at the next access — applies.
+        computation and cache insertion).  Mutating the structure
+        *directly* (not through the session) remains uncoordinated: the
+        legacy contract — stale handles, full fingerprint-keyed
+        invalidation at the next access — applies.
         """
         formula = coerce_formula(query)
         variable_order = coerce_order(order)
         self._structure_lock.acquire_read()
         try:
-            if budget is not None:
-                # Budgets change pipeline shape but are not part of the
-                # cache key; budgeted plans are built fresh, never cached.
-                pipeline = Pipeline(
-                    self.structure,
-                    formula,
-                    order=variable_order,
-                    eps=self.eps,
-                    budget=budget,
-                )
-                return pipeline, None
             with self._state_lock:
                 self._refresh_locked()
-                key = cache_key(
-                    self._fingerprint, formula, variable_order, self.eps
-                )
-            build_lock = self._lease_build_lock(key)
-            try:
-                with build_lock:
-                    with self._state_lock:
-                        pipeline = self.cache.get(key)
-                    if pipeline is None:
-                        pipeline = Pipeline(
-                            self.structure,
-                            formula,
-                            order=variable_order,
-                            eps=self.eps,
-                            graph_factory=(
-                                self._graph_factory if self.share_graphs else None
-                            ),
-                        )
-                        with self._state_lock:
-                            self.cache.put(key, pipeline)
-                    with self._state_lock:
-                        if (
-                            self.maintain
-                            and key not in self._maintainers
-                            and supports_maintenance(pipeline)
-                        ):
-                            self._maintainers[key] = PipelineMaintainer(pipeline)
-                        self._prune_maintainers()
-            finally:
-                self._release_build_lock(key)
-            return pipeline, key
+                structure = self.structure
+                tag = self._cache_tag
+            return self._prepare_at(
+                structure, tag, formula, variable_order, budget
+            )
         finally:
             self._structure_lock.release_read()
+
+    def _prepare_at(
+        self,
+        structure: Structure,
+        tag: str,
+        formula: Formula,
+        variable_order: Optional[Tuple[Var, ...]],
+        budget=None,
+    ) -> Tuple[Pipeline, Optional[CacheKey]]:
+        """The cached pipeline for a query at one pinned version.
+
+        Shared by head prepares and snapshot prepares; the caller holds
+        the structure lock's read side.  Cache bookkeeping runs under
+        the session state lock, and the expensive :class:`Pipeline`
+        build runs under the key's own lease
+        (:meth:`_lease_build_lock`) — distinct cold queries do not
+        serialize their builds behind one another.  Dynamic maintainers
+        attach only to plans built at the current head (superseded
+        versions are frozen — there is nothing to maintain).
+        """
+        if budget is not None:
+            # Budgets change pipeline shape but are not part of the
+            # cache key; budgeted plans are built fresh, never cached.
+            pipeline = Pipeline(
+                structure,
+                formula,
+                order=variable_order,
+                eps=self.eps,
+                budget=budget,
+            )
+            return pipeline, None
+        key = cache_key(tag, formula, variable_order, self.eps)
+        build_lock = self._lease_build_lock(key)
+        try:
+            with build_lock:
+                with self._state_lock:
+                    pipeline = self.cache.get(key)
+                if pipeline is None:
+                    pipeline = Pipeline(
+                        structure,
+                        formula,
+                        order=variable_order,
+                        eps=self.eps,
+                        graph_factory=(
+                            self._graph_factory_for(tag)
+                            if self.share_graphs
+                            else None
+                        ),
+                    )
+                    with self._state_lock:
+                        self.cache.put(key, pipeline)
+                with self._state_lock:
+                    if (
+                        self.maintain
+                        and structure is self.structure
+                        and tag == self._cache_tag
+                        and key not in self._maintainers
+                        and supports_maintenance(pipeline)
+                    ):
+                        self._maintainers[key] = PipelineMaintainer(pipeline)
+                    self._prune_maintainers()
+        finally:
+            self._release_build_lock(key)
+        return pipeline, key
 
     def _prune_maintainers(self) -> None:
         """Cache evictions may drop maintained plans; never maintain
@@ -462,6 +774,8 @@ class Database:
         stats = self.cache.stats()
         stats["graph_templates"] = len(self._graph_templates)
         stats["maintained_plans"] = len(self._maintainers)
+        with self._state_lock:
+            stats["pinned_versions"] = len(self._pins)
         stats.update(
             {f"pool_{key}": value for key, value in self.pool.stats().items()}
         )

@@ -18,6 +18,8 @@ raise :class:`repro.errors.StaleResultError`.
 
 from __future__ import annotations
 
+import weakref
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
 
@@ -83,6 +85,11 @@ class QueryPlan:
     chunk_rows: Optional[int] = None
     transfer_bytes: int = 0
     transfer_costs: Tuple[int, ...] = ()
+    # Snapshot pinning: the structure version the plan resolves against,
+    # and whether that version is pinned by a snapshot (a pinned plan
+    # never re-resolves; commits fork away from under it).
+    at_version: Optional[int] = None
+    pinned: bool = False
 
     @property
     def total_cost(self) -> int:
@@ -110,6 +117,11 @@ class QueryPlan:
             f"{', cached' if self.cached else ''}"
             f"{', dynamically maintained' if self.maintained else ''}",
         ]
+        if self.at_version is not None:
+            lines.append(
+                f"version: {self.at_version}"
+                f"{' (snapshot-pinned)' if self.pinned else ' (live head)'}"
+            )
         if self.shards:
             layout = ", ".join(
                 f"b{branch}[{start}:{'' if stop is None else stop}]"
@@ -133,8 +145,10 @@ class Query:
         budget=None,
         chunk_rows: Optional[int] = None,
         transport: Optional[str] = None,
+        snapshot=None,
     ):
         self._db = database
+        self._snapshot = snapshot
         self._formula = formula
         self._order = order
         self._backend = resolve_backend(backend)
@@ -145,27 +159,72 @@ class Query:
             raise EngineError(f"chunk_rows must be >= 1, got {chunk_rows}")
         self._chunk_rows = chunk_rows
         self._transport = resolve_transport(transport) if transport else None
-        self._pipeline, self._key = database._prepare(
-            formula, order=order, budget=budget
-        )
+        if snapshot is not None:
+            # The query holds its own version pin: it must keep serving
+            # the snapshot's version even after the snapshot itself is
+            # closed (commits keep forking instead of refreshing this
+            # pipeline in place).  Released on garbage collection.
+            self._pin = snapshot._pin_for_handle()
+            self._pin_finalizer = weakref.finalize(self, self._pin.release)
+            self._pipeline, self._key = snapshot._prepare(
+                formula, order=order, budget=budget
+            )
+        else:
+            self._pin = None
+            self._pin_finalizer = None
+            self._pipeline, self._key = database._prepare(
+                formula, order=order, budget=budget
+            )
         self._resolved_version = self._pipeline.structure.version
         self._cached_count: Optional[Tuple[int, int]] = None
 
     # -- plan resolution ----------------------------------------------
 
     def _resolve(self):
-        """The current pipeline: re-resolved after session mutations.
+        """The current pipeline: re-resolved after session commits.
 
-        O(1) while the structure is unchanged, a cache hit when the plan
-        was dynamically maintained (or still fresh), and a rebuild only
-        when the session had to invalidate it.
+        A snapshot-pinned query never re-resolves — it stays on its
+        version by contract.  A live query is O(1) while the head is
+        unchanged, a cache hit when the plan was dynamically maintained
+        (or still fresh), and a rebuild only when the session had to
+        invalidate it.
         """
+        if self._snapshot is not None:
+            return self._pipeline
         if self._db.structure.version != self._resolved_version:
             self._pipeline, self._key = self._db._prepare(
                 self._formula, order=self._order, budget=self._budget
             )
             self._resolved_version = self._pipeline.structure.version
         return self._pipeline
+
+    @property
+    def snapshot(self):
+        """The :class:`~repro.session.snapshot.Snapshot` this query is
+        pinned to (``None`` for a live head query)."""
+        return self._snapshot
+
+    @contextmanager
+    def _pinned(self):
+        """Resolve and hold a version pin for one read operation.
+
+        While the pin is held a concurrent commit takes the fork path,
+        so the resolved pipeline cannot be refreshed in place mid-read
+        (same guarantee :meth:`answers` gives its handles).  Snapshot
+        queries are pinned by construction.
+        """
+        if self._snapshot is not None:
+            yield self._resolve()
+            return
+        while True:
+            pipeline = self._resolve()
+            pin = self._db._pin_current(self._resolved_version)
+            if pin is not None:
+                break
+        try:
+            yield pipeline
+        finally:
+            pin.release()
 
     @property
     def pipeline(self):
@@ -205,31 +264,56 @@ class Query:
     # -- the three operations ------------------------------------------
 
     def count(self) -> int:
-        """``|q(A)|`` (Theorem 2.5).  Cached until the next update."""
-        pipeline = self._resolve()
-        version = self._db.structure.version
-        if self._cached_count is not None and self._cached_count[0] == version:
-            return self._cached_count[1]
-        self._db._check_open()
-        if pipeline.trivial is not None:
-            value = count_answers(pipeline)
-        else:
-            value = self._backend.count(self._execution_plan(pipeline))
-        self._cached_count = (version, value)
-        return value
+        """``|q(A)|`` (Theorem 2.5).  Cached until the next update
+        (snapshot-pinned queries never see one)."""
+        with self._pinned() as pipeline:
+            if self._snapshot is not None:
+                version = self._snapshot.version
+            else:
+                version = self._resolved_version
+            if (
+                self._cached_count is not None
+                and self._cached_count[0] == version
+            ):
+                return self._cached_count[1]
+            self._db._check_open()
+            if pipeline.trivial is not None:
+                value = count_answers(pipeline)
+            else:
+                value = self._backend.count(self._execution_plan(pipeline))
+            self._cached_count = (version, value)
+            return value
 
     def test(self, candidate: Sequence[Element]) -> bool:
         """Constant-time membership test (Theorem 2.6)."""
-        return test_answer(self._resolve(), candidate)
+        with self._pinned() as pipeline:
+            return test_answer(pipeline, candidate)
 
     def answers(self) -> Answers:
         """A fresh :class:`Answers` handle (Theorem 2.7, constant delay).
 
-        The handle is pinned to the current structure version; later
-        updates make *it* stale while the ``Query`` itself stays live.
+        The handle *pins* the structure version it was planned against:
+        a commit that overlaps it forks the database head and leaves the
+        pinned version frozen, so the handle streams to completion
+        byte-identical to pre-commit serial enumeration — it never
+        raises :class:`~repro.errors.StaleResultError` — while the
+        ``Query`` itself stays live (re-resolving to the new head).
+        Cancel, fully drop, or garbage-collect the handle to release
+        the pin.
         """
-        pipeline = self._resolve()
         self._db._check_open()
+        if self._snapshot is not None:
+            pipeline = self._resolve()
+            pin = self._snapshot._pin_for_handle()
+        else:
+            # Pin-or-retry: _pin_current is atomic with commits, so a
+            # won pin guarantees the resolved pipeline is never
+            # refreshed in place under this handle.
+            while True:
+                pipeline = self._resolve()
+                pin = self._db._pin_current(self._resolved_version)
+                if pin is not None:
+                    break
         return Answers(
             pipeline,
             backend=self._backend,
@@ -239,6 +323,8 @@ class Query:
             pool=self._db.pool,
             chunk_rows=self._chunk_rows,
             transport=self._transport,
+            pin=pin,
+            version_source=self._db._head_version,
         )
 
     def __iter__(self):
@@ -298,6 +384,8 @@ class Query:
             chunk_rows=chunk_rows,
             transfer_bytes=transfer_bytes,
             transfer_costs=transfer_costs,
+            at_version=self._resolved_version,
+            pinned=self._snapshot is not None,
         )
 
     def stats(self) -> dict:

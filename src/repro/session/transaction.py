@@ -1,0 +1,345 @@
+"""Transactional batch updates for the session API.
+
+The paper's dynamic theorem keeps constant-delay enumeration alive under
+single-tuple updates via local recomputation; a service, though, sees
+*changesets* — bursts of inserts and deletes that should pay the
+bookkeeping once, not once per fact.  This module provides the write
+surface of :class:`repro.session.Database`:
+
+* :class:`Changeset` — an ordered, signature-validated buffer of
+  ``(insert, relation, elements)`` operations with replay semantics
+  identical to ``add_fact``/``remove_fact`` one-by-one;
+* :class:`Transaction` — the ``with db.transaction() as tx:`` context
+  manager that buffers ``tx.insert_fact`` / ``tx.remove_fact`` /
+  ``tx.insert_many`` and commits atomically on clean exit (an exception
+  rolls back by discarding the buffer — the database is untouched);
+* :class:`CommitResult` — what a commit reports: submitted vs effective
+  ops, version and fingerprint movement, how many cached plans were
+  maintained in one pass, and whether the commit had to fork the
+  structure because live snapshots pinned the old version.
+
+A commit costs one structure-lock acquisition, one rolling-fingerprint
+roll, one :class:`repro.core.dynamic.PipelineMaintainer` pass per cached
+plan over the *whole* batch, and one cache re-key — regardless of the
+changeset size.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.dynamic import UpdateOp
+from repro.errors import SignatureError, TransactionError
+from repro.structures.signature import Signature
+from repro.structures.structure import Structure
+
+Element = Hashable
+
+_INSERT_WORDS = {"insert", "add", "+", "i"}
+_REMOVE_WORDS = {"remove", "delete", "-", "d"}
+
+
+def coerce_op(op) -> UpdateOp:
+    """Normalize one changeset operation to ``(insert, relation, elements)``.
+
+    Accepts the canonical triple with a bool flag, or the spelled-out
+    forms ``("insert"|"remove", relation, elements)`` the CLI and JSONL
+    loader produce.
+    """
+    try:
+        kind, relation, elements = op
+    except (TypeError, ValueError):
+        raise TransactionError(
+            f"changeset operations are (op, relation, elements) triples; "
+            f"got {op!r}"
+        ) from None
+    if isinstance(kind, str):
+        word = kind.lower()
+        if word in _INSERT_WORDS:
+            insert = True
+        elif word in _REMOVE_WORDS:
+            insert = False
+        else:
+            raise TransactionError(
+                f"unknown changeset op {kind!r}; use 'insert' or 'remove'"
+            )
+    else:
+        insert = bool(kind)
+    if not isinstance(relation, str):
+        raise TransactionError(
+            f"relation name must be a string, got {relation!r}"
+        )
+    try:
+        elements = tuple(elements)
+    except TypeError:
+        raise TransactionError(
+            f"elements of {relation!r} must be a sequence, got {elements!r}"
+        ) from None
+    return insert, relation, elements
+
+
+class Changeset:
+    """An ordered buffer of fact updates, validated against a signature.
+
+    Validation happens at *record* time (unknown symbol, wrong arity,
+    and — when a structure is bound — elements outside the domain), so a
+    malformed changeset never reaches the commit path: atomic commits
+    need every precondition checked before the first mutation.
+    """
+
+    def __init__(
+        self,
+        signature: Optional[Signature] = None,
+        structure: Optional[Structure] = None,
+        ops: Optional[Iterable] = None,
+    ):
+        if structure is not None and signature is None:
+            signature = structure.signature
+        self._signature = signature
+        self._structure = structure
+        self._ops: List[UpdateOp] = []
+        for op in ops or ():
+            insert, relation, elements = coerce_op(op)
+            self._record(insert, relation, elements)
+
+    def _record(
+        self, insert: bool, relation: str, elements: Tuple[Element, ...]
+    ) -> None:
+        if self._signature is not None:
+            symbol = self._signature.symbol(relation)  # raises SignatureError
+            if len(elements) != symbol.arity:
+                raise SignatureError(
+                    f"{relation} has arity {symbol.arity}, got "
+                    f"{len(elements)} arguments"
+                )
+        if insert and self._structure is not None:
+            # Domain membership only gates inserts; removing a fact over
+            # unknown elements is a no-op (the legacy remove contract).
+            for element in elements:
+                if element not in self._structure:
+                    # ValueError to match Structure.add_fact's contract.
+                    raise ValueError(
+                        f"element {element!r} is not in the domain"
+                    )
+        self._ops.append((insert, relation, elements))
+
+    # -- the write surface ---------------------------------------------
+
+    def insert_fact(self, relation: str, *elements: Element) -> "Changeset":
+        """Buffer one insertion; returns self for chaining."""
+        self._record(True, relation, tuple(elements))
+        return self
+
+    def remove_fact(self, relation: str, *elements: Element) -> "Changeset":
+        """Buffer one deletion; returns self for chaining."""
+        self._record(False, relation, tuple(elements))
+        return self
+
+    def insert_many(
+        self, relation: str, facts: Iterable[Sequence[Element]]
+    ) -> "Changeset":
+        """Buffer a bulk insertion of ``facts`` into one relation."""
+        for fact in facts:
+            self._record(True, relation, tuple(fact))
+        return self
+
+    def remove_many(
+        self, relation: str, facts: Iterable[Sequence[Element]]
+    ) -> "Changeset":
+        """Buffer a bulk deletion of ``facts`` from one relation."""
+        for fact in facts:
+            self._record(False, relation, tuple(fact))
+        return self
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def ops(self) -> Tuple[UpdateOp, ...]:
+        return tuple(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[UpdateOp]:
+        return iter(self._ops)
+
+    def __repr__(self) -> str:
+        inserts = sum(1 for insert, _, _ in self._ops if insert)
+        return (
+            f"Changeset(ops={len(self._ops)}, inserts={inserts}, "
+            f"removes={len(self._ops) - inserts})"
+        )
+
+
+def load_changeset_jsonl(
+    lines: Iterable[str],
+    signature: Optional[Signature] = None,
+    structure: Optional[Structure] = None,
+) -> Changeset:
+    """Parse a JSONL changeset (the ``repro update --file`` format).
+
+    One operation per line::
+
+        {"op": "insert", "relation": "E", "elements": [0, 1]}
+        {"op": "remove", "relation": "B", "elements": [3]}
+
+    Blank lines and ``#`` comments are skipped.  Elements are taken as
+    the JSON values verbatim (ints stay ints, strings stay strings).
+    """
+    changeset = Changeset(signature=signature, structure=structure)
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise TransactionError(
+                f"changeset line {number}: bad JSON ({error})"
+            ) from None
+        if not isinstance(record, dict) or not {
+            "op",
+            "relation",
+            "elements",
+        } <= set(record):
+            raise TransactionError(
+                f"changeset line {number}: need keys op/relation/elements, "
+                f"got {record!r}"
+            )
+        insert, relation, elements = coerce_op(
+            (record["op"], record["relation"], record["elements"])
+        )
+        try:
+            changeset._record(insert, relation, elements)
+        except (SignatureError, TransactionError, ValueError) as error:
+            # ValueError covers out-of-domain elements; re-raise with
+            # the line number so the CLI reports a clean error.
+            raise TransactionError(
+                f"changeset line {number}: {error}"
+            ) from None
+    return changeset
+
+
+@dataclass(frozen=True)
+class CommitResult:
+    """What one atomic commit did.
+
+    ``ops_effective`` counts the net fact changes actually applied
+    (no-ops and remove-then-reinsert pairs cancel); ``maintained_plans``
+    is how many cached pipelines were refreshed with one local
+    recomputation pass each; ``forked`` reports whether live snapshots
+    pinned the pre-commit version, making the commit move the database
+    to a copy-on-write fork (the old head stays frozen for its readers)
+    instead of maintaining in place.
+    """
+
+    ops_submitted: int
+    ops_effective: int
+    version_before: int
+    version_after: int
+    fingerprint_before: str
+    fingerprint_after: str
+    maintained_plans: int = 0
+    forked: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return self.ops_effective > 0
+
+    def __bool__(self) -> bool:
+        return self.changed
+
+
+class Transaction:
+    """Buffered writes committed atomically on clean ``with``-exit.
+
+    Usage::
+
+        with db.transaction() as tx:
+            tx.insert_fact("E", 0, 1)
+            tx.remove_fact("B", 3)
+            tx.insert_many("B", [(4,), (5,)])
+        tx.result.ops_effective   # the commit already happened
+
+    Writes validate eagerly (signature arity, domain membership); an
+    exception inside the block rolls back by discarding the buffer —
+    the structure, cache, and fingerprint are untouched.  A finished
+    transaction (committed or rolled back) rejects further use.
+    """
+
+    def __init__(self, database):
+        self._db = database
+        self._changeset: Optional[Changeset] = Changeset(
+            structure=database.structure
+        )
+        self.result: Optional[CommitResult] = None
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self._changeset is not None and self.result is None
+
+    def _buffer(self) -> Changeset:
+        if self._changeset is None:
+            raise TransactionError(
+                "this transaction is finished (committed or rolled back); "
+                "open a new one with db.transaction()"
+            )
+        return self._changeset
+
+    # -- the write surface ----------------------------------------------
+
+    def insert_fact(self, relation: str, *elements: Element) -> "Transaction":
+        self._buffer().insert_fact(relation, *elements)
+        return self
+
+    def remove_fact(self, relation: str, *elements: Element) -> "Transaction":
+        self._buffer().remove_fact(relation, *elements)
+        return self
+
+    def insert_many(
+        self, relation: str, facts: Iterable[Sequence[Element]]
+    ) -> "Transaction":
+        self._buffer().insert_many(relation, facts)
+        return self
+
+    def remove_many(
+        self, relation: str, facts: Iterable[Sequence[Element]]
+    ) -> "Transaction":
+        self._buffer().remove_many(relation, facts)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._buffer())
+
+    # -- lifecycle -------------------------------------------------------
+
+    def commit(self) -> CommitResult:
+        """Apply the buffered changeset atomically; finish the transaction."""
+        changeset = self._buffer()
+        self._changeset = None
+        self.result = self._db.apply(changeset)
+        return self.result
+
+    def rollback(self) -> None:
+        """Discard the buffer; the database was never touched."""
+        self._changeset = None
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.rollback()
+        elif self.active:
+            self.commit()
+
+    def __repr__(self) -> str:
+        if self.result is not None:
+            return f"Transaction(committed, {self.result.ops_effective} effective)"
+        if self._changeset is None:
+            return "Transaction(rolled back)"
+        return f"Transaction(open, {len(self._changeset)} buffered)"

@@ -28,7 +28,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import SignatureError
+from repro.errors import FrozenStructureError, SignatureError
 from repro.structures.signature import Signature
 from repro.util.orderings import DomainOrder
 
@@ -78,6 +78,12 @@ class Structure:
         }
         self._version = 0
         self._caches_dirty = True
+        # Snapshot machinery (repro.session): ``freeze()`` pins the fact
+        # set forever; ``fork()`` marks relations as copy-on-write shared
+        # with the fork, and the first mutation of a shared relation (on
+        # either side) materializes a private set first.
+        self._frozen = False
+        self._cow_shared: Set[str] = set()
         # Rolling content-fingerprint state (initialized lazily by
         # content_fingerprint(); None = not yet demanded).  The header
         # digest covers signature + domain, which never mutate after
@@ -99,12 +105,27 @@ class Structure:
     # Construction and mutation
     # ------------------------------------------------------------------
 
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise FrozenStructureError(
+                "this structure is frozen (it backs a pinned snapshot); "
+                "mutate the live database head instead"
+            )
+
+    def _materialize_relation(self, relation: str) -> None:
+        """Copy-on-write: give this side a private fact set before writing."""
+        if relation in self._cow_shared:
+            self._relations[relation] = set(self._relations[relation])
+            self._cow_shared.discard(relation)
+
     def add_fact(self, relation: str, *elements: Element) -> None:
         """Insert the fact ``relation(elements...)``.
 
         Raises :class:`SignatureError` on arity mismatch or unknown symbol,
-        and :class:`ValueError` if an element is outside the domain.
+        :class:`ValueError` if an element is outside the domain, and
+        :class:`FrozenStructureError` on a frozen snapshot structure.
         """
+        self._check_mutable()
         symbol = self.signature.symbol(relation)
         if len(elements) != symbol.arity:
             raise SignatureError(
@@ -115,6 +136,7 @@ class Structure:
                 raise ValueError(f"element {element!r} is not in the domain")
         fact = tuple(elements)
         if fact not in self._relations[relation]:
+            self._materialize_relation(relation)
             self._relations[relation].add(fact)
             self._version += 1
             if self._fp_acc is not None:
@@ -124,6 +146,7 @@ class Structure:
 
     def remove_fact(self, relation: str, *elements: Element) -> None:
         """Remove a fact; silently ignores absent facts."""
+        self._check_mutable()
         symbol = self.signature.symbol(relation)
         if len(elements) != symbol.arity:
             raise SignatureError(
@@ -131,6 +154,7 @@ class Structure:
             )
         fact = tuple(elements)
         if fact in self._relations[relation]:
+            self._materialize_relation(relation)
             self._relations[relation].discard(fact)
             self._version += 1
             if self._fp_acc is not None:
@@ -191,6 +215,54 @@ class Structure:
     def cardinality(self) -> int:
         """``|A|``: the number of domain elements."""
         return len(self._domain)
+
+    # ------------------------------------------------------------------
+    # Snapshot support: freezing and copy-on-write forking
+    # ------------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` pinned this structure's fact set."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Pin the fact set: every later mutation raises
+        :class:`~repro.errors.FrozenStructureError`.  Irreversible — a
+        frozen structure backs snapshot reads that must stay
+        byte-identical forever; evolve the data through :meth:`fork`.
+        """
+        self._frozen = True
+
+    def fork(self) -> "Structure":
+        """A mutable copy-on-write fork sharing this structure's fact sets.
+
+        O(#relations): both sides keep the same per-relation ``set``
+        objects, marked shared; the first mutation of a shared relation
+        (on either side) copies just that relation.  The domain (fixed
+        after construction) and the rolling-fingerprint state are shared
+        or copied cheaply, so fingerprinting the fork stays O(1) per
+        later update.  The fork continues this structure's version
+        lineage — its counter starts where the parent's stands, so every
+        post-fork mutation yields a version the parent never had.
+        Derived caches (Gaifman adjacency) rebuild lazily on the fork.
+        """
+        clone = Structure.__new__(Structure)
+        clone.signature = self.signature
+        clone._domain = self._domain  # fixed after construction; shared
+        clone._domain_set = self._domain_set
+        clone._relations = dict(self._relations)
+        shared = set(self._relations)
+        self._cow_shared |= shared
+        clone._cow_shared = set(shared)
+        clone._version = self._version
+        clone._caches_dirty = True
+        clone._frozen = False
+        clone._fp_header = self._fp_header
+        clone._fp_acc = self._fp_acc
+        clone._adjacency = {}
+        clone._edge_support = {}
+        clone._order = self._order
+        return clone
 
     # ------------------------------------------------------------------
     # Content fingerprint (rolling)

@@ -11,6 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.dynamic import DynamicQuery
+from repro.core.enumeration import enumerate_answers
 from repro.errors import UnsupportedQueryError
 from repro.fo.parser import parse
 from repro.fo.semantics import naive_answers
@@ -173,6 +174,68 @@ class TestSupportGuard:
     def test_refresh_radius_is_query_dependent(self, dyn_pair):
         dyn, _ = dyn_pair
         assert dyn.refresh_radius >= dyn.pipeline.link_radius
+
+
+class TestBatchMaintenance:
+    """PipelineMaintainer.apply_batch: one refresh pass for a whole
+    changeset, with no-ops and cancelling pairs netted out."""
+
+    def test_batch_is_one_pass_and_oracle_exact(self, small_colored):
+        from repro.core.dynamic import PipelineMaintainer
+        from repro.core.pipeline import Pipeline
+
+        db = small_colored.copy()
+        query = parse(EXAMPLE)
+        pipeline = Pipeline(db, query, order=(x, y))
+        maintainer = PipelineMaintainer(pipeline)
+        domain = list(db.domain)
+        existing = next(iter(db.facts("E")))
+        ops = [
+            (True, "E", (domain[0], domain[-1])),
+            (False, "E", existing),
+            (True, "E", existing),            # cancels the remove
+            (True, "B", (domain[1],)),
+        ]
+        before = maintainer.updates_applied
+        effective = maintainer.apply_batch(ops)
+        assert maintainer.updates_applied == before + 1, "one pass, not four"
+        assert 0 < effective <= 2
+        got = sorted(enumerate_answers(pipeline))
+        want = sorted(naive_answers(query, db, order=(x, y)))
+        assert got == want
+
+    def test_all_noops_skip_the_refresh(self, small_colored):
+        from repro.core.dynamic import PipelineMaintainer
+        from repro.core.pipeline import Pipeline
+
+        db = small_colored.copy()
+        pipeline = Pipeline(db, parse(EXAMPLE), order=(x, y))
+        maintainer = PipelineMaintainer(pipeline)
+        existing = next(iter(db.facts("E")))
+        assert maintainer.apply_batch([(True, "E", existing)]) == 0
+        assert maintainer.updates_applied == 0
+
+    @given(seed=st.integers(0, 30), update_seed=st.integers(0, 100))
+    @settings(max_examples=10, deadline=None)
+    def test_batch_oracle_property(self, seed, update_seed):
+        from repro.core.dynamic import PipelineMaintainer
+        from repro.core.pipeline import Pipeline
+
+        db = random_colored_graph(12, max_degree=3, seed=seed).copy()
+        query = parse(EXAMPLE)
+        pipeline = Pipeline(db, query, order=(x, y))
+        maintainer = PipelineMaintainer(pipeline)
+        rng = random.Random(update_seed)
+        domain = list(db.domain)
+        ops = []
+        for _ in range(8):
+            a, b = rng.choice(domain), rng.choice(domain)
+            ops.append((rng.random() < 0.5, "E", (a, b)))
+        maintainer.apply_batch(ops)
+        assert maintainer.updates_applied <= 1
+        got = sorted(enumerate_answers(pipeline))
+        want = sorted(naive_answers(query, db, order=(x, y)))
+        assert got == want
 
 
 @given(seed=st.integers(0, 30), update_seed=st.integers(0, 100))

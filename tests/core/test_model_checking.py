@@ -10,7 +10,7 @@ from repro.fo.parser import parse
 from repro.fo.semantics import evaluate
 from repro.structures.random_gen import padded_clique, random_colored_graph
 
-from strategies import formulas, structures
+from strategies import formulas, rejecting_unsupported, structures
 from repro.fo.syntax import Exists, Forall, Var
 
 
@@ -50,9 +50,16 @@ class TestSentences:
        db=structures(max_n=10))
 @settings(max_examples=30, deadline=None)
 def test_model_checking_property(formula, db):
-    """Random closed sentences: model_check agrees with naive evaluation."""
+    """Random closed sentences: model_check agrees with naive evaluation.
+
+    Localization budgets (max_units, derived-predicate limits) reject
+    some generated sentences with UnsupportedQueryError — the same
+    draw-again convention as every differential suite, not a failure.
+    """
     sentence = Exists(Var("x"), formula)
-    assert model_check(sentence, db) == evaluate(sentence, db, {})
+    with rejecting_unsupported():
+        verdict = model_check(sentence, db)
+    assert verdict == evaluate(sentence, db, {})
 
 
 @given(formula=formulas(free_count=1, max_depth=2, max_quantifiers=1),
@@ -60,4 +67,6 @@ def test_model_checking_property(formula, db):
 @settings(max_examples=20, deadline=None)
 def test_model_checking_forall_property(formula, db):
     sentence = Forall(Var("x"), formula)
-    assert model_check(sentence, db) == evaluate(sentence, db, {})
+    with rejecting_unsupported():
+        verdict = model_check(sentence, db)
+    assert verdict == evaluate(sentence, db, {})

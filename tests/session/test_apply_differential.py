@@ -1,0 +1,163 @@
+"""Differential: ``db.apply(changeset)`` vs one-by-one replay.
+
+The transactional-commit contract: applying a whole changeset in one
+atomic batch must be answer/count/verdict-identical to replaying the
+same facts one at a time through ``insert_fact`` / ``remove_fact`` on a
+fresh :class:`Database` — including remove-then-reinsert pairs and
+no-op operations (inserting a present fact, removing an absent one) —
+and both must agree with the naive oracle on the final structure.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fo.parser import parse
+from repro.fo.semantics import naive_answers
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+from strategies import structures
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+QUERIES = [
+    "B(x) & R(y) & ~E(x,y)",
+    "B(x) & exists z. (E(x,z) & R(z))",
+]
+
+
+@st.composite
+def changesets(draw, structure, max_ops: int = 12):
+    """A random op sequence biased toward the tricky cases: duplicate
+    inserts, removals of absent facts, and remove-then-reinsert pairs."""
+    domain = list(structure.domain)
+    ops = []
+    count = draw(st.integers(min_value=1, max_value=max_ops))
+    while len(ops) < count:
+        kind = draw(
+            st.sampled_from(
+                ["edge", "unary", "noop_insert", "remove_reinsert"]
+            )
+        )
+        if kind == "edge":
+            left = draw(st.sampled_from(domain))
+            right = draw(st.sampled_from(domain))
+            insert = draw(st.booleans())
+            ops.append((insert, "E", (left, right)))
+        elif kind == "unary":
+            element = draw(st.sampled_from(domain))
+            relation = draw(st.sampled_from(["B", "R"]))
+            insert = draw(st.booleans())
+            ops.append((insert, relation, (element,)))
+        elif kind == "noop_insert":
+            existing = sorted(structure.facts("E")) or [None]
+            fact = draw(st.sampled_from(existing))
+            if fact is not None:
+                ops.append((True, "E", fact))
+        else:  # remove_reinsert
+            left = draw(st.sampled_from(domain))
+            right = draw(st.sampled_from(domain))
+            ops.append((False, "E", (left, right)))
+            ops.append((True, "E", (left, right)))
+    return ops
+
+
+def capture(db, query_texts):
+    state = []
+    domain = list(db.structure.domain)
+    for text in query_texts:
+        query = db.query(text)
+        answers = sorted(query.answers().all())
+        probes = answers[:3] + [(domain[0],) * query.arity]
+        state.append(
+            {
+                "answers": answers,
+                "count": query.count(),
+                "verdicts": [query.test(probe) for probe in probes],
+            }
+        )
+    return state
+
+
+@given(db=structures(max_n=12), data=st.data())
+@settings(max_examples=30, **SETTINGS)
+def test_apply_equals_one_by_one_replay(db, data):
+    ops = data.draw(changesets(db))
+    batch_structure = db.copy()
+    replay_structure = db.copy()
+
+    with Database(batch_structure) as batch_db, Database(
+        replay_structure
+    ) as replay_db:
+        # Warm (and thereby maintain) the plans on both sides first, so
+        # the differential also covers batched vs per-fact maintenance.
+        for text in QUERIES:
+            batch_db.query(text).count()
+            replay_db.query(text).count()
+
+        batch_db.apply(ops)
+        for insert, relation, elements in ops:
+            if insert:
+                replay_db.insert_fact(relation, *elements)
+            else:
+                replay_db.remove_fact(relation, *elements)
+
+        # Same final structure, bit for bit.
+        assert (
+            batch_db.structure_fingerprint == replay_db.structure_fingerprint
+        )
+        batch_state = capture(batch_db, QUERIES)
+        replay_state = capture(replay_db, QUERIES)
+        assert batch_state == replay_state
+        # And both equal the oracle on the final structure.
+        for text, state in zip(QUERIES, batch_state):
+            formula = parse(text)
+            want = sorted(
+                naive_answers(
+                    formula, batch_structure, order=sorted(formula.free)
+                )
+            )
+            assert state["answers"] == want
+            assert state["count"] == len(want)
+
+
+class TestEdgeCases:
+    def test_noop_insert_of_existing_fact(self):
+        base = random_colored_graph(16, max_degree=3, seed=3)
+        edge = next(iter(base.facts("E")))
+        batch_structure, replay_structure = base.copy(), base.copy()
+        with Database(batch_structure) as batch_db, Database(
+            replay_structure
+        ) as replay_db:
+            result = batch_db.apply([("insert", "E", edge)])
+            assert not replay_db.insert_fact("E", *edge)
+            assert not result.changed
+            assert (
+                batch_db.structure_fingerprint
+                == replay_db.structure_fingerprint
+            )
+
+    def test_remove_then_reinsert_matches_replay(self):
+        base = random_colored_graph(16, max_degree=3, seed=5)
+        edge = next(iter(base.facts("E")))
+        batch_structure, replay_structure = base.copy(), base.copy()
+        with Database(batch_structure) as batch_db, Database(
+            replay_structure
+        ) as replay_db:
+            for text in QUERIES:
+                batch_db.query(text).count()
+                replay_db.query(text).count()
+            batch_db.apply([("remove", "E", edge), ("insert", "E", edge)])
+            replay_db.remove_fact("E", *edge)
+            replay_db.insert_fact("E", *edge)
+            assert (
+                batch_db.structure_fingerprint
+                == replay_db.structure_fingerprint
+            )
+            assert capture(batch_db, QUERIES) == capture(replay_db, QUERIES)

@@ -298,14 +298,19 @@ class TestDynamicUpdates:
             want = oracle(structure, "B(x) & exists z. (R(z) & dist(x,z) > 2)")
             assert sorted(unmaintained.answers().all()) == want
 
-    def test_outstanding_handles_go_stale(self, structure):
+    def test_outstanding_handles_stay_pinned(self, structure):
+        # The snapshot-isolation contract: a handle opened before a
+        # commit keeps streaming its pinned version byte-identically
+        # (stale is informative, never an error on the session API).
         with Database(structure) as db:
+            expected = db.query(EXAMPLE).answers().all()
             answers = db.query(EXAMPLE).answers()
-            answers.page(0, size=2)
+            first = answers.page(0, size=2)
             db.insert_fact("B", missing_unary(structure))
             assert answers.stale
-            with pytest.raises(StaleResultError):
-                answers.all()
+            assert answers.pinned
+            assert first + answers.all()[2:] == expected
+            assert answers.all() == expected
 
     def test_external_mutation_falls_back_to_invalidation(self, structure):
         with Database(structure) as db:

@@ -12,10 +12,11 @@ from hypothesis import assume, given, settings
 
 from repro import prepare
 from repro.errors import UnsupportedQueryError
+from repro.fo.parser import parse
 from repro.fo.semantics import naive_answers, naive_test
 from repro.fo.syntax import Var
 
-from strategies import formulas, structures
+from strategies import MAX_UNITS_FLAKY_FORMULA, formulas, structures
 
 x, y = Var("x"), Var("y")
 
@@ -60,6 +61,42 @@ class TestCorpusIntegration:
 
     def test_on_ring(self, quantifier_free_query, ring_structure):
         assert_all_operations_match(ring_structure, quantifier_free_query)
+
+
+class TestMaxUnitsBudget:
+    """Regression for the fuzzer flake: the strategies *can* generate
+    formulas whose clause expansion trips the documented ``max_units``
+    budget.  Every entry point must reject them with
+    :class:`UnsupportedQueryError` — which the Hypothesis suites
+    ``assume()`` away — instead of crashing or hanging."""
+
+    def test_previously_flaky_formula_is_rejected(self, small_colored):
+        from repro.core.pipeline import Pipeline
+
+        formula = parse(MAX_UNITS_FLAKY_FORMULA)
+        with pytest.raises(UnsupportedQueryError, match="units"):
+            Pipeline(small_colored, formula, order=sorted(formula.free))
+
+    def test_session_front_end_rejects_it_too(self, small_colored):
+        from repro import Database
+
+        formula = parse(MAX_UNITS_FLAKY_FORMULA)
+        with Database(small_colored) as db:
+            with pytest.raises(UnsupportedQueryError, match="units"):
+                db.query(formula, order=sorted(formula.free))
+
+    def test_fuzzing_helper_converts_it_to_a_rejection(self, small_colored):
+        # The exact path every differential suite takes: with
+        # reject_unsupported the formula becomes an UnsatisfiedAssumption
+        # ("draw again"), never an error or a divergence report.
+        from hypothesis.errors import UnsatisfiedAssumption
+
+        with pytest.raises(UnsatisfiedAssumption):
+            assert_all_operations_match(
+                small_colored,
+                parse(MAX_UNITS_FLAKY_FORMULA),
+                reject_unsupported=True,
+            )
 
 
 class TestFuzzing:
