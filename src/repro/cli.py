@@ -16,6 +16,10 @@ Examples::
                             -q "B(x) & R(y) & ~E(x,y)"
     python -m repro query   -w colored:n=2000,d=4 -q "B(x)" --count \\
                             --apply changes.jsonl --at-version 0
+    python -m repro open    --db ./mydb -w colored:n=2000,d=4,seed=1
+    python -m repro update  --db ./mydb --file changes.jsonl -q "B(x)"
+    python -m repro query   --db ./mydb -q "B(x)" --count
+    python -m repro checkpoint --db ./mydb
 
 Workload specs are ``name:key=value,...``:
 
@@ -118,6 +122,38 @@ def _load_changeset(path: str, structure: Structure):
         raise ReproError(f"cannot read {path!r}: {error}") from None
 
 
+def _open_session(args: argparse.Namespace, **options) -> Database:
+    """Build the session from ``--db`` (durable) or ``-w`` (in-memory).
+
+    * ``--db`` pointing at an existing store: open it — snapshot load +
+      WAL replay + warm pipeline reload.  ``-w`` must be omitted (the
+      store already defines the data).
+    * ``--db`` pointing at a fresh path: ``-w`` seeds the store.
+    * no ``--db``: the classic in-memory session from ``-w``.
+    """
+    from repro.storage.wal import DurableStore
+
+    db_path = getattr(args, "db", None)
+    workload = getattr(args, "workload", None)
+    if db_path is None:
+        if workload is None:
+            raise ReproError("need -w/--workload (or --db with a durable store)")
+        return Database(parse_workload(workload), **options)
+    if DurableStore(db_path).exists():
+        if workload is not None:
+            raise ReproError(
+                f"database {db_path!r} already exists; drop -w/--workload "
+                "(the store defines the data)"
+            )
+        return Database.open(db_path, **options)
+    if workload is None:
+        raise ReproError(
+            f"database {db_path!r} does not exist; pass -w/--workload to "
+            "create it"
+        )
+    return Database.open(db_path, structure=parse_workload(workload), **options)
+
+
 def _resolve_view(session: Database, args: argparse.Namespace):
     """Apply ``--apply`` (one atomic transaction) and resolve
     ``--at-version`` to the pre-commit snapshot or the live head.
@@ -169,10 +205,10 @@ def _parse_tuple(text: str, structure: Structure):
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Count / test / enumerate one query through a Database session."""
-    db = parse_workload(args.workload)
     # One Database per invocation: cache, graph templates, and (if the
     # backend goes parallel) the worker pool all come from this session.
-    with Database(db, eps=args.eps, workers=args.workers) as session:
+    with _open_session(args, eps=args.eps, workers=args.workers) as session:
+        db = session.structure
         view = _resolve_view(session, args)
         started = time.perf_counter()
         query = view.query(
@@ -208,7 +244,6 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_batch(args: argparse.Namespace) -> int:
     """Submit many queries against one workload via a Database session."""
-    db = parse_workload(args.workload)
     queries = list(args.query or [])
     if args.queries_file:
         try:
@@ -226,7 +261,8 @@ def cmd_batch(args: argparse.Namespace) -> int:
     # The session owns a long-lived worker pool (lazily started, reused by
     # every query below); the context manager shuts it down at the end —
     # pool lifecycle and stats come from one place for `query` and `batch`.
-    with Database(db, eps=args.eps, workers=args.workers) as session:
+    with _open_session(args, eps=args.eps, workers=args.workers) as session:
+        db = session.structure
         view = _resolve_view(session, args)
         print(f"workload: n={db.cardinality}, degree={db.degree}; "
               f"{len(queries)} queries")
@@ -267,8 +303,8 @@ def cmd_update(args: argparse.Namespace) -> int:
     their cached plans are what the batch maintenance refreshes — and
     re-counted afterwards, showing the update's effect.
     """
-    db = parse_workload(args.workload)
-    with Database(db, eps=args.eps, workers=args.workers) as session:
+    with _open_session(args, eps=args.eps, workers=args.workers) as session:
+        db = session.structure
         print(f"workload: n={db.cardinality}, degree={db.degree}")
         warmed = []
         for text in args.query or []:
@@ -299,6 +335,51 @@ def cmd_update(args: argparse.Namespace) -> int:
         print(f"commit took {elapsed:.3f}s{rate}")
         for text, query, before in warmed:
             print(f"[{text}]  count {before} -> {query.count()}")
+    return 0
+
+
+def cmd_open(args: argparse.Namespace) -> int:
+    """Create a durable database (from ``-w``) or inspect an existing one."""
+    started = time.perf_counter()
+    with _open_session(args, eps=args.eps, workers=args.workers) as session:
+        elapsed = time.perf_counter() - started
+        structure = session.structure
+        stats = session.stats()
+        print(f"database: {args.db}")
+        print(
+            f"structure: n={structure.cardinality}, degree={structure.degree}; "
+            f"version {session.version}, generation {structure.generation}"
+        )
+        print(f"fingerprint: {session.structure_fingerprint[:16]}...")
+        print(
+            f"warm cached plans: {stats['entries']}; "
+            f"opened in {elapsed:.3f}s"
+        )
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Rotate the WAL of an existing store into a fresh snapshot."""
+    from repro.storage.wal import DurableStore
+
+    if not DurableStore(args.db).exists():
+        raise ReproError(f"database {args.db!r} does not exist")
+    with Database.open(args.db, eps=args.eps, workers=args.workers) as session:
+        started = time.perf_counter()
+        # Warm the requested plans first so the rotation spills them and
+        # the next open() serves their first query with no preprocessing.
+        for text in args.query or []:
+            session.query(text)
+        result = session.checkpoint()
+        elapsed = time.perf_counter() - started
+        print(
+            f"checkpointed {args.db} at version {result.version} "
+            f"(generation {result.generation}) in {elapsed:.3f}s"
+        )
+        print(
+            f"warm pipelines spilled: {result.warm_entries}; "
+            f"WAL records retired: {result.wal_records_retired}"
+        )
     return 0
 
 
@@ -372,15 +453,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p):
-        p.add_argument("-w", "--workload", required=True, help="workload spec")
+    def common(p, require_workload=True):
+        p.add_argument(
+            "-w", "--workload", required=require_workload, help="workload spec"
+        )
         p.add_argument("-q", "--query", required=True, help="FO query text")
         p.add_argument("--eps", type=float, default=0.5)
+
+    def add_db_flag(p):
+        p.add_argument(
+            "--db",
+            metavar="PATH",
+            default=None,
+            help="durable database directory (snapshot + WAL); an existing "
+            "store replaces -w, a fresh path is created from -w",
+        )
 
     query_parser = sub.add_parser(
         "query", help="count / test / enumerate through a Database session"
     )
-    common(query_parser)
+    common(query_parser, require_workload=False)
+    add_db_flag(query_parser)
     query_parser.add_argument("--count", action="store_true")
     query_parser.add_argument(
         "--test", action="append", metavar="a,b", help="tuple to test (repeatable)"
@@ -419,7 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser = sub.add_parser(
         "batch", help="run many queries through the parallel batch engine"
     )
-    batch_parser.add_argument("-w", "--workload", required=True, help="workload spec")
+    batch_parser.add_argument(
+        "-w", "--workload", required=False, help="workload spec"
+    )
+    add_db_flag(batch_parser)
     batch_parser.add_argument(
         "-q", "--query", action="append", help="FO query text (repeatable)"
     )
@@ -447,8 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
         "update", help="apply a JSONL changeset in one atomic transaction"
     )
     update_parser.add_argument(
-        "-w", "--workload", required=True, help="workload spec"
+        "-w", "--workload", required=False, help="workload spec"
     )
+    add_db_flag(update_parser)
     update_parser.add_argument(
         "--file",
         required=True,
@@ -465,6 +562,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="pool size (default: cores)"
     )
     update_parser.set_defaults(handler=cmd_update)
+
+    open_parser = sub.add_parser(
+        "open",
+        help="create a durable database from a workload, or inspect one",
+    )
+    open_parser.add_argument("--db", metavar="PATH", required=True)
+    open_parser.add_argument(
+        "-w",
+        "--workload",
+        required=False,
+        help="workload spec seeding a fresh store (omit for existing stores)",
+    )
+    open_parser.add_argument("--eps", type=float, default=0.5)
+    open_parser.add_argument("--workers", type=int, default=None)
+    open_parser.set_defaults(handler=cmd_open)
+
+    checkpoint_parser = sub.add_parser(
+        "checkpoint",
+        help="rotate a durable database's WAL into a fresh snapshot",
+    )
+    checkpoint_parser.add_argument("--db", metavar="PATH", required=True)
+    checkpoint_parser.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        help="query to warm before the rotation so its pipeline is "
+        "spilled for the next open (repeatable)",
+    )
+    checkpoint_parser.add_argument("--eps", type=float, default=0.5)
+    checkpoint_parser.add_argument("--workers", type=int, default=None)
+    checkpoint_parser.set_defaults(handler=cmd_checkpoint)
 
     check_parser = sub.add_parser("check", help="model-check a sentence")
     common(check_parser)

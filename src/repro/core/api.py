@@ -85,7 +85,11 @@ class PreparedQuery:
         # pool is lazy, so no OS resource is created, and maintenance is
         # off — this facade has no update API.
         self._database = Database(
-            structure, eps=eps, skip_mode=skip_mode, maintain=False
+            structure,
+            eps=eps,
+            skip_mode=skip_mode,
+            maintain=False,
+            guard_writes=False,
         )
         self._query = self._database.query(
             query, order=order, budget=budget, skip_mode=skip_mode

@@ -105,7 +105,7 @@ class ColoredGraph:
                 adjacency[other_id].add(node_id)
         self.adjacency = [frozenset(neighbors) for neighbors in adjacency]
 
-    def clone(self) -> "ColoredGraph":
+    def clone(self, copy_colors: bool = False) -> "ColoredGraph":
         """Structural copy with fresh (empty) per-node color data.
 
         Node existence, ids, and adjacency depend only on
@@ -114,10 +114,21 @@ class ColoredGraph:
         :mod:`repro.engine` share the expensive cluster enumeration and
         edge computation across every query at the same arity and radius
         while keeping each pipeline's colors isolated.
+
+        With ``copy_colors=True`` the per-node unit vectors are copied
+        too (into fresh dicts, so later maintenance on either side stays
+        isolated) — the warm-fork path of :class:`repro.session.Database`
+        uses this to hand a forked head an already-colored graph instead
+        of rebuilding it cold.
         """
         twin = ColoredGraph(self.structure, self.link_radius, self.k)
         twin.nodes = [
-            VNode(node.node_id, node.elements, node.positions)
+            VNode(
+                node.node_id,
+                node.elements,
+                node.positions,
+                dict(node.unit_values) if copy_colors else {},
+            )
             for node in self.nodes
         ]
         twin._by_key = dict(self._by_key)

@@ -26,11 +26,12 @@ quantifier-free form ``psi = psi_1 and psi_2`` of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, QueryError, UnsupportedQueryError
 from repro.fo.localize import (
+    LocalEvaluator,
     LocalizationBudget,
     LocalizedQuery,
     localize,
@@ -335,6 +336,75 @@ class Pipeline:
             self.budget,
             self._intern,
         )
+
+    def __getstate__(self):
+        # Branch-arming memos (attached lazily by repro.core.enumeration
+        # under ``_armed_branches``) hold skip-function state that is
+        # cheap to rebuild and useless in another process; drop them so
+        # pipelines pickle cleanly (the warm-cache spill of
+        # repro.storage.wal relies on this).
+        state = self.__dict__.copy()
+        state.pop("_armed_branches", None)
+        return state
+
+    def fork(self, structure: Structure) -> "Pipeline":
+        """A warm copy of this pipeline bound to ``structure`` — a
+        copy-on-write fork of ``self.structure`` with identical content.
+
+        Shares everything immutable (plans, partition index, intern
+        table, the localized formula) and copies exactly what dynamic
+        maintenance mutates: the colored graph *with* its unit-vector
+        colors, the block-vector index buckets, and the branch objects —
+        preserving the invariant that branch lists ARE the index
+        buckets, so :class:`repro.core.dynamic.PipelineMaintainer` can
+        patch both sides independently.  A fresh evaluator binds to the
+        fork so ball/unary caches never read the old head.  The session
+        layer uses this so a commit that overlaps a live pin keeps both
+        heads' plans warm instead of rebuilding the new head cold.
+        """
+        twin = Pipeline.__new__(Pipeline)
+        twin.structure = structure
+        twin.query = self.query
+        twin.eps = self.eps
+        twin.budget = self.budget
+        twin._intern = self._intern
+        twin.variables = self.variables
+        twin.arity = self.arity
+        evaluator = LocalEvaluator(structure, self.localized.extra_unary)
+        twin.localized = replace(
+            self.localized, structure=structure, evaluator=evaluator
+        )
+        twin.evaluator = evaluator
+        twin.radius = self.radius
+        twin.link_radius = self.link_radius
+        twin.trivial = self.trivial
+        twin.plans = self.plans
+        twin._partition_index = self._partition_index
+        twin.branches = []
+        if self.graph is None:
+            twin.graph = None
+            return twin
+        graph = self.graph.clone(copy_colors=True)
+        graph.structure = structure
+        twin.graph = graph
+        index = {
+            key: list(bucket) for key, bucket in self.block_vector_index.items()
+        }
+        twin.block_vector_index = index
+        for branch in self.branches:
+            plan = branch.plan
+            lists: List[List[int]] = []
+            for block_index, block in enumerate(plan.partition):
+                if plan.constant is True:
+                    required: SignVector = ()
+                else:
+                    required = tuple(
+                        branch.signs[unit_index]
+                        for unit_index in plan.block_units[block_index]
+                    )
+                lists.append(index.setdefault((plan.index, block, required), []))
+            twin.branches.append(Branch(plan, branch.signs, lists))
+        return twin
 
     # ------------------------------------------------------------------
     # Step 5: the encoder f and its inverse

@@ -120,6 +120,7 @@ class QueryBatch:
             cache_capacity=cache_capacity,
             share_graphs=share_graphs,
             maintain=False,
+            guard_writes=False,
         )
         self.mode = mode
         # Legacy escape hatch: a caller-supplied concurrent.futures

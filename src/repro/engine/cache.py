@@ -189,6 +189,19 @@ class PipelineCache:
         """Drop one entry (a no-op when absent)."""
         self._entries.pop(key, None)
 
+    def entries_for(self, structure_fingerprint: str):
+        """All ``(key, pipeline)`` pairs under one fingerprint tag.
+
+        LRU order (oldest first), recency untouched.  The session layer
+        uses this to spill the current head's warm pipelines to disk at
+        checkpoint time and to rekey after a lineage restore.
+        """
+        return [
+            (key, pipeline)
+            for key, pipeline in self._entries.items()
+            if key[0] == structure_fingerprint
+        ]
+
     def invalidate(self, structure_fingerprint: Optional[str] = None) -> int:
         """Drop entries for one fingerprint (or everything); return count."""
         if structure_fingerprint is None:

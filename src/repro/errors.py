@@ -42,6 +42,29 @@ class FrozenStructureError(ReproError):
     """
 
 
+class GuardedStructureError(ReproError):
+    """A session-owned structure was mutated directly.
+
+    A :class:`repro.session.Database` coordinates every write with its
+    pinned readers and maintained pipelines; calling ``add_fact`` /
+    ``remove_fact`` on the structure behind the session's back would
+    silently desynchronize them.  Mutate through the session instead:
+    ``db.transaction()`` / ``db.apply()`` / ``db.insert_fact()`` /
+    ``db.remove_fact()``.
+    """
+
+
+class DurabilityError(ReproError):
+    """The durable store (snapshot + WAL) is corrupt or unusable.
+
+    Raised when a restore finds an inconsistent manifest, a WAL record
+    chain with gaps, or a snapshot whose fingerprint disagrees with the
+    manifest — and when a live append to the write-ahead log fails, in
+    which case the in-memory database stays correct but is no longer
+    durable until :meth:`repro.session.Database.checkpoint` succeeds.
+    """
+
+
 class EngineError(ReproError):
     """The batch query engine was misused or hit an internal failure."""
 
@@ -61,6 +84,17 @@ class StaleResultError(EngineError):
     Answers computed before the mutation no longer describe the database;
     the engine refuses to serve them.  Re-submit the query to get a handle
     against the current state.
+    """
+
+
+class RetentionLimitError(EngineError):
+    """Too many superseded database versions are still pinned.
+
+    Every commit that overlaps a live pin forks the structure and retains
+    the superseded head for its readers; ``Database(retention_budget=N)``
+    bounds how many superseded versions may be alive at once.  Consume,
+    cancel, or close the outstanding snapshots / answer handles — or
+    raise the budget — before committing again.
     """
 
 

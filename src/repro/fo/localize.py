@@ -91,6 +91,16 @@ class LocalEvaluator:
         self._ball_cache: Dict[Tuple[Element, int], FrozenSet[Element]] = {}
         self._memo: Dict[Tuple[int, Tuple], bool] = {}
 
+    def __getstate__(self):
+        # The memo is keyed by id(formula) — meaningless (and collidable)
+        # in another process or after a pickle round-trip — and the other
+        # caches rebuild lazily, so none of them travels.
+        state = self.__dict__.copy()
+        state["_unary_cache"] = {}
+        state["_ball_cache"] = {}
+        state["_memo"] = {}
+        return state
+
     # -- caches ---------------------------------------------------------
 
     def unary_set(self, name: str) -> FrozenSet[Element]:

@@ -21,9 +21,14 @@ Semantics shared by both faces:
   against: a session handle holds a version pin, so a concurrent
   commit forks the database head and leaves this handle's version
   frozen — it streams to completion byte-identically, and never raises
-  :class:`repro.errors.StaleResultError` (the pin is released on
-  cancel or garbage collection).  Only a *direct* structure mutation
-  (bypassing the session) still raises, and the legacy engine facades
+  :class:`repro.errors.StaleResultError`.  The pin is released the
+  moment the source is exhausted (``all()`` / a drained ``stream()`` /
+  ``astream()`` / a page past the end): a fully-consumed handle is
+  *sealed* — complete and self-contained, serving its materialized
+  answers forever — so retaining it cannot force copy-on-write forks
+  on later commits.  Cancel and garbage collection release the pin
+  too.  Only a *direct* structure mutation (bypassing the session)
+  still raises on an unsealed handle, and the legacy engine facades
   (``ResultHandle``) keep the historical raise-on-any-commit contract
   via ``stale_policy="raise"``;
 * after :meth:`cancel`, every access raises
@@ -54,7 +59,12 @@ from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
 from repro.engine.pool import WorkerPool
 from repro.engine.transport import TransferStats
-from repro.errors import CancelledResultError, EngineError, StaleResultError
+from repro.errors import (
+    CancelledResultError,
+    EngineError,
+    QueryError,
+    StaleResultError,
+)
 from repro.session.backends import (
     ExecutionBackend,
     ExecutionPlan,
@@ -129,6 +139,8 @@ class Answers:
         self._source: Optional[Iterator[List[Answer]]] = None
         self._count: Optional[int] = None
         self._done = False
+        self._sealed = False
+        self._answer_set: Optional[set] = None
         self._cancelled = False
         # Async machinery (created lazily on first awaitable access).
         self._alock: Optional[asyncio.Lock] = None
@@ -173,6 +185,12 @@ class Answers:
     def _check_live(self) -> None:
         if self._cancelled:
             raise CancelledResultError("this answers handle was cancelled")
+        if self._sealed:
+            # Complete and self-contained: the answers are materialized
+            # and the pin is gone, so later commits — which may refresh
+            # the shared pipeline in place — cannot perturb what this
+            # handle serves.
+            return
         if self._structure.version != self._version:
             # Session commits can never move a pinned handle's structure
             # (they fork the head instead); only a direct mutation — or,
@@ -242,6 +260,7 @@ class Answers:
             except StopIteration:
                 self._done = True
                 self._source = None
+                self._seal()
             except BaseException:
                 # A worker failure mid-production leaves a dead generator
                 # and an unusable prefix; reset so a retry re-executes
@@ -252,6 +271,26 @@ class Answers:
                 raise
             else:
                 self._answers.extend(chunk)
+
+    def _seal(self) -> None:
+        """Exhaustion makes the handle self-contained: release the pin.
+
+        The fork-proliferation fix — a fully-consumed handle no longer
+        forces copy-on-write forks on every later commit.  The answer
+        count and a membership set are fixed from the materialized list
+        (enumeration partitions the answer set exactly, so both agree
+        with the counting/testing algorithms at the pinned version), and
+        the staleness check is retired: nothing this handle serves can
+        change anymore.  Legacy ``stale_policy="raise"`` handles keep
+        their historical contract and never seal.
+        """
+        if self._sealed or self._stale_policy != "pin":
+            return
+        self._sealed = True
+        if self._count is None:
+            self._count = len(self._answers)
+        self._answer_set = set(self._answers)
+        self._release_pin()
 
     # -- the synchronous access paths ----------------------------------
 
@@ -308,8 +347,29 @@ class Answers:
         return self._count
 
     def test(self, candidate: Sequence[Element]) -> bool:
-        """Constant-time membership test against this query."""
+        """Constant-time membership test against this query.
+
+        A sealed handle answers from its materialized answer set (the
+        shared pipeline may since have been maintained past this
+        handle's version) with the same error contract as the testing
+        algorithm: :class:`~repro.errors.QueryError` on arity mismatch
+        or out-of-domain elements.
+        """
         self._check_live()
+        if self._sealed:
+            candidate = tuple(candidate)
+            if len(candidate) != self._pipeline.arity:
+                raise QueryError(
+                    f"expected a {self._pipeline.arity}-tuple, got "
+                    f"{len(candidate)}-tuple"
+                )
+            for element in candidate:
+                if element not in self._structure:
+                    raise QueryError(
+                        f"element {element!r} is not in the domain"
+                    )
+            assert self._answer_set is not None
+            return candidate in self._answer_set
         return test_answer(self._pipeline, candidate)
 
     def cancel(self) -> None:

@@ -31,6 +31,7 @@ strategy is chosen per plan by the cost model and overridable with
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
 
@@ -44,7 +45,12 @@ from repro.core.dynamic import (
 from repro.core.pipeline import Pipeline
 from repro.engine.cache import CacheKey, PipelineCache, cache_key, coerce_order
 from repro.engine.pool import WorkerPool
-from repro.errors import EngineError, SignatureError
+from repro.errors import (
+    DurabilityError,
+    EngineError,
+    RetentionLimitError,
+    SignatureError,
+)
 from repro.fo import coerce_formula
 from repro.fo.syntax import Formula, Var
 from repro.session.query import Query
@@ -55,10 +61,18 @@ from repro.session.transaction import (
     Transaction,
     coerce_op,
 )
+from repro.storage.wal import CheckpointResult, DurableStore, WalRecord
 from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
 
 Element = Hashable
+
+_WRITE_GUARD_MESSAGE = (
+    "this structure is owned by a Database session; direct "
+    "add_fact/remove_fact would desynchronize its pinned readers and "
+    "maintained plans — mutate through the session instead: "
+    "db.transaction() / db.apply() / db.insert_fact() / db.remove_fact()"
+)
 
 
 class _VersionPin:
@@ -159,9 +173,15 @@ class Database:
         cache_capacity: int = 64,
         share_graphs: bool = True,
         maintain: bool = True,
+        guard_writes: bool = True,
+        retention_budget: int = 64,
     ):
         if workers is not None and workers < 1:
             raise EngineError(f"workers must be >= 1, got {workers}")
+        if retention_budget < 1:
+            raise EngineError(
+                f"retention_budget must be >= 1, got {retention_budget}"
+            )
         self.structure = structure
         self.eps = eps
         self.workers = workers
@@ -176,15 +196,34 @@ class Database:
         self._fingerprint = fingerprint(structure)
         self._version = structure.version
         # Cache keys use a *generation-tagged* fingerprint.  The
-        # generation bumps on every copy-on-write fork, so entries built
-        # against a superseded frozen structure can never be cache-hit
-        # by a later head whose *content* fingerprint happens to return
-        # to the same value (remove-then-reinsert across a fork): the
+        # generation (carried by the structure, bumped on every
+        # copy-on-write fork, persisted by the serializer) makes entries
+        # built against a superseded frozen structure unreachable from a
+        # later head whose *content* fingerprint happens to return to
+        # the same value (remove-then-reinsert across a fork): the
         # frozen pipeline would serve — and worse, be maintained
         # against — the wrong structure object.
-        self._generation = 0
         self._cache_tag = self._tag(self._fingerprint)
         self._closed = False
+        # Durability (Database.open / checkpoint): the snapshot + WAL
+        # store, None for purely in-memory sessions.  ``_store_broken``
+        # latches when a WAL append fails — the in-memory state is then
+        # ahead of disk, and further commits are refused until a
+        # checkpoint re-establishes a consistent on-disk base.
+        self._store: Optional[DurableStore] = None
+        self._store_broken = False
+        # Fork-retention budget: how many superseded versions may stay
+        # pinned (by snapshots / answer handles) at once before a commit
+        # refuses to fork yet again.
+        self._retention_budget = retention_budget
+        # Write guard: refuse direct structure.add_fact/remove_fact for
+        # session-owned structures (GuardedStructureError names the
+        # session API); legacy facades opt out to keep the historical
+        # mutate-then-StaleResultError contract.
+        self._guard_installed = False
+        if guard_writes and not structure.frozen and structure._write_guard is None:
+            structure._write_guard = _WRITE_GUARD_MESSAGE
+            self._guard_installed = True
         # Concurrency: the session is thread-safe.  Shared mutable state
         # (cache, templates, maintainers, fingerprint) hides behind one
         # short-critical-section RLock; the *expensive* pipeline builds
@@ -254,7 +293,7 @@ class Database:
 
     def _tag(self, content_fingerprint: str) -> str:
         """The cache/pin key for one (fork generation, content) state."""
-        return f"{self._generation}:{content_fingerprint}"
+        return f"{self.structure.generation}:{content_fingerprint}"
 
     # -- snapshot-isolated reads ---------------------------------------
 
@@ -384,12 +423,26 @@ class Database:
             ops = [coerce_op(op) for op in changes]
         return self._commit(ops)
 
-    def _commit(self, ops) -> CommitResult:
-        """One atomic commit: validate, net, apply, maintain, re-key."""
+    def _commit(self, ops, log: bool = True) -> CommitResult:
+        """One atomic commit: validate, net, apply, maintain, re-key.
+
+        With a durable store attached, the effective changeset is
+        appended to the write-ahead log — flushed and fsync'd — before
+        this method returns: a commit is durable once acknowledged.
+        ``log=False`` is the WAL-replay mode of :meth:`open` (replayed
+        commits are already on disk).
+        """
         self._check_open()
         self._structure_lock.acquire_write()
         try:
             with self._state_lock:
+                if log and self._store is not None and self._store_broken:
+                    raise DurabilityError(
+                        "a write-ahead log append failed earlier; the "
+                        "in-memory state is ahead of disk — call "
+                        "checkpoint() to re-establish durability before "
+                        "committing again"
+                    )
                 self._refresh_locked()
                 structure = self.structure
                 # Validate everything before touching anything: an
@@ -426,9 +479,16 @@ class Database:
                     maintained = self._commit_forked_locked(effective)
                     forked = True
                 else:
-                    maintained = self._commit_in_place_locked(effective)
+                    # Suspend the write guard for the session's own
+                    # mutation of the head (restored even on revert).
+                    guard = structure._write_guard
+                    structure._write_guard = None
+                    try:
+                        maintained = self._commit_in_place_locked(effective)
+                    finally:
+                        structure._write_guard = guard
                     forked = False
-                return CommitResult(
+                result = CommitResult(
                     ops_submitted=len(ops),
                     ops_effective=len(effective),
                     version_before=version_before,
@@ -438,6 +498,9 @@ class Database:
                     maintained_plans=maintained,
                     forked=forked,
                 )
+                if log and self._store is not None:
+                    self._append_wal(effective, result)
+                return result
         finally:
             self._structure_lock.release_write()
 
@@ -529,28 +592,282 @@ class Database:
         version, so the commit forks the structure copy-on-write,
         freezes the old head (pinned readers keep it byte-identical
         forever), and moves the session to the fork.  The old version's
-        cache entries stay retained until the last pin drops; the new
-        head rebuilds its plans on demand."""
+        cache entries stay retained until the last pin drops.
+
+        Both heads stay **warm**: every maintained pipeline is cloned
+        onto the fork (:meth:`Pipeline.fork` — copy-on-write-shared
+        plans, private graph/branch state) and refreshed with the same
+        one-pass batch maintenance the in-place path uses, so the new
+        head's first query is a cache hit instead of a cold rebuild.
+        The clone work happens strictly before the fork is published;
+        any failure degrades to the old cold-rebuild behavior without
+        touching the pinned head.
+        """
+        superseded = sum(1 for tag in self._pins if tag != self._cache_tag)
+        if superseded >= self._retention_budget:
+            raise RetentionLimitError(
+                f"{superseded} superseded versions are still pinned by "
+                f"snapshots or answer handles "
+                f"(retention_budget={self._retention_budget}); consume, "
+                "cancel, or close them — or raise the budget — before "
+                "committing again"
+            )
+        self._prune_maintainers()
         old_structure = self.structure
         new_structure = old_structure.fork()
+        touched = tuple(
+            {element for _, _, elements in effective for element in elements}
+        )
+        # Phase 1 (pre-mutation): clone each maintained plan onto the
+        # fork and record its reach while the fork still has the old
+        # content — mirrors _commit_in_place_locked's pre-region pass.
+        clones: Dict[CacheKey, PipelineMaintainer] = {}
+        pre_regions: Dict[CacheKey, set] = {}
+        try:
+            for key, maintainer in self._maintainers.items():
+                clone = PipelineMaintainer(maintainer.pipeline.fork(new_structure))
+                pre_regions[key] = clone.reach(touched)
+                clones[key] = clone
+        except Exception:
+            clones, pre_regions = {}, {}
         apply_ops(new_structure, effective)
         # Point of no return — everything above touched only the fork.
         old_structure.freeze()
         self.structure = new_structure
-        # New fork generation: even if a later commit returns the head
-        # to this *content*, the frozen generation's cache entries stay
-        # unreachable from it.
-        self._generation += 1
+        if self._guard_installed:
+            new_structure._write_guard = _WRITE_GUARD_MESSAGE
         self._fingerprint = fingerprint(new_structure)
+        # fork() bumped the structure's generation, so the tag names the
+        # new lineage: even if a later commit returns the head to this
+        # *content*, the frozen generation's entries stay unreachable.
         self._cache_tag = self._tag(self._fingerprint)
         self._version = new_structure.version
         self._graph_templates.clear()
         with self._locks_guard:
             self._template_locks.clear()
-        # The maintainers' pipelines belong to the frozen head now; the
-        # new head re-attaches maintainers as its plans rebuild.
-        self._maintainers.clear()
-        return 0
+        # Phase 2 (post-mutation): one local-recomputation pass per
+        # clone over the pre/post reach union.  The frozen head's
+        # pipelines are untouched either way; a refresh failure only
+        # costs warmth (the new head rebuilds that plan on demand).
+        maintained: Dict[CacheKey, PipelineMaintainer] = {}
+        if clones:
+            try:
+                for key, clone in clones.items():
+                    region = pre_regions[key] | clone.reach(touched)
+                    clone.refresh(touched, region)
+                maintained = clones
+            except Exception:
+                maintained = {}
+        self._maintainers = {}
+        for key, clone in maintained.items():
+            new_key = (self._cache_tag,) + key[1:]
+            self.cache.put(new_key, clone.pipeline)
+            self._maintainers[new_key] = clone
+        return len(self._maintainers)
+
+    def _append_wal(self, effective, result: CommitResult) -> None:
+        """Durably log one acknowledged commit (fsync before return)."""
+        record = WalRecord(
+            version_before=result.version_before,
+            version_after=result.version_after,
+            generation=self.structure.generation,
+            ops=tuple(effective),
+        )
+        try:
+            self._store.append(record)
+        except Exception as error:
+            self._store_broken = True
+            raise DurabilityError(
+                f"write-ahead log append failed: {error}; the commit is "
+                "applied in memory but NOT durable — checkpoint() to "
+                "restore durability"
+            ) from error
+
+    # -- durability (snapshot + WAL) -----------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        structure: Optional[Structure] = None,
+        sync: bool = True,
+        load_warm: bool = True,
+        **options,
+    ) -> "Database":
+        """Open (or create) a durable database at ``path``.
+
+        When ``path`` holds a store, the latest snapshot is loaded, the
+        intact write-ahead-log tail is replayed (torn trailing records —
+        crash artifacts of unacknowledged commits — are truncated), and
+        the spilled warm pipeline cache is reloaded so the first query
+        against a previously-prepared plan skips preprocessing entirely.
+        When ``path`` is empty, ``structure`` seeds a new store with an
+        initial snapshot.  Every later commit through the returned
+        session is appended to the WAL (fsync before acknowledge, unless
+        ``sync=False``); call :meth:`checkpoint` to rotate the log into
+        a fresh snapshot + warm spill.  ``load_warm=False`` forces a
+        cold reopen (used by recovery benchmarks).  Remaining keyword
+        ``options`` go to the :class:`Database` constructor.
+        """
+        store = DurableStore(path, sync=sync)
+        if store.exists():
+            if structure is not None:
+                raise DurabilityError(
+                    f"{os.fspath(path)!r} already holds a database; open "
+                    "it without structure= (or point at an empty "
+                    "directory to create a new one)"
+                )
+            restored = store.restore(load_warm=load_warm)
+            head = restored.warm_structure or restored.structure
+            # A pickled head may carry the previous session's guard.
+            head._write_guard = None
+            db = cls(head, **options)
+            db._store = store
+            try:
+                if restored.warm_entries:
+                    db._seed_warm_entries(restored.warm_entries)
+                db._replay_wal(restored.records)
+            except BaseException:
+                db._store = None
+                db.close()
+                store.close()
+                raise
+            return db
+        if structure is None:
+            raise DurabilityError(
+                f"no database at {os.fspath(path)!r}; pass structure= "
+                "to create one"
+            )
+        db = cls(structure, **options)
+        try:
+            store.initialize(structure)
+        except BaseException:
+            db.close()
+            store.close()
+            raise
+        db._store = store
+        return db
+
+    @property
+    def durable(self) -> bool:
+        """True when commits are written ahead to a :class:`DurableStore`."""
+        return self._store is not None
+
+    def checkpoint(self) -> CheckpointResult:
+        """Rotate the WAL into a fresh snapshot + warm pipeline spill.
+
+        Blocks commits for the duration (queries proceed).  The head
+        structure is snapshotted with its version/generation lineage,
+        the current head's warm pipelines are pickled alongside it (so
+        the next :meth:`open` answers its first cached-plan query
+        without re-running preprocessing), the manifest swaps
+        atomically, and the now-redundant WAL prefix is truncated.  Also
+        the recovery path after a WAL append failure: a successful
+        checkpoint re-establishes a consistent on-disk base.
+        """
+        self._check_open()
+        if self._store is None:
+            raise EngineError(
+                "this Database has no durable store; create one with "
+                "Database.open(path, structure=...)"
+            )
+        self._structure_lock.acquire_write()
+        try:
+            with self._state_lock:
+                self._refresh_locked()
+                entries = [
+                    (key[1], key[2], key[3], pipeline)
+                    for key, pipeline in self.cache.entries_for(self._cache_tag)
+                    if pipeline.structure is self.structure
+                ]
+                result = self._store.checkpoint(self.structure, entries)
+                self._store_broken = False
+                return result
+        finally:
+            self._structure_lock.release_write()
+
+    def _seed_warm_entries(self, entries) -> int:
+        """Adopt spilled ``(formula, order, eps, pipeline)`` entries as
+        head cache entries, re-attaching dynamic maintainers so replayed
+        WAL commits maintain them instead of invalidating them."""
+        seeded = 0
+        with self._state_lock:
+            tag = self._cache_tag
+            for entry in entries:
+                try:
+                    normalized, order_names, eps, pipeline = entry
+                except (TypeError, ValueError):
+                    continue
+                if eps != self.eps or pipeline.structure is not self.structure:
+                    continue
+                key = (tag, normalized, order_names, eps)
+                self.cache.put(key, pipeline)
+                seeded += 1
+                if (
+                    self.maintain
+                    and key not in self._maintainers
+                    and supports_maintenance(pipeline)
+                ):
+                    self._maintainers[key] = PipelineMaintainer(pipeline)
+        return seeded
+
+    def _replay_wal(self, records) -> int:
+        """Re-commit the WAL tail (records past the snapshot) in order.
+
+        Replay runs through the ordinary commit path with logging off —
+        maintained (possibly just-reloaded) plans stay warm across it —
+        and ends with a lineage fixup: in-place replay never forks, so
+        the generation recorded by the final WAL record is adopted
+        explicitly.
+        """
+        replayed = 0
+        last: Optional[WalRecord] = None
+        for record in records:
+            if record.version_after <= self.structure.version:
+                continue  # pre-snapshot overlap (checkpoint raced a crash)
+            if record.version_before != self.structure.version:
+                raise DurabilityError(
+                    f"write-ahead log gap: the next record expects "
+                    f"version {record.version_before}, but the store "
+                    f"replayed to {self.structure.version}"
+                )
+            self._commit(list(record.ops), log=False)
+            if self.structure.version != record.version_after:
+                raise DurabilityError(
+                    f"replay diverged: a commit landed at version "
+                    f"{self.structure.version} where the log recorded "
+                    f"{record.version_after}"
+                )
+            replayed += 1
+            last = record
+        if last is not None and last.generation != self.structure.generation:
+            self._restore_generation(last.generation)
+        return replayed
+
+    def _restore_generation(self, generation: int) -> None:
+        """Adopt the persisted fork generation after WAL replay.
+
+        Intermediate generations need no replay — nothing can pin a
+        version that died with the previous process — so one final jump
+        restores the lineage; warm cache entries and maintainers move to
+        the corrected tag.
+        """
+        with self._state_lock:
+            if generation == self.structure.generation:
+                return
+            old_tag = self._cache_tag
+            self.structure._restore_lineage(self.structure.version, generation)
+            self._cache_tag = self._tag(self._fingerprint)
+            keep = {key for key, _ in self.cache.entries_for(old_tag)}
+            self.cache.rekey(old_tag, self._cache_tag, keep=keep)
+            self._maintainers = {
+                (
+                    (self._cache_tag,) + key[1:]
+                    if key[0] == old_tag
+                    else key
+                ): maintainer
+                for key, maintainer in self._maintainers.items()
+            }
 
     # -- structure staleness -------------------------------------------
 
@@ -776,6 +1093,11 @@ class Database:
         stats["maintained_plans"] = len(self._maintainers)
         with self._state_lock:
             stats["pinned_versions"] = len(self._pins)
+            stats["superseded_pinned_versions"] = sum(
+                1 for tag in self._pins if tag != self._cache_tag
+            )
+            stats["retention_budget"] = self._retention_budget
+            stats["durable"] = int(self._store is not None)
         stats.update(
             {f"pool_{key}": value for key, value in self.pool.stats().items()}
         )
@@ -801,6 +1123,10 @@ class Database:
         if self._closed:
             return
         self._closed = True
+        if self._guard_installed and not self.structure.frozen:
+            self.structure._write_guard = None
+        if self._store is not None:
+            self._store.close()
         self.pool.close()
 
     def __enter__(self) -> "Database":

@@ -1,17 +1,28 @@
 """RAM-model substrate: the Storing Theorem trie (Theorem 2.1), the
-constant-time fact index (Corollary 2.2), and RAM step accounting."""
+constant-time fact index (Corollary 2.2), RAM step accounting, and the
+snapshot + write-ahead-log durability layer for session databases."""
 
 from repro.storage.cost_model import CostMeter, tick
 from repro.storage.fact_index import AdjacencyIndex, FactIndex
 from repro.storage.trie import DictBackend, ElementTrie, StoringTrie, store_function
+from repro.storage.wal import (
+    CheckpointResult,
+    DurableStore,
+    RestoredState,
+    WalRecord,
+)
 
 __all__ = [
     "AdjacencyIndex",
+    "CheckpointResult",
     "CostMeter",
     "DictBackend",
+    "DurableStore",
     "ElementTrie",
     "FactIndex",
+    "RestoredState",
     "StoringTrie",
+    "WalRecord",
     "store_function",
     "tick",
 ]

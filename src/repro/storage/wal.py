@@ -1,0 +1,463 @@
+"""Durable storage for session databases: snapshot + changeset WAL.
+
+The paper's bargain is a heavy preprocessing phase bought once so that
+enumeration is constant-delay forever after — which makes losing that
+investment to a process restart especially galling.  :class:`DurableStore`
+makes a :class:`repro.session.Database` restartable with the classic
+snapshot-plus-write-ahead-log design:
+
+``MANIFEST.json``
+    Points at the current snapshot and records its lineage position
+    (version, generation) and content fingerprint.  Swapped atomically
+    (write to a temp file, fsync, ``os.replace``), so a crash during
+    checkpoint leaves either the old or the new manifest — never a torn
+    one.
+
+``snapshot-<version>.struct``
+    The structure in the :mod:`repro.structures.serialize` text format,
+    whose ``#!`` directives round-trip the version/generation lineage.
+
+``wal.jsonl``
+    One JSON record per committed changeset — the PR 5 JSONL changeset
+    format, framed with the commit's version interval and a CRC so a
+    torn tail is detectable.  Appends are flushed and fsync'd *before*
+    the commit is acknowledged; recovery replays every intact record past
+    the snapshot and truncates the first torn one (an unacknowledged
+    commit, by construction).
+
+``warm-<version>.pickle``
+    Optional spill of the warm pipeline cache (preprocessing output) so
+    a reopened database answers its first query without re-running
+    Proposition 3.4.  Strictly an accelerator: it is validated against
+    the manifest lineage and silently ignored when stale or unreadable.
+
+The crash-safety contract: a commit is durable once ``db.apply()`` /
+``Transaction.commit()`` returns.  Kill the process at any byte of the
+WAL file and :meth:`repro.session.Database.open` restores exactly the
+acknowledged prefix of commits — fingerprint- and answer-identical to
+the pre-crash state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.errors import DurabilityError
+from repro.structures import serialize
+from repro.structures.structure import Structure
+
+Element = Hashable
+UpdateOp = Tuple[bool, str, Tuple[Element, ...]]
+
+MANIFEST_NAME = "MANIFEST.json"
+WAL_NAME = "wal.jsonl"
+FORMAT_VERSION = 1
+
+
+def _decode_element(value):
+    """JSON round-trip for elements: lists come back as tuples.
+
+    Structure elements must be hashable; JSON has no tuple, so tuple
+    elements (e.g. grid coordinates) are stored as lists and restored
+    here.  Durable databases therefore require JSON-representable
+    elements — ints, strings, and (nested) tuples thereof.
+    """
+    if isinstance(value, list):
+        return tuple(_decode_element(item) for item in value)
+    return value
+
+
+def _encode_ops(ops: Sequence[UpdateOp]) -> list:
+    return [
+        [1 if insert else 0, relation, list(elements)]
+        for insert, relation, elements in ops
+    ]
+
+
+def _decode_ops(raw) -> Tuple[UpdateOp, ...]:
+    ops = []
+    for insert, relation, elements in raw:
+        ops.append(
+            (bool(insert), relation, tuple(_decode_element(e) for e in elements))
+        )
+    return tuple(ops)
+
+
+def _record_crc(payload: dict) -> int:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One acknowledged commit: the version interval it spans, the
+    lineage generation it landed on, and its effective ops."""
+
+    version_before: int
+    version_after: int
+    generation: int
+    ops: Tuple[UpdateOp, ...]
+
+    def to_line(self) -> str:
+        payload = {
+            "b": self.version_before,
+            "v": self.version_after,
+            "g": self.generation,
+            "ops": _encode_ops(self.ops),
+        }
+        payload["c"] = _record_crc(
+            {k: payload[k] for k in ("b", "v", "g", "ops")}
+        )
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+    @staticmethod
+    def from_line(line: str) -> Optional["WalRecord"]:
+        """Parse one WAL line; ``None`` when torn or corrupt."""
+        try:
+            payload = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        try:
+            crc = payload["c"]
+            body = {k: payload[k] for k in ("b", "v", "g", "ops")}
+        except (KeyError, TypeError):
+            return None
+        if _record_crc(body) != crc:
+            return None
+        try:
+            ops = _decode_ops(body["ops"])
+        except (TypeError, ValueError):
+            return None
+        return WalRecord(
+            version_before=body["b"],
+            version_after=body["v"],
+            generation=body["g"],
+            ops=ops,
+        )
+
+
+@dataclass(frozen=True)
+class RestoredState:
+    """What :meth:`DurableStore.restore` hands back to the session."""
+
+    structure: Structure
+    warm_structure: Optional[Structure]
+    warm_entries: Tuple[tuple, ...]
+    records: Tuple[WalRecord, ...]
+    truncated_bytes: int
+
+
+@dataclass(frozen=True)
+class CheckpointResult:
+    """Outcome of one checkpoint: the snapshot's lineage position, how
+    many warm pipelines were spilled, and how many WAL records the
+    rotation retired."""
+
+    version: int
+    generation: int
+    fingerprint: str
+    warm_entries: int
+    wal_records_retired: int
+    path: str
+
+
+class DurableStore:
+    """A directory holding one database: manifest, snapshot, WAL, spill.
+
+    ``sync=False`` trades the fsync-per-commit durability guarantee for
+    speed (data still reaches the OS on every append) — useful for tests
+    and benchmarks; production stores should keep the default.
+    """
+
+    def __init__(self, path, sync: bool = True):
+        self.path = os.fspath(path)
+        self.sync = sync
+        self._wal_handle: Optional[io.TextIOWrapper] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def exists(self) -> bool:
+        return os.path.isfile(os.path.join(self.path, MANIFEST_NAME))
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            try:
+                self._wal_handle.close()
+            finally:
+                self._wal_handle = None
+
+    # -- low-level file helpers -----------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, MANIFEST_NAME)
+
+    def _wal_path(self) -> str:
+        return os.path.join(self.path, WAL_NAME)
+
+    def _write_atomic(self, name: str, data: bytes) -> None:
+        target = os.path.join(self.path, name)
+        tmp = target + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        if self.sync:
+            self._sync_dir()
+
+    def _sync_dir(self) -> None:
+        try:
+            fd = os.open(self.path, os.O_RDONLY)
+        except OSError:
+            return  # e.g. Windows: directories are not fsync-able
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def _read_manifest(self) -> dict:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise DurabilityError(
+                f"unreadable manifest at {self._manifest_path()}: {error}"
+            ) from None
+        if manifest.get("format") != FORMAT_VERSION:
+            raise DurabilityError(
+                f"unsupported store format {manifest.get('format')!r} "
+                f"(this build reads format {FORMAT_VERSION})"
+            )
+        return manifest
+
+    # -- checkpoint / initialize ----------------------------------------
+
+    def initialize(self, structure: Structure) -> CheckpointResult:
+        """Create the store directory with an initial snapshot."""
+        os.makedirs(self.path, exist_ok=True)
+        if self.exists():
+            raise DurabilityError(f"{self.path} already holds a database")
+        return self.checkpoint(structure, ())
+
+    def checkpoint(
+        self, structure: Structure, warm_entries: Sequence[tuple]
+    ) -> CheckpointResult:
+        """Rotate the log into a fresh snapshot (plus warm spill).
+
+        Write order is the crash-safety argument: (1) snapshot and spill
+        land under new names, (2) the manifest swaps atomically to point
+        at them, (3) the WAL truncates, (4) superseded files are removed.
+        A crash between (2) and (3) leaves WAL records at or below the
+        snapshot version; recovery skips them by version interval.
+        """
+        os.makedirs(self.path, exist_ok=True)
+        fingerprint = structure.content_fingerprint()
+        version, generation = structure.version, structure.generation
+        snapshot_name = f"snapshot-{version}.struct"
+        self._write_atomic(
+            snapshot_name, serialize.dumps(structure).encode("utf-8")
+        )
+        warm_name: Optional[str] = None
+        spilled = 0
+        if warm_entries:
+            # One bundle holding the head structure AND the entries, so
+            # pickle preserves the structure<->pipeline identity and the
+            # restored head is the very object the warm plans point at.
+            bundle = {
+                "fingerprint": fingerprint,
+                "version": version,
+                "generation": generation,
+                "structure": structure,
+                "entries": tuple(warm_entries),
+            }
+            try:
+                blob = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception:
+                # The spill is an accelerator, never a durability
+                # requirement: unpicklable pipelines (exotic elements,
+                # user-defined formula atoms) degrade to a cold reopen.
+                warm_name = None
+            else:
+                warm_name = f"warm-{version}.pickle"
+                self._write_atomic(warm_name, blob)
+                spilled = len(warm_entries)
+
+        previous = None
+        if self.exists():
+            previous = self._read_manifest()
+        retired = self._count_wal_records()
+        manifest = {
+            "format": FORMAT_VERSION,
+            "snapshot": snapshot_name,
+            "warm": warm_name,
+            "version": version,
+            "generation": generation,
+            "fingerprint": fingerprint,
+        }
+        self._write_atomic(
+            MANIFEST_NAME,
+            json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8"),
+        )
+        self._truncate_wal()
+        self._remove_superseded(previous, manifest)
+        return CheckpointResult(
+            version=version,
+            generation=generation,
+            fingerprint=fingerprint,
+            warm_entries=spilled,
+            wal_records_retired=retired,
+            path=self.path,
+        )
+
+    def _remove_superseded(
+        self, previous: Optional[dict], current: dict
+    ) -> None:
+        if not previous:
+            return
+        for key in ("snapshot", "warm"):
+            name = previous.get(key)
+            if name and name not in (current.get("snapshot"), current.get("warm")):
+                try:
+                    os.remove(os.path.join(self.path, name))
+                except OSError:
+                    pass
+
+    # -- WAL append ------------------------------------------------------
+
+    def append(self, record: WalRecord) -> None:
+        """Durably log one acknowledged commit (fsync before return)."""
+        if self._wal_handle is None:
+            self._wal_handle = open(
+                self._wal_path(), "a", encoding="utf-8", newline=""
+            )
+        handle = self._wal_handle
+        handle.write(record.to_line())
+        handle.flush()
+        if self.sync:
+            os.fsync(handle.fileno())
+
+    def _truncate_wal(self) -> None:
+        self.close()
+        with open(self._wal_path(), "w", encoding="utf-8") as handle:
+            handle.flush()
+            if self.sync:
+                os.fsync(handle.fileno())
+
+    def _count_wal_records(self) -> int:
+        try:
+            with open(self._wal_path(), "rb") as handle:
+                return sum(1 for _ in handle)
+        except OSError:
+            return 0
+
+    # -- restore ---------------------------------------------------------
+
+    def _scan_wal(self) -> Tuple[List[WalRecord], int, int]:
+        """Parse the WAL: intact records, valid byte length, total length.
+
+        The valid prefix ends at the first record that is unterminated,
+        unparsable, or CRC-mismatched — a torn tail from a crash
+        mid-append; everything after it was never acknowledged.
+        """
+        try:
+            with open(self._wal_path(), "rb") as handle:
+                data = handle.read()
+        except OSError:
+            return [], 0, 0
+        records: List[WalRecord] = []
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # unterminated final line: torn
+            line = data[offset : newline + 1]
+            try:
+                record = WalRecord.from_line(line.decode("utf-8"))
+            except UnicodeDecodeError:
+                record = None
+            if record is None:
+                break
+            records.append(record)
+            offset = newline + 1
+        return records, offset, len(data)
+
+    def restore(self, load_warm: bool = True) -> RestoredState:
+        """Load the snapshot (warm spill when valid) and the intact WAL
+        tail, truncating any torn suffix left by a crash."""
+        manifest = self._read_manifest()
+        snapshot_path = os.path.join(self.path, manifest["snapshot"])
+        try:
+            structure = serialize.load_file(snapshot_path)
+        except Exception as error:
+            raise DurabilityError(
+                f"unreadable snapshot {snapshot_path}: {error}"
+            ) from None
+        if structure.content_fingerprint() != manifest["fingerprint"]:
+            raise DurabilityError(
+                f"snapshot {manifest['snapshot']} does not match the "
+                "manifest fingerprint; the store is corrupt"
+            )
+        if (
+            structure.version != manifest["version"]
+            or structure.generation != manifest["generation"]
+        ):
+            raise DurabilityError(
+                f"snapshot lineage ({structure.version}, "
+                f"{structure.generation}) disagrees with the manifest "
+                f"({manifest['version']}, {manifest['generation']})"
+            )
+
+        warm_structure: Optional[Structure] = None
+        warm_entries: Tuple[tuple, ...] = ()
+        if load_warm and manifest.get("warm"):
+            warm_structure, warm_entries = self._load_warm(
+                manifest, os.path.join(self.path, manifest["warm"])
+            )
+
+        records, valid_bytes, total_bytes = self._scan_wal()
+        if valid_bytes < total_bytes:
+            # Drop the torn tail so future appends start on a record
+            # boundary.  The dropped bytes were never acknowledged.
+            with open(self._wal_path(), "rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                if self.sync:
+                    os.fsync(handle.fileno())
+        return RestoredState(
+            structure=structure,
+            warm_structure=warm_structure,
+            warm_entries=warm_entries,
+            records=tuple(records),
+            truncated_bytes=total_bytes - valid_bytes,
+        )
+
+    def _load_warm(
+        self, manifest: dict, warm_path: str
+    ) -> Tuple[Optional[Structure], Tuple[tuple, ...]]:
+        try:
+            with open(warm_path, "rb") as handle:
+                bundle = pickle.load(handle)
+            if (
+                bundle["fingerprint"] != manifest["fingerprint"]
+                or bundle["version"] != manifest["version"]
+                or bundle["generation"] != manifest["generation"]
+            ):
+                return None, ()
+            structure = bundle["structure"]
+            if structure.content_fingerprint() != manifest["fingerprint"]:
+                return None, ()
+            return structure, tuple(bundle["entries"])
+        except Exception:
+            # Spill corruption must never block recovery.
+            return None, ()

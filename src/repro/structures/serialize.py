@@ -6,6 +6,8 @@ checked into test fixtures, or exchanged with other tools::
     # comment lines start with '#'
     signature E/2 B/1
     domain 0 1 2 3
+    #! version 7
+    #! generation 1
     E 0 1
     E 1 2
     B 0
@@ -13,6 +15,13 @@ checked into test fixtures, or exchanged with other tools::
 Element tokens are stored verbatim; on load they are parsed as ints when
 possible, otherwise kept as strings.  Round-trips are exact for
 structures whose elements are ints or strings without whitespace.
+
+``#!`` lines are lineage directives: they persist ``Structure.version``
+and ``Structure.generation`` so a reloaded structure resumes the exact
+copy-on-write history position it was saved at (a reopened database must
+never alias version pins or generation-tagged cache keys from its
+pre-restart lineage).  To pre-directive parsers they are ordinary ``#``
+comments, so the extension is backward- and forward-compatible.
 """
 
 from __future__ import annotations
@@ -53,6 +62,8 @@ def dump(structure: Structure, stream: TextIO) -> None:
     stream.write(
         "domain " + " ".join(_element_token(e) for e in structure.domain) + "\n"
     )
+    stream.write(f"#! version {structure.version}\n")
+    stream.write(f"#! generation {structure.generation}\n")
     for name, fact in structure.iter_facts():
         stream.write(
             name + " " + " ".join(_element_token(e) for e in fact) + "\n"
@@ -117,8 +128,20 @@ def load(stream: TextIO) -> Structure:
     signature = None
     structure = None
     pending_facts = []
+    lineage = {}
     for line_number, raw_line in enumerate(stream, start=1):
         line = raw_line.strip()
+        if line.startswith("#!"):
+            directive = line[2:].split()
+            if (
+                len(directive) == 2
+                and directive[0] in ("version", "generation")
+                and directive[1].isdigit()
+            ):
+                lineage[directive[0]] = int(directive[1])
+            # Unknown directives are skipped like comments so newer
+            # writers stay readable by this parser.
+            continue
         if not line or line.startswith("#"):
             continue
         tokens = line.split()
@@ -151,6 +174,13 @@ def load(stream: TextIO) -> Structure:
                 f"line {line_number}: unknown relation {name!r}"
             )
         structure.add_fact(name, *(_parse_token(token) for token in rest))
+    if lineage:
+        # Re-adding the facts above recounted versions from zero; adopt
+        # the persisted lineage position instead.
+        structure._restore_lineage(
+            lineage.get("version", structure.version),
+            lineage.get("generation", 0),
+        )
     return structure
 
 

@@ -28,7 +28,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import FrozenStructureError, SignatureError
+from repro.errors import FrozenStructureError, GuardedStructureError, SignatureError
 from repro.structures.signature import Signature
 from repro.util.orderings import DomainOrder
 
@@ -77,6 +77,11 @@ class Structure:
             symbol.name: set() for symbol in signature
         }
         self._version = 0
+        # Fork-lineage counter: 0 at construction, parent + 1 on every
+        # :meth:`fork`.  Together with ``version`` it names a state in the
+        # copy-on-write history; the session layer keys its plan cache on
+        # it so a restored database can never alias pre-restart entries.
+        self._generation = 0
         self._caches_dirty = True
         # Snapshot machinery (repro.session): ``freeze()`` pins the fact
         # set forever; ``fork()`` marks relations as copy-on-write shared
@@ -84,6 +89,11 @@ class Structure:
         # either side) materializes a private set first.
         self._frozen = False
         self._cow_shared: Set[str] = set()
+        # When a Database owns this structure it installs a guard message
+        # here; direct add_fact/remove_fact then raise
+        # GuardedStructureError instead of silently desynchronizing the
+        # session's pinned readers and maintained pipelines.
+        self._write_guard: Optional[str] = None
         # Rolling content-fingerprint state (initialized lazily by
         # content_fingerprint(); None = not yet demanded).  The header
         # digest covers signature + domain, which never mutate after
@@ -111,6 +121,8 @@ class Structure:
                 "this structure is frozen (it backs a pinned snapshot); "
                 "mutate the live database head instead"
             )
+        if self._write_guard is not None:
+            raise GuardedStructureError(self._write_guard)
 
     def _materialize_relation(self, relation: str) -> None:
         """Copy-on-write: give this side a private fact set before writing."""
@@ -212,6 +224,30 @@ class Structure:
         return self._version
 
     @property
+    def generation(self) -> int:
+        """Fork-lineage counter: 0 at construction, parent + 1 per fork."""
+        return self._generation
+
+    def _restore_lineage(self, version: int, generation: int) -> None:
+        """Adopt a persisted ``(version, generation)`` lineage position.
+
+        Only for deserialization/recovery (:mod:`repro.structures.serialize`,
+        :mod:`repro.storage.wal`): a freshly loaded structure re-counted its
+        versions while re-adding facts, which would let a reopened database
+        alias version pins and generation-tagged cache keys from the
+        pre-restart lineage.  The persisted position is authoritative in
+        both directions — it may be *below* the re-count (``copy()`` resets
+        the counter without clearing facts, so a dumped structure can carry
+        more facts than version ticks).
+        """
+        if version < 0 or generation < 0:
+            raise ValueError(
+                f"cannot restore a negative lineage ({version}, {generation})"
+            )
+        self._version = version
+        self._generation = generation
+
+    @property
     def cardinality(self) -> int:
         """``|A|``: the number of domain elements."""
         return len(self._domain)
@@ -255,8 +291,12 @@ class Structure:
         self._cow_shared |= shared
         clone._cow_shared = set(shared)
         clone._version = self._version
+        clone._generation = self._generation + 1
         clone._caches_dirty = True
         clone._frozen = False
+        # The fork starts unguarded — the session that forked it applies
+        # the commit's ops before reinstating the guard on the new head.
+        clone._write_guard = None
         clone._fp_header = self._fp_header
         clone._fp_acc = self._fp_acc
         clone._adjacency = {}

@@ -313,7 +313,10 @@ class TestDynamicUpdates:
             assert answers.all() == expected
 
     def test_external_mutation_falls_back_to_invalidation(self, structure):
-        with Database(structure) as db:
+        # guard_writes=False opts back into the legacy contract where
+        # out-of-band mutations are tolerated via invalidation; guarded
+        # sessions (the default) refuse them at the add_fact call.
+        with Database(structure, guard_writes=False) as db:
             q = db.query(EXAMPLE)
             before = q.pipeline
             structure.add_fact("B", missing_unary(structure))  # behind our back

@@ -161,11 +161,23 @@ class TestSnapshotReads:
                 assert not live.pinned
 
     def test_direct_mutation_still_raises_on_snapshot(self, structure):
-        with Database(structure) as db:
+        # guard_writes=False: the legacy tolerate-and-detect contract.
+        with Database(structure, guard_writes=False) as db:
             snap = db.snapshot()
             structure.add_fact("B", missing_unary(structure))  # behind our back
             with pytest.raises(StaleResultError):
                 snap.query(EXAMPLE)
+            snap.close()
+
+    def test_direct_mutation_is_refused_by_default(self, structure):
+        from repro.errors import GuardedStructureError
+
+        with Database(structure) as db:
+            snap = db.snapshot()
+            with pytest.raises(GuardedStructureError, match="db.transaction"):
+                structure.add_fact("B", missing_unary(structure))
+            # The refused write left nothing stale.
+            assert snap.query(EXAMPLE).count() == db.query(EXAMPLE).count()
             snap.close()
 
 

@@ -88,3 +88,52 @@ class TestErrors:
         db = Structure(Signature.of(B=1), ["has space"])
         with pytest.raises(ReproError):
             dumps(db)
+
+
+class TestLineageDirectives:
+    def test_round_trip(self):
+        db = random_colored_graph(15, max_degree=3, seed=3)
+        db.add_fact("B", next(e for e in db.domain if not db.has_fact("B", e)))
+        version, generation = db.version, db.generation
+        text = dumps(db)
+        assert f"#! version {version}" in text
+        assert f"#! generation {generation}" in text
+        restored = loads(text)
+        assert restored.version == version
+        assert restored.generation == generation
+
+    def test_lineage_is_authoritative_over_the_recount(self):
+        # copy() resets the version counter without clearing facts, so
+        # the persisted version can be *below* the fact count a loader
+        # re-adds; the directive must win either way.
+        db = random_colored_graph(15, max_degree=3, seed=3).copy()
+        assert db.version == 0
+        restored = loads(dumps(db))
+        assert restored.version == 0
+        assert restored.facts("E") == db.facts("E")
+
+    def test_forked_generation_round_trips(self):
+        db = random_colored_graph(10, max_degree=2, seed=5)
+        fork = db.fork()
+        assert fork.generation == db.generation + 1
+        restored = loads(dumps(fork))
+        assert restored.generation == fork.generation
+
+    def test_pre_directive_files_still_load(self, db):
+        # Files written before the lineage directives existed have no
+        # "#!" lines: they load with the natural re-counted lineage.
+        text = "\n".join(
+            line for line in dumps(db).splitlines()
+            if not line.startswith("#!")
+        ) + "\n"
+        restored = loads(text)
+        assert restored.facts("E") == db.facts("E")
+        assert restored.generation == 0
+
+    def test_unknown_directives_are_skipped(self, db):
+        text = dumps(db).replace(
+            "#! version", "#! flavor vanilla\n#! version"
+        )
+        restored = loads(text)
+        assert restored.version == db.version
+        assert restored.facts("E") == db.facts("E")

@@ -275,3 +275,80 @@ class TestBatchAtVersion:
         assert code == 0
         assert "applied 4 op(s)" in out
         assert "count=" in out
+
+
+class TestDurableCommands:
+    def test_open_creates_then_inspects(self, capsys, tmp_path):
+        db = str(tmp_path / "store")
+        code = main(["open", "--db", db, "-w", "colored:n=30,d=3,seed=2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n=30" in out and "version" in out
+        # Second open (no -w): inspect the existing store.
+        code = main(["open", "--db", db])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fingerprint:" in out
+
+    def test_query_against_durable_store(self, capsys, tmp_path):
+        db = str(tmp_path / "store")
+        assert main(["open", "--db", db, "-w", "colored:n=30,d=3,seed=2"]) == 0
+        capsys.readouterr()
+        code = main(["query", "--db", db, "-q", "B(x)", "--count"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "count:" in out
+
+    def test_update_persists_into_the_store(self, capsys, tmp_path):
+        db = str(tmp_path / "store")
+        changes = tmp_path / "changes.jsonl"
+        changes.write_text(
+            '{"op": "insert", "relation": "E", "elements": [0, 9]}\n'
+            '{"op": "insert", "relation": "E", "elements": [9, 0]}\n'
+        )
+        assert main(["open", "--db", db, "-w", "cycle:n=12"]) == 0
+        assert main(["update", "--db", db, "--file", str(changes)]) == 0
+        capsys.readouterr()
+        code = main(["query", "--db", db, "-q", "E(x,y)", "--count"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # A 12-cycle has 24 directed edges; the changeset added 2.
+        assert "count: 26" in out
+
+    def test_checkpoint_warms_the_next_open(self, capsys, tmp_path):
+        db = str(tmp_path / "store")
+        assert main(["open", "--db", db, "-w", "colored:n=30,d=3,seed=2"]) == 0
+        capsys.readouterr()
+        code = main(["checkpoint", "--db", db, "-q", "B(x)"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm pipelines spilled: 1" in out
+        code = main(["open", "--db", db])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "warm cached plans: 1" in out
+
+    def test_existing_store_with_workload_errors(self, capsys, tmp_path):
+        db = str(tmp_path / "store")
+        assert main(["open", "--db", db, "-w", "cycle:n=10"]) == 0
+        capsys.readouterr()
+        code = main(["query", "--db", db, "-w", "cycle:n=10", "-q", "B(x)"])
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_missing_store_without_workload_errors(self, capsys, tmp_path):
+        code = main(
+            ["query", "--db", str(tmp_path / "nope"), "-q", "B(x)"]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_checkpoint_missing_store_errors(self, capsys, tmp_path):
+        code = main(["checkpoint", "--db", str(tmp_path / "nope")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_neither_db_nor_workload_errors(self, capsys):
+        code = main(["query", "-q", "B(x)"])
+        assert code == 2
+        assert "workload" in capsys.readouterr().err
