@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.fo import Var, coerce_formula, parse
 from repro.fo.builder import Q
+from repro.qlang import CompiledQuery, SelectQuery, parse_select
 from repro.structures import Signature, Structure
 
 __version__ = "1.1.0"
@@ -47,6 +48,7 @@ __all__ = [
     "CancelledResultError",
     "Changeset",
     "CommitResult",
+    "CompiledQuery",
     "Database",
     "DynamicQuery",
     "EngineError",
@@ -60,6 +62,7 @@ __all__ = [
     "QueryPlan",
     "ReproError",
     "ResultCancelledError",
+    "SelectQuery",
     "Signature",
     "SignatureError",
     "Snapshot",
@@ -72,6 +75,7 @@ __all__ = [
     "coerce_formula",
     "model_check",
     "parse",
+    "parse_select",
     "prepare",
     "__version__",
 ]

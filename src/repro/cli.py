@@ -4,6 +4,8 @@ Examples::
 
     python -m repro query   -w colored:n=2000,d=4,seed=1 \\
                             -q "B(x) & R(y) & ~E(x,y)" --count --limit 5
+    python -m repro query   -w colored:n=2000,d=4,seed=1 --limit 10 \\
+                            -q "SELECT y WHERE B(x) & R(y) & ~E(x,y) ORDER BY y LIMIT 10"
     python -m repro query   -w grid:rows=20,cols=20 \\
                             -q "Powered(x)" --count
     python -m repro check   -w colored:n=5000,d=3 \\
@@ -41,6 +43,7 @@ from typing import Dict
 from repro.core.model_checking import model_check
 from repro.errors import ReproError
 from repro.fo.parser import parse
+from repro.qlang import CompiledQuery
 from repro.session import Database
 from repro.storage.cost_model import CostMeter
 from repro.structures.random_gen import (
@@ -222,22 +225,39 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"workload: n={db.cardinality}, degree={db.degree}; "
             f"preprocessing {preprocessing:.3f}s"
         )
+        compiled = isinstance(query, CompiledQuery)
         if args.explain:
             print(query.explain().describe())
         if args.count:
             print(f"count: {query.count()}")
         for probe in args.test or []:
+            if compiled:
+                raise ReproError(
+                    "--test applies to raw FO queries; a SELECT "
+                    "statement has no membership test"
+                )
             candidate = _parse_tuple(probe, db)
             print(f"test {candidate}: {query.test(candidate)}")
         if args.limit:
             shown = 0
-            answers = query.answers()
-            for answer in answers:
-                print("  " + ", ".join(str(component) for component in answer))
-                shown += 1
-                if shown >= args.limit:
-                    answers.cancel()
-                    break
+            if compiled:
+                # The compiled stream already early-stops on a pushed
+                # LIMIT; abandoning it releases the inner handle.
+                for row in query.stream():
+                    print("  " + ", ".join(str(c) for c in row))
+                    shown += 1
+                    if shown >= args.limit:
+                        break
+            else:
+                answers = query.answers()
+                for answer in answers:
+                    print(
+                        "  " + ", ".join(str(c) for c in answer)
+                    )
+                    shown += 1
+                    if shown >= args.limit:
+                        answers.cancel()
+                        break
             print(f"({shown} answers shown)")
     return 0
 
@@ -277,13 +297,20 @@ def cmd_batch(args: argparse.Namespace) -> int:
             print(line)
             if args.limit:
                 shown = 0
-                answers = query.answers()
-                for answer in answers:
-                    print("  " + ", ".join(str(c) for c in answer))
-                    shown += 1
-                    if shown >= args.limit:
-                        answers.cancel()
-                        break
+                if isinstance(query, CompiledQuery):
+                    for row in query.stream():
+                        print("  " + ", ".join(str(c) for c in row))
+                        shown += 1
+                        if shown >= args.limit:
+                            break
+                else:
+                    answers = query.answers()
+                    for answer in answers:
+                        print("  " + ", ".join(str(c) for c in answer))
+                        shown += 1
+                        if shown >= args.limit:
+                            answers.cancel()
+                            break
         elapsed = time.perf_counter() - started
         stats = session.stats()
         print(
@@ -457,7 +484,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "-w", "--workload", required=require_workload, help="workload spec"
         )
-        p.add_argument("-q", "--query", required=True, help="FO query text")
+        p.add_argument(
+            "-q", "--query", required=True,
+            help="FO query text, or a qlang SELECT statement",
+        )
         p.add_argument("--eps", type=float, default=0.5)
 
     def add_db_flag(p):
@@ -517,7 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_db_flag(batch_parser)
     batch_parser.add_argument(
-        "-q", "--query", action="append", help="FO query text (repeatable)"
+        "-q", "--query", action="append",
+        help="FO query text or qlang SELECT statement (repeatable)",
     )
     batch_parser.add_argument(
         "--queries-file", help="file with one query per line ('#' comments)"

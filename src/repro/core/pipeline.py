@@ -93,6 +93,53 @@ class Branch:
         return any(not node_list for node_list in self.lists)
 
 
+def supports_query(
+    structure: Structure,
+    query: Formula,
+    order: Optional[Sequence[Var]] = None,
+    budget: Optional[LocalizationBudget] = None,
+    max_units: int = 16,
+) -> bool:
+    """True when ``(structure, query)`` fits the clause-expansion budget.
+
+    Runs the graph-free front half of pipeline construction —
+    localization plus per-partition separation — and applies exactly the
+    checks that make ``Pipeline(...)`` raise
+    :class:`UnsupportedQueryError`, without paying for colored-graph
+    construction.  Unit counts are structure-dependent (localization
+    evaluates global content against ``structure``), so there is no
+    purely syntactic version of this check.
+    """
+    try:
+        localized = localize(query, structure, budget)
+    except UnsupportedQueryError:
+        return False
+    formula = localized.formula
+    if isinstance(formula, (TrueF, FalseF)):
+        return True
+    variables = free_tuple(query, order)
+    if not variables:
+        return True
+    link_radius = 2 * localized.radius + 1
+    for partition in all_partitions(len(variables)):
+        sides = {
+            variables[position]: block_index
+            for block_index, block in enumerate(partition)
+            for position in block
+        }
+        try:
+            separated = simplify(
+                separate(formula, sides, link_radius, localized.localizer)
+            )
+        except UnsupportedQueryError:
+            return False
+        if isinstance(separated, (TrueF, FalseF)):
+            continue
+        if len(boolean_atoms(separated)) > max_units:
+            return False
+    return True
+
+
 class Pipeline:
     """Preprocessing output of Proposition 3.4 for one (A, phi, eps)."""
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from itertools import islice
 from typing import Hashable, Iterator, List, Optional, Tuple
 
 from repro.core.counting import count_answers, count_branch_at, trivial_count
@@ -80,6 +81,11 @@ class BranchTask:
     # Columnar-transport chunk bound (resolved parent-side; read only by
     # run_branch_task_encoded).
     chunk_rows: Optional[int] = None
+    # Projection pushdown (the qlang SELECT-list fusion): answer columns
+    # to keep, applied in the worker *before* encoding, so dropped
+    # columns never cross the process boundary.  Duplicates are kept —
+    # projection is 1:1 row-preserving.
+    project: Optional[Tuple[int, ...]] = None
 
     @property
     def outer_slice(self) -> Optional[Tuple[int, Optional[int]]]:
@@ -133,15 +139,25 @@ def _worker_pipeline(task: BranchTask) -> Pipeline:
     return pipeline
 
 
+def _project_rows(rows, project: Optional[Tuple[int, ...]]):
+    """Keep only the ``project`` columns of each row (lazily)."""
+    if project is None:
+        return rows
+    return (tuple(row[i] for i in project) for row in rows)
+
+
 def run_branch_task(task: BranchTask) -> List[Answer]:
     """Entry point executed inside a worker process (pickle transport)."""
     pipeline = _worker_pipeline(task)
     return list(
-        enumerate_branch(
-            pipeline,
-            task.branch_index,
-            skip_mode=task.skip_mode,
-            outer_slice=task.outer_slice,
+        _project_rows(
+            enumerate_branch(
+                pipeline,
+                task.branch_index,
+                skip_mode=task.skip_mode,
+                outer_slice=task.outer_slice,
+            ),
+            task.project,
         )
     )
 
@@ -160,11 +176,14 @@ def run_branch_task_encoded(task: BranchTask) -> List[bytes]:
         pipeline.arity, pipeline.intern_table.id_width()
     )
     return encode_answers(
-        enumerate_branch(
-            pipeline,
-            task.branch_index,
-            skip_mode=task.skip_mode,
-            outer_slice=task.outer_slice,
+        _project_rows(
+            enumerate_branch(
+                pipeline,
+                task.branch_index,
+                skip_mode=task.skip_mode,
+                outer_slice=task.outer_slice,
+            ),
+            task.project,
         ),
         codec,
         chunk_rows,
@@ -380,6 +399,32 @@ def plan_work_units(pipeline: Pipeline, workers: int) -> List[WorkUnit]:
     return units
 
 
+def _budgeted(
+    chunks: Iterator[List[Answer]], budget: int
+) -> Iterator[List[Answer]]:
+    """Truncate a chunk stream after ``budget`` rows, closing the source.
+
+    Closing the inner generator raises ``GeneratorExit`` inside it, which
+    the future-draining generators translate into ``future.cancel()`` —
+    work units the consumer will never read are abandoned instead of
+    computed.  The final chunk is cut to size so the flattened stream
+    holds exactly ``min(total, budget)`` answers.
+    """
+    remaining = budget
+    try:
+        for chunk in chunks:
+            if len(chunk) >= remaining:
+                yield chunk[:remaining]
+                return
+            remaining -= len(chunk)
+            if chunk:
+                yield chunk
+    finally:
+        close = getattr(chunks, "close", None)
+        if close is not None:
+            close()
+
+
 def _yield_futures(futures) -> Iterator[List[Answer]]:
     """Drain futures in submission (= branch) order; cancel on abandon."""
     try:
@@ -429,6 +474,8 @@ def run_branches(
     chunk_rows: Optional[int] = None,
     transport: Optional[str] = None,
     transfer_stats: Optional[TransferStats] = None,
+    row_budget: Optional[int] = None,
+    project_columns: Optional[Tuple[int, ...]] = None,
 ) -> Iterator[List[Answer]]:
     """Yield answer chunks, in branch-index (then slice, then chunk) order.
 
@@ -448,18 +495,68 @@ def run_branches(
     over ``pool``.  With neither, a fresh pool is created and torn down
     per call.  ``transfer_stats`` receives per-chunk byte/row accounting
     for the columnar path (observability; the bench uses it).
+
+    ``row_budget`` is the early-stop path (the qlang ``LIMIT`` fusion):
+    the stream ends after exactly ``min(total, row_budget)`` answers.
+    Serial mode enumerates lazily and touches O(budget) rows; parallel
+    modes truncate the drain and close it, cancelling every work unit
+    the consumer will never read.  The budgeted prefix is byte-identical
+    to the unbudgeted stream's prefix in every mode.
+
+    ``project_columns`` keeps only those answer columns (duplicates
+    preserved; rows stay 1:1 with the enumeration).  Process-mode
+    workers apply it *before* encoding, so dropped columns never cross
+    the process boundary — the qlang SELECT-list pushdown.
     """
     transport = resolve_transport(transport)
     if pipeline.trivial is not None:
         return
+    if row_budget is not None:
+        if row_budget < 0:
+            raise EngineError(f"row_budget must be >= 0, got {row_budget}")
+        if row_budget == 0:
+            return
+        if mode is None and row_budget <= resolve_chunk_rows(
+            pipeline, chunk_rows
+        ):
+            # Constant delay bounds the useful work to O(budget) rows;
+            # for small budgets pool startup and shard materialization
+            # would dominate, so auto mode stays serial.
+            mode = "serial"
     mode, workers = decide_mode(pipeline, workers, mode, transport=transport)
     if mode == "serial":
+        if row_budget is not None:
+            remaining = row_budget
+            for branch_index in range(len(pipeline.branches)):
+                branch_iter = enumerate_branch(
+                    pipeline, branch_index, skip_mode=skip_mode
+                )
+                chunk = list(
+                    islice(_project_rows(branch_iter, project_columns), remaining)
+                )
+                close = getattr(branch_iter, "close", None)
+                if close is not None:
+                    close()
+                if chunk:
+                    yield chunk
+                    remaining -= len(chunk)
+                    if remaining <= 0:
+                        return
+            return
         for branch_index in range(len(pipeline.branches)):
             yield list(
-                enumerate_branch(pipeline, branch_index, skip_mode=skip_mode)
+                _project_rows(
+                    enumerate_branch(
+                        pipeline, branch_index, skip_mode=skip_mode
+                    ),
+                    project_columns,
+                )
             )
         return
     units = plan_work_units(pipeline, workers)
+
+    def bounded(stream: Iterator[List[Answer]]) -> Iterator[List[Answer]]:
+        return stream if row_budget is None else _budgeted(stream, row_budget)
     if mode == "thread":
         # Pre-create the arming cache so concurrent workers never race on
         # installing the dict itself (per-branch keys are disjoint), and
@@ -473,11 +570,14 @@ def run_branches(
             branch_index, start, stop = unit
             outer_slice = None if start == 0 and stop is None else (start, stop)
             return list(
-                enumerate_branch(
-                    pipeline,
-                    branch_index,
-                    skip_mode=skip_mode,
-                    outer_slice=outer_slice,
+                _project_rows(
+                    enumerate_branch(
+                        pipeline,
+                        branch_index,
+                        skip_mode=skip_mode,
+                        outer_slice=outer_slice,
+                    ),
+                    project_columns,
                 )
             )
 
@@ -486,17 +586,17 @@ def run_branches(
         # mode) cannot pickle it — fall back to an ephemeral thread pool.
         if executor is not None and isinstance(executor, ThreadPoolExecutor):
             futures = [executor.submit(thread_task, unit) for unit in units]
-            yield from _yield_futures(futures)
+            yield from bounded(_yield_futures(futures))
             return
         if pool is not None:
             futures = [
                 pool.submit("thread", thread_task, unit) for unit in units
             ]
-            yield from _yield_futures(futures)
+            yield from bounded(_yield_futures(futures))
             return
         with ThreadPoolExecutor(max_workers=workers) as ephemeral:
             futures = [ephemeral.submit(thread_task, unit) for unit in units]
-            yield from _yield_futures(futures)
+            yield from bounded(_yield_futures(futures))
         return
     # Process mode: ship the picklable spec, rebuild per worker (memoized
     # per process under spec_key).  The columnar transport (default)
@@ -532,12 +632,12 @@ def run_branches(
         tasks = [
             BranchTask(
                 spec, spec_key, branch_index, skip_mode, start, stop,
-                rows_per_chunk,
+                rows_per_chunk, project_columns,
             )
             for branch_index, start, stop in units
         ]
         futures = [executor.submit(task_fn, task) for task in tasks]
-        yield from drain(futures)
+        yield from bounded(drain(futures))
         return
     if pool is not None:
         # Batch-owned long-lived pool: like the external case its workers
@@ -546,18 +646,19 @@ def run_branches(
         tasks = [
             BranchTask(
                 spec, spec_key, branch_index, skip_mode, start, stop,
-                rows_per_chunk,
+                rows_per_chunk, project_columns,
             )
             for branch_index, start, stop in units
         ]
         futures = [pool.submit("process", task_fn, task) for task in tasks]
-        yield from drain(futures)
+        yield from bounded(drain(futures))
         return
     # Ephemeral pool: the initializer ships the spec once per worker;
     # tasks carry only the key (the structure is not re-pickled per shard).
     tasks = [
         BranchTask(
-            None, spec_key, branch_index, skip_mode, start, stop, rows_per_chunk
+            None, spec_key, branch_index, skip_mode, start, stop,
+            rows_per_chunk, project_columns,
         )
         for branch_index, start, stop in units
     ]
@@ -565,7 +666,7 @@ def run_branches(
         max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
     ) as ephemeral:
         futures = [ephemeral.submit(task_fn, task) for task in tasks]
-        yield from drain(futures)
+        yield from bounded(drain(futures))
 
 
 def parallel_enumerate(
@@ -578,6 +679,7 @@ def parallel_enumerate(
     chunk_rows: Optional[int] = None,
     transport: Optional[str] = None,
     transfer_stats: Optional[TransferStats] = None,
+    row_budget: Optional[int] = None,
 ) -> Iterator[Answer]:
     """Enumerate ``q(A)`` using the branch-parallel engine.
 
@@ -586,7 +688,10 @@ def parallel_enumerate(
     clock (and, in process mode, the wire format) differs.
     """
     if pipeline.trivial is not None:
-        yield from trivial_answers(pipeline)
+        answers = trivial_answers(pipeline)
+        yield from (
+            answers if row_budget is None else islice(answers, row_budget)
+        )
         return
     for branch_answers in run_branches(
         pipeline,
@@ -598,6 +703,7 @@ def parallel_enumerate(
         chunk_rows=chunk_rows,
         transport=transport,
         transfer_stats=transfer_stats,
+        row_budget=row_budget,
     ):
         yield from branch_answers
 

@@ -107,6 +107,26 @@ class CancelledResultError(EngineError):
     """
 
 
+class DurabilityWarning(RuntimeWarning):
+    """A durability *accelerator* was dropped, not durability itself.
+
+    Emitted when a warm spill (``warm-<version>.pickle``) cannot be
+    written or read back: the snapshot + WAL remain authoritative and
+    the store stays fully durable, but the next ``Database.open`` pays a
+    cold rebuild for the affected cached pipelines.
+    """
+
+
+class MaintenanceWarning(RuntimeWarning):
+    """Warm plan maintenance was skipped; correctness is unaffected.
+
+    Emitted when a pinned commit cannot clone or refresh maintained
+    pipelines onto the forked head: the commit itself succeeds and every
+    reader stays consistent, but the new head rebuilds the affected
+    plans on demand instead of starting warm.
+    """
+
+
 def __getattr__(name: str):
     # Legacy alias (pre-PR-2 spelling); new code should catch
     # CancelledResultError.  Accessing the old name warns but keeps

@@ -26,7 +26,7 @@ construction.  Use the smart constructors :func:`and_`, :func:`or_`,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterator, Tuple, Union
+from typing import FrozenSet, Iterator, Optional, Tuple, Union
 
 from repro.errors import QueryError
 
@@ -218,7 +218,11 @@ class And(Formula):
         object.__setattr__(self, "free", free)
 
     def __str__(self) -> str:
-        return "(" + " & ".join(str(child) for child in self.children) + ")"
+        return (
+            "("
+            + " & ".join(_connective_part(child) for child in self.children)
+            + ")"
+        )
 
 
 @dataclass(frozen=True)
@@ -234,7 +238,11 @@ class Or(Formula):
         object.__setattr__(self, "free", free)
 
     def __str__(self) -> str:
-        return "(" + " | ".join(str(child) for child in self.children) + ")"
+        return (
+            "("
+            + " | ".join(_connective_part(child) for child in self.children)
+            + ")"
+        )
 
 
 @dataclass(frozen=True)
@@ -319,6 +327,18 @@ class ForallNear(Formula):
     def __str__(self) -> str:
         centers = ",".join(str(center) for center in self.centers)
         return f"forall {self.var} in N{self.radius}({centers}). ({self.child})"
+
+
+def _connective_part(child: Formula) -> str:
+    """Print one conjunct/disjunct, parenthesized when the grammar needs
+    it: a quantifier's body extends maximally to the right, so a
+    quantified child inside ``&`` / ``|`` must be wrapped or the re-parse
+    would capture the rest of the connective into its scope (the
+    ``parse(str(f)) == f`` round-trip contract)."""
+    text = str(child)
+    if isinstance(child, (Exists, Forall, ExistsNear, ForallNear)):
+        return f"({text})"
+    return text
 
 
 # ----------------------------------------------------------------------
@@ -572,10 +592,12 @@ def fresh_var(prefix: str = "_v") -> Var:
     return Var(f"{prefix}{_FRESH_COUNTER[0]}")
 
 
-def rename_apart(formula: Formula, taken: FrozenSet[Var] = frozenset()) -> Formula:
+def rename_apart(
+    formula: Formula, taken: Optional[FrozenSet[Var]] = None
+) -> Formula:
     """Rename bound variables so they are pairwise distinct and disjoint
     from ``taken`` and from all free variables."""
-    used = set(taken) | set(formula.free)
+    used = set(taken or ()) | set(formula.free)
 
     def walk(node: Formula, bound_map) -> Formula:
         if isinstance(node, (TrueF, FalseF)):

@@ -1,0 +1,26 @@
+"""qlang: the ``SELECT ... WHERE <FO formula>`` layer over the engine.
+
+``db.query("SELECT x, y WHERE B(x) & R(y) & ~E(x,y) ORDER BY x LIMIT 10")``
+parses here, compiles onto the session's enumeration engine
+(:mod:`repro.qlang.compiler`), and returns a
+:class:`~repro.qlang.runtime.CompiledQuery` whose stages are *fused*
+with the paper's algorithms: projection is pushed into the workers,
+``LIMIT`` becomes the engine's early-stop row budget, and a bare
+``SELECT COUNT(*)`` is the counting algorithm with no enumeration.
+"""
+
+from repro.qlang.ast import OrderKey, SelectQuery
+from repro.qlang.compiler import compile_select
+from repro.qlang.parser import is_select, parse_select
+from repro.qlang.runtime import CompiledQuery, StagePlan, StageSpec
+
+__all__ = [
+    "CompiledQuery",
+    "OrderKey",
+    "SelectQuery",
+    "StagePlan",
+    "StageSpec",
+    "compile_select",
+    "is_select",
+    "parse_select",
+]

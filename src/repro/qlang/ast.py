@@ -1,0 +1,81 @@
+"""The qlang AST: one immutable :class:`SelectQuery` per statement.
+
+qlang is the thin declarative layer over the paper's enumeration core::
+
+    SELECT x, y WHERE B(x) & R(y) & ~E(x,y) ORDER BY x LIMIT 10
+    SELECT COUNT(*) WHERE exists y. E(x,y)
+    SELECT x, COUNT(*) WHERE E(x,y) GROUP BY x
+
+The ``WHERE`` body is a full first-order formula (everything
+:func:`repro.fo.parse` accepts); the surrounding clauses compile to
+stream stages fused with the enumeration engine
+(:mod:`repro.qlang.compiler`).
+
+Both node types print canonically — ``parse_select(str(ast)) == ast``
+is a tested property — so an AST doubles as its own cache/debug key,
+mirroring the FO layer's ``parse(str(formula)) == formula`` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.fo.syntax import Formula
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ``ORDER BY`` key: a selected variable, optionally ``DESC``."""
+
+    column: str
+    descending: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.column} DESC" if self.descending else self.column
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """One parsed qlang statement.
+
+    ``columns`` are the selected variable names in output order (empty
+    for a bare ``SELECT COUNT(*)``); ``count`` records whether
+    ``COUNT(*)`` appears in the select list.  With ``group_by`` the
+    output rows are the distinct key tuples in first-seen enumeration
+    order, extended by a trailing count column when ``count`` is set.
+    """
+
+    columns: Tuple[str, ...]
+    where: Formula
+    count: bool = False
+    group_by: Tuple[str, ...] = ()
+    order_by: Tuple[OrderKey, ...] = field(default=())
+    limit: Optional[int] = None
+
+    @property
+    def output_columns(self) -> Tuple[str, ...]:
+        """The column names of the rows this query yields."""
+        if self.count and not self.columns:
+            return ("count",)
+        if self.count:
+            return self.columns + ("count",)
+        return self.columns
+
+    def __str__(self) -> str:
+        select_list = list(self.columns)
+        if self.count:
+            select_list.append("COUNT(*)")
+        parts = [
+            f"SELECT {', '.join(select_list)}",
+            f"WHERE {self.where}",
+        ]
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        if self.order_by:
+            parts.append(
+                f"ORDER BY {', '.join(str(key) for key in self.order_by)}"
+            )
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)

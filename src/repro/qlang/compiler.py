@@ -1,0 +1,167 @@
+"""Compile a :class:`~repro.qlang.ast.SelectQuery` onto the enumeration core.
+
+The compiler's whole job is to *fuse* the declarative clauses with the
+paper's three operations instead of post-processing in Python:
+
+* the ``WHERE`` formula becomes the inner :class:`repro.session.Query`
+  (preprocessing, caching, backend selection all reused);
+* the ``SELECT`` list becomes the inner query's variable *order* — the
+  needed columns come first, so projection is a worker-side
+  trailing-column drop (``project_columns`` pushdown: dropped columns
+  never cross the process boundary in process mode);
+* ``LIMIT k`` with no reordering stage in between becomes the
+  ``answers(limit=k)`` row budget — enumeration *stops* after ``k``
+  rows (O(k) work, cancelled futures), it does not truncate a full
+  materialization;
+* bare ``SELECT COUNT(*)`` never enumerates at all — it is the
+  counting algorithm (Theorem 2.5) verbatim.
+
+Only ``GROUP BY`` / ``ORDER BY`` force materialization, and then only
+at their stage — everything upstream still streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import QueryError
+from repro.qlang.ast import SelectQuery
+from repro.qlang.runtime import CompiledQuery, StageSpec
+
+
+def _dedup(names) -> Tuple[str, ...]:
+    seen = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    return tuple(seen)
+
+
+def compile_select(select: SelectQuery, owner, **options) -> CompiledQuery:
+    """Build a :class:`CompiledQuery` for ``select`` against ``owner``.
+
+    ``owner`` is anything with the session ``query(formula, order=...)``
+    method — a :class:`repro.session.Database` or a snapshot.
+    ``options`` pass through to it (``backend``, ``workers``,
+    ``chunk_rows``, ...).
+    """
+    free_names = sorted(var.name for var in select.where.free)
+    free_set = set(free_names)
+
+    for column in select.columns:
+        if column not in free_set:
+            raise QueryError(
+                f"SELECT column {column!r} is not a free variable of the "
+                f"WHERE formula (free: {', '.join(free_names) or 'none'})"
+            )
+    for name in select.group_by:
+        if name not in free_set:
+            raise QueryError(
+                f"GROUP BY variable {name!r} is not a free variable of "
+                f"the WHERE formula"
+            )
+    if select.group_by:
+        if len(set(select.group_by)) != len(select.group_by):
+            raise QueryError("duplicate variable in GROUP BY")
+        missing = [c for c in select.columns if c not in select.group_by]
+        if missing:
+            raise QueryError(
+                f"SELECT column(s) {', '.join(missing)} must appear in "
+                "GROUP BY (only grouped variables and COUNT(*) may be "
+                "selected)"
+            )
+    elif select.count and select.columns:
+        raise QueryError(
+            "COUNT(*) next to plain columns requires GROUP BY"
+        )
+    if select.count and not select.columns and select.order_by:
+        raise QueryError("a bare SELECT COUNT(*) yields one row; "
+                         "ORDER BY does not apply")
+
+    output_columns = select.output_columns
+    order_targets = set(output_columns) if select.group_by else free_set
+    for key in select.order_by:
+        if key.column not in order_targets:
+            raise QueryError(
+                f"ORDER BY key {key.column!r} is not "
+                + ("an output column of the grouped query"
+                   if select.group_by
+                   else "a free variable of the WHERE formula")
+            )
+
+    # The columns enumeration must carry: grouped keys, or the selected
+    # columns plus any ORDER BY keys that are not selected (sorted on,
+    # then dropped parent-side).
+    if select.group_by:
+        carried = _dedup(select.group_by)
+    else:
+        carried = _dedup(
+            tuple(select.columns)
+            + tuple(key.column for key in select.order_by)
+        )
+
+    bare_count = select.count and not select.columns
+    stages: List[StageSpec] = [StageSpec("where", str(select.where))]
+    if bare_count:
+        inner_query = owner.query(select.where, **options)
+        stages.append(
+            StageSpec("count", "COUNT(*) via the counting algorithm "
+                               "(no enumeration)")
+        )
+    else:
+        # Needed columns first: projection = keep the leading prefix.
+        inner_order = carried + tuple(
+            name for name in free_names if name not in carried
+        )
+        inner_query = owner.query(
+            select.where, order=inner_order, **options
+        )
+        if len(carried) < len(inner_order):
+            project = tuple(range(len(carried)))
+            detail = (
+                f"({', '.join(carried)}) — drops "
+                f"({', '.join(n for n in inner_order[len(carried):])}) "
+                "worker-side, before transport"
+            )
+        else:
+            project = None
+            detail = f"({', '.join(carried)}) — identity, no drop needed"
+        stages.append(StageSpec("project", detail))
+        if select.group_by:
+            detail = f"({', '.join(select.group_by)})"
+            if select.count:
+                detail += " -> count per group"
+            stages.append(StageSpec("group", detail + ", first-seen order"))
+        if select.order_by:
+            stages.append(
+                StageSpec(
+                    "order",
+                    ", ".join(str(key) for key in select.order_by)
+                    + " (stable, materializes)",
+                )
+            )
+    push_limit = (
+        select.limit is not None
+        and not bare_count
+        and not select.group_by
+        and not select.order_by
+    )
+    if select.limit is not None:
+        stages.append(
+            StageSpec(
+                "limit",
+                f"{select.limit} "
+                + ("[pushed into enumeration: row budget, early stop]"
+                   if push_limit
+                   else "[applied after the reordering stage]"),
+            )
+        )
+
+    return CompiledQuery(
+        select=select,
+        query=inner_query,
+        stages=tuple(stages),
+        carried_columns=() if bare_count else carried,
+        project=(None if bare_count else project),
+        push_limit=push_limit,
+    )

@@ -1,0 +1,189 @@
+"""Parse qlang ``SELECT`` statements into :class:`~repro.qlang.ast.SelectQuery`.
+
+Grammar (keywords are case-insensitive; clause order is fixed)::
+
+    statement   := "SELECT" select_list "WHERE" formula
+                   [ "GROUP BY" name_list ]
+                   [ "ORDER BY" order_key ("," order_key)* ]
+                   [ "LIMIT" INT ]
+    select_list := "COUNT(*)" | NAME ("," NAME)* ["," "COUNT(*)"]
+    order_key   := NAME [ "ASC" | "DESC" ]
+
+The ``WHERE`` body is handed verbatim to :func:`repro.fo.parse`, so the
+full FO grammar (quantifiers, ``dist``, relativized neighborhoods, ...)
+is available.  One reservation follows from that split: the clause
+keywords ``GROUP``, ``ORDER`` and ``LIMIT`` terminate the formula text,
+so relations with those names cannot appear in a qlang ``WHERE`` body —
+use the raw-formula API (``db.query(parse(...))``) for such schemas.
+
+:func:`is_select` is the sniffer ``Database.query`` uses to route a
+string: it answers True only for statements that *start* with the
+``SELECT`` keyword (``select(x, y)`` stays a plain FO relation atom).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.fo.parser import parse as parse_formula
+from repro.qlang.ast import OrderKey, SelectQuery
+
+# `SELECT` as a *keyword*: at the start, not followed by `(` (which
+# would make it a relation atom of a plain FO formula).
+_SELECT_RE = re.compile(r"^\s*select\b(?!\s*\()", re.IGNORECASE)
+
+# The clause keywords that may terminate the WHERE body, as keywords
+# (not followed by `(`, which would make them relation atoms -- still
+# reserved, see the module docstring, but the lookahead gives a clearer
+# error than silently truncating the formula).
+_TAIL_RE = re.compile(
+    r"\b(group\s+by|order\s+by|limit)\b(?!\s*\()", re.IGNORECASE
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_COUNT_RE = re.compile(r"^count\s*\(\s*\*\s*\)$", re.IGNORECASE)
+_INT_RE = re.compile(r"^\d+$")
+
+
+def is_select(text: str) -> bool:
+    """Whether ``text`` is a qlang statement (vs a raw FO formula)."""
+    return isinstance(text, str) and _SELECT_RE.match(text) is not None
+
+
+def _split_names(clause: str, text: str) -> List[str]:
+    names = [part.strip() for part in text.split(",")]
+    if any(not name for name in names):
+        raise ParseError(f"empty name in {clause} list: {text!r}")
+    for name in names:
+        if not _NAME_RE.match(name):
+            raise ParseError(
+                f"{clause} expects variable names, got {name!r}"
+            )
+    return names
+
+
+def _parse_select_list(text: str) -> Tuple[Tuple[str, ...], bool]:
+    parts = [part.strip() for part in text.split(",")]
+    if any(not part for part in parts):
+        raise ParseError(f"empty entry in SELECT list: {text!r}")
+    columns: List[str] = []
+    count = False
+    for position, part in enumerate(parts):
+        if _COUNT_RE.match(part):
+            if count:
+                raise ParseError("COUNT(*) may appear at most once")
+            if position != len(parts) - 1:
+                raise ParseError("COUNT(*) must be the last SELECT entry")
+            count = True
+        elif _NAME_RE.match(part):
+            columns.append(part)
+        else:
+            raise ParseError(
+                f"SELECT list expects variable names or COUNT(*), got "
+                f"{part!r}"
+            )
+    return tuple(columns), count
+
+
+def _parse_order_list(text: str) -> Tuple[OrderKey, ...]:
+    keys: List[OrderKey] = []
+    for part in text.split(","):
+        tokens = part.split()
+        if not tokens:
+            raise ParseError(f"empty entry in ORDER BY list: {text!r}")
+        name = tokens[0]
+        if not _NAME_RE.match(name):
+            raise ParseError(
+                f"ORDER BY expects variable names, got {name!r}"
+            )
+        descending = False
+        if len(tokens) == 2:
+            direction = tokens[1].upper()
+            if direction == "DESC":
+                descending = True
+            elif direction != "ASC":
+                raise ParseError(
+                    f"ORDER BY direction must be ASC or DESC, got "
+                    f"{tokens[1]!r}"
+                )
+        elif len(tokens) > 2:
+            raise ParseError(f"malformed ORDER BY entry: {part.strip()!r}")
+        keys.append(OrderKey(name, descending))
+    return tuple(keys)
+
+
+def parse_select(text: str) -> SelectQuery:
+    """Parse one qlang statement; raises :class:`repro.errors.ParseError`."""
+    if not is_select(text):
+        raise ParseError(
+            "a qlang statement must start with the SELECT keyword; "
+            "raw FO formulas go through repro.fo.parse"
+        )
+    body = _SELECT_RE.sub("", text, count=1)
+    where_split = re.split(r"\bwhere\b", body, maxsplit=1, flags=re.IGNORECASE)
+    if len(where_split) != 2:
+        raise ParseError("a qlang statement requires a WHERE clause")
+    select_text, tail = where_split
+    select_text = select_text.strip()
+    if not select_text:
+        raise ParseError("empty SELECT list")
+    columns, count = _parse_select_list(select_text)
+
+    # The WHERE body runs to the first tail-clause keyword.
+    match = _TAIL_RE.search(tail)
+    where_text = tail[: match.start()] if match else tail
+    if not where_text.strip():
+        raise ParseError("empty WHERE clause")
+    where = parse_formula(where_text)
+
+    group_by: Tuple[str, ...] = ()
+    order_by: Tuple[OrderKey, ...] = ()
+    limit: Optional[int] = None
+    rest = tail[match.start() :] if match else ""
+    seen_rank = -1  # clause order: GROUP BY (0) < ORDER BY (1) < LIMIT (2)
+    while rest.strip():
+        head = _TAIL_RE.match(rest.strip())
+        if head is None:
+            raise ParseError(f"unexpected trailing input: {rest.strip()!r}")
+        rest = rest.strip()
+        keyword = re.sub(r"\s+", " ", head.group(1).lower())
+        rank = {"group by": 0, "order by": 1, "limit": 2}[keyword]
+        if rank <= seen_rank:
+            raise ParseError(
+                f"clause {keyword.upper()} out of order (expected "
+                "GROUP BY, then ORDER BY, then LIMIT)"
+            )
+        seen_rank = rank
+        remainder = rest[head.end() :]
+        next_clause = _TAIL_RE.search(remainder)
+        argument = (
+            remainder[: next_clause.start()] if next_clause else remainder
+        ).strip()
+        if not argument:
+            raise ParseError(f"{keyword.upper()} requires an argument")
+        if keyword == "group by":
+            group_by = tuple(_split_names("GROUP BY", argument))
+        elif keyword == "order by":
+            order_by = _parse_order_list(argument)
+        else:
+            if not _INT_RE.match(argument):
+                raise ParseError(
+                    f"LIMIT expects a non-negative integer, got {argument!r}"
+                )
+            limit = int(argument)
+        rest = remainder[next_clause.start() :] if next_clause else ""
+
+    if count and not columns and group_by:
+        raise ParseError(
+            "GROUP BY requires the grouped variables in the SELECT list"
+        )
+    return SelectQuery(
+        columns=columns,
+        where=where,
+        count=count,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+    )

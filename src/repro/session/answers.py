@@ -43,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import threading
 import weakref
+from itertools import islice
 from typing import (
     AsyncIterator,
     Hashable,
@@ -101,11 +102,29 @@ class Answers:
         pin=None,
         version_source=None,
         stale_policy: str = "pin",
+        row_budget: Optional[int] = None,
+        project_columns: Optional[Tuple[int, ...]] = None,
     ):
         if stale_policy not in ("pin", "raise"):
             raise EngineError(
                 f"stale_policy must be 'pin' or 'raise', got {stale_policy!r}"
             )
+        if row_budget is not None and row_budget < 0:
+            raise EngineError(
+                f"row_budget must be >= 0, got {row_budget}"
+            )
+        self._row_budget = row_budget
+        if project_columns is not None:
+            project_columns = tuple(project_columns)
+            if any(
+                not isinstance(i, int) or i < 0 or i >= pipeline.arity
+                for i in project_columns
+            ):
+                raise EngineError(
+                    f"project_columns {project_columns!r} out of range for "
+                    f"arity {pipeline.arity}"
+                )
+        self._project_columns = project_columns
         self._pipeline = pipeline
         self._structure = pipeline.structure
         self._version = pipeline.structure.version
@@ -134,6 +153,8 @@ class Answers:
             chunk_rows=chunk_rows,
             transport=transport,
             transfer_stats=TransferStats(),
+            row_budget=row_budget,
+            project_columns=project_columns,
         )
         self._answers: List[Answer] = []
         self._source: Optional[Iterator[List[Answer]]] = None
@@ -236,6 +257,19 @@ class Answers:
     def cancelled(self) -> bool:
         return self._cancelled
 
+    @property
+    def row_budget(self):
+        """The early-stop bound this handle was created with (``None``
+        = unbudgeted): it serves at most this many answers."""
+        return self._row_budget
+
+    @property
+    def project_columns(self):
+        """The SELECT-list pushdown this handle was created with
+        (``None`` = full answer tuples): each served row keeps only
+        these answer columns, in this order."""
+        return self._project_columns
+
     # -- lazy production -----------------------------------------------
 
     def _ensure_source(self) -> None:
@@ -244,7 +278,15 @@ class Answers:
         if self._pipeline.trivial is not None:
             self._plan.used_mode = "serial"
             self._plan.used_transport = "none"
-            self._source = iter([list(trivial_answers(self._pipeline))])
+            answers = trivial_answers(self._pipeline)
+            if self._project_columns is not None:
+                columns = self._project_columns
+                answers = (
+                    tuple(row[i] for i in columns) for row in answers
+                )
+            if self._row_budget is not None:
+                answers = islice(answers, self._row_budget)
+            self._source = iter([list(answers)])
         else:
             self._source = self._backend.run(self._plan)
 
@@ -295,12 +337,17 @@ class Answers:
     # -- the synchronous access paths ----------------------------------
 
     def page(self, index: int, size: int = DEFAULT_PAGE_SIZE) -> List[Answer]:
-        """The ``index``-th page (0-based) of ``size`` answers."""
+        """The ``index``-th page (0-based) of ``size`` answers.
+
+        Liveness comes first: a cancelled (or stale) handle raises its
+        liveness error even for malformed page arguments, so sealed,
+        unsealed, and cancelled handles present one error contract.
+        """
+        self._check_live()
         if index < 0 or size < 1:
             raise EngineError(
                 f"bad page request (index={index}, size={size})"
             )
-        self._check_live()
         self._pull((index + 1) * size)
         return self._answers[index * size : (index + 1) * size]
 
@@ -339,7 +386,13 @@ class Answers:
         """
         self._check_live()
         if self._count is None:
-            if self._pipeline.trivial is not None:
+            if self._row_budget is not None:
+                # A budgeted handle counts what it *serves*:
+                # min(|q(A)|, budget).  Materializing is O(budget) rows
+                # thanks to the early-stop path, and seals the handle.
+                self._pull(None)
+                self._count = len(self._answers)
+            elif self._pipeline.trivial is not None:
                 self._plan.used_count_mode = "serial"
                 self._count = trivial_count(self._pipeline)
             else:
@@ -353,14 +406,26 @@ class Answers:
         shared pipeline may since have been maintained past this
         handle's version) with the same error contract as the testing
         algorithm: :class:`~repro.errors.QueryError` on arity mismatch
-        or out-of-domain elements.
+        or out-of-domain elements.  A *budgeted* handle serves only its
+        first ``row_budget`` answers, so membership means "in the
+        served prefix" — it materializes (O(budget)) and checks that.
         """
         self._check_live()
+        if self._row_budget is not None or self._project_columns is not None:
+            # Budgeted / projected handles serve a derived row sequence;
+            # membership is against the rows actually served, so
+            # materialize and answer from the sealed set.
+            self._pull(None)
         if self._sealed:
             candidate = tuple(candidate)
-            if len(candidate) != self._pipeline.arity:
+            arity = (
+                len(self._project_columns)
+                if self._project_columns is not None
+                else self._pipeline.arity
+            )
+            if len(candidate) != arity:
                 raise QueryError(
-                    f"expected a {self._pipeline.arity}-tuple, got "
+                    f"expected a {arity}-tuple, got "
                     f"{len(candidate)}-tuple"
                 )
             for element in candidate:

@@ -27,6 +27,7 @@ from repro.engine.executor import (
     decide_count_mode,
     decide_mode,
     parallel_count,
+    resolve_chunk_rows,
     run_branches,
 )
 from repro.engine.pool import WorkerPool
@@ -67,6 +68,12 @@ class ExecutionPlan:
     pool: Optional[WorkerPool] = None
     chunk_rows: Optional[int] = None
     transport: Optional[str] = None
+    # Early-stop: the run yields at most this many rows (min(total,
+    # budget), byte-identical prefix), cancelling abandoned work units.
+    row_budget: Optional[int] = None
+    # SELECT-list pushdown: answer columns to keep (1:1 row-preserving;
+    # process workers drop the rest before encoding).
+    project_columns: Optional[Tuple[int, ...]] = None
     transfer_stats: Optional[TransferStats] = field(default=None, compare=False)
     used_mode: Optional[str] = field(default=None, compare=False)
     used_count_mode: Optional[str] = field(default=None, compare=False)
@@ -116,6 +123,18 @@ class PoolBackend:
 
     def run(self, plan: ExecutionPlan) -> Iterator[List[Answer]]:
         mode, workers = self.resolve(plan)
+        if (
+            self._mode is None
+            and plan.row_budget is not None
+            and mode != "serial"
+            and plan.row_budget
+            <= resolve_chunk_rows(plan.pipeline, plan.chunk_rows)
+        ):
+            # Constant delay bounds a budgeted run's useful work to
+            # O(budget) rows; for small budgets pool startup and shard
+            # materialization dominate, so auto stays serial.  A forced
+            # backend keeps its mode (the budget still truncates it).
+            mode, workers = "serial", 1
         plan.used_mode = mode
         plan.used_transport = (
             resolve_transport(plan.transport) if mode == "process" else "none"
@@ -131,6 +150,8 @@ class PoolBackend:
             chunk_rows=plan.chunk_rows,
             transport=plan.transport,
             transfer_stats=plan.transfer_stats,
+            row_budget=plan.row_budget,
+            project_columns=plan.project_columns,
         )
 
     def count(self, plan: ExecutionPlan) -> int:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
 
 from repro.core.colored_graph import ColoredGraph, build_colored_graph
@@ -48,11 +49,13 @@ from repro.engine.pool import WorkerPool
 from repro.errors import (
     DurabilityError,
     EngineError,
+    MaintenanceWarning,
     RetentionLimitError,
     SignatureError,
 )
 from repro.fo import coerce_formula
 from repro.fo.syntax import Formula, Var
+from repro.qlang import compile_select, is_select, parse_select
 from repro.session.query import Query
 from repro.session.snapshot import Snapshot
 from repro.session.transaction import (
@@ -269,8 +272,31 @@ class Database:
         answer transport (default: columnar codec, cost-model chunk
         size; ``transport="pickle"`` restores the legacy whole-list
         transfer).
+
+        A string starting with the ``SELECT`` keyword is a qlang
+        statement (``SELECT x, y WHERE <FO formula> ...``): it is
+        parsed, compiled onto this session's engine, and returned as a
+        :class:`repro.qlang.CompiledQuery` instead of a plain
+        :class:`Query` (``order`` comes from the SELECT list there, so
+        passing both is an error).
         """
         self._check_open()
+        if isinstance(query, str) and is_select(query):
+            if order is not None:
+                raise EngineError(
+                    "a qlang SELECT statement fixes its own column "
+                    "order; drop the order= argument"
+                )
+            return compile_select(
+                parse_select(query),
+                self,
+                backend=backend,
+                skip_mode=skip_mode,
+                workers=workers,
+                budget=budget,
+                chunk_rows=chunk_rows,
+                transport=transport,
+            )
         return Query(
             self,
             coerce_formula(query),
@@ -628,7 +654,18 @@ class Database:
                 clone = PipelineMaintainer(maintainer.pipeline.fork(new_structure))
                 pre_regions[key] = clone.reach(touched)
                 clones[key] = clone
-        except Exception:
+        except Exception as error:
+            # Anything a user-defined element or formula atom does inside
+            # fork/reach can surface here; warmth is best-effort, so warn
+            # and degrade rather than fail the commit.
+            warnings.warn(
+                f"warm fork degraded to cold: cloning "
+                f"{len(self._maintainers)} maintained plan(s) onto "
+                f"version {new_structure.version} failed ({error!r}); "
+                "the new head rebuilds them on demand",
+                MaintenanceWarning,
+                stacklevel=3,
+            )
             clones, pre_regions = {}, {}
         apply_ops(new_structure, effective)
         # Point of no return — everything above touched only the fork.
@@ -656,7 +693,15 @@ class Database:
                     region = pre_regions[key] | clone.reach(touched)
                     clone.refresh(touched, region)
                 maintained = clones
-            except Exception:
+            except Exception as error:
+                warnings.warn(
+                    f"warm fork degraded to cold: refreshing "
+                    f"{len(clones)} cloned plan(s) for version "
+                    f"{new_structure.version} failed ({error!r}); the "
+                    "new head rebuilds them on demand",
+                    MaintenanceWarning,
+                    stacklevel=3,
+                )
                 maintained = {}
         self._maintainers = {}
         for key, clone in maintained.items():

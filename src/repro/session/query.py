@@ -289,7 +289,11 @@ class Query:
         with self._pinned() as pipeline:
             return test_answer(pipeline, candidate)
 
-    def answers(self) -> Answers:
+    def answers(
+        self,
+        limit: Optional[int] = None,
+        project: Optional[Tuple[int, ...]] = None,
+    ) -> Answers:
         """A fresh :class:`Answers` handle (Theorem 2.7, constant delay).
 
         The handle *pins* the structure version it was planned against:
@@ -300,6 +304,16 @@ class Query:
         ``Query`` itself stays live (re-resolving to the new head).
         Cancel, fully drop, or garbage-collect the handle to release
         the pin.
+
+        ``limit`` is the early-stop path (what ``LIMIT k`` compiles
+        to): the handle serves exactly the first ``min(|q(A)|, limit)``
+        answers of the serial order, and production stops after that —
+        O(limit) enumeration work instead of materializing everything.
+
+        ``project`` keeps only those answer columns, in that order
+        (what a qlang SELECT list compiles to).  Rows stay 1:1 with the
+        enumeration — duplicates are *not* collapsed — and in process
+        mode the drop happens worker-side, before encoding.
         """
         self._db._check_open()
         if self._snapshot is not None:
@@ -325,6 +339,8 @@ class Query:
             transport=self._transport,
             pin=pin,
             version_source=self._db._head_version,
+            row_budget=limit,
+            project_columns=project,
         )
 
     def __iter__(self):

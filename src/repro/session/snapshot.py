@@ -26,6 +26,7 @@ from repro.engine.cache import coerce_order
 from repro.errors import EngineError, StaleResultError
 from repro.fo import coerce_formula
 from repro.fo.syntax import Formula, Var
+from repro.qlang import compile_select, is_select, parse_select
 from repro.session.query import Query
 from repro.structures.structure import Structure
 
@@ -123,8 +124,28 @@ class Snapshot:
         Same surface as :meth:`Database.query`; the returned
         :class:`Query` (and every :class:`Answers` handle it creates)
         stays on this snapshot's version no matter what commits later.
+
+        qlang ``SELECT`` statements compile here too — against the
+        pinned version — and return a
+        :class:`repro.qlang.CompiledQuery`.
         """
         self._check_open()
+        if isinstance(query, str) and is_select(query):
+            if order is not None:
+                raise EngineError(
+                    "a qlang SELECT statement fixes its own column "
+                    "order; drop the order= argument"
+                )
+            return compile_select(
+                parse_select(query),
+                self,
+                backend=backend,
+                skip_mode=skip_mode,
+                workers=workers,
+                budget=budget,
+                chunk_rows=chunk_rows,
+                transport=transport,
+            )
         return Query(
             self._db,
             coerce_formula(query),

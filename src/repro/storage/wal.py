@@ -44,11 +44,12 @@ import io
 import json
 import os
 import pickle
+import warnings
 import zlib
 from dataclasses import dataclass
 from typing import Hashable, List, Optional, Sequence, Tuple
 
-from repro.errors import DurabilityError
+from repro.errors import DurabilityError, DurabilityWarning
 from repro.structures import serialize
 from repro.structures.structure import Structure
 
@@ -283,10 +284,23 @@ class DurableStore:
             }
             try:
                 blob = pickle.dumps(bundle, protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception:
+            except (
+                pickle.PicklingError,
+                TypeError,
+                AttributeError,
+                RecursionError,
+            ) as error:
                 # The spill is an accelerator, never a durability
                 # requirement: unpicklable pipelines (exotic elements,
                 # user-defined formula atoms) degrade to a cold reopen.
+                warnings.warn(
+                    f"dropping warm spill warm-{version}.pickle: "
+                    f"{len(warm_entries)} cached pipeline(s) could not be "
+                    f"pickled ({error!r}); the store stays durable but "
+                    "reopens cold",
+                    DurabilityWarning,
+                    stacklevel=2,
+                )
                 warm_name = None
             else:
                 warm_name = f"warm-{version}.pickle"
@@ -458,6 +472,17 @@ class DurableStore:
             if structure.content_fingerprint() != manifest["fingerprint"]:
                 return None, ()
             return structure, tuple(bundle["entries"])
-        except Exception:
-            # Spill corruption must never block recovery.
+        except Exception as error:
+            # Spill corruption must never block recovery — anything can
+            # go wrong inside pickle.load of a damaged file (OSError,
+            # EOFError, UnpicklingError, arbitrary errors from unpickled
+            # content), so the breadth here is deliberate; the warning
+            # keeps it from being silent.
+            warnings.warn(
+                "ignoring unreadable warm spill "
+                f"{os.path.basename(warm_path)} ({error!r}); recovery "
+                "continues cold from snapshot + WAL",
+                DurabilityWarning,
+                stacklevel=2,
+            )
             return None, ()

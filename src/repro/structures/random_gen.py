@@ -132,11 +132,14 @@ def random_colored_graph(
 
 def low_degree_graph(
     n: int,
-    degree_schedule: Callable[[int], int] = degree_log(),
+    degree_schedule: Optional[Callable[[int], int]] = None,
     colors: Sequence[str] = ("B", "R"),
     seed: int = 0,
 ) -> Structure:
-    """A colored graph whose degree follows ``degree_schedule(n)``."""
+    """A colored graph whose degree follows ``degree_schedule(n)``
+    (default: :func:`degree_log`)."""
+    if degree_schedule is None:
+        degree_schedule = degree_log()
     return random_colored_graph(
         n, max_degree=degree_schedule(n), colors=colors, seed=seed
     )

@@ -88,7 +88,7 @@ class TestInputValidation:
         # Unknown relations surface as QueryError during localization /
         # evaluation rather than producing garbage.
         query = parse("Mystery(x) & exists z. Mystery(z) & ~E(x,z)")
-        with pytest.raises(Exception):
+        with pytest.raises(QueryError):
             pipeline = Pipeline(small_colored, query, order=(x,))
             list(pipeline.branches)
 

@@ -1,0 +1,62 @@
+"""Regression for the fuzzer flake: strategy-level unit-budget bounding.
+
+CHANGES.md (PR 4) documented that the Hypothesis strategies can generate
+formulas whose clause expansion trips the pipeline's ``max_units=16``
+budget.  Unit counts are structure-dependent — localization evaluates
+global content against the structure — so the bound lives on the
+*(structure, formula) pair*: :func:`repro.core.pipeline.supports_query`
+runs the graph-free front half of pipeline construction, and the
+``supported_inputs`` strategy rejects over-budget pairs before any test
+body sees them.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.pipeline import Pipeline, supports_query
+from repro.errors import UnsupportedQueryError
+from repro.fo.parser import parse
+
+from strategies import MAX_UNITS_FLAKY_FORMULA, supported_inputs
+
+
+@given(pair=supported_inputs(max_n=8))
+@settings(
+    max_examples=500,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+def test_strategy_never_emits_over_budget_pair(pair):
+    """500 draws: every pair the strategy emits builds without tripping
+    the max_units budget (the documented flake is dead)."""
+    db, formula = pair
+    Pipeline(db, formula, order=sorted(formula.free))
+
+
+@given(pair=supported_inputs(max_n=8, ternary=True, max_depth=2))
+@settings(
+    max_examples=100,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+def test_strategy_never_emits_over_budget_ternary_pair(pair):
+    db, formula = pair
+    Pipeline(db, formula, order=sorted(formula.free))
+
+
+class TestSupportsQuery:
+    def test_rejects_the_canonical_flaky_formula(self, small_colored):
+        formula = parse(MAX_UNITS_FLAKY_FORMULA)
+        assert not supports_query(
+            small_colored, formula, order=sorted(formula.free)
+        )
+
+    def test_agrees_with_pipeline_on_rejection(self, small_colored):
+        formula = parse(MAX_UNITS_FLAKY_FORMULA)
+        with pytest.raises(UnsupportedQueryError, match="units"):
+            Pipeline(small_colored, formula, order=sorted(formula.free))
+
+    def test_accepts_a_supported_query(self, small_colored):
+        formula = parse("E(x, y) & B(x)")
+        assert supports_query(small_colored, formula, order=sorted(formula.free))
+        Pipeline(small_colored, formula, order=sorted(formula.free))

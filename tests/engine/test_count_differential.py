@@ -10,15 +10,19 @@ pipeline rebuild, or the summation.
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 
 from repro import prepare
 from repro.core.counting import count_answers
 from repro.engine import QueryBatch, WorkerPool, parallel_count
-from repro.errors import UnsupportedQueryError
 from repro.fo.semantics import naive_count
 
-from strategies import formulas, structures, ternary_structures
+from strategies import (
+    formulas,
+    rejecting_unsupported,
+    structures,
+    ternary_structures,
+)
 
 SETTINGS = dict(
     deadline=None,
@@ -35,10 +39,8 @@ def shared_pool():
 
 
 def prepare_or_reject(db, formula, order=None):
-    try:
+    with rejecting_unsupported():
         return prepare(db, formula, order=order)
-    except UnsupportedQueryError:
-        assume(False)
 
 
 def assert_counts_match(db, formula, pool, modes=("serial", "thread")):

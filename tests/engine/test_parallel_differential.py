@@ -11,14 +11,18 @@ is a bug in the branch splitting, the deterministic merge, or the cache.
 from __future__ import annotations
 
 import pytest
-from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import HealthCheck, given, settings
 
 from repro import prepare
 from repro.core.baselines import product_enumerate
 from repro.engine import QueryBatch, parallel_enumerate
-from repro.errors import UnsupportedQueryError
 
-from strategies import formulas, structures, ternary_structures
+from strategies import (
+    formulas,
+    rejecting_unsupported,
+    structures,
+    ternary_structures,
+)
 
 SETTINGS = dict(
     deadline=None,
@@ -33,10 +37,8 @@ def prepare_or_reject(db, formula, order):
     ``UnsupportedQueryError``; such formulas are out of scope for the
     engine-vs-serial comparison, not failures.
     """
-    try:
+    with rejecting_unsupported():
         return prepare(db, formula, order=order)
-    except UnsupportedQueryError:
-        assume(False)
 
 
 def assert_engine_matches(db, formula, workers=3, modes=("serial", "thread")):

@@ -1,0 +1,161 @@
+"""qlang grammar: fixed cases, error cases, and the print/parse
+round-trip property mirroring the FO layer's ``parse(str(f)) == f``."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.fo.parser import parse as parse_formula
+from repro.qlang import OrderKey, SelectQuery, is_select, parse_select
+
+from tests.strategies import formulas
+
+
+class TestDetection:
+    def test_select_keyword_is_detected(self):
+        assert is_select("SELECT x WHERE B(x)")
+        assert is_select("  select x, y where E(x,y)")
+        assert is_select("SeLeCt COUNT(*) WHERE B(x)")
+
+    def test_relation_named_select_is_not_a_statement(self):
+        # `select(...)` is a plain FO relation atom, not the keyword.
+        assert not is_select("select(x, y) & B(x)")
+        assert not is_select("select (x) | R(x)")
+
+    def test_plain_formulas_are_not_statements(self):
+        assert not is_select("B(x) & R(y) & ~E(x,y)")
+        assert not is_select("exists y. E(x,y)")
+
+
+class TestGrammar:
+    def test_minimal(self):
+        ast = parse_select("SELECT x WHERE B(x)")
+        assert ast == SelectQuery(
+            columns=("x",), where=parse_formula("B(x)")
+        )
+
+    def test_all_clauses(self):
+        ast = parse_select(
+            "SELECT x, y WHERE B(x) & E(x,y) "
+            "ORDER BY y DESC, x ASC LIMIT 12"
+        )
+        assert ast.columns == ("x", "y")
+        assert ast.order_by == (OrderKey("y", True), OrderKey("x", False))
+        assert ast.limit == 12
+
+    def test_count_star(self):
+        ast = parse_select("SELECT COUNT(*) WHERE exists y. E(x,y)")
+        assert ast.count and ast.columns == ()
+        assert ast.output_columns == ("count",)
+
+    def test_group_by_with_count(self):
+        ast = parse_select(
+            "SELECT x, COUNT(*) WHERE E(x,y) GROUP BY x"
+        )
+        assert ast.count and ast.columns == ("x",)
+        assert ast.group_by == ("x",)
+        assert ast.output_columns == ("x", "count")
+
+    def test_where_takes_the_full_fo_grammar(self):
+        ast = parse_select(
+            "SELECT x WHERE forall z in N2(x). (~B(z) | dist(x,z) <= 1)"
+        )
+        assert ast.where == parse_formula(
+            "forall z in N2(x). (~B(z) | dist(x,z) <= 1)"
+        )
+
+    @pytest.mark.parametrize(
+        "bad, match",
+        [
+            ("SELECT x", "WHERE"),
+            ("SELECT WHERE B(x)", "SELECT list"),
+            ("SELECT x WHERE", "empty WHERE"),
+            ("SELECT x WHERE B(x) LIMIT", "LIMIT requires"),
+            ("SELECT x WHERE B(x) LIMIT -1", "non-negative"),
+            ("SELECT x WHERE B(x) LIMIT two", "non-negative"),
+            ("SELECT COUNT(*), x WHERE B(x)", "last SELECT entry"),
+            ("SELECT COUNT(*), COUNT(*) WHERE B(x)", "last SELECT entry"),
+            ("SELECT x WHERE B(x) ORDER BY x SIDEWAYS", "ASC or DESC"),
+            ("SELECT x WHERE B(x) LIMIT 3 ORDER BY x", "out of order"),
+            ("SELECT x WHERE B(x) ORDER BY x GROUP BY x", "out of order"),
+            ("SELECT 1+1 WHERE B(x)", "variable names"),
+            ("B(x) & R(y)", "SELECT keyword"),
+        ],
+    )
+    def test_rejects(self, bad, match):
+        with pytest.raises(ParseError, match=match):
+            parse_select(bad)
+
+    def test_bare_count_with_group_by_rejected(self):
+        with pytest.raises(ParseError, match="SELECT list"):
+            parse_select("SELECT COUNT(*) WHERE E(x,y) GROUP BY x")
+
+
+@st.composite
+def select_asts(draw):
+    """A random well-formed SelectQuery AST (grammar-level, not
+    necessarily compilable — the round-trip is a parser property)."""
+    where = draw(formulas(free_count=draw(st.integers(1, 2))))
+    free_names = sorted(var.name for var in where.free)
+    count = draw(st.booleans())
+    if not free_names or (count and draw(st.booleans())):
+        # Constant-folded WHERE (no free variables) or an explicit
+        # draw: bare COUNT(*) — no columns, no GROUP BY.
+        # Bare COUNT(*): no columns, no GROUP BY (parser rejects that).
+        return SelectQuery(
+            columns=(),
+            where=where,
+            count=True,
+            limit=draw(st.none() | st.integers(0, 50)),
+        )
+    columns = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(free_names), min_size=1, max_size=3
+            )
+        )
+    )
+    group_by = ()
+    if draw(st.booleans()):
+        group_by = tuple(
+            draw(
+                st.lists(
+                    st.sampled_from(free_names),
+                    min_size=1,
+                    max_size=len(free_names),
+                    unique=True,
+                )
+            )
+        )
+    order_by = tuple(
+        OrderKey(name, descending)
+        for name, descending in draw(
+            st.lists(
+                st.tuples(st.sampled_from(free_names), st.booleans()),
+                max_size=2,
+            )
+        )
+    )
+    return SelectQuery(
+        columns=columns,
+        where=where,
+        count=count,
+        group_by=group_by,
+        order_by=order_by,
+        limit=draw(st.none() | st.integers(0, 50)),
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(ast=select_asts())
+    def test_parse_print_round_trip(self, ast):
+        assert parse_select(str(ast)) == ast
+
+    def test_canonical_text_is_stable(self):
+        text = "SELECT x, COUNT(*) WHERE (E(x, y)) GROUP BY x LIMIT 3"
+        ast = parse_select(text)
+        assert str(parse_select(str(ast))) == str(ast)

@@ -24,6 +24,7 @@ import pytest
 from repro.errors import (
     DurabilityError,
     GuardedStructureError,
+    MaintenanceWarning,
     RetentionLimitError,
 )
 from repro.fo.parser import parse
@@ -240,6 +241,62 @@ class TestWarmForks:
                 )
             for pin in pins:
                 pin.close()
+
+
+class TestWarmForkDegradation:
+    """Injected failures in the warm-fork path must warn, not vanish —
+    the commit still succeeds and the new head simply comes up cold."""
+
+    def test_clone_failure_warns_and_commits_cold(self, monkeypatch):
+        import repro.session.database as database_module
+
+        with Database(fresh_structure()) as db:
+            db.query(EXAMPLE)
+            assert db.stats()["maintained_plans"] == 1
+            snap = db.snapshot()
+
+            def explode(pipeline):
+                raise RuntimeError("injected clone failure")
+
+            monkeypatch.setattr(
+                database_module, "PipelineMaintainer", explode
+            )
+            with pytest.warns(MaintenanceWarning, match="cloning"):
+                result = db.apply(
+                    [("insert", "B", (missing_unary(db.structure),))]
+                )
+            monkeypatch.undo()
+            assert result.forked
+            assert result.maintained_plans == 0
+            # Cold but correct: the next query rebuilds and agrees.
+            assert sorted(db.query(EXAMPLE).answers().all()) == oracle(
+                db.structure
+            )
+            snap.close()
+
+    def test_refresh_failure_warns_and_commits_cold(self, monkeypatch):
+        from repro.core.dynamic import PipelineMaintainer
+
+        with Database(fresh_structure()) as db:
+            db.query(EXAMPLE)
+            assert db.stats()["maintained_plans"] == 1
+            snap = db.snapshot()
+
+            def explode(self, touched, region):
+                raise RuntimeError("injected refresh failure")
+
+            monkeypatch.setattr(PipelineMaintainer, "refresh", explode)
+            with pytest.warns(MaintenanceWarning, match="refreshing"):
+                result = db.apply(
+                    [("insert", "B", (missing_unary(db.structure),))]
+                )
+            monkeypatch.undo()
+            assert result.forked
+            assert result.maintained_plans == 0
+            assert sorted(db.query(EXAMPLE).answers().all()) == oracle(
+                db.structure
+            )
+            snap.close()
 
 
 class TestRetention:

@@ -1,0 +1,99 @@
+"""Boundary contract of ``Answers.page`` — sealed vs unsealed parity.
+
+A sealed handle (exhausted, pin released, self-contained) and an
+unsealed one must raise/return *identically* on every boundary input:
+negative index, ``size=0``, a page past the end, and any access after
+``cancel()``.  Liveness outranks argument validation — a cancelled
+handle raises :class:`CancelledResultError` even for malformed page
+arguments, never :class:`EngineError`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CancelledResultError, EngineError
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+
+
+@pytest.fixture
+def db():
+    with Database(random_colored_graph(20, max_degree=3, seed=7)) as session:
+        yield session
+
+
+def fresh_handle(db):
+    """An unsealed handle: no answers pulled yet."""
+    return db.query(EXAMPLE).answers()
+
+
+def sealed_handle(db):
+    """A sealed handle: fully consumed, pin released."""
+    handle = db.query(EXAMPLE).answers()
+    handle.all()
+    assert not handle.pinned
+    return handle
+
+
+@pytest.fixture(params=["unsealed", "sealed"])
+def handle(request, db):
+    if request.param == "unsealed":
+        return fresh_handle(db)
+    return sealed_handle(db)
+
+
+class TestBoundaryParity:
+    def test_negative_index_raises_engine_error(self, handle):
+        with pytest.raises(EngineError, match="bad page request"):
+            handle.page(-1, size=5)
+
+    def test_zero_size_raises_engine_error(self, handle):
+        with pytest.raises(EngineError, match="bad page request"):
+            handle.page(0, size=0)
+
+    def test_negative_size_raises_engine_error(self, handle):
+        with pytest.raises(EngineError, match="bad page request"):
+            handle.page(0, size=-3)
+
+    def test_page_past_end_returns_empty(self, handle):
+        total = len(handle.all())
+        size = 5
+        beyond = total // size + 1
+        assert handle.page(beyond, size=size) == []
+        assert handle.page(beyond + 100, size=size) == []
+
+    def test_last_partial_page(self, handle):
+        everything = handle.all()
+        size = max(1, len(everything) - 1)
+        assert handle.page(1, size=size) == everything[size:]
+
+    def test_page_after_cancel_raises_cancelled(self, handle):
+        handle.cancel()
+        with pytest.raises(CancelledResultError):
+            handle.page(0, size=5)
+
+    def test_bad_arguments_after_cancel_still_raise_cancelled(self, handle):
+        # The divergence this suite pins down: liveness is checked
+        # before argument validation, so a cancelled handle never leaks
+        # an EngineError for (-1, 0)-style requests.
+        handle.cancel()
+        with pytest.raises(CancelledResultError):
+            handle.page(-1, size=5)
+        with pytest.raises(CancelledResultError):
+            handle.page(0, size=0)
+
+
+class TestAsyncParity:
+    def test_async_page_matches_sync_contract(self, db):
+        import asyncio
+
+        async def scenario():
+            handle = db.query(EXAMPLE).answers()
+            handle.cancel()
+            with pytest.raises(CancelledResultError):
+                await handle.apage(-1, size=5)
+
+        asyncio.run(scenario())

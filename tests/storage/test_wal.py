@@ -19,7 +19,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import DurabilityError
+from repro.errors import DurabilityError, DurabilityWarning
 from repro.fo.parser import parse
 from repro.fo.semantics import naive_answers
 from repro.session import Database
@@ -158,6 +158,23 @@ class TestDurableStore:
         with pytest.raises(DurabilityError, match="format"):
             DurableStore(tmp_path / "db").restore()
 
+    def test_unpicklable_warm_entry_warns_and_degrades(self, tmp_path):
+        store = DurableStore(tmp_path / "db")
+        structure = small_structure()
+        with pytest.warns(DurabilityWarning, match="warm spill"):
+            result = store.checkpoint(
+                structure, warm_entries=[("key", lambda: None)]
+            )
+        # Durability is intact; only the accelerator was dropped.
+        assert result.warm_entries == 0
+        assert not (tmp_path / "db" / f"warm-{result.version}.pickle").exists()
+        restored = DurableStore(tmp_path / "db").restore()
+        assert restored.warm_structure is None
+        assert restored.warm_entries == ()
+        assert (
+            restored.structure.content_fingerprint() == result.fingerprint
+        )
+
     def test_corrupt_warm_spill_never_blocks_recovery(self, tmp_path):
         path = tmp_path / "db"
         with Database.open(path, structure=small_structure()) as db:
@@ -166,7 +183,8 @@ class TestDurableStore:
             assert result.warm_entries >= 1
         warm = path / f"warm-{result.version}.pickle"
         warm.write_bytes(b"\x80\x04 definitely not a bundle")
-        restored = DurableStore(path).restore()
+        with pytest.warns(DurabilityWarning, match="warm spill"):
+            restored = DurableStore(path).restore()
         assert restored.warm_structure is None
         assert restored.warm_entries == ()
         assert restored.structure.content_fingerprint() == result.fingerprint

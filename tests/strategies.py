@@ -15,6 +15,7 @@ from contextlib import contextmanager
 from hypothesis import assume
 from hypothesis import strategies as st
 
+from repro.core.pipeline import supports_query
 from repro.errors import UnsupportedQueryError
 
 from repro.fo.syntax import (
@@ -166,3 +167,36 @@ def formulas(
         if var not in formula.free:
             formula = and_(formula, or_(RelAtom("B", (var,)), RelAtom("R", (var,))))
     return formula
+
+
+@st.composite
+def supported_inputs(
+    draw,
+    free_count: int = 2,
+    max_depth: int = 3,
+    max_quantifiers: int = 1,
+    ternary: bool = False,
+    max_n: int = 10,
+):
+    """A ``(structure, formula)`` pair inside the supported fragment.
+
+    Unit counts are structure-dependent (localization evaluates global
+    content against the structure), so the bound can only be enforced on
+    the *pair*: draws whose clause expansion would trip the pipeline's
+    ``max_units`` budget are rejected here, before any suite sees them.
+    Suites that draw structure and formula separately keep the
+    :func:`rejecting_unsupported` convention instead.
+    """
+    db = draw(
+        ternary_structures(max_n=max_n) if ternary else structures(max_n=max_n)
+    )
+    formula = draw(
+        formulas(
+            free_count=free_count,
+            max_depth=max_depth,
+            max_quantifiers=max_quantifiers,
+            ternary=ternary,
+        )
+    )
+    assume(supports_query(db, formula, order=sorted(formula.free)))
+    return db, formula

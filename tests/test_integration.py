@@ -8,7 +8,7 @@ from the naive semantics.
 """
 
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import given, settings
 
 from repro import prepare
 from repro.errors import UnsupportedQueryError
@@ -16,7 +16,12 @@ from repro.fo.parser import parse
 from repro.fo.semantics import naive_answers, naive_test
 from repro.fo.syntax import Var
 
-from strategies import MAX_UNITS_FLAKY_FORMULA, formulas, structures
+from strategies import (
+    MAX_UNITS_FLAKY_FORMULA,
+    formulas,
+    rejecting_unsupported,
+    structures,
+)
 
 x, y = Var("x"), Var("y")
 
@@ -24,15 +29,14 @@ x, y = Var("x"), Var("y")
 def assert_all_operations_match(db, query, reject_unsupported=False):
     order = sorted(query.free)
     want = sorted(naive_answers(query, db, order=order))
-    try:
-        prepared = prepare(db, query, order=order)
-    except UnsupportedQueryError:
+    if reject_unsupported:
         # Fuzzing only: formulas whose clause expansion trips the
         # pipeline's max_units budget are outside the supported fragment
         # (same convention as the engine differential suites), not bugs.
-        if reject_unsupported:
-            assume(False)
-        raise
+        with rejecting_unsupported():
+            prepared = prepare(db, query, order=order)
+    else:
+        prepared = prepare(db, query, order=order)
 
     got = sorted(prepared.enumerate(validate=True))
     assert got == want, "enumeration diverges from the oracle"
