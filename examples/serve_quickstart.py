@@ -1,0 +1,92 @@
+"""Quickstart for the serve tier: a database over HTTP + WebSocket.
+
+Starts an in-process server (``serve_in_thread`` — the same code path
+as ``python -m repro serve``), then walks the whole client loop:
+
+1. plain HTTP queries (rows, count, a compiled ``SELECT``);
+2. an HTTP cursor paginating through the result;
+3. a WebSocket streaming cursor that stays **pinned to its version**
+   while a changeset commits mid-stream — the cursor finishes on the
+   pre-commit answers, the next query sees the new facts;
+4. the columnar wire: encoded chunks decoded client-side, with the
+   server's transfer counters proving it never decoded a row itself.
+
+Run:  python examples/serve_quickstart.py
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.serve import DatabaseRegistry, ServeClient, serve_in_thread
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+QUERY = "B(x) & R(y) & ~E(x,y)"
+
+
+def main() -> None:
+    db = Database(random_colored_graph(120, max_degree=4, seed=3).copy())
+    registry = DatabaseRegistry()
+    registry.add("main", db, close_on_shutdown=False)
+    server = serve_in_thread(registry)  # port 0: the OS picks a free one
+    print(f"serving {registry.names()} on 127.0.0.1:{server.port}")
+
+    try:
+        client = ServeClient("127.0.0.1", server.port)
+
+        # 1. Plain HTTP queries.
+        total = client.count("main", QUERY)
+        print(f"count over HTTP: {total}")
+        print(f"first rows:      {client.rows('main', QUERY, limit=3)}")
+        top = client.query("main", f"SELECT y WHERE {QUERY} ORDER BY y LIMIT 3")
+        print(f"SELECT over HTTP: columns={top['columns']} rows={top['rows']}")
+
+        # 2. An HTTP cursor: pull-driven pagination.
+        cursor = client.open_cursor("main", QUERY, page_size=500)
+        pages = 0
+        while not cursor.done:
+            pages += len(cursor.next_page())
+        print(f"HTTP cursor drained {pages} rows in pages of 500")
+
+        # 3. A pinned WebSocket cursor riding across a commit.
+        with client.stream("main") as ws:
+            ack = ws.open(QUERY, page_size=200)
+            print(f"cursor {ack['cursor']} pinned at version {ack['version']}")
+            pages_iter = ws.pages()
+            first = next(pages_iter)
+            result = client.apply(
+                "main",
+                '{"op":"insert","relation":"B","elements":[1]}\n'
+                '{"op":"insert","relation":"R","elements":[0]}\n',
+            )
+            print(
+                f"committed v{result['version_after']} mid-stream "
+                f"(forked={result['forked']})"
+            )
+            streamed = len(first) + sum(len(page) for page in pages_iter)
+            print(f"pinned cursor finished on {streamed} pre-commit rows")
+        print(f"head count now: {client.count('main', QUERY)}")
+
+        # 4. The columnar wire: chunks decode client-side.
+        with client.stream("main") as ws:
+            ack = ws.open(QUERY, wire="columnar", chunk_rows=2048)
+            rows = ws.rows(ack=ack)
+            print(
+                f"columnar wire: {len(rows)} rows decoded client-side "
+                f"(arity {ack['arity']}, chunks of {ack['chunk_rows']})"
+            )
+
+        client.close()
+    finally:
+        server.stop()
+        db.close()
+        print("server drained and stopped")
+
+
+if __name__ == "__main__":
+    main()

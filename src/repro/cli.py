@@ -405,8 +405,57 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
         )
         print(
             f"warm pipelines spilled: {result.warm_entries}; "
-            f"WAL records retired: {result.wal_records_retired}"
+            f"WAL records retired: {result.wal_records_retired} "
+            f"({result.wal_bytes_retired} bytes)"
         )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve databases over HTTP + WebSocket until interrupted."""
+    import asyncio
+
+    from repro.serve import DatabaseRegistry, QueryServer
+
+    registry = DatabaseRegistry()
+    if args.db:
+        registry.open(args.name, args.db, workers=args.workers)
+        origin = f"durable store {args.db}"
+    elif args.workload:
+        registry.create(
+            args.name,
+            parse_workload(args.workload),
+            eps=args.eps,
+            workers=args.workers,
+        )
+        origin = f"workload {args.workload}"
+    else:
+        raise ReproError("serve needs --db or -w/--workload")
+
+    async def run() -> None:
+        server = QueryServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            cursor_timeout=args.cursor_timeout,
+        )
+        await server.start()
+        print(
+            f"serving {args.name!r} ({origin}) on "
+            f"http://{args.host}:{server.port} — Ctrl-C to stop"
+        )
+        stop = asyncio.Event()
+        try:
+            await stop.wait()
+        finally:
+            # KeyboardInterrupt lands here: drain cursors, checkpoint
+            # durable stores, close the databases.
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shut down")
     return 0
 
 
@@ -624,6 +673,33 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint_parser.add_argument("--eps", type=float, default=0.5)
     checkpoint_parser.add_argument("--workers", type=int, default=None)
     checkpoint_parser.set_defaults(handler=cmd_checkpoint)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="serve a database over HTTP + WebSocket",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8642)
+    serve_parser.add_argument(
+        "--name",
+        default="default",
+        help="registry name clients address the database by",
+    )
+    serve_parser.add_argument(
+        "--db", metavar="PATH", help="durable store to open and serve"
+    )
+    serve_parser.add_argument(
+        "-w", "--workload", help="workload spec for an in-memory database"
+    )
+    serve_parser.add_argument(
+        "--cursor-timeout",
+        type=float,
+        default=300.0,
+        help="idle seconds before an abandoned cursor's pin is reaped",
+    )
+    serve_parser.add_argument("--eps", type=float, default=0.5)
+    serve_parser.add_argument("--workers", type=int, default=None)
+    serve_parser.set_defaults(handler=cmd_serve)
 
     check_parser = sub.add_parser("check", help="model-check a sentence")
     common(check_parser)

@@ -669,6 +669,114 @@ def run_branches(
         yield from bounded(drain(futures))
 
 
+def run_branches_raw(
+    pipeline: Pipeline,
+    workers: Optional[int] = None,
+    mode: Optional[str] = None,
+    skip_mode: str = "lazy",
+    spec_key: Optional[tuple] = None,
+    pool: Optional[WorkerPool] = None,
+    chunk_rows: Optional[int] = None,
+    transfer_stats: Optional[TransferStats] = None,
+    project_columns: Optional[Tuple[int, ...]] = None,
+) -> Iterator[bytes]:
+    """Yield *encoded* columnar chunk buffers, in deterministic order.
+
+    The serve tier's wire path: the network server forwards these
+    buffers straight to the socket, so in process mode a worker-encoded
+    chunk crosses the parent without ever being decoded — the parent
+    handles bytes, not rows (``transfer_stats`` records every chunk
+    with ``rows=0``).  Serial and thread modes have no process boundary,
+    so the parent-side encode here is the *only* encode; trivial
+    pipelines encode their literal answers.  Every buffer decodes with
+    ``ColumnarCodec(pipeline.intern_table)``, and the concatenated
+    decoded rows are byte-identical to serial enumeration (chunks are
+    bounded by :func:`resolve_chunk_rows`; the final chunk of a shard
+    may be short, so chunk boundaries — not contents — can differ
+    between modes).
+    """
+    rows_per_chunk = resolve_chunk_rows(pipeline, chunk_rows)
+    codec = ColumnarCodec(pipeline.intern_table)
+
+    def account(buf: bytes) -> bytes:
+        if transfer_stats is not None:
+            transfer_stats.record(len(buf), 0)
+        if pool is not None:
+            pool.record_transfer(len(buf))
+        return buf
+
+    if pipeline.trivial is not None:
+        answers = _project_rows(trivial_answers(pipeline), project_columns)
+        for buf in encode_answers(answers, codec, rows_per_chunk):
+            yield account(buf)
+        return
+    mode, workers = decide_mode(pipeline, workers, mode, transport="columnar")
+    if mode != "process":
+        # In-process enumeration: re-chunk each branch's answers to the
+        # transport bound and encode parent-side (the only copy made).
+        buffer: List[Answer] = []
+        for chunk in run_branches(
+            pipeline,
+            workers=workers,
+            mode=mode,
+            skip_mode=skip_mode,
+            spec_key=spec_key,
+            pool=pool,
+            project_columns=project_columns,
+        ):
+            buffer.extend(chunk)
+            while len(buffer) >= rows_per_chunk:
+                yield account(codec.encode(buffer[:rows_per_chunk]))
+                buffer = buffer[rows_per_chunk:]
+        if buffer:
+            yield account(codec.encode(buffer))
+        return
+    # Process mode: the workers encode; forward their buffers verbatim.
+    if spec_key is None:
+        spec_key = _default_spec_key(pipeline)
+    units = plan_work_units(pipeline, workers)
+    spec = pipeline.rebuild_spec()
+
+    def drain(futures) -> Iterator[bytes]:
+        try:
+            for future in futures:
+                for buf in future.result():
+                    yield account(buf)
+        except GeneratorExit:
+            for future in futures:
+                future.cancel()
+            raise
+
+    if pool is not None:
+        tasks = [
+            BranchTask(
+                spec, spec_key, branch_index, skip_mode, start, stop,
+                rows_per_chunk, project_columns,
+            )
+            for branch_index, start, stop in units
+        ]
+        futures = [
+            pool.submit("process", run_branch_task_encoded, task)
+            for task in tasks
+        ]
+        yield from drain(futures)
+        return
+    tasks = [
+        BranchTask(
+            None, spec_key, branch_index, skip_mode, start, stop,
+            rows_per_chunk, project_columns,
+        )
+        for branch_index, start, stop in units
+    ]
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
+    ) as ephemeral:
+        futures = [
+            ephemeral.submit(run_branch_task_encoded, task) for task in tasks
+        ]
+        yield from drain(futures)
+
+
 def parallel_enumerate(
     pipeline: Pipeline,
     workers: Optional[int] = None,

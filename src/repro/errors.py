@@ -107,6 +107,41 @@ class CancelledResultError(EngineError):
     """
 
 
+class ServeError(ReproError):
+    """A query-service request failed (:mod:`repro.serve`).
+
+    Carries the HTTP status the server answers with, so the protocol
+    layer maps one exception hierarchy onto the wire: 400 for malformed
+    requests, 404 for unknown databases/cursors, 409 when the retention
+    budget refuses another pinned version, 500 otherwise.
+    """
+
+    def __init__(self, message: str, status: int = 500):
+        super().__init__(message)
+        self.status = status
+
+
+class WireError(ServeError):
+    """A malformed HTTP request or WebSocket frame (status 400)."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message, status)
+
+
+class UnknownDatabaseError(ServeError):
+    """The request named a database the registry does not hold (404)."""
+
+    def __init__(self, message: str, status: int = 404):
+        super().__init__(message, status)
+
+
+class UnknownCursorError(ServeError):
+    """The request named a cursor that is closed or never existed (404)."""
+
+    def __init__(self, message: str, status: int = 404):
+        super().__init__(message, status)
+
+
 class DurabilityWarning(RuntimeWarning):
     """A durability *accelerator* was dropped, not durability itself.
 

@@ -1,0 +1,52 @@
+"""The network tier: serve :class:`repro.session.Database` instances
+over HTTP + WebSocket with snapshot-pinned streaming cursors.
+
+Quickstart (in-process)::
+
+    from repro.serve import DatabaseRegistry, ServeClient, serve_in_thread
+    from repro.session import Database
+
+    registry = DatabaseRegistry()
+    registry.create("demo", structure)
+    with serve_in_thread(registry) as server:
+        client = ServeClient("127.0.0.1", server.port)
+        client.rows("demo", "E(x,y)")
+        with client.stream("demo") as ws:
+            ws.open("E(x,y)", wire="columnar")
+            for page in ws.pages():
+                ...
+
+Everything is stdlib-only: the HTTP/1.1 and WebSocket framing lives in
+:mod:`repro.serve.wire`, the protocol glue in
+:mod:`repro.serve.protocol`, cursor lifecycle in
+:mod:`repro.serve.cursors`, and the server itself in
+:mod:`repro.serve.server`.  ``python -m repro.cli serve`` is the CLI
+entry point.
+"""
+
+from repro.serve.client import (
+    ChunkDecoder,
+    HttpCursor,
+    ServeClient,
+    StreamCursor,
+    decode_chunk,
+)
+from repro.serve.cursors import Cursor, CursorSet, open_cursor
+from repro.serve.registry import DatabaseRegistry, RegisteredDatabase
+from repro.serve.server import QueryServer, ThreadedServer, serve_in_thread
+
+__all__ = [
+    "ChunkDecoder",
+    "Cursor",
+    "CursorSet",
+    "DatabaseRegistry",
+    "HttpCursor",
+    "QueryServer",
+    "RegisteredDatabase",
+    "ServeClient",
+    "StreamCursor",
+    "ThreadedServer",
+    "decode_chunk",
+    "open_cursor",
+    "serve_in_thread",
+]

@@ -1,0 +1,380 @@
+"""A dependency-free client for the serve tier.
+
+:class:`ServeClient` wraps the HTTP endpoints over
+``http.client.HTTPConnection`` (keep-alive, one socket per client);
+:meth:`ServeClient.stream` opens a raw-socket WebSocket
+:class:`StreamCursor` for snapshot-pinned pagination, including the
+columnar wire — :func:`decode_chunk` rebuilds rows from the encoded
+buffers the server forwards verbatim off its enumeration workers.
+
+Server-side errors surface as :class:`repro.errors.ServeError` carrying
+the HTTP status; wire-level surprises as :class:`repro.errors.WireError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import socket
+import struct
+from http.client import HTTPConnection
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.transport import ColumnarCodec, InternTable
+from repro.errors import ServeError, WireError
+from repro.serve.protocol import decode_element, decode_rows
+from repro.serve.wire import (
+    OP_BINARY,
+    OP_CLOSE,
+    OP_PING,
+    OP_PONG,
+    OP_TEXT,
+    encode_frame,
+    read_frame_sync,
+    websocket_accept,
+)
+
+_CHUNK_PREFIX = struct.Struct("!I")
+
+
+def decode_chunk(elements: Sequence, buf: bytes) -> List[tuple]:
+    """Decode one columnar chunk against the ack's ``intern`` list."""
+    table = InternTable([decode_element(e) for e in elements])
+    return ColumnarCodec(table).decode(buf)
+
+
+class ChunkDecoder:
+    """Reusable decoder for one columnar cursor (builds the intern
+    table once instead of per chunk)."""
+
+    def __init__(self, elements: Sequence):
+        self._codec = ColumnarCodec(
+            InternTable([decode_element(e) for e in elements])
+        )
+
+    def decode(self, buf: bytes) -> List[tuple]:
+        return self._codec.decode(buf)
+
+
+class ServeClient:
+    """Synchronous HTTP client for one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[HTTPConnection] = None
+
+    def _connection(self) -> HTTPConnection:
+        if self._conn is None:
+            self._conn = HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: Optional[bytes] = None):
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body)
+            response = conn.getresponse()
+            data = response.read()
+        except (ConnectionError, socket.timeout, OSError) as error:
+            self.close()
+            raise ServeError(f"request failed: {error}", 503) from None
+        try:
+            payload = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireError(f"undecodable response body: {error}") from None
+        if response.status >= 400:
+            message = (
+                payload.get("error", data.decode("utf-8", "replace"))
+                if isinstance(payload, dict)
+                else str(payload)
+            )
+            raise ServeError(message, status=response.status)
+        return payload
+
+    def _post_json(self, path: str, payload: dict):
+        return self._request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def databases(self) -> List[str]:
+        return self._request("GET", "/dbs")["databases"]
+
+    def stats(self, db: str) -> dict:
+        return self._request("GET", f"/db/{db}/stats")
+
+    def query(
+        self,
+        db: str,
+        text: str,
+        mode: str = "all",
+        limit: Optional[int] = None,
+    ) -> dict:
+        body = {"query": text, "mode": mode}
+        if limit is not None:
+            body["limit"] = limit
+        return self._post_json(f"/db/{db}/query", body)
+
+    def rows(
+        self, db: str, text: str, limit: Optional[int] = None
+    ) -> List[tuple]:
+        """Run ``text`` and return decoded answer rows."""
+        return decode_rows(self.query(db, text, limit=limit)["rows"])
+
+    def count(self, db: str, text: str) -> int:
+        return self.query(db, text, mode="count")["count"]
+
+    def open_cursor(
+        self, db: str, text: str, page_size: int = 256
+    ) -> "HttpCursor":
+        ack = self._post_json(
+            f"/db/{db}/query",
+            {"query": text, "cursor": True, "page_size": page_size},
+        )
+        return HttpCursor(self, db, ack)
+
+    def apply(self, db: str, changeset_jsonl: str) -> dict:
+        return self._request(
+            "POST", f"/db/{db}/apply", changeset_jsonl.encode("utf-8")
+        )
+
+    def checkpoint(self, db: str) -> dict:
+        return self._request("POST", f"/db/{db}/checkpoint", b"")
+
+    def stream(self, db: str) -> "StreamCursor":
+        """Open a WebSocket to ``/db/{db}/stream``."""
+        return StreamCursor(self.host, self.port, db, timeout=self.timeout)
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class HttpCursor:
+    """A server-side cursor paged over plain HTTP POSTs."""
+
+    def __init__(self, client: ServeClient, db: str, ack: dict):
+        self._client = client
+        self._db = db
+        self.id = ack["cursor"]
+        self.columns = tuple(ack["columns"])
+        self.version = ack["version"]
+        self.done = False
+
+    def next_page(self) -> List[tuple]:
+        if self.done:
+            return []
+        payload = self._client._request(
+            "POST", f"/db/{self._db}/cursor/{self.id}/next", b""
+        )
+        self.done = payload["done"]
+        return decode_rows(payload["rows"])
+
+    def rows(self) -> List[tuple]:
+        out: List[tuple] = []
+        while not self.done:
+            out.extend(self.next_page())
+        return out
+
+    def close(self) -> None:
+        if not self.done:
+            self._client._request(
+                "DELETE", f"/db/{self._db}/cursor/{self.id}"
+            )
+            self.done = True
+
+
+class StreamCursor:
+    """One WebSocket connection serving snapshot-pinned cursors.
+
+    ``open()`` starts a cursor and returns its ack; ``pages()`` then
+    yields decoded row pages until the server's ``end`` event.  On the
+    columnar wire the server's binary frames are decoded client-side
+    with the ack's intern table — the server never touched a row.
+    """
+
+    def __init__(self, host: str, port: int, db: str, timeout: float = 30.0):
+        self.db = db
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        handshake = (
+            f"GET /db/{db}/stream HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        )
+        self._sock.sendall(handshake.encode("latin-1"))
+        status_line = self._file.readline().decode("latin-1")
+        headers = {}
+        while True:
+            line = self._file.readline().decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        if "101" not in status_line:
+            body = b""
+            length = headers.get("content-length")
+            if length and length.isdigit():
+                body = self._file.read(int(length))
+            self.close()
+            message = body.decode("utf-8", "replace") or status_line.strip()
+            status = 500
+            parts = status_line.split(" ")
+            if len(parts) >= 2 and parts[1].isdigit():
+                status = int(parts[1])
+            raise ServeError(f"websocket upgrade refused: {message}", status)
+        expected = websocket_accept(key)
+        if headers.get("sec-websocket-accept") != expected:
+            self.close()
+            raise WireError("bad Sec-WebSocket-Accept in handshake")
+        self.last_ack: Optional[dict] = None
+
+    # -- frame plumbing -------------------------------------------------
+
+    def _send_json(self, payload: dict) -> None:
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        self._sock.sendall(encode_frame(OP_TEXT, data, mask=True))
+
+    def _next_frame(self) -> Tuple[int, bytes]:
+        while True:
+            frame = read_frame_sync(self._file)
+            if frame is None:
+                raise WireError("server closed the websocket")
+            opcode, payload = frame
+            if opcode == OP_PING:
+                self._sock.sendall(
+                    encode_frame(OP_PONG, payload, mask=True)
+                )
+                continue
+            return opcode, payload
+
+    def _next_event(self) -> dict:
+        opcode, payload = self._next_frame()
+        if opcode != OP_TEXT:
+            raise WireError(f"expected a text frame, got opcode {opcode}")
+        return json.loads(payload.decode("utf-8"))
+
+    @staticmethod
+    def _raise_on_error(event: dict) -> None:
+        if event.get("event") == "error":
+            raise ServeError(
+                event.get("error", "server error"),
+                status=event.get("status", 500),
+            )
+
+    # -- the protocol ---------------------------------------------------
+
+    def open(
+        self,
+        text: str,
+        wire: str = "rows",
+        page_size: Optional[int] = None,
+        limit: Optional[int] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> dict:
+        """Open a cursor; returns the server's ack event."""
+        action = {"action": "open", "query": text, "wire": wire}
+        if page_size is not None:
+            action["page_size"] = page_size
+        if limit is not None:
+            action["limit"] = limit
+        if chunk_rows is not None:
+            action["chunk_rows"] = chunk_rows
+        self._send_json(action)
+        ack = self._next_event()
+        self._raise_on_error(ack)
+        if ack.get("event") != "open":
+            raise WireError(f"expected an open ack, got {ack!r}")
+        self.last_ack = ack
+        return ack
+
+    def pages(self, ack: Optional[dict] = None) -> Iterator[List[tuple]]:
+        """Decoded row pages of the cursor opened last (or ``ack``'s),
+        until the server's end event."""
+        ack = ack or self.last_ack
+        if ack is None:
+            raise WireError("no open cursor on this stream")
+        cursor_id = ack["cursor"]
+        decoder = (
+            ChunkDecoder(ack["intern"]) if ack["wire"] == "columnar" else None
+        )
+        while True:
+            opcode, payload = self._next_frame()
+            if opcode == OP_BINARY:
+                if decoder is None:
+                    raise WireError("unexpected binary frame on a rows wire")
+                (index,) = _CHUNK_PREFIX.unpack_from(payload)
+                if index != ack.get("index"):
+                    continue  # another cursor's chunk on this connection
+                yield decoder.decode(payload[_CHUNK_PREFIX.size :])
+                continue
+            if opcode == OP_CLOSE:
+                raise WireError("server closed mid-stream")
+            event = json.loads(payload.decode("utf-8"))
+            self._raise_on_error(event)
+            if event.get("cursor") != cursor_id:
+                continue
+            if event["event"] == "page":
+                yield decode_rows(event["rows"])
+            elif event["event"] == "end":
+                return
+
+    def rows(self, ack: Optional[dict] = None) -> List[tuple]:
+        out: List[tuple] = []
+        for page in self.pages(ack):
+            out.extend(page)
+        return out
+
+    def close_cursor(self, cursor_id: Optional[str] = None) -> None:
+        """Explicitly close a cursor (the pin releases server-side)."""
+        if cursor_id is None and self.last_ack is not None:
+            cursor_id = self.last_ack["cursor"]
+        if cursor_id is None:
+            return
+        self._send_json({"action": "close", "cursor": cursor_id})
+        while True:
+            event = self._next_event()
+            if event.get("event") == "closed" and event.get("cursor") == cursor_id:
+                return
+            self._raise_on_error(event)
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(encode_frame(OP_CLOSE, b"", mask=True))
+        except OSError:
+            pass
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StreamCursor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,282 @@
+"""Snapshot-pinned streaming cursors and their lifecycle bookkeeping.
+
+A cursor is one client's paginated view of one query's answers, pinned
+to the structure version at open time: while the client pages — for
+seconds or minutes — writers keep committing (PR 5 forks the head
+copy-on-write), and the cursor's pages stay byte-identical to a
+pre-commit enumeration.  The price is one pinned version against the
+database's ``retention_budget``, which is why every close path —
+explicit ``close``, idle timeout (the reaper), connection drop, server
+shutdown — funnels into :meth:`Cursor.close` releasing the pin.
+
+Three kinds, by payload:
+
+``rows``
+    Raw-FO answers via :meth:`repro.session.Query.answers`, paged with
+    :meth:`Answers.page` — JSON row arrays on the wire.
+
+``select``
+    A qlang ``SELECT`` statement via
+    :class:`repro.qlang.CompiledQuery.stream` (projection, DISTINCT,
+    ORDER BY, LIMIT applied engine-side), sliced into pages — JSON rows.
+
+``columnar``
+    Encoded chunks via :meth:`repro.session.Query.answers_encoded`,
+    forwarded as opaque binary frames — this process never decodes a
+    row (the passthrough observable: ``transport_stats.rows == 0``).
+
+All pulls are blocking and run off-loop; a per-cursor asyncio lock keeps
+pulls single-flight so a confused client cannot interleave them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import EngineError, ServeError, UnknownCursorError
+from repro.qlang import is_select
+from repro.serve.registry import RegisteredDatabase
+
+DEFAULT_PAGE_SIZE = 256
+
+
+class Cursor:
+    """One open cursor: its pull function and close chain."""
+
+    def __init__(
+        self,
+        cursor_id: str,
+        database: str,
+        kind: str,
+        wire: str,
+        page_size: int,
+        columns: Tuple[str, ...],
+        version: int,
+        pull_fn: Callable[[], Tuple[object, bool]],
+        close_fn: Callable[[], None],
+    ):
+        self.id = cursor_id
+        self.database = database
+        self.kind = kind
+        self.wire = wire
+        self.page_size = page_size
+        self.columns = columns
+        self.version = version
+        self._pull_fn = pull_fn
+        self._close_fn = close_fn
+        # pull runs on an executor thread while close may come from the
+        # reaper or shutdown: one lock serializes them (a close waits
+        # out the in-flight pull; a pull after close gets 404).
+        self._tlock = threading.Lock()
+        self._lock: Optional[asyncio.Lock] = None
+        self._closed = False
+        self.exhausted = False
+        self.last_used = time.monotonic()
+
+    def lock(self) -> asyncio.Lock:
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        return self._lock
+
+    def pull(self) -> Tuple[object, bool]:
+        """The next payload and whether the stream is done (blocking)."""
+        with self._tlock:
+            if self._closed:
+                raise UnknownCursorError(f"cursor {self.id} is closed")
+            self.last_used = time.monotonic()
+            payload, done = self._pull_fn()
+            if done:
+                self.exhausted = True
+            return payload, done
+
+    def close(self) -> None:
+        """Release the cursor's pins.  Idempotent, thread-safe (waits
+        out an in-flight pull before tearing the source down)."""
+        with self._tlock:
+            if self._closed:
+                return
+            self._closed = True
+            self._close_fn()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class CursorSet:
+    """All open cursors of one server, with idle reaping."""
+
+    def __init__(self, timeout: Optional[float] = 300.0):
+        self.timeout = timeout
+        self._lock = threading.Lock()
+        self._cursors: Dict[str, Cursor] = {}
+        self._counter = itertools.count(1)
+
+    def register(self, make_cursor: Callable[[str], Cursor]) -> Cursor:
+        cursor_id = f"c{next(self._counter)}"
+        cursor = make_cursor(cursor_id)
+        with self._lock:
+            self._cursors[cursor_id] = cursor
+        return cursor
+
+    def get(self, cursor_id: str) -> Cursor:
+        with self._lock:
+            cursor = self._cursors.get(cursor_id)
+        if cursor is None:
+            raise UnknownCursorError(f"no cursor {cursor_id!r}")
+        return cursor
+
+    def close(self, cursor_id: str) -> None:
+        with self._lock:
+            cursor = self._cursors.pop(cursor_id, None)
+        if cursor is None:
+            raise UnknownCursorError(f"no cursor {cursor_id!r}")
+        cursor.close()
+
+    def discard(self, cursor: Cursor) -> None:
+        """Close and forget without raising (connection-drop cleanup)."""
+        with self._lock:
+            self._cursors.pop(cursor.id, None)
+        cursor.close()
+
+    def reap(self) -> List[str]:
+        """Close cursors idle past the timeout; the reaped ids."""
+        if self.timeout is None:
+            return []
+        deadline = time.monotonic() - self.timeout
+        with self._lock:
+            stale = [
+                cursor
+                for cursor in self._cursors.values()
+                if cursor.last_used < deadline
+            ]
+            for cursor in stale:
+                del self._cursors[cursor.id]
+        for cursor in stale:
+            cursor.close()
+        return [cursor.id for cursor in stale]
+
+    def close_all(self) -> None:
+        with self._lock:
+            cursors, self._cursors = list(self._cursors.values()), {}
+        for cursor in cursors:
+            cursor.close()
+
+    def count(self, database: Optional[str] = None) -> int:
+        with self._lock:
+            if database is None:
+                return len(self._cursors)
+            return sum(
+                1 for c in self._cursors.values() if c.database == database
+            )
+
+
+def open_cursor(
+    entry: RegisteredDatabase,
+    cursors: CursorSet,
+    text: str,
+    wire: str = "rows",
+    page_size: int = DEFAULT_PAGE_SIZE,
+    limit: Optional[int] = None,
+    chunk_rows: Optional[int] = None,
+) -> Cursor:
+    """Open a snapshot-pinned cursor over ``text`` on ``entry``.
+
+    The snapshot and the plan's own pin are released immediately after
+    the answer handle exists, so each cursor holds exactly *one* pinned
+    version — its handle's — against the retention budget.
+
+    ``wire="columnar"`` needs the raw passthrough path, which serves the
+    full enumeration: a SELECT statement or a ``limit`` downgrades the
+    cursor to the rows wire (reported in the open ack, so clients see
+    what they got).
+    """
+    if page_size < 1:
+        raise ServeError(f"page_size must be >= 1, got {page_size}", 400)
+    if wire not in ("rows", "columnar"):
+        raise ServeError(f"unknown wire {wire!r} (rows or columnar)", 400)
+    select = is_select(text)
+    if wire == "columnar" and (select or limit is not None):
+        wire = "rows"
+
+    snapshot = entry.db.snapshot()
+    try:
+        if select:
+            compiled = snapshot.query(text)
+            columns = tuple(compiled.columns)
+            version = snapshot.version
+            stream = compiled.stream()
+
+            def pull_select() -> Tuple[List[tuple], bool]:
+                page = list(itertools.islice(stream, page_size))
+                return page, len(page) < page_size
+
+            def close_select() -> None:
+                last = getattr(compiled, "_last_handle", None)
+                if last is not None:
+                    try:
+                        last.cancel()
+                    except EngineError:
+                        pass
+                compiled.query.close()
+
+            pull_fn, close_fn, kind = pull_select, close_select, "select"
+        else:
+            query = snapshot.query(text)
+            columns = tuple(v.name for v in query.variables)
+            version = snapshot.version
+            if wire == "columnar":
+                encoded = query.answers_encoded(chunk_rows=chunk_rows)
+
+                def pull_columnar() -> Tuple[Optional[bytes], bool]:
+                    chunk = encoded.next_chunk()
+                    return chunk, chunk is None
+
+                pull_fn, close_fn, kind = (
+                    pull_columnar,
+                    encoded.close,
+                    "columnar",
+                )
+            else:
+                handle = query.answers(limit=limit)
+                state = {"index": 0}
+
+                def pull_rows() -> Tuple[List[tuple], bool]:
+                    page = handle.page(state["index"], size=page_size)
+                    state["index"] += 1
+                    return page, len(page) < page_size
+
+                def close_rows() -> None:
+                    if not handle.cancelled:
+                        try:
+                            handle.cancel()
+                        except EngineError:
+                            pass
+
+                pull_fn, close_fn, kind = pull_rows, close_rows, "rows"
+            # The cursor's handle holds its own pin; drop the plan's.
+            query.close()
+    finally:
+        snapshot.close()
+
+    def make(cursor_id: str) -> Cursor:
+        cursor = Cursor(
+            cursor_id,
+            database=entry.name,
+            kind=kind,
+            wire=wire,
+            page_size=page_size,
+            columns=columns,
+            version=version,
+            pull_fn=pull_fn,
+            close_fn=close_fn,
+        )
+        if wire == "columnar":
+            cursor.encoded = encoded  # intern table + stats for the ack
+        return cursor
+
+    return cursors.register(make)

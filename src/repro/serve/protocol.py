@@ -1,0 +1,64 @@
+"""Query-protocol helpers: JSON codecs and the exception → status map.
+
+The serve tier speaks JSON for rows (tuples become arrays, restored on
+decode, same convention as the WAL's changeset records) and raw columnar
+chunk bytes for ``wire="columnar"`` cursors.  One function —
+:func:`error_status` — maps the library's whole exception hierarchy onto
+HTTP statuses, so every handler can ``except ReproError`` uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence, Tuple
+
+from repro.errors import (
+    EngineError,
+    ParseError,
+    QueryError,
+    ReproError,
+    RetentionLimitError,
+    ServeError,
+    SignatureError,
+    TransactionError,
+)
+
+Element = Hashable
+
+
+def decode_element(value):
+    """JSON round-trip for answer elements: lists come back as tuples
+    (mirrors :func:`repro.storage.wal._decode_element`)."""
+    if isinstance(value, list):
+        return tuple(decode_element(item) for item in value)
+    return value
+
+
+def decode_row(values: Sequence) -> Tuple[Element, ...]:
+    return tuple(decode_element(value) for value in values)
+
+
+def decode_rows(rows: Sequence[Sequence]) -> List[Tuple[Element, ...]]:
+    return [decode_row(row) for row in rows]
+
+
+def error_status(error: BaseException) -> int:
+    """The HTTP status a failed request answers with."""
+    if isinstance(error, ServeError):
+        return error.status
+    if isinstance(error, RetentionLimitError):
+        return 409
+    if isinstance(
+        error, (TransactionError, SignatureError, QueryError, ParseError)
+    ):
+        return 400
+    if isinstance(error, (ReproError, EngineError)):
+        return 500
+    return 500
+
+
+def error_payload(error: BaseException) -> dict:
+    return {
+        "error": str(error) or type(error).__name__,
+        "type": type(error).__name__,
+        "status": error_status(error),
+    }

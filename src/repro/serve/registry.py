@@ -1,0 +1,120 @@
+"""Multi-tenant database registry for the serve tier.
+
+One server process fronts many named :class:`repro.session.Database`
+instances — in-memory workloads and ``Database.open()`` durable stores
+side by side.  The registry owns their lifecycle (``close_all`` on
+shutdown, with durable stores checkpointed first by the server) and
+hands each one a lazily-created per-database asyncio write lock so
+concurrent ``/apply`` requests serialize per tenant without blocking
+each other across tenants.  Reads never take the lock: MVCC snapshot
+pins make them safe against concurrent commits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import threading
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ServeError, UnknownDatabaseError
+from repro.session import Database
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+
+class RegisteredDatabase:
+    """One tenant: the database plus its serve-side bookkeeping."""
+
+    def __init__(self, name: str, db: Database, close_on_shutdown: bool = True):
+        self.name = name
+        self.db = db
+        self.close_on_shutdown = close_on_shutdown
+        self._write_lock: Optional[asyncio.Lock] = None
+
+    def write_lock(self) -> asyncio.Lock:
+        """The per-database commit lock (created on first use so the
+        registry can be built before any event loop exists)."""
+        if self._write_lock is None:
+            self._write_lock = asyncio.Lock()
+        return self._write_lock
+
+
+class DatabaseRegistry:
+    """Thread-safe name → :class:`RegisteredDatabase` mapping."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._entries: Dict[str, RegisteredDatabase] = {}
+
+    def add(
+        self, name: str, db: Database, close_on_shutdown: bool = True
+    ) -> RegisteredDatabase:
+        """Register an existing database under ``name``.
+
+        With ``close_on_shutdown=False`` the caller keeps ownership:
+        server shutdown drains the tenant's cursors but leaves the
+        database open (the in-process test-server pattern).
+        """
+        if not _NAME_RE.match(name or ""):
+            raise ServeError(
+                f"bad database name {name!r} (want 1-64 chars of "
+                "[A-Za-z0-9_.-])",
+                status=400,
+            )
+        entry = RegisteredDatabase(name, db, close_on_shutdown)
+        with self._lock:
+            if name in self._entries:
+                raise ServeError(f"database {name!r} already registered", 409)
+            self._entries[name] = entry
+        return entry
+
+    def create(self, name: str, structure, **options) -> RegisteredDatabase:
+        """Register a fresh in-memory database over ``structure``."""
+        return self.add(name, Database(structure, **options))
+
+    def open(self, name: str, path, **options) -> RegisteredDatabase:
+        """Register a durable store via :meth:`Database.open`."""
+        return self.add(name, Database.open(path, **options))
+
+    def get(self, name: str) -> RegisteredDatabase:
+        with self._lock:
+            entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownDatabaseError(f"no database named {name!r}")
+        return entry
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+    def remove(self, name: str, close: bool = True) -> None:
+        with self._lock:
+            entry = self._entries.pop(name, None)
+        if entry is None:
+            raise UnknownDatabaseError(f"no database named {name!r}")
+        if close:
+            entry.db.close()
+
+    def entries(self) -> List[RegisteredDatabase]:
+        with self._lock:
+            return [self._entries[name] for name in sorted(self._entries)]
+
+    def close_all(self) -> None:
+        """Close every registered database that the registry owns."""
+        with self._lock:
+            entries, self._entries = list(self._entries.values()), {}
+        for entry in entries:
+            if entry.close_on_shutdown:
+                entry.db.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())

@@ -1,0 +1,326 @@
+"""Minimal HTTP/1.1 + WebSocket (RFC 6455) framing for the serve tier.
+
+Hand-rolled on ``asyncio`` streams because the serve tier must not add
+dependencies: the subset implemented here is exactly what the query
+protocol needs — keep-alive HTTP with ``Content-Length`` bodies, and
+unfragmented WebSocket frames with client-side masking.  Both directions
+of the WebSocket codec are here (the sync side backs
+:class:`repro.serve.client.StreamCursor`), sharing one masking routine.
+
+Anything malformed raises :class:`repro.errors.WireError`, which the
+server maps to a 400 (or a connection close once the protocol has been
+switched).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import struct
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import WireError
+
+# The GUID every WebSocket handshake concatenates to the client key
+# before hashing (RFC 6455 §1.3).
+WS_MAGIC = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_CONT = 0x0
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+_MAX_HEADER_BYTES = 64 * 1024
+_REASONS = {
+    101: "Switching Protocols",
+    200: "OK",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+# -- HTTP ---------------------------------------------------------------
+
+
+@dataclass
+class HttpRequest:
+    """One parsed HTTP/1.1 request."""
+
+    method: str
+    target: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body as JSON; :class:`WireError` on malformed input."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WireError(f"request body is not valid JSON: {error}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    @property
+    def wants_websocket(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        upgrade = self.headers.get("upgrade", "").lower()
+        return "upgrade" in connection and upgrade == "websocket"
+
+
+async def read_request(
+    reader, max_body: int = 16 * 1024 * 1024
+) -> Optional[HttpRequest]:
+    """Parse one request off the stream; ``None`` on clean EOF.
+
+    ``max_body`` bounds ``Content-Length`` so a hostile peer cannot make
+    the server buffer arbitrary bytes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError("truncated request head") from None
+    except (asyncio.LimitOverrunError, ValueError) as error:
+        raise WireError(f"unreadable request head: {error}") from None
+    if len(head) > _MAX_HEADER_BYTES:
+        raise WireError("request head too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 never fails
+        raise WireError("undecodable request head") from None
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise WireError(f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise WireError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    split = urlsplit(target)
+    path = unquote(split.path)
+    query = dict(parse_qsl(split.query))
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise WireError(
+                f"bad Content-Length: {length_header!r}"
+            ) from None
+        if length < 0:
+            raise WireError(f"bad Content-Length: {length_header!r}")
+        if length > max_body:
+            raise WireError(
+                f"request body of {length} bytes exceeds the "
+                f"{max_body}-byte limit",
+                status=413,
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except Exception:
+                raise WireError("truncated request body") from None
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+    return head + body
+
+
+def json_body(payload) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+# -- WebSocket handshake ------------------------------------------------
+
+
+def websocket_accept(key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client key (RFC 6455 §4.2.2)."""
+    digest = hashlib.sha1((key + WS_MAGIC).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def handshake_response(request: HttpRequest) -> bytes:
+    """The 101 upgrade response for a WebSocket request."""
+    key = request.headers.get("sec-websocket-key")
+    if not key:
+        raise WireError("websocket upgrade without Sec-WebSocket-Key")
+    return render_response(
+        101,
+        extra_headers={
+            "Upgrade": "websocket",
+            "Connection": "Upgrade",
+            "Sec-WebSocket-Accept": websocket_accept(key),
+        },
+    )
+
+
+# -- WebSocket frames ---------------------------------------------------
+
+
+def _apply_mask(payload: bytes, mask: bytes) -> bytes:
+    if not payload:
+        return payload
+    repeated = (mask * (len(payload) // 4 + 1))[: len(payload)]
+    return (
+        int.from_bytes(payload, "little")
+        ^ int.from_bytes(repeated, "little")
+    ).to_bytes(len(payload), "little")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One unfragmented frame (FIN set).  Clients must set ``mask``."""
+    head = bytearray([0x80 | (opcode & 0x0F)])
+    mask_bit = 0x80 if mask else 0
+    length = len(payload)
+    if length < 126:
+        head.append(mask_bit | length)
+    elif length < 1 << 16:
+        head.append(mask_bit | 126)
+        head += struct.pack("!H", length)
+    else:
+        head.append(mask_bit | 127)
+        head += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        return bytes(head) + key + _apply_mask(payload, key)
+    return bytes(head) + payload
+
+
+async def read_frame(
+    reader, max_payload: int = 16 * 1024 * 1024
+) -> Optional[Tuple[int, bytes]]:
+    """Read one frame: ``(opcode, payload)``; ``None`` on clean EOF.
+
+    Fragmented messages are refused — every message the protocol sends
+    fits one frame, and rejecting continuation keeps the state machine
+    trivial.
+    """
+    try:
+        head = await reader.readexactly(2)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise WireError("truncated websocket frame") from None
+    fin = head[0] & 0x80
+    opcode = head[0] & 0x0F
+    if not fin or opcode == OP_CONT:
+        raise WireError("fragmented websocket frames are not supported")
+    masked = head[1] & 0x80
+    length = head[1] & 0x7F
+    try:
+        if length == 126:
+            (length,) = struct.unpack("!H", await reader.readexactly(2))
+        elif length == 127:
+            (length,) = struct.unpack("!Q", await reader.readexactly(8))
+        if length > max_payload:
+            raise WireError(
+                f"websocket payload of {length} bytes exceeds the "
+                f"{max_payload}-byte limit"
+            )
+        mask = await reader.readexactly(4) if masked else b""
+        payload = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError:
+        raise WireError("truncated websocket frame") from None
+    if masked:
+        payload = _apply_mask(payload, mask)
+    return opcode, payload
+
+
+def read_frame_sync(sock_file, max_payload: int = 16 * 1024 * 1024):
+    """Blocking twin of :func:`read_frame` over a socket file object."""
+    head = sock_file.read(2)
+    if not head:
+        return None
+    if len(head) < 2:
+        raise WireError("truncated websocket frame")
+    fin = head[0] & 0x80
+    opcode = head[0] & 0x0F
+    if not fin or opcode == OP_CONT:
+        raise WireError("fragmented websocket frames are not supported")
+    masked = head[1] & 0x80
+    length = head[1] & 0x7F
+
+    def exactly(n: int) -> bytes:
+        data = sock_file.read(n)
+        if len(data) < n:
+            raise WireError("truncated websocket frame")
+        return data
+
+    if length == 126:
+        (length,) = struct.unpack("!H", exactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", exactly(8))
+    if length > max_payload:
+        raise WireError(
+            f"websocket payload of {length} bytes exceeds the "
+            f"{max_payload}-byte limit"
+        )
+    mask = exactly(4) if masked else b""
+    payload = exactly(length) if length else b""
+    if masked:
+        payload = _apply_mask(payload, mask)
+    return opcode, payload
+
+
+async def iter_messages(
+    reader, max_payload: int = 16 * 1024 * 1024
+) -> AsyncIterator[Tuple[int, bytes]]:
+    """Data/control frames until close or EOF (close frame not yielded)."""
+    while True:
+        frame = await read_frame(reader, max_payload)
+        if frame is None or frame[0] == OP_CLOSE:
+            return
+        yield frame

@@ -34,7 +34,7 @@ cost model and overridable via ``db.query(..., backend=...)`` — see
 deprecated shims over this layer.
 """
 
-from repro.session.answers import DEFAULT_PAGE_SIZE, Answers
+from repro.session.answers import DEFAULT_PAGE_SIZE, Answers, EncodedAnswers
 from repro.session.backends import (
     AUTO,
     BACKENDS,
@@ -64,6 +64,7 @@ __all__ = [
     "CommitResult",
     "DEFAULT_PAGE_SIZE",
     "Database",
+    "EncodedAnswers",
     "ExecutionBackend",
     "ExecutionPlan",
     "PROCESS",

@@ -58,6 +58,7 @@ from repro.core.counting import trivial_count
 from repro.core.enumeration import trivial_answers
 from repro.core.pipeline import Pipeline
 from repro.core.testing import test_answer
+from repro.engine.executor import resolve_chunk_rows, run_branches_raw
 from repro.engine.pool import WorkerPool
 from repro.engine.transport import TransferStats
 from repro.errors import (
@@ -546,32 +547,35 @@ class Answers:
         """Constant-time membership test, off-loop."""
         return await self._acall(self.test, candidate)
 
-    async def astream(
+    def astream(
         self, page_size: int = DEFAULT_PAGE_SIZE
-    ) -> AsyncIterator[Answer]:
-        """Yield answers one by one; pulls happen a page at a time.
+    ) -> "_AnswerStream":
+        """An async iterator over the answers; pulls happen a page at a
+        time (off-loop).
 
-        Abandoning the stream (``break``, task cancellation, closing the
-        async generator) cancels the handle — a partially consumed stream
-        does not keep pool workers busy.
+        Abandoning the stream (``break``, task cancellation, ``aclose``)
+        cancels the handle — a partially consumed stream does not keep
+        pool workers busy, and its version pin is released the moment
+        the abandonment is observable: a ``CancelledError`` landing in a
+        pull releases it before propagating, and a task cancelled while
+        the iterator sits *between* pulls releases it when the dead
+        task's frame drops the iterator (synchronous refcount
+        finalization — not the event loop's lazily-scheduled
+        async-generator cleanup, which used to leak the pin until loop
+        shutdown).  A fully drained stream seals the handle instead.
         """
-        index = 0
-        exhausted = False
-        try:
-            while True:
-                page = await self._acall(self.page, index, page_size)
-                if not page:
-                    exhausted = True
-                    return
-                for answer in page:
-                    yield answer
-                if len(page) < page_size:
-                    exhausted = True
-                    return
-                index += 1
-        finally:
-            if not exhausted and not self._cancelled:
-                self._cancel_quietly()
+        return _AnswerStream(self, page_size)
+
+    def _abandoned_stream(self) -> None:
+        """Release an abandoned :meth:`astream` iterator's hold.
+
+        Called from the iterator's finalizer (any thread) and from its
+        error paths; a sealed or already-cancelled handle needs nothing
+        — cancelling a *sealed* handle would only revoke answers it can
+        serve forever.
+        """
+        if not self._sealed and not self._cancelled:
+            self._cancel_quietly()
 
     async def acancel(self) -> None:
         """Cancel the handle (deferred past any in-flight pull)."""
@@ -580,3 +584,256 @@ class Answers:
 
     def __aiter__(self) -> AsyncIterator[Answer]:
         return self.astream()
+
+
+class _AnswerStream:
+    """The async iterator behind :meth:`Answers.astream`.
+
+    A dedicated iterator object instead of an async generator, because
+    abandonment must be *deterministic*: an abandoned async generator's
+    ``finally`` runs only when the event loop gets around to its
+    scheduled ``aclose()`` (or at ``shutdown_asyncgens``), which left
+    the handle's version pin held long after the consuming task was
+    cancelled mid-iteration.  Here every abandonment path is synchronous:
+
+    * cancellation landing in a pull is caught in :meth:`__anext__` and
+      cancels the handle before re-raising;
+    * a task cancelled while the iterator is suspended *between* pulls
+      drops its last reference when the task's frame is destroyed — the
+      ``weakref.finalize`` below then cancels the handle immediately
+      (refcount finalization, no collector pass needed);
+    * clean exhaustion detaches the finalizer first, so a fully drained
+      stream leaves the handle sealed (pin already released), never
+      cancelled.
+    """
+
+    __slots__ = (
+        "_handle",
+        "_page_size",
+        "_index",
+        "_buffer",
+        "_pos",
+        "_ending",
+        "_finished",
+        "_finalizer",
+        "__weakref__",
+    )
+
+    def __init__(self, handle: Answers, page_size: int):
+        if page_size < 1:
+            raise EngineError(f"page_size must be >= 1, got {page_size}")
+        self._handle = handle
+        self._page_size = page_size
+        self._index = 0
+        self._buffer: List[Answer] = []
+        self._pos = 0
+        self._ending = False  # final (short) page pulled; drain and stop
+        self._finished = False
+        self._finalizer = weakref.finalize(self, handle._abandoned_stream)
+
+    def _finish(self, cancel: bool) -> None:
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._finished = True
+        if cancel:
+            self._handle._abandoned_stream()
+
+    def __aiter__(self) -> "_AnswerStream":
+        return self
+
+    async def __anext__(self) -> Answer:
+        if self._pos < len(self._buffer):
+            answer = self._buffer[self._pos]
+            self._pos += 1
+            return answer
+        if self._finished or self._ending:
+            self._finish(cancel=False)
+            raise StopAsyncIteration
+        handle = self._handle
+        try:
+            page = await handle._acall(handle.page, self._index, self._page_size)
+        except BaseException:
+            # CancelledError from a torn-down task, StaleResultError,
+            # worker failures — the stream is over either way; release
+            # the handle's hold before propagating.
+            self._finish(cancel=True)
+            raise
+        self._index += 1
+        if len(page) < self._page_size:
+            self._ending = True
+        if not page:
+            self._finish(cancel=False)
+            raise StopAsyncIteration
+        self._buffer = page
+        self._pos = 1
+        return page[0]
+
+    async def aclose(self) -> None:
+        """Close the stream; cancels the handle unless fully drained."""
+        if self._finished:
+            return
+        drained = self._ending and self._pos >= len(self._buffer)
+        self._finish(cancel=not drained)
+
+
+class EncodedAnswers:
+    """One query's answers as *encoded* columnar wire chunks.
+
+    The substrate of the serve tier's ``wire="columnar"`` cursors:
+    :meth:`chunks` yields the byte buffers produced by
+    :func:`repro.engine.executor.run_branches_raw` — in process mode
+    they come straight off the workers, never decoded in this process
+    (``transport_stats.rows`` stays 0), so a server can forward them
+    worker→socket.  The receiving side rebuilds rows with
+    ``ColumnarCodec(InternTable(intern_elements))``; concatenated, they
+    equal the serial enumeration order exactly.
+
+    Pin semantics match :class:`Answers`: the handle holds a version
+    pin, released on exhaustion, :meth:`close`, or garbage collection —
+    never leaked.  The stream is forward-only and single-consumer.
+    """
+
+    def __init__(
+        self,
+        pipeline: Pipeline,
+        skip_mode: str = "lazy",
+        workers: Optional[int] = None,
+        spec_key: Optional[tuple] = None,
+        pool: Optional[WorkerPool] = None,
+        chunk_rows: Optional[int] = None,
+        pin=None,
+    ):
+        self._pipeline = pipeline
+        self._skip_mode = skip_mode
+        self._workers = workers
+        self._spec_key = spec_key
+        self._pool = pool
+        self._requested_chunk_rows = chunk_rows
+        self._stats = TransferStats()
+        self._pin = pin
+        self._pin_finalizer = (
+            weakref.finalize(self, pin.release) if pin is not None else None
+        )
+        self._source: Optional[Iterator[bytes]] = None
+        self._closed = False
+        self._exhausted = False
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        """Answer column names, in row order."""
+        return tuple(v.name for v in self._pipeline.variables)
+
+    @property
+    def arity(self) -> int:
+        return self._pipeline.arity
+
+    @property
+    def intern_elements(self) -> list:
+        """The intern table's element list, in id order — ship this once
+        (it is the entire decode context a receiver needs)."""
+        return list(self._pipeline.intern_table.elements)
+
+    @property
+    def chunk_rows(self) -> int:
+        """The resolved per-chunk row bound."""
+        return resolve_chunk_rows(self._pipeline, self._requested_chunk_rows)
+
+    @property
+    def transport_stats(self) -> TransferStats:
+        """Byte/chunk accounting; ``rows`` counts *decoded* rows and
+        stays 0 on the passthrough path — the acceptance observable."""
+        return self._stats
+
+    @property
+    def pinned(self) -> bool:
+        return self._pin is not None and not self._pin.released
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    # -- the stream ----------------------------------------------------
+
+    def next_chunk(self) -> Optional[bytes]:
+        """The next encoded chunk, or ``None`` at end of stream
+        (blocking; run off-loop in async servers)."""
+        if self._closed:
+            raise EngineError("this EncodedAnswers stream is closed")
+        if self._exhausted:
+            return None
+        if self._source is None:
+            self._source = run_branches_raw(
+                self._pipeline,
+                workers=self._workers,
+                skip_mode=self._skip_mode,
+                spec_key=self._spec_key,
+                pool=self._pool,
+                chunk_rows=self._requested_chunk_rows,
+                transfer_stats=self._stats,
+            )
+        try:
+            return next(self._source)
+        except StopIteration:
+            self._exhausted = True
+            self._source = None
+            self._release_pin()
+            return None
+        except BaseException:
+            self.close()
+            raise
+
+    def chunks(self) -> Iterator[bytes]:
+        """Iterate the encoded chunks (single consumer, forward only)."""
+        while True:
+            buf = self.next_chunk()
+            if buf is None:
+                return
+            yield buf
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _release_pin(self) -> None:
+        pin, self._pin = self._pin, None
+        if self._pin_finalizer is not None:
+            self._pin_finalizer.detach()
+            self._pin_finalizer = None
+        if pin is not None:
+            pin.release()
+
+    def close(self) -> None:
+        """Stop producing and release the version pin.  Idempotent.
+
+        Abandons any un-pulled work units (their pool futures are
+        cancelled through the source generator's close).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        source, self._source = self._source, None
+        if source is not None:
+            source.close()
+        self._release_pin()
+
+    def __enter__(self) -> "EncodedAnswers":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "closed"
+            if self._closed
+            else ("exhausted" if self._exhausted else "open")
+        )
+        return (
+            f"EncodedAnswers(arity={self.arity}, "
+            f"chunks={self._stats.chunks}, {state})"
+        )

@@ -1143,6 +1143,10 @@ class Database:
             )
             stats["retention_budget"] = self._retention_budget
             stats["durable"] = int(self._store is not None)
+        if self._store is not None:
+            wal = self._store.stats()
+            stats["wal_records"] = wal["wal_records"]
+            stats["wal_bytes"] = wal["wal_bytes"]
         stats.update(
             {f"pool_{key}": value for key, value in self.pool.stats().items()}
         )

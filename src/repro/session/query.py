@@ -39,7 +39,7 @@ from repro.engine.transport import (
 )
 from repro.errors import EngineError
 from repro.fo.syntax import Formula, Var
-from repro.session.answers import Answers
+from repro.session.answers import Answers, EncodedAnswers
 from repro.session.backends import ExecutionPlan, PoolBackend, resolve_backend
 from repro.storage.cost_model import PICKLE_BYTES_PER_VALUE, estimate_rows
 
@@ -343,8 +343,56 @@ class Query:
             project_columns=project,
         )
 
+    def answers_encoded(self, chunk_rows: Optional[int] = None) -> EncodedAnswers:
+        """The answers as encoded columnar wire chunks.
+
+        The serve tier's passthrough path: chunks come straight off the
+        enumeration workers (in process mode never decoded here) and can
+        be forwarded byte-for-byte to a network peer, which rebuilds
+        rows from :attr:`EncodedAnswers.intern_elements`.  Pin semantics
+        match :meth:`answers` — the handle pins its version until
+        exhausted, closed, or collected.
+        """
+        self._db._check_open()
+        if self._snapshot is not None:
+            pipeline = self._resolve()
+            pin = self._snapshot._pin_for_handle()
+        else:
+            while True:
+                pipeline = self._resolve()
+                pin = self._db._pin_current(self._resolved_version)
+                if pin is not None:
+                    break
+        return EncodedAnswers(
+            pipeline,
+            skip_mode=self._skip_mode,
+            workers=self._workers,
+            spec_key=self._key,
+            pool=self._db.pool,
+            chunk_rows=chunk_rows if chunk_rows is not None else self._chunk_rows,
+            pin=pin,
+        )
+
     def __iter__(self):
         return iter(self.answers())
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Release a snapshot-pinned query's version pin.  Idempotent.
+
+        Outstanding :class:`Answers` / :class:`EncodedAnswers` handles
+        hold their *own* pins and are unaffected; a live-head query
+        holds no pin and this is a no-op.  The serve tier calls this as
+        soon as a cursor's handle exists, so each cursor costs exactly
+        one pinned version against the retention budget.
+        """
+        pin, self._pin = self._pin, None
+        if self._pin_finalizer is not None:
+            self._pin_finalizer.detach()
+            self._pin_finalizer = None
+        if pin is not None:
+            pin.release()
 
     # -- introspection -------------------------------------------------
 

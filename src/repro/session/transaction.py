@@ -174,9 +174,10 @@ class Changeset:
 
 
 def load_changeset_jsonl(
-    lines: Iterable[str],
+    lines: Iterable,
     signature: Optional[Signature] = None,
     structure: Optional[Structure] = None,
+    max_record_bytes: Optional[int] = None,
 ) -> Changeset:
     """Parse a JSONL changeset (the ``repro update --file`` format).
 
@@ -187,9 +188,36 @@ def load_changeset_jsonl(
 
     Blank lines and ``#`` comments are skipped.  Elements are taken as
     the JSON values verbatim (ints stay ints, strings stay strings).
+
+    Lines may be ``str`` or ``bytes`` (the network path hands bytes
+    straight off the socket).  Every malformed input — bad JSON,
+    non-UTF-8 bytes, or a record longer than ``max_record_bytes`` —
+    raises :class:`~repro.errors.TransactionError` naming the offending
+    line, never an unhandled decode exception; the serve tier maps that
+    to an HTTP 400.
     """
     changeset = Changeset(signature=signature, structure=structure)
     for number, line in enumerate(lines, start=1):
+        if isinstance(line, (bytes, bytearray, memoryview)):
+            raw = bytes(line)
+            if max_record_bytes is not None and len(raw) > max_record_bytes:
+                raise TransactionError(
+                    f"changeset line {number}: record is {len(raw)} bytes "
+                    f"(limit {max_record_bytes})"
+                )
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise TransactionError(
+                    f"changeset line {number}: not valid UTF-8 ({error})"
+                ) from None
+        elif max_record_bytes is not None:
+            size = len(line.encode("utf-8"))
+            if size > max_record_bytes:
+                raise TransactionError(
+                    f"changeset line {number}: record is {size} bytes "
+                    f"(limit {max_record_bytes})"
+                )
         line = line.strip()
         if not line or line.startswith("#"):
             continue

@@ -159,8 +159,8 @@ class RestoredState:
 @dataclass(frozen=True)
 class CheckpointResult:
     """Outcome of one checkpoint: the snapshot's lineage position, how
-    many warm pipelines were spilled, and how many WAL records the
-    rotation retired."""
+    many warm pipelines were spilled, and how many WAL records (and
+    bytes) the rotation retired."""
 
     version: int
     generation: int
@@ -168,6 +168,7 @@ class CheckpointResult:
     warm_entries: int
     wal_records_retired: int
     path: str
+    wal_bytes_retired: int = 0
 
 
 class DurableStore:
@@ -182,6 +183,9 @@ class DurableStore:
         self.path = os.fspath(path)
         self.sync = sync
         self._wal_handle: Optional[io.TextIOWrapper] = None
+        # Records since the last checkpoint; lazily seeded from the file
+        # so stats() stays O(1) on the append path.
+        self._wal_records: Optional[int] = None
 
     # -- lifecycle ------------------------------------------------------
 
@@ -310,7 +314,9 @@ class DurableStore:
         previous = None
         if self.exists():
             previous = self._read_manifest()
-        retired = self._count_wal_records()
+        pre = self.stats()
+        retired = pre["wal_records"]
+        retired_bytes = pre["wal_bytes"]
         manifest = {
             "format": FORMAT_VERSION,
             "snapshot": snapshot_name,
@@ -332,6 +338,7 @@ class DurableStore:
             warm_entries=spilled,
             wal_records_retired=retired,
             path=self.path,
+            wal_bytes_retired=retired_bytes,
         )
 
     def _remove_superseded(
@@ -351,6 +358,8 @@ class DurableStore:
 
     def append(self, record: WalRecord) -> None:
         """Durably log one acknowledged commit (fsync before return)."""
+        if self._wal_records is None:
+            self._wal_records = self._count_wal_records()
         if self._wal_handle is None:
             self._wal_handle = open(
                 self._wal_path(), "a", encoding="utf-8", newline=""
@@ -360,6 +369,7 @@ class DurableStore:
         handle.flush()
         if self.sync:
             os.fsync(handle.fileno())
+        self._wal_records += 1
 
     def _truncate_wal(self) -> None:
         self.close()
@@ -367,6 +377,7 @@ class DurableStore:
             handle.flush()
             if self.sync:
                 os.fsync(handle.fileno())
+        self._wal_records = 0
 
     def _count_wal_records(self) -> int:
         try:
@@ -374,6 +385,28 @@ class DurableStore:
                 return sum(1 for _ in handle)
         except OSError:
             return 0
+
+    def stats(self) -> dict:
+        """WAL accumulation since the last checkpoint rotation.
+
+        ``wal_records`` counts acknowledged commits sitting in the log,
+        ``wal_bytes`` their on-disk size — the recovery debt a reopen
+        would replay, and the signal for *when to checkpoint*.  Both
+        drop to zero when :meth:`checkpoint` rotates the log.
+        """
+        if self._wal_records is None:
+            self._wal_records = self._count_wal_records()
+        if self._wal_handle is not None:
+            self._wal_handle.flush()
+        try:
+            wal_bytes = os.path.getsize(self._wal_path())
+        except OSError:
+            wal_bytes = 0
+        return {
+            "wal_records": self._wal_records,
+            "wal_bytes": wal_bytes,
+            "path": self.path,
+        }
 
     # -- restore ---------------------------------------------------------
 
@@ -440,6 +473,7 @@ class DurableStore:
             )
 
         records, valid_bytes, total_bytes = self._scan_wal()
+        self._wal_records = len(records)
         if valid_bytes < total_bytes:
             # Drop the torn tail so future appends start on a record
             # boundary.  The dropped bytes were never acknowledged.

@@ -1,0 +1,73 @@
+"""Registry lifecycle: naming, ownership, per-tenant write locks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError, UnknownDatabaseError
+from repro.serve import DatabaseRegistry
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+
+@pytest.fixture
+def structure():
+    return random_colored_graph(30, seed=5).copy()
+
+
+class TestRegistry:
+    def test_create_get_names(self, structure):
+        registry = DatabaseRegistry()
+        entry = registry.create("alpha", structure)
+        assert registry.get("alpha") is entry
+        assert registry.names() == ["alpha"]
+        assert "alpha" in registry and len(registry) == 1
+        registry.close_all()
+        assert entry.db.closed
+
+    def test_unknown_name_is_404(self):
+        registry = DatabaseRegistry()
+        with pytest.raises(UnknownDatabaseError) as info:
+            registry.get("ghost")
+        assert info.value.status == 404
+
+    def test_duplicate_name_refused(self, structure):
+        registry = DatabaseRegistry()
+        registry.create("a", structure)
+        with pytest.raises(ServeError) as info:
+            registry.create("a", structure.copy())
+        assert info.value.status == 409
+        registry.close_all()
+
+    @pytest.mark.parametrize(
+        "name", ["", "a b", "a/b", "x" * 65, "semi;colon"]
+    )
+    def test_bad_names_refused(self, structure, name):
+        registry = DatabaseRegistry()
+        with pytest.raises(ServeError) as info:
+            registry.create(name, structure)
+        assert info.value.status == 400
+
+    def test_unowned_database_survives_close_all(self, structure):
+        registry = DatabaseRegistry()
+        db = Database(structure)
+        registry.add("keep", db, close_on_shutdown=False)
+        registry.close_all()
+        assert not db.closed
+        db.close()
+
+    def test_remove(self, structure):
+        registry = DatabaseRegistry()
+        entry = registry.create("gone", structure)
+        registry.remove("gone")
+        assert entry.db.closed
+        with pytest.raises(UnknownDatabaseError):
+            registry.get("gone")
+
+    def test_durable_open(self, structure, tmp_path):
+        registry = DatabaseRegistry()
+        Database.open(tmp_path / "store", structure=structure).close()
+        entry = registry.open("d", tmp_path / "store")
+        assert entry.db.durable
+        assert entry.db.stats()["wal_records"] == 0
+        registry.close_all()

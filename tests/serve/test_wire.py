@@ -1,0 +1,174 @@
+"""Unit tests for the hand-rolled HTTP/1.1 + WebSocket framing."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.errors import WireError
+from repro.serve import wire
+
+
+def parse_request(raw: bytes, max_body: int = 1 << 20):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await wire.read_request(reader, max_body)
+
+    return asyncio.run(run())
+
+
+class TestHttpParsing:
+    def test_simple_get(self):
+        req = parse_request(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+        assert req.keep_alive
+
+    def test_query_string_and_escapes(self):
+        req = parse_request(b"GET /db/a%20b/stats?x=1&y=two HTTP/1.1\r\n\r\n")
+        assert req.path == "/db/a b/stats"
+        assert req.query == {"x": "1", "y": "two"}
+
+    def test_post_body(self):
+        req = parse_request(
+            b"POST /db/d/query HTTP/1.1\r\n"
+            b"Content-Length: 17\r\n\r\n"
+            b'{"query": "B(x)"}'
+        )
+        assert req.json() == {"query": "B(x)"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_truncated_head_raises(self):
+        with pytest.raises(WireError):
+            parse_request(b"GET / HTTP/1.1\r\nHost")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(WireError):
+            parse_request(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length(self):
+        with pytest.raises(WireError):
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(WireError) as info:
+            parse_request(
+                b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n",
+                max_body=10,
+            )
+        assert info.value.status == 413
+
+    def test_websocket_upgrade_detection(self):
+        req = parse_request(
+            b"GET /db/d/stream HTTP/1.1\r\n"
+            b"Connection: keep-alive, Upgrade\r\n"
+            b"Upgrade: websocket\r\n"
+            b"Sec-WebSocket-Key: abc\r\n\r\n"
+        )
+        assert req.wants_websocket
+
+    def test_render_response_round_trip(self):
+        raw = wire.render_response(200, b'{"ok":true}')
+        assert raw.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 11" in raw
+        assert raw.endswith(b'{"ok":true}')
+
+
+class TestWebSocketHandshake:
+    def test_rfc6455_accept_vector(self):
+        # The worked example from RFC 6455 section 1.3.
+        assert (
+            wire.websocket_accept("dGhlIHNhbXBsZSBub25jZQ==")
+            == "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        )
+
+    def test_handshake_response(self):
+        req = parse_request(
+            b"GET /db/d/stream HTTP/1.1\r\n"
+            b"Connection: Upgrade\r\nUpgrade: websocket\r\n"
+            b"Sec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n"
+        )
+        raw = wire.handshake_response(req)
+        assert raw.startswith(b"HTTP/1.1 101 ")
+        assert b"Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=" in raw
+
+    def test_handshake_without_key_raises(self):
+        req = parse_request(
+            b"GET /s HTTP/1.1\r\nConnection: Upgrade\r\n"
+            b"Upgrade: websocket\r\n\r\n"
+        )
+        with pytest.raises(WireError):
+            wire.handshake_response(req)
+
+
+def async_read_frame(raw: bytes):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await wire.read_frame(reader)
+
+    return asyncio.run(run())
+
+
+class TestFrames:
+    @pytest.mark.parametrize("mask", [False, True])
+    @pytest.mark.parametrize(
+        "payload",
+        [b"", b"x", b"hello world", b"a" * 126, b"b" * 70000],
+    )
+    def test_round_trip_async(self, payload, mask):
+        raw = wire.encode_frame(wire.OP_BINARY, payload, mask=mask)
+        opcode, decoded = async_read_frame(raw)
+        assert opcode == wire.OP_BINARY
+        assert decoded == payload
+
+    @pytest.mark.parametrize("mask", [False, True])
+    def test_round_trip_sync(self, mask):
+        payload = bytes(range(256)) * 3
+        raw = wire.encode_frame(wire.OP_TEXT, payload, mask=mask)
+        opcode, decoded = wire.read_frame_sync(io.BytesIO(raw))
+        assert opcode == wire.OP_TEXT
+        assert decoded == payload
+
+    def test_clean_eof(self):
+        assert async_read_frame(b"") is None
+        assert wire.read_frame_sync(io.BytesIO(b"")) is None
+
+    def test_fragmented_frame_refused(self):
+        # FIN bit clear.
+        raw = bytes([0x01, 0x01]) + b"x"
+        with pytest.raises(WireError):
+            async_read_frame(raw)
+
+    def test_truncated_frame(self):
+        raw = wire.encode_frame(wire.OP_BINARY, b"full payload")[:-3]
+        with pytest.raises(WireError):
+            async_read_frame(raw)
+
+    def test_oversized_payload_refused(self):
+        raw = wire.encode_frame(wire.OP_BINARY, b"z" * 2048)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            return await wire.read_frame(reader, max_payload=1024)
+
+        with pytest.raises(WireError):
+            asyncio.run(run())
+
+    def test_masking_is_involutive(self):
+        payload = b"the quick brown fox"
+        mask = b"\x01\x02\x03\x04"
+        once = wire._apply_mask(payload, mask)
+        assert once != payload
+        assert wire._apply_mask(once, mask) == payload

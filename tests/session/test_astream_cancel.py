@@ -1,0 +1,178 @@
+"""``Answers.astream()`` must release its version pin on every exit
+path — including the one that used to leak: the consuming task cancelled
+*between* page pulls.
+
+A task cancelled between pulls stores the ``CancelledError`` (with its
+traceback) on the ``Task`` object; the traceback <-> frame reference
+cycle keeps the iterator alive until a garbage-collection pass, at which
+point the ``weakref.finalize`` hook must release the pin *synchronously*
+— no further event-loop turns are available, because the regression was
+an asyncgen-based implementation whose cleanup needed scheduled
+``aclose()`` turns that never ran.  These tests therefore collect and
+assert immediately, with no intervening ``await``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+
+import pytest
+
+from repro.errors import EngineError
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+EXAMPLE = "B(x) & R(y) & ~E(x,y)"
+
+
+@pytest.fixture
+def structure():
+    return random_colored_graph(24, max_degree=3, seed=19).copy()
+
+
+class TestCancelledConsumer:
+    def test_cancel_between_pulls_releases_pin(self, structure):
+        """The regression: cancellation lands while the consumer is
+        parked *between* ``__anext__`` calls, so the stream never sees
+        the ``CancelledError`` — only the finalizer can release the
+        pin, and it must do so at collection time without any further
+        event-loop turns."""
+
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+                got_page = asyncio.Event()
+                parked = asyncio.Event()
+
+                async def consume():
+                    stream = handle.astream(page_size=2)
+                    async for _answer_page_marker in stream:
+                        got_page.set()
+                        await parked.wait()  # cancellation lands here
+
+                task = asyncio.create_task(consume())
+                await got_page.wait()
+                assert handle.pinned
+                assert db.stats()["pinned_versions"] == 1
+
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+
+                # The cancellation's traceback holds the consumer frame
+                # (and through it the iterator); the awaiting task's
+                # C-level ``__step`` keeps that exception on the C stack
+                # until this coroutine next suspends, so one loop turn,
+                # then a collection pass.  The finalizer must release
+                # the pin *during* the collect — the old asyncgen
+                # implementation merely scheduled ``aclose()`` here and
+                # still held the pin at the assert below.
+                del task
+                await asyncio.sleep(0)
+                gc.collect()
+                assert not handle.pinned
+                assert handle.cancelled
+                assert db.stats()["pinned_versions"] == 0
+
+        asyncio.run(scenario())
+
+    def test_cancel_inside_pull_releases_pin_without_gc(self, structure):
+        """Cancellation landing *inside* ``__anext__`` is caught there
+        and releases the pin synchronously — no collection needed."""
+
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+
+                async def consume():
+                    async for _answer in handle.astream(page_size=2):
+                        pass
+
+                task = asyncio.create_task(consume())
+                # One turn parks the task inside the first page pull.
+                await asyncio.sleep(0)
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+                assert not handle.pinned
+                assert db.stats()["pinned_versions"] == 0
+
+        asyncio.run(scenario())
+
+
+class TestAbandonment:
+    def test_break_then_collect_releases_pin(self, structure):
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+                stream = handle.astream(page_size=2)
+                async for _answer in stream:
+                    break
+                assert handle.pinned  # abandoned mid-stream, still live
+                del stream
+                gc.collect()
+                assert not handle.pinned
+                assert db.stats()["pinned_versions"] == 0
+
+        asyncio.run(scenario())
+
+    def test_aclose_mid_stream_cancels(self, structure):
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+                stream = handle.astream(page_size=2)
+                await stream.__anext__()
+                await stream.aclose()
+                assert handle.cancelled
+                assert db.stats()["pinned_versions"] == 0
+
+        asyncio.run(scenario())
+
+
+class TestCleanCompletion:
+    def test_full_drain_seals_instead_of_cancelling(self, structure):
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+                expected = db.query(EXAMPLE).answers().all()
+                streamed = [a async for a in handle.astream(page_size=7)]
+                assert streamed == expected
+                # Exhaustion seals the handle (pin released, results
+                # self-contained) — it is *not* a cancellation.
+                assert not handle.cancelled
+                assert not handle.pinned
+                assert db.stats()["pinned_versions"] == 0
+                assert handle.all() == expected
+
+        asyncio.run(scenario())
+
+    def test_aclose_after_drain_is_not_a_cancel(self, structure):
+        async def scenario():
+            with Database(structure) as db:
+                handle = db.query(EXAMPLE).answers()
+                total = len(db.query(EXAMPLE).answers().all())
+                stream = handle.astream(page_size=total + 1)
+                # One short page: the stream is ending; consume it all
+                # without tripping the terminal StopAsyncIteration.
+                for _ in range(total):
+                    await stream.__anext__()
+                await stream.aclose()  # drained -> seal, not cancel
+                assert not handle.cancelled
+                assert db.stats()["pinned_versions"] == 0
+                with pytest.raises(StopAsyncIteration):
+                    await stream.__anext__()
+                assert len(handle.all()) == total
+
+        asyncio.run(scenario())
+
+    def test_bad_page_size_rejected(self, structure):
+        with Database(structure) as db:
+            handle = db.query(EXAMPLE).answers()
+            with pytest.raises(EngineError):
+                handle.astream(page_size=0)
+            handle.cancel()

@@ -278,3 +278,57 @@ class TestChangeset:
             )
         with pytest.raises(TransactionError, match="line 1"):
             load_changeset_jsonl(['{"op": "insert"}'], structure=structure)
+
+    def test_jsonl_accepts_byte_lines(self, structure):
+        # The serve tier feeds raw request-body splits: bytes, not str.
+        lines = [
+            b'{"op": "insert", "relation": "B", "elements": [0]}',
+            bytearray(b'{"op": "remove", "relation": "E", "elements": [0, 1]}'),
+            memoryview(b"# comment"),
+        ]
+        changeset = load_changeset_jsonl(lines, structure=structure)
+        assert changeset.ops == (
+            (True, "B", (0,)),
+            (False, "E", (0, 1)),
+        )
+
+    def test_jsonl_rejects_non_utf8_bytes(self, structure):
+        with pytest.raises(TransactionError, match="line 2.*UTF-8"):
+            load_changeset_jsonl(
+                [
+                    b'{"op": "insert", "relation": "B", "elements": [0]}',
+                    b"\xff\xfe{}",
+                ],
+                structure=structure,
+            )
+
+    @pytest.mark.parametrize(
+        "oversized",
+        [
+            b'{"op": "insert", "relation": "B", "elements": [0],'
+            b' "pad": "' + b"x" * 100 + b'"}',
+            '{"op": "insert", "relation": "B", "elements": [0],'
+            ' "pad": "' + "x" * 100 + '"}',
+        ],
+        ids=["bytes", "str"],
+    )
+    def test_jsonl_rejects_oversized_records(self, structure, oversized):
+        good = '{"op": "insert", "relation": "B", "elements": [0]}'
+        with pytest.raises(TransactionError, match="line 2.*limit 64"):
+            load_changeset_jsonl(
+                [good, oversized], structure=structure, max_record_bytes=64
+            )
+        # Within the limit, the same shapes load fine.
+        loaded = load_changeset_jsonl(
+            [good], structure=structure, max_record_bytes=64
+        )
+        assert loaded.ops == ((True, "B", (0,)),)
+
+    def test_jsonl_no_limit_by_default(self, structure):
+        big = (
+            '{"op": "insert", "relation": "B", "elements": [0],'
+            ' "pad": "' + "x" * 5000 + '"}'
+        )
+        assert load_changeset_jsonl([big], structure=structure).ops == (
+            (True, "B", (0,)),
+        )

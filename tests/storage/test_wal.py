@@ -190,6 +190,70 @@ class TestDurableStore:
         assert restored.structure.content_fingerprint() == result.fingerprint
 
 
+class TestWalStats:
+    def test_fresh_store_reports_zero(self, tmp_path):
+        store = DurableStore(tmp_path / "db")
+        store.initialize(small_structure())
+        stats = store.stats()
+        assert stats["wal_records"] == 0
+        assert stats["wal_bytes"] == 0
+        assert stats["path"] == store.path
+
+    def test_appends_accumulate(self, tmp_path):
+        store = DurableStore(tmp_path / "db")
+        store.initialize(small_structure())
+        store.append(WalRecord(0, 1, 0, ((True, "B", (1,)),)))
+        store.append(WalRecord(1, 2, 0, ((True, "R", (2,)),)))
+        stats = store.stats()
+        assert stats["wal_records"] == 2
+        assert stats["wal_bytes"] == os.path.getsize(
+            tmp_path / "db" / WAL_NAME
+        )
+        assert stats["wal_bytes"] > 0
+
+    def test_reopened_store_counts_existing_records(self, tmp_path):
+        store = DurableStore(tmp_path / "db")
+        store.initialize(small_structure())
+        store.append(WalRecord(0, 1, 0, ((True, "B", (1,)),)))
+        store.close()
+        # A cold store must count what is on disk, not start from zero.
+        assert DurableStore(tmp_path / "db").stats()["wal_records"] == 1
+
+    def test_checkpoint_retires_and_resets(self, tmp_path):
+        store = DurableStore(tmp_path / "db")
+        structure = small_structure()
+        store.initialize(structure)
+        structure.add_fact("B", 1)
+        store.append(
+            WalRecord(structure.version - 1, structure.version, 0,
+                      ((True, "B", (1,)),))
+        )
+        before = store.stats()
+        result = store.checkpoint(structure, ())
+        assert result.wal_records_retired == before["wal_records"] == 1
+        assert result.wal_bytes_retired == before["wal_bytes"]
+        after = store.stats()
+        assert after["wal_records"] == 0
+        assert after["wal_bytes"] == 0
+
+    def test_database_surfaces_wal_stats(self, tmp_path):
+        with Database.open(
+            tmp_path / "db", structure=small_structure()
+        ) as db:
+            assert db.stats()["wal_records"] == 0
+            db.insert_fact("B", 1)
+            db.insert_fact("R", 3)
+            stats = db.stats()
+            assert stats["wal_records"] == 2
+            assert stats["wal_bytes"] > 0
+            db.checkpoint()
+            assert db.stats()["wal_records"] == 0
+
+    def test_memory_database_has_no_wal_stats(self):
+        with Database(small_structure()) as db:
+            assert "wal_records" not in db.stats()
+
+
 # -- crash-recovery differential ----------------------------------------
 
 
