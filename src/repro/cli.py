@@ -22,6 +22,8 @@ Examples::
     python -m repro update  --db ./mydb --file changes.jsonl -q "B(x)"
     python -m repro query   --db ./mydb -q "B(x)" --count
     python -m repro checkpoint --db ./mydb
+    python -m repro follow  --db ./mydb --once -q "B(x)"
+    python -m repro follow  --host 127.0.0.1 --port 8642 --name default
 
 Workload specs are ``name:key=value,...``:
 
@@ -459,6 +461,64 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_follow(args: argparse.Namespace) -> int:
+    """Tail a leader as a read replica and answer queries against it.
+
+    ``--db`` follows a shared durable-store directory read-only;
+    ``--host``/``--port``/``--name`` follow a served leader over the
+    replication endpoints.  ``--once`` catches up and exits (after
+    printing the ``-q`` counts); otherwise the follower keeps tailing
+    and reports every version change until interrupted.
+    """
+    from repro.replication import DirectorySource, FollowerDatabase, ServeSource
+    from repro.serve import ServeClient
+
+    if bool(args.db) == bool(args.url_name):
+        raise ReproError("follow needs exactly one of --db or --name")
+    if args.db:
+        source = DirectorySource(args.db)
+    else:
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+        source = ServeSource(client, args.url_name, wait=args.interval)
+    follower = FollowerDatabase(
+        source, max_lag=args.max_lag, eps=args.eps, workers=args.workers
+    )
+    try:
+        started = time.perf_counter()
+        applied = follower.catch_up()
+        elapsed = time.perf_counter() - started
+        print(
+            f"following {source.describe()}: caught up to version "
+            f"{follower.version} ({applied} record(s) replayed, "
+            f"{follower.stats()['reseeds']} reseed(s)) in {elapsed:.3f}s"
+        )
+        for text in args.query or []:
+            print(f"[{text}]  count={follower.count(text)}")
+        if args.once:
+            return 0
+        follower.start_tailing(interval=args.interval)
+        print("tailing — Ctrl-C to stop")
+        last_seen = follower.version
+        try:
+            while True:
+                time.sleep(args.interval)
+                version = follower.version
+                if version != last_seen:
+                    last_seen = version
+                    line = f"version {version} (lag {follower.lag})"
+                    for text in args.query or []:
+                        line += f"; [{text}] count={follower.count(text)}"
+                    print(line)
+                error = follower.stats()["last_error"]
+                if error:
+                    print(f"tail error (retrying): {error}", file=sys.stderr)
+        except KeyboardInterrupt:
+            print("stopped")
+        return 0
+    finally:
+        follower.close()
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     db = parse_workload(args.workload)
     sentence = parse(args.query)
@@ -700,6 +760,53 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--eps", type=float, default=0.5)
     serve_parser.add_argument("--workers", type=int, default=None)
     serve_parser.set_defaults(handler=cmd_serve)
+
+    follow_parser = sub.add_parser(
+        "follow",
+        help="tail a leader as a read replica (shared store or serve tier)",
+    )
+    follow_parser.add_argument(
+        "--db",
+        metavar="PATH",
+        default=None,
+        help="leader's durable store directory (shared-filesystem topology)",
+    )
+    follow_parser.add_argument("--host", default="127.0.0.1")
+    follow_parser.add_argument("--port", type=int, default=8642)
+    follow_parser.add_argument(
+        "--name",
+        dest="url_name",
+        default=None,
+        help="served database name to follow (service-tier topology)",
+    )
+    follow_parser.add_argument(
+        "-q",
+        "--query",
+        action="append",
+        help="query to count after catch-up (and on every version change)",
+    )
+    follow_parser.add_argument(
+        "--max-lag",
+        dest="max_lag",
+        type=int,
+        default=None,
+        help="refuse reads when more than this many versions behind",
+    )
+    follow_parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        help="tail poll interval in seconds (also the serve long-poll wait)",
+    )
+    follow_parser.add_argument(
+        "--timeout", type=float, default=30.0, help="serve request timeout"
+    )
+    follow_parser.add_argument(
+        "--once", action="store_true", help="catch up, report, and exit"
+    )
+    follow_parser.add_argument("--eps", type=float, default=0.5)
+    follow_parser.add_argument("--workers", type=int, default=None)
+    follow_parser.set_defaults(handler=cmd_follow)
 
     check_parser = sub.add_parser("check", help="model-check a sentence")
     common(check_parser)

@@ -233,11 +233,16 @@ class PipelineMaintainer:
     # Local recomputation
     # ------------------------------------------------------------------
 
-    def refresh(self, touched: Sequence[Element], region: Set[Element]) -> None:
+    def refresh(self, touched: Sequence[Element], region: Set[Element]) -> bool:
         """Re-derive every neighborhood-determined quantity in ``region``.
 
         ``region`` must be the union of :meth:`reach` computed before and
         after the structure mutation was applied.
+
+        Returns whether the pipeline's *durable* plan state changed —
+        i.e. graph surgery removed or regenerated nodes (cleared memo
+        caches rebuild on demand and do not count).  The session uses
+        this as the dirty flag for incremental checkpoint spills.
         """
         self.updates_applied += 1
         pipeline = self.pipeline
@@ -251,7 +256,7 @@ class PipelineMaintainer:
         if hasattr(pipeline, "_armed_branches"):
             del pipeline._armed_branches
         if pipeline.trivial is not None:
-            return
+            return False
         graph = pipeline.graph
         assert graph is not None
 
@@ -283,6 +288,7 @@ class PipelineMaintainer:
         # 3. Colors, edges, and list membership for the new nodes.
         for node_id in new_ids:
             self._attach_node(node_id)
+        return bool(dead) or bool(new_ids)
 
     def _regenerate_nodes(self, seeds, region) -> List[int]:
         """Steps 3 of Prop 3.4, restricted to tuples meeting the region."""

@@ -142,6 +142,61 @@ class UnknownCursorError(ServeError):
         super().__init__(message, status)
 
 
+class ServeConnectionError(ServeError):
+    """The service tier could not be reached (status 503).
+
+    Raised by :class:`repro.serve.ServeClient` and the follower tailer
+    after the retry policy is exhausted: connection refused/reset, DNS
+    failure, or a circuit breaker that is still open.  Transient by
+    definition — the request may be retried once the peer is back.
+    """
+
+    def __init__(self, message: str, status: int = 503):
+        super().__init__(message, status)
+
+
+class ServeTimeoutError(ServeConnectionError):
+    """A service request ran past its deadline (status 504)."""
+
+    def __init__(self, message: str, status: int = 504):
+        super().__init__(message, status)
+
+
+class CircuitOpenError(ServeConnectionError):
+    """The circuit breaker refused the call without touching the wire.
+
+    After N consecutive failures the breaker opens and fails fast for
+    ``reset_after`` seconds instead of hammering a dead peer; the next
+    call after the cool-down is a probe that closes it on success.
+    """
+
+
+class ReplicationError(ReproError):
+    """A replication follower was misused or lost its feed.
+
+    Raised for writes addressed to a read-only follower, for tailing a
+    leader whose lineage diverged from the follower's (different store,
+    rewound history), and for follower-side replay failures.
+    """
+
+
+class ReplicaLagError(ReplicationError):
+    """A follower read was refused because the replica is too stale.
+
+    ``FollowerDatabase(max_lag=N)`` bounds how many versions a follower
+    may trail its leader while still answering reads; past the bound,
+    reads raise this (carrying ``lag``, ``version``, and
+    ``leader_version``) instead of silently serving stale data.
+    """
+
+    def __init__(self, message: str, lag: int = 0, version: int = 0,
+                 leader_version: int = 0):
+        super().__init__(message)
+        self.lag = lag
+        self.version = version
+        self.leader_version = leader_version
+
+
 class DurabilityWarning(RuntimeWarning):
     """A durability *accelerator* was dropped, not durability itself.
 

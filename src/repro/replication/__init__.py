@@ -1,0 +1,45 @@
+"""WAL-shipped replication: followers that tail a leader's log.
+
+Two topologies over one replay engine:
+
+* **Shared directory** — the follower tails the leader's durable store
+  directory read-only (:class:`DirectorySource`); nothing but a
+  filesystem between them.
+* **Service tier** — the follower tails a served leader over
+  ``GET /db/{name}/wal?from=V`` long-polls (:class:`ServeSource`), with
+  snapshot re-seed over ``GET /db/{name}/snapshot`` and every request on
+  the shared retry/backoff + circuit-breaker policy.
+
+Either way, shipped records replay through the ordinary
+maintained-commit path, so the follower's cached pipelines stay warm
+and a follower read at version V is byte-identical to the leader at V.
+See :mod:`repro.replication.follower` for the lag/refusal contract and
+:mod:`repro.replication.faults` for the crash-point and wire-fault
+test instruments.
+"""
+
+from repro.replication.faults import (
+    CRASH_POINTS,
+    FlakyProxy,
+    InjectedCrash,
+    crash_point,
+    inject,
+)
+from repro.replication.follower import (
+    DirectorySource,
+    FollowerDatabase,
+    ServeSource,
+    WalSource,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "DirectorySource",
+    "FlakyProxy",
+    "FollowerDatabase",
+    "InjectedCrash",
+    "ServeSource",
+    "WalSource",
+    "crash_point",
+    "inject",
+]

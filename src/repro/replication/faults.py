@@ -1,0 +1,245 @@
+"""Fault injection for the replication stack.
+
+Two complementary instruments:
+
+* The process-level **crash points** (re-exported from
+  :mod:`repro.util.faults`): named places in the WAL append, checkpoint,
+  shipment, and follower replay paths where a test can make the process
+  "die" — ``wal.append.before`` / ``wal.append.torn`` /
+  ``wal.append.after-sync``, ``checkpoint.after-snapshot`` /
+  ``checkpoint.after-manifest`` / ``checkpoint.done``, ``ship.batch``,
+  ``follower.apply.before`` / ``follower.apply.after``.
+
+* :class:`FlakyProxy` — a wire-level TCP fault proxy that sits between
+  a :class:`~repro.serve.ServeClient` (or follower) and a leader
+  server, and drops, delays, or truncates bytes on command.  Crash
+  points simulate the *process* dying; the proxy simulates the
+  *network* dying — half-shipped batches, connections cut mid-response,
+  refused reconnects — which is exactly what the retry/backoff layer
+  and the follower's resume logic must survive.
+
+The proxy's fault plan is plain mutable attributes, so a test can run
+healthy traffic, flip ``drop_after_bytes`` mid-run, watch the client
+reconnect through its retry policy, then heal the link and assert
+convergence.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Optional, Set
+
+from repro.util.faults import (  # noqa: F401 — re-exported test surface
+    FaultPlan,
+    InjectedCrash,
+    crash_point,
+    inject,
+    is_armed,
+)
+
+__all__ = [
+    "CRASH_POINTS",
+    "FaultPlan",
+    "FlakyProxy",
+    "InjectedCrash",
+    "crash_point",
+    "inject",
+    "is_armed",
+]
+
+# The named crash points the storage/session/replication layers expose,
+# in pipeline order.  Fault-matrix tests iterate this list so a newly
+# added point cannot be forgotten silently.
+CRASH_POINTS = (
+    "wal.append.before",
+    "wal.append.torn",
+    "wal.append.after-sync",
+    "checkpoint.after-snapshot",
+    "checkpoint.after-manifest",
+    "checkpoint.done",
+    "ship.batch",
+    "follower.apply.before",
+    "follower.apply.after",
+)
+
+_CHUNK = 4096
+
+
+class FlakyProxy:
+    """A TCP relay with switchable wire faults.
+
+    ::
+
+        proxy = FlakyProxy("127.0.0.1", leader_port).start()
+        client = ServeClient("127.0.0.1", proxy.port)
+        proxy.drop_after_bytes = 100   # cut every connection after 100
+        ...                            # upstream bytes reach the client
+        proxy.drop_after_bytes = None  # heal
+        proxy.stop()
+
+    Fault knobs (all live-mutable, applied per connection):
+
+    * ``refuse`` — accept then immediately close new connections
+      (connection-refused-ish behavior without releasing the port).
+    * ``drop_after_bytes`` — kill the connection once this many
+      upstream→client bytes have been relayed on it.  Mid-response cuts
+      produce exactly the truncated HTTP bodies / torn WAL shipments
+      the follower must survive.
+    * ``delay`` — seconds to sleep before relaying each upstream chunk
+      (latency injection; pairs with client deadlines).
+    """
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 host: str = "127.0.0.1"):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self.refuse = False
+        self.drop_after_bytes: Optional[int] = None
+        self.delay: float = 0.0
+        self.connections = 0
+        self.dropped = 0
+        self.bytes_relayed = 0
+        self._lock = threading.Lock()
+        self._sockets: Set[socket.socket] = set()
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "FlakyProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="repro-flaky-proxy", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            if self._stop.is_set():
+                client.close()
+                return
+            self.connections += 1
+            if self.refuse:
+                client.close()
+                continue
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=5.0
+                )
+            except OSError:
+                client.close()
+                continue
+            self._track(client)
+            self._track(upstream)
+            budget = [self.drop_after_bytes]  # shared by both pump threads
+            threading.Thread(
+                target=self._pump, args=(client, upstream, budget, False),
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._pump, args=(upstream, client, budget, True),
+                daemon=True,
+            ).start()
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._sockets.add(sock)
+
+    def _kill(self, *socks: socket.socket) -> None:
+        for sock in socks:
+            with self._lock:
+                self._sockets.discard(sock)
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, src: socket.socket, dst: socket.socket,
+              budget: list, metered: bool) -> None:
+        """Relay ``src`` → ``dst``; the upstream→client direction is the
+        metered one (faults target what the *client* observes)."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    data = src.recv(_CHUNK)
+                except OSError:
+                    break
+                if not data:
+                    break
+                if metered:
+                    if self.delay > 0:
+                        time.sleep(self.delay)
+                    limit = budget[0]
+                    if limit is not None:
+                        if limit <= 0:
+                            self.dropped += 1
+                            break
+                        if len(data) > limit:
+                            data = data[:limit]  # a torn final chunk
+                            budget[0] = 0
+                        else:
+                            budget[0] = limit - len(data)
+                    self.bytes_relayed += len(data)
+                try:
+                    dst.sendall(data)
+                except OSError:
+                    break
+                if metered and budget[0] == 0:
+                    self.dropped += 1
+                    break
+        finally:
+            self._kill(src, dst)
+
+    def kill_connections(self) -> None:
+        """Hard-close every live relayed connection right now."""
+        with self._lock:
+            socks, self._sockets = set(self._sockets), set()
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.kill_connections()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "FlakyProxy":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

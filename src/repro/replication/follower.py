@@ -1,0 +1,550 @@
+"""WAL-shipped replication: a read-only follower that tails a leader.
+
+A :class:`FollowerDatabase` owns an in-memory
+:class:`repro.session.Database` seeded from the leader's snapshot and
+kept current by replaying shipped write-ahead-log records through the
+ordinary maintained-commit path — the same one-pass batch maintenance a
+local commit pays — so the follower's cached pipelines stay warm across
+catch-up and a repeated query is a cache hit, not a rebuild.  Reads
+(queries, snapshots) behave exactly like a local session: a follower
+read at version V is byte-identical to the leader at version V, because
+both states are the same commit prefix applied to the same snapshot.
+
+Two feed implementations:
+
+* :class:`DirectorySource` — tail a leader's :class:`DurableStore`
+  directory over a shared filesystem.  Strictly read-only: it never
+  truncates a torn tail (that may be the leader's in-flight append).
+* :class:`ServeSource` — tail a leader served by :mod:`repro.serve`
+  over ``GET /db/{name}/wal?from=V`` (long-poll) with snapshot re-seed
+  via ``GET /db/{name}/snapshot``.  All requests ride the client's
+  retry/backoff policy; transient failures surface as
+  :class:`~repro.errors.ServeConnectionError` only after it gives up.
+
+The lag contract: ``lag = leader_version - follower_version`` as of the
+last shipment (a follower that has never reached its leader reports the
+lag it last observed).  ``max_lag=N`` refuses reads more than N versions
+stale with a structured :class:`~repro.errors.ReplicaLagError` instead
+of silently serving old data; ``max_lag=None`` (default) serves reads at
+any staleness but always *reports* it via :meth:`FollowerDatabase.stats`
+and ``query(...).explain()``.
+
+Failure handling is convergence-first: a mid-batch failure (crash,
+truncated shipment, injected fault) leaves the follower at the last
+fully-applied record — records are idempotent by version interval, so
+the next :meth:`catch_up` resumes exactly there.  A leader checkpoint
+that retired the segments a follower still needed flags ``reseed`` and
+the follower re-seeds from the current snapshot.  The background tailer
+(:meth:`start_tailing`) wraps every cycle in the retry policy and keeps
+serving (increasingly stale, explicitly-lagged) reads while the leader
+is away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    EngineError,
+    ReplicaLagError,
+    ReplicationError,
+    ServeConnectionError,
+)
+from repro.session import Database
+from repro.storage.wal import DurableStore, WalRecord
+from repro.structures.serialize import loads as load_structure
+from repro.util.faults import crash_point
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retry
+
+__all__ = [
+    "DirectorySource",
+    "FollowerDatabase",
+    "ServeSource",
+    "WalSource",
+]
+
+
+class WalSource:
+    """One leader feed: shipments of raw WAL lines + snapshot re-seed.
+
+    ``shipment(after_version, limit)`` returns the leader's batch dict
+    (``leader_version`` / ``base_version`` / ``reseed`` / ``more`` /
+    ``records`` as raw CRC-framed WAL lines) — the exact shape of
+    :meth:`repro.session.Database.wal_shipment`, so every transport
+    preserves the framing end-to-end and the follower re-validates each
+    record before applying it.
+    """
+
+    def shipment(self, after_version: int, limit: int = 512) -> dict:
+        raise NotImplementedError
+
+    def fetch_snapshot(self):
+        """A fresh :class:`Structure` at the leader's snapshot base
+        (with its version/generation lineage restored)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def close(self) -> None:
+        pass
+
+
+class DirectorySource(WalSource):
+    """Tail a leader's durable store directory (shared filesystem).
+
+    Every access is read-only — :meth:`DurableStore.records_since` and
+    :meth:`DurableStore.load_snapshot` never truncate, never write —
+    so a live leader appending to the same directory is safe.
+    """
+
+    def __init__(self, path):
+        self._store = DurableStore(path)
+
+    def _check(self) -> None:
+        if not self._store.exists():
+            raise ReplicationError(
+                f"no durable store at {self._store.path!r} to follow"
+            )
+
+    def shipment(self, after_version: int, limit: int = 512) -> dict:
+        self._check()
+        crash_point("ship.batch")
+        base_version = self._store.manifest_version()
+        records, more = self._store.records_since(after_version, limit=limit)
+        if records:
+            reseed = records[0].version_before > after_version
+            leader_version = records[-1].version_after
+        else:
+            reseed = after_version < base_version
+            leader_version = max(base_version, after_version)
+        return {
+            "leader_version": leader_version,
+            "base_version": base_version,
+            "reseed": reseed,
+            "more": more,
+            "records": [r.to_line().rstrip("\n") for r in records],
+        }
+
+    def fetch_snapshot(self):
+        self._check()
+        structure, _manifest = self._store.load_snapshot()
+        return structure
+
+    def describe(self) -> str:
+        return f"directory {self._store.path}"
+
+
+class ServeSource(WalSource):
+    """Tail a leader through the :mod:`repro.serve` service tier.
+
+    ``wait`` enables server-side long-polling: a shipment request with
+    no new records parks on the leader until a commit lands (or the wait
+    expires), so an idle follower costs one open request instead of a
+    busy poll.  The :class:`~repro.serve.ServeClient` already routes
+    every request through the shared retry policy; by default the source
+    owns its client and closes it.
+    """
+
+    def __init__(self, client, db: str, wait: Optional[float] = None,
+                 own_client: bool = True):
+        self._client = client
+        self._db = db
+        self._wait = wait
+        self._own_client = own_client
+
+    def shipment(self, after_version: int, limit: int = 512) -> dict:
+        return self._client.wal(
+            self._db, after_version, limit=limit, wait=self._wait
+        )
+
+    def fetch_snapshot(self):
+        payload = self._client.snapshot(self._db)
+        try:
+            structure = load_structure(payload["structure"])
+        except (KeyError, TypeError) as error:
+            raise ReplicationError(
+                f"malformed snapshot payload from the leader: {error!r}"
+            ) from None
+        fingerprint = payload.get("fingerprint")
+        if fingerprint and structure.content_fingerprint() != fingerprint:
+            raise ReplicationError(
+                "snapshot fingerprint mismatch: the structure decoded "
+                "from the leader's snapshot does not hash to the "
+                "fingerprint it advertised"
+            )
+        return structure
+
+    def describe(self) -> str:
+        return (
+            f"serve http://{self._client.host}:{self._client.port}"
+            f"/db/{self._db}"
+        )
+
+    def close(self) -> None:
+        if self._own_client:
+            self._client.close()
+
+
+class _FollowerQuery:
+    """A :class:`~repro.session.Query` proxy stamping the replica role
+    and observed lag into :meth:`explain`."""
+
+    __slots__ = ("_inner", "_lag")
+
+    def __init__(self, inner, lag: int):
+        self._inner = inner
+        self._lag = lag
+
+    def explain(self):
+        from dataclasses import replace
+
+        plan = self._inner.explain()
+        try:
+            return replace(plan, role="follower", lag=self._lag)
+        except TypeError:  # a plan type without the replication fields
+            return plan
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:
+        return f"Follower{self._inner!r}"
+
+
+class FollowerDatabase:
+    """A read-only replica that tails a leader's write-ahead log.
+
+    Quick start::
+
+        from repro.replication import DirectorySource, FollowerDatabase
+
+        follower = FollowerDatabase(DirectorySource("/path/to/leader"))
+        follower.catch_up()                      # replay to the leader's head
+        follower.query("B(x) & R(y)").count()    # a local, warm read
+        follower.start_tailing(interval=0.25)    # keep following in the
+        ...                                      # background, with retry
+        follower.close()
+
+    Writes are refused (:class:`~repro.errors.ReplicationError`): the
+    replication stream is the only writer, which is what keeps follower
+    reads byte-identical to the leader at the same version.
+    """
+
+    def __init__(
+        self,
+        source: WalSource,
+        max_lag: Optional[int] = None,
+        batch_limit: int = 512,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        **db_options,
+    ):
+        if batch_limit < 1:
+            raise ReplicationError(
+                f"batch_limit must be >= 1, got {batch_limit}"
+            )
+        self._source = source
+        self._max_lag = max_lag
+        self._batch_limit = batch_limit
+        self._retry = retry or RetryPolicy(
+            attempts=5, base_delay=0.05, max_delay=1.0
+        )
+        self._breaker = breaker or CircuitBreaker(threshold=8, reset_after=1.0)
+        self._db_options = db_options
+        self._lock = threading.RLock()
+        self._closed = False
+        self._leader_version = 0
+        self._records_applied = 0
+        self._reseeds = 0
+        self._last_error: Optional[str] = None
+        self._last_caught_up: Optional[float] = None
+        # Superseded inner sessions (pre-reseed) stay open until close():
+        # snapshots and answer handles issued against them keep their
+        # pinned reads; the swap only redirects *new* reads.
+        self._retired: List[Database] = []
+        self._tail_thread: Optional[threading.Thread] = None
+        self._tail_stop = threading.Event()
+        self._db: Optional[Database] = None
+        with self._lock:
+            self._reseed_locked()
+
+    # -- the replication stream ----------------------------------------
+
+    def _reseed_locked(self) -> None:
+        """(Re-)build the inner session from the leader's snapshot."""
+        structure = self._source.fetch_snapshot()
+        structure._write_guard = None
+        db = Database(structure, **self._db_options)
+        if self._db is not None:
+            self._retired.append(self._db)
+            self._reseeds += 1
+        self._db = db
+        self._leader_version = max(self._leader_version, db.version)
+
+    def catch_up(self, max_batches: Optional[int] = None) -> int:
+        """Pull and replay shipments until the leader has no more.
+
+        Returns the number of records applied.  Safe to call at any
+        time, from any state: applied records are skipped by version
+        interval, a gap at the batch head triggers a snapshot re-seed,
+        and a failure mid-batch leaves the follower at the last
+        fully-applied record (the next call resumes there).
+        """
+        applied = 0
+        batches = 0
+        with self._lock:
+            self._check_open()
+            while True:
+                shipment = self._source.shipment(
+                    self._db.version, limit=self._batch_limit
+                )
+                self._observe(shipment)
+                if shipment.get("reseed"):
+                    self._reseed_locked()
+                    batches += 1
+                    if max_batches is not None and batches >= max_batches:
+                        break
+                    continue
+                applied += self._apply_locked(shipment.get("records", ()))
+                batches += 1
+                if not shipment.get("more"):
+                    break
+                if max_batches is not None and batches >= max_batches:
+                    break
+            self._last_caught_up = time.monotonic()
+            self._last_error = None
+        return applied
+
+    def _observe(self, shipment: dict) -> None:
+        leader = shipment.get("leader_version")
+        if isinstance(leader, int):
+            self._leader_version = max(self._leader_version, leader)
+
+    def _apply_locked(self, lines) -> int:
+        applied = 0
+        db = self._db
+        for line in lines:
+            crash_point("follower.apply.before")
+            record = WalRecord.from_line(line + "\n")
+            if record is None:
+                raise ReplicationError(
+                    "the leader shipped a corrupt write-ahead-log record "
+                    "(CRC/framing check failed); refusing to apply it"
+                )
+            if record.version_after <= db.version:
+                continue  # replay overlap (duplicate shipment) — idempotent
+            if record.version_before != db.version:
+                raise ReplicationError(
+                    f"replication gap: the next shipped record expects "
+                    f"version {record.version_before}, but this follower "
+                    f"is at {db.version}"
+                )
+            db._commit(list(record.ops), log=False)
+            if db.version != record.version_after:
+                raise ReplicationError(
+                    f"replication replay diverged: a commit landed at "
+                    f"version {db.version} where the leader recorded "
+                    f"{record.version_after}"
+                )
+            if record.generation != db.structure.generation:
+                db._restore_generation(record.generation)
+            applied += 1
+            self._records_applied += 1
+            crash_point("follower.apply.after")
+        return applied
+
+    # -- background tailing --------------------------------------------
+
+    def start_tailing(self, interval: float = 0.5) -> None:
+        """Keep :meth:`catch_up` running on a daemon thread.
+
+        Each cycle runs under the retry policy + circuit breaker;
+        failures (leader down, transient corruption) are recorded in
+        :meth:`stats` and the follower keeps serving explicitly-lagged
+        reads until the leader is back.
+        """
+        with self._lock:
+            self._check_open()
+            if self._tail_thread is not None:
+                return
+            self._tail_stop.clear()
+            thread = threading.Thread(
+                target=self._tail_loop,
+                args=(max(0.01, interval),),
+                name="repro-follower-tail",
+                daemon=True,
+            )
+            self._tail_thread = thread
+        thread.start()
+
+    def _tail_loop(self, interval: float) -> None:
+        while not self._tail_stop.wait(interval):
+            try:
+                call_with_retry(
+                    self.catch_up,
+                    self._retry,
+                    retry_on=(ServeConnectionError, ReplicationError, OSError),
+                    breaker=self._breaker,
+                    describe="follower catch-up",
+                )
+            except EngineError:
+                return  # the follower was closed under the tailer
+            except Exception as error:
+                with self._lock:
+                    self._last_error = f"{type(error).__name__}: {error}"
+
+    def stop_tailing(self) -> None:
+        with self._lock:
+            thread, self._tail_thread = self._tail_thread, None
+        if thread is not None:
+            self._tail_stop.set()
+            thread.join(timeout=10)
+
+    @property
+    def tailing(self) -> bool:
+        with self._lock:
+            return self._tail_thread is not None
+
+    # -- the read surface ----------------------------------------------
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            self._check_open()
+            return self._db.version
+
+    @property
+    def leader_version(self) -> int:
+        with self._lock:
+            return self._leader_version
+
+    @property
+    def lag(self) -> int:
+        """Versions behind the leader, as of the last shipment seen."""
+        with self._lock:
+            self._check_open()
+            return max(0, self._leader_version - self._db.version)
+
+    @property
+    def structure_fingerprint(self) -> str:
+        with self._lock:
+            self._check_open()
+            return self._db.structure_fingerprint
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("this FollowerDatabase is closed")
+
+    def _check_lag_locked(self) -> int:
+        lag = max(0, self._leader_version - self._db.version)
+        if self._max_lag is not None and lag > self._max_lag:
+            raise ReplicaLagError(
+                f"replica is {lag} version(s) behind the leader "
+                f"(max_lag={self._max_lag}); catch up before reading",
+                lag=lag,
+                version=self._db.version,
+                leader_version=self._leader_version,
+            )
+        return lag
+
+    def query(self, query, **options):
+        """A read at the follower's current version (lag-guarded)."""
+        with self._lock:
+            self._check_open()
+            lag = self._check_lag_locked()
+            db = self._db
+        return _FollowerQuery(db.query(query, **options), lag)
+
+    def count(self, query, **options) -> int:
+        return self.query(query, **options).count()
+
+    def test(self, query, candidate, **options) -> bool:
+        return self.query(query, **options).test(candidate)
+
+    def snapshot(self):
+        """A version-pinned read view (see :meth:`Database.snapshot`).
+
+        Pinned against the *current* inner session; replication replay
+        overlapping the pin takes the ordinary copy-on-write fork path,
+        so the snapshot keeps reading its version byte-identically while
+        the follower streams ahead.
+        """
+        with self._lock:
+            self._check_open()
+            self._check_lag_locked()
+            return self._db.snapshot()
+
+    # -- writes are not a thing here -----------------------------------
+
+    def insert_fact(self, *args, **kwargs):
+        raise ReplicationError(
+            "this database is a replication follower; writes go to the "
+            "leader (the WAL stream is this replica's only writer)"
+        )
+
+    remove_fact = insert_fact
+    apply = insert_fact
+    transaction = insert_fact
+    checkpoint = insert_fact
+
+    # -- observability --------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            self._check_open()
+            stats = self._db.stats()
+            stats["role"] = "follower"
+            stats["lag"] = max(0, self._leader_version - self._db.version)
+            stats["leader_version"] = self._leader_version
+            stats["version"] = self._db.version
+            stats["max_lag"] = self._max_lag
+            stats["records_applied"] = self._records_applied
+            stats["reseeds"] = self._reseeds
+            stats["tailing"] = self._tail_thread is not None
+            stats["source"] = self._source.describe()
+            stats["last_error"] = self._last_error
+            stats.update(
+                {
+                    f"breaker_{key}": value
+                    for key, value in self._breaker.stats().items()
+                }
+            )
+            return stats
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        self.stop_tailing()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            retired, self._retired = self._retired, []
+            db, self._db = self._db, None
+        for old in retired:
+            old.close()
+        if db is not None:
+            db.close()
+        self._source.close()
+
+    def __enter__(self) -> "FollowerDatabase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        if self._closed:
+            return f"FollowerDatabase({state})"
+        return (
+            f"FollowerDatabase(version={self._db.version}, "
+            f"leader={self._leader_version}, lag={self.lag}, {state})"
+        )

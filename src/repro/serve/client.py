@@ -7,6 +7,18 @@
 columnar wire — :func:`decode_chunk` rebuilds rows from the encoded
 buffers the server forwards verbatim off its enumeration workers.
 
+Every request rides the shared retry layer (:mod:`repro.util.retry`):
+transport failures surface as
+:class:`~repro.errors.ServeConnectionError` (504
+:class:`~repro.errors.ServeTimeoutError` for deadlines) only after the
+policy's backoff attempts are exhausted, and a client-wide circuit
+breaker fails fast while the server is clearly down.  Idempotent
+requests (reads, WAL tails) retry transparently; mutating requests
+(``/apply``, ``/checkpoint``) are never replayed — a connection that
+died mid-apply may have committed, so the caller decides (commits are
+version-idempotent, so re-applying the same changeset after checking
+``/stats`` is safe).
+
 Server-side errors surface as :class:`repro.errors.ServeError` carrying
 the HTTP status; wire-level surprises as :class:`repro.errors.WireError`.
 """
@@ -18,11 +30,17 @@ import json
 import os
 import socket
 import struct
-from http.client import HTTPConnection
+from dataclasses import replace
+from http.client import HTTPConnection, HTTPException
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.transport import ColumnarCodec, InternTable
-from repro.errors import ServeError, WireError
+from repro.errors import (
+    ServeConnectionError,
+    ServeError,
+    ServeTimeoutError,
+    WireError,
+)
 from repro.serve.protocol import decode_element, decode_rows
 from repro.serve.wire import (
     OP_BINARY,
@@ -34,6 +52,7 @@ from repro.serve.wire import (
     read_frame_sync,
     websocket_accept,
 )
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retry
 
 _CHUNK_PREFIX = struct.Struct("!I")
 
@@ -58,12 +77,30 @@ class ChunkDecoder:
 
 
 class ServeClient:
-    """Synchronous HTTP client for one server."""
+    """Synchronous HTTP client for one server.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    ``retry`` (default: 3 attempts, exponential backoff with full
+    jitter, deadline = ``timeout``) governs idempotent requests;
+    ``breaker`` (default: open after 5 consecutive transport failures)
+    is shared across all of this client's requests so a dead server
+    fails fast instead of serializing backoff sleeps per call.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry or RetryPolicy(
+            attempts=3, base_delay=0.05, max_delay=1.0, deadline=timeout
+        )
+        self.breaker = breaker or CircuitBreaker(threshold=5, reset_after=1.0)
         self._conn: Optional[HTTPConnection] = None
 
     def _connection(self) -> HTTPConnection:
@@ -73,15 +110,27 @@ class ServeClient:
             )
         return self._conn
 
-    def _request(self, method: str, path: str, body: Optional[bytes] = None):
+    def _request_once(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ):
         conn = self._connection()
         try:
             conn.request(method, path, body=body)
             response = conn.getresponse()
             data = response.read()
-        except (ConnectionError, socket.timeout, OSError) as error:
+        except socket.timeout as error:
             self.close()
-            raise ServeError(f"request failed: {error}", 503) from None
+            raise ServeTimeoutError(
+                f"{method} {path} timed out after {self.timeout}s: {error}"
+            ) from None
+        except (ConnectionError, OSError, HTTPException) as error:
+            # HTTPException covers truncated responses (IncompleteRead,
+            # BadStatusLine) from a connection cut mid-response — a
+            # transport failure like any other, so it retries the same.
+            self.close()
+            raise ServeConnectionError(
+                f"{method} {path} failed: {type(error).__name__}: {error}"
+            ) from None
         try:
             payload = json.loads(data.decode("utf-8")) if data else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -95,9 +144,34 @@ class ServeClient:
             raise ServeError(message, status=response.status)
         return payload
 
-    def _post_json(self, path: str, payload: dict):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        idempotent: Optional[bool] = None,
+    ):
+        if idempotent is None:
+            idempotent = method in ("GET", "DELETE")
+        # Non-idempotent requests still get the taxonomy and breaker
+        # accounting, but exactly one wire attempt: a replayed /apply
+        # could double-commit if the first attempt died after landing.
+        policy = self.retry if idempotent else replace(self.retry, attempts=1)
+        return call_with_retry(
+            lambda: self._request_once(method, path, body),
+            policy,
+            retry_on=(ServeConnectionError,),
+            breaker=self.breaker,
+            describe=f"{method} {path}",
+        )
+
+    def _post_json(self, path: str, payload: dict,
+                   idempotent: Optional[bool] = None):
         return self._request(
-            "POST", path, json.dumps(payload).encode("utf-8")
+            "POST",
+            path,
+            json.dumps(payload).encode("utf-8"),
+            idempotent=idempotent,
         )
 
     # -- endpoints ------------------------------------------------------
@@ -121,7 +195,8 @@ class ServeClient:
         body = {"query": text, "mode": mode}
         if limit is not None:
             body["limit"] = limit
-        return self._post_json(f"/db/{db}/query", body)
+        # A one-shot query is a pure read: POST in shape, GET in nature.
+        return self._post_json(f"/db/{db}/query", body, idempotent=True)
 
     def rows(
         self, db: str, text: str, limit: Optional[int] = None
@@ -148,6 +223,27 @@ class ServeClient:
 
     def checkpoint(self, db: str) -> dict:
         return self._request("POST", f"/db/{db}/checkpoint", b"")
+
+    def wal(
+        self,
+        db: str,
+        from_version: int,
+        limit: Optional[int] = None,
+        wait: Optional[float] = None,
+    ) -> dict:
+        """One replication batch past ``from_version`` (see
+        :meth:`repro.session.Database.wal_shipment`); ``wait`` long-polls
+        for the next commit when the follower is caught up."""
+        path = f"/db/{db}/wal?from={int(from_version)}"
+        if limit is not None:
+            path += f"&limit={int(limit)}"
+        if wait is not None:
+            path += f"&wait={float(wait)}"
+        return self._request("GET", path)
+
+    def snapshot(self, db: str) -> dict:
+        """The serialized structure + lineage a follower re-seeds from."""
+        return self._request("GET", f"/db/{db}/snapshot")
 
     def stream(self, db: str) -> "StreamCursor":
         """Open a WebSocket to ``/db/{db}/stream``."""
@@ -345,6 +441,32 @@ class StreamCursor:
         for page in self.pages(ack):
             out.extend(page)
         return out
+
+    def wal_feed(
+        self, from_version: int, limit: Optional[int] = None
+    ) -> Iterator[dict]:
+        """Subscribe to the server's WAL push feed.
+
+        Yields shipment events (``event`` is ``"wal"`` with raw record
+        lines, or ``"reseed"`` — after which the feed ends and the
+        follower must re-seed from a snapshot).  Blocks between events;
+        the server parks on its commit condition, so an idle leader
+        costs no traffic.  Server errors raise
+        :class:`~repro.errors.ServeError`.
+        """
+        action = {"action": "wal", "from": int(from_version)}
+        if limit is not None:
+            action["limit"] = int(limit)
+        self._send_json(action)
+        while True:
+            event = self._next_event()
+            self._raise_on_error(event)
+            kind = event.get("event")
+            if kind == "wal":
+                yield event
+            elif kind == "reseed":
+                yield event
+                return
 
     def close_cursor(self, cursor_id: Optional[str] = None) -> None:
         """Explicitly close a cursor (the pin releases server-side)."""

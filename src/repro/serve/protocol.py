@@ -15,6 +15,7 @@ from repro.errors import (
     EngineError,
     ParseError,
     QueryError,
+    ReplicaLagError,
     ReproError,
     RetentionLimitError,
     ServeError,
@@ -45,6 +46,8 @@ def error_status(error: BaseException) -> int:
     """The HTTP status a failed request answers with."""
     if isinstance(error, ServeError):
         return error.status
+    if isinstance(error, ReplicaLagError):
+        return 503  # too stale to serve — retry once the replica caught up
     if isinstance(error, RetentionLimitError):
         return 409
     if isinstance(
@@ -57,8 +60,15 @@ def error_status(error: BaseException) -> int:
 
 
 def error_payload(error: BaseException) -> dict:
-    return {
+    payload = {
         "error": str(error) or type(error).__name__,
         "type": type(error).__name__,
         "status": error_status(error),
     }
+    if isinstance(error, ReplicaLagError):
+        # Structured staleness: clients decide whether to wait, fall
+        # back to the leader, or surface the lag to their own caller.
+        payload["lag"] = error.lag
+        payload["version"] = error.version
+        payload["leader_version"] = error.leader_version
+    return payload

@@ -31,6 +31,7 @@ class RegisteredDatabase:
         self.db = db
         self.close_on_shutdown = close_on_shutdown
         self._write_lock: Optional[asyncio.Lock] = None
+        self._commit_condition: Optional[asyncio.Condition] = None
 
     def write_lock(self) -> asyncio.Lock:
         """The per-database commit lock (created on first use so the
@@ -38,6 +39,38 @@ class RegisteredDatabase:
         if self._write_lock is None:
             self._write_lock = asyncio.Lock()
         return self._write_lock
+
+    def commit_condition(self) -> asyncio.Condition:
+        """The per-database commit broadcast (lazy, like the lock).
+
+        ``/apply`` notifies it after every commit so WAL long-polls and
+        WebSocket push pumps wake immediately instead of busy-polling
+        the store.
+        """
+        if self._commit_condition is None:
+            self._commit_condition = asyncio.Condition()
+        return self._commit_condition
+
+    async def notify_commit(self) -> None:
+        condition = self.commit_condition()
+        async with condition:
+            condition.notify_all()
+
+    async def wait_commit(self, timeout: float) -> bool:
+        """Park until the next commit notification (or ``timeout``).
+
+        Purely an efficiency wake-up: callers re-read the WAL either
+        way, so a commit landing through a path that never notifies
+        (another process appending to a shared store) is still picked
+        up on the next poll.
+        """
+        condition = self.commit_condition()
+        async with condition:
+            try:
+                await asyncio.wait_for(condition.wait(), timeout)
+                return True
+            except asyncio.TimeoutError:
+                return False
 
 
 class DatabaseRegistry:

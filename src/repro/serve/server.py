@@ -12,7 +12,11 @@ over a single listening socket:
 ``DELETE /db/{name}/cursor/{id}``            close an HTTP cursor (releases pin)
 ``POST /db/{name}/apply``                    JSONL changeset → ``db.apply()``
 ``POST /db/{name}/checkpoint``               rotate the durable store's WAL
+``GET /db/{name}/wal?from=V``                one replication batch (``&wait=S``
+                                             long-polls for the next commit)
+``GET /db/{name}/snapshot``                  serialized structure for re-seeding
 ``GET /db/{name}/stream`` (WebSocket)        snapshot-pinned streaming cursors
+                                             + ``{"action": "wal"}`` push feed
 ===========================================  =====================================
 
 Every blocking engine call runs in the default executor, so the event
@@ -240,6 +244,14 @@ class QueryServer:
                 return await self._handle_apply(entry, request)
             if tail == ["checkpoint"] and method == "POST":
                 return await self._handle_checkpoint(entry)
+            if tail == ["wal"]:
+                if method != "GET":
+                    raise ServeError("use GET", 405)
+                return await self._handle_wal(entry, request)
+            if tail == ["snapshot"]:
+                if method != "GET":
+                    raise ServeError("use GET", 405)
+                return await self._handle_snapshot(entry)
             if len(tail) == 3 and tail[0] == "cursor" and tail[2] == "next":
                 if method != "POST":
                     raise ServeError("use POST", 405)
@@ -347,6 +359,8 @@ class QueryServer:
 
         async with entry.write_lock():
             result = await loop.run_in_executor(None, parse_and_apply)
+        # Wake WAL long-polls and push pumps: a new batch may be ready.
+        await entry.notify_commit()
         return 200, {
             "ops_submitted": result.ops_submitted,
             "ops_effective": result.ops_effective,
@@ -373,6 +387,77 @@ class QueryServer:
             "wal_records_retired": result.wal_records_retired,
             "wal_bytes_retired": result.wal_bytes_retired,
         }
+
+    # -- replication ----------------------------------------------------
+
+    _WAL_LIMIT_MAX = 10_000
+    _WAL_WAIT_MAX = 30.0
+
+    async def _handle_wal(
+        self, entry: RegisteredDatabase, request: HttpRequest
+    ) -> Tuple[int, dict]:
+        """One replication batch: ``GET /db/{name}/wal?from=V``.
+
+        ``&limit=N`` bounds the batch; ``&wait=S`` long-polls — when the
+        follower is already caught up, the request parks on the tenant's
+        commit condition (up to S seconds, capped) so followers ride
+        commits with one open request instead of a busy poll.
+        """
+        query = request.query
+        try:
+            after = int(query.get("from", "0"))
+            limit = int(query.get("limit", "1000"))
+            wait = float(query.get("wait", "0"))
+        except (TypeError, ValueError):
+            raise ServeError(
+                "bad wal parameters: from/limit must be integers, "
+                "wait a number of seconds",
+                400,
+            ) from None
+        if after < 0 or limit < 1:
+            raise ServeError("bad wal parameters: from < 0 or limit < 1", 400)
+        limit = min(limit, self._WAL_LIMIT_MAX)
+        loop = asyncio.get_running_loop()
+
+        def ship():
+            return entry.db.wal_shipment(after, limit=limit)
+
+        shipment = await loop.run_in_executor(None, ship)
+        if (
+            wait > 0
+            and not shipment["records"]
+            and not shipment["reseed"]
+            and not self._stopping
+        ):
+            await entry.wait_commit(min(wait, self._WAL_WAIT_MAX))
+            shipment = await loop.run_in_executor(None, ship)
+        return 200, shipment
+
+    async def _handle_snapshot(
+        self, entry: RegisteredDatabase
+    ) -> Tuple[int, dict]:
+        """The serialized structure a follower re-seeds from.
+
+        Serialized under a snapshot pin, so a concurrent ``/apply``
+        forks away instead of tearing the dump; the text format carries
+        the version/generation lineage directives a follower needs to
+        resume the exact history position.
+        """
+        from repro.structures.serialize import dumps
+
+        loop = asyncio.get_running_loop()
+
+        def grab():
+            with entry.db.snapshot() as snap:
+                structure = snap.structure
+                return {
+                    "structure": dumps(structure),
+                    "version": snap.version,
+                    "generation": structure.generation,
+                    "fingerprint": structure.content_fingerprint(),
+                }
+
+        return 200, await loop.run_in_executor(None, grab)
 
     # -- WebSocket streaming --------------------------------------------
 
@@ -494,6 +579,8 @@ class _StreamConnection:
             await self._open_cursor(action)
         elif kind == "close":
             await self._close_cursor(action.get("cursor"))
+        elif kind == "wal":
+            await self._open_wal_feed(action)
         elif kind == "ping":
             await self._send_event({"event": "pong"})
         else:
@@ -551,6 +638,75 @@ class _StreamConnection:
         pump = asyncio.create_task(self._pump(cursor))
         self._pumps[cursor.id] = pump
         pump.add_done_callback(lambda _task: self._pumps.pop(cursor.id, None))
+
+    _WAL_FEED = "#wal"
+
+    async def _open_wal_feed(self, action: dict) -> None:
+        """Start the WAL push feed: ``{"action": "wal", "from": V}``.
+
+        The server pushes ``{"event": "wal", ...}`` shipment events as
+        commits land (parking on the tenant's commit condition between
+        batches) until the connection closes, or ``{"event": "reseed"}``
+        once if the follower's position predates the retained log —
+        re-seeding is a request/response affair, so the feed ends there
+        and the follower reconnects after its snapshot load.
+        """
+        try:
+            after = int(action.get("from", 0))
+            limit = int(action.get("limit", 1000))
+        except (TypeError, ValueError):
+            await self._send_event(
+                {"event": "error", "error": 'wal needs integer "from"/"limit"'}
+            )
+            return
+        if after < 0 or limit < 1:
+            await self._send_event(
+                {"event": "error", "error": "wal: from < 0 or limit < 1"}
+            )
+            return
+        if self._WAL_FEED in self._pumps:
+            await self._send_event(
+                {"event": "error", "error": "a wal feed is already running"}
+            )
+            return
+        limit = min(limit, QueryServer._WAL_LIMIT_MAX)
+        pump = asyncio.create_task(self._pump_wal(after, limit))
+        self._pumps[self._WAL_FEED] = pump
+        pump.add_done_callback(
+            lambda _task: self._pumps.pop(self._WAL_FEED, None)
+        )
+
+    async def _pump_wal(self, after: int, limit: int) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                shipment = await loop.run_in_executor(
+                    None,
+                    lambda v=after: self.entry.db.wal_shipment(v, limit=limit),
+                )
+                if shipment["reseed"]:
+                    await self._send_event({"event": "reseed", **shipment})
+                    return
+                if shipment["records"]:
+                    await self._send_event({"event": "wal", **shipment})
+                    # The follower's next position is the last shipped
+                    # record's post-version (the framing key "v").
+                    after = json.loads(shipment["records"][-1])["v"]
+                    continue
+                if shipment["more"]:
+                    continue
+                await self.entry.wait_commit(QueryServer._WAL_WAIT_MAX)
+        except asyncio.CancelledError:
+            raise
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except Exception as error:
+            try:
+                await self._send_event(
+                    {"event": "error", **error_payload(error)}
+                )
+            except (ConnectionError, BrokenPipeError):
+                pass
 
     async def _close_cursor(self, cursor_id) -> None:
         pump = self._pumps.pop(cursor_id, None)

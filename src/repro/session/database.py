@@ -64,9 +64,15 @@ from repro.session.transaction import (
     Transaction,
     coerce_op,
 )
-from repro.storage.wal import CheckpointResult, DurableStore, WalRecord
+from repro.storage.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    CheckpointResult,
+    DurableStore,
+    WalRecord,
+)
 from repro.structures.serialize import fingerprint
 from repro.structures.structure import Structure
+from repro.util.faults import crash_point
 
 Element = Hashable
 
@@ -215,6 +221,12 @@ class Database:
         # checkpoint re-establishes a consistent on-disk base.
         self._store: Optional[DurableStore] = None
         self._store_broken = False
+        # Incremental checkpoints: (normalized, order, eps) triples whose
+        # plan state changed since the last checkpoint — new builds,
+        # refreshes that performed graph surgery, and every plan cloned
+        # by a fork.  checkpoint() spills only these; clean plans reuse
+        # their previous spill blob.
+        self._dirty_plans: set = set()
         # Fork-retention budget: how many superseded versions may stay
         # pinned (by snapshots / answer handles) at once before a commit
         # refuses to fork yet again.
@@ -351,6 +363,13 @@ class Database:
     def version(self) -> int:
         """The head structure's monotonic version (continues across forks)."""
         return self.structure.version
+
+    @property
+    def path(self) -> Optional[str]:
+        """The durable store directory, or ``None`` for in-memory
+        sessions.  This is the path a shared-filesystem follower tails
+        (:class:`repro.replication.DirectorySource`)."""
+        return self._store.path if self._store is not None else None
 
     def _head_version(self) -> int:
         """Callable form of :attr:`version` for handle staleness probes."""
@@ -580,7 +599,8 @@ class Database:
         try:
             for key, maintainer in self._maintainers.items():
                 region = pre_regions[key] | maintainer.reach(touched)
-                maintainer.refresh(touched, region)
+                if maintainer.refresh(touched, region):
+                    self._dirty_plans.add(key[1:])
         except BaseException:
             # A half-refreshed maintained plan cannot be trusted against
             # either version: revert the facts and drop exactly the
@@ -708,6 +728,9 @@ class Database:
             new_key = (self._cache_tag,) + key[1:]
             self.cache.put(new_key, clone.pipeline)
             self._maintainers[new_key] = clone
+            # Clones are new objects: their previous spill blobs (which
+            # reference the superseded head) must not be reused.
+            self._dirty_plans.add(key[1:])
         return len(self._maintainers)
 
     def _append_wal(self, effective, result: CommitResult) -> None:
@@ -737,6 +760,7 @@ class Database:
         structure: Optional[Structure] = None,
         sync: bool = True,
         load_warm: bool = True,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
         **options,
     ) -> "Database":
         """Open (or create) a durable database at ``path``.
@@ -754,7 +778,7 @@ class Database:
         cold reopen (used by recovery benchmarks).  Remaining keyword
         ``options`` go to the :class:`Database` constructor.
         """
-        store = DurableStore(path, sync=sync)
+        store = DurableStore(path, sync=sync, segment_bytes=segment_bytes)
         if store.exists():
             if structure is not None:
                 raise DurabilityError(
@@ -825,11 +849,47 @@ class Database:
                     for key, pipeline in self.cache.entries_for(self._cache_tag)
                     if pipeline.structure is self.structure
                 ]
-                result = self._store.checkpoint(self.structure, entries)
+                result = self._store.checkpoint(
+                    self.structure, entries, dirty_keys=set(self._dirty_plans)
+                )
+                self._dirty_plans.clear()
                 self._store_broken = False
                 return result
         finally:
             self._structure_lock.release_write()
+
+    def wal_shipment(self, after_version: int, limit: int = 1000) -> dict:
+        """One replication batch: the WAL tail past ``after_version``.
+
+        The unit the service tier ships to followers (``GET
+        /db/{name}/wal?from=V`` and the WebSocket push).  Records are
+        returned as their raw WAL lines, so the CRC framing survives
+        end-to-end and the follower re-validates every record it
+        applies.  ``reseed`` tells a follower its position predates the
+        retained log (a checkpoint retired the segments it needed): it
+        must re-seed from the current snapshot.  ``more`` flags a hit
+        ``limit``.
+        """
+        self._check_open()
+        if self._store is None:
+            raise EngineError(
+                "this Database has no durable store to ship; followers "
+                "tail the write-ahead log of Database.open() sessions"
+            )
+        crash_point("ship.batch")
+        base_version = self._store.manifest_version()
+        records, more = self._store.records_since(after_version, limit=limit)
+        if records:
+            reseed = records[0].version_before > after_version
+        else:
+            reseed = after_version < base_version
+        return {
+            "leader_version": self.version,
+            "base_version": base_version,
+            "reseed": reseed,
+            "more": more,
+            "records": [record.to_line().rstrip("\n") for record in records],
+        }
 
     def _seed_warm_entries(self, entries) -> int:
         """Adopt spilled ``(formula, order, eps, pipeline)`` entries as
@@ -1102,6 +1162,7 @@ class Database:
                     )
                     with self._state_lock:
                         self.cache.put(key, pipeline)
+                        self._dirty_plans.add(key[1:])
                 with self._state_lock:
                     if (
                         self.maintain
@@ -1147,6 +1208,8 @@ class Database:
             wal = self._store.stats()
             stats["wal_records"] = wal["wal_records"]
             stats["wal_bytes"] = wal["wal_bytes"]
+            stats["wal_segments"] = wal["wal_segments"]
+            stats["dirty_plans"] = len(self._dirty_plans)
         stats.update(
             {f"pool_{key}": value for key, value in self.pool.stats().items()}
         )

@@ -90,6 +90,11 @@ class QueryPlan:
     # never re-resolves; commits fork away from under it).
     at_version: Optional[int] = None
     pinned: bool = False
+    # Replication: queries through a FollowerDatabase report the replica
+    # role and how many versions the follower trailed its leader when
+    # the plan was resolved (None = primary, lag not applicable).
+    role: str = "primary"
+    lag: Optional[int] = None
 
     @property
     def total_cost(self) -> int:
@@ -121,6 +126,15 @@ class QueryPlan:
             lines.append(
                 f"version: {self.at_version}"
                 f"{' (snapshot-pinned)' if self.pinned else ' (live head)'}"
+            )
+        if self.role != "primary":
+            lines.append(
+                f"role: {self.role}"
+                + (
+                    f" (lag: {self.lag} version(s) behind the leader)"
+                    if self.lag is not None
+                    else ""
+                )
             )
         if self.shards:
             layout = ", ".join(

@@ -1,5 +1,6 @@
-"""Small shared helpers: orderings, iteration utilities, timing."""
+"""Small shared helpers: orderings, iteration, timing, retry, faults."""
 
+from repro.util.faults import InjectedCrash, crash_point, inject
 from repro.util.itertools2 import (
     connected_subsets,
     distinct_tuples,
@@ -7,13 +8,20 @@ from repro.util.itertools2 import (
     powerset,
 )
 from repro.util.orderings import DomainOrder
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retry
 from repro.util.timing import Stopwatch
 
 __all__ = [
+    "CircuitBreaker",
     "DomainOrder",
+    "InjectedCrash",
+    "RetryPolicy",
     "Stopwatch",
+    "call_with_retry",
     "connected_subsets",
+    "crash_point",
     "distinct_tuples",
+    "inject",
     "injections",
     "powerset",
 ]

@@ -1,0 +1,114 @@
+"""Deterministic fault injection for crash-safety tests.
+
+The durability and replication layers advertise *named crash points* —
+places where a process death would be most damaging: mid-WAL-append,
+between the checkpoint manifest swap and the log rotation, inside a
+follower's replay step.  Production code calls :func:`crash_point` at
+each of them; the call is a no-op unless a test armed that point with
+:func:`inject`, in which case it raises :class:`InjectedCrash` (or runs
+a custom action, e.g. tearing a write) exactly on the armed hit count.
+
+Arming is process-local and scoped: ``with inject({"wal.append.torn": 1})``
+fires the point on its first hit and disarms on exit, so Hypothesis can
+drive arbitrary schedules of commits × faults × restarts and every
+example leaves a clean injector behind.
+
+This module lives in ``repro.util`` so that :mod:`repro.storage.wal`
+can import it without a cycle; :mod:`repro.replication.faults` re-exports
+it next to the wire-level fault proxy.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional, Union
+
+__all__ = [
+    "InjectedCrash",
+    "FaultPlan",
+    "crash_point",
+    "inject",
+    "is_armed",
+]
+
+
+class InjectedCrash(Exception):
+    """A test-armed crash point fired.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: it simulates
+    the process dying, so production handlers that catch library errors
+    must not swallow it into a recovery path the real crash would never
+    reach.  (Durability wrappers that catch ``Exception`` to latch a
+    degraded state are exactly the paths under test, and re-raising
+    through them is part of the simulated failure.)
+    """
+
+    def __init__(self, point: str):
+        super().__init__(f"injected crash at {point!r}")
+        self.point = point
+
+
+# An armed point maps to either an int — fire InjectedCrash on the Nth
+# hit (1 = next hit) — or a callable run *instead* of raising, which may
+# itself raise to simulate the crash after a side effect (torn bytes).
+FaultPlan = Dict[str, Union[int, Callable[[], None]]]
+
+_lock = threading.Lock()
+_armed: Dict[str, Union[int, Callable[[], None]]] = {}
+_hits: Dict[str, int] = {}
+
+
+def crash_point(name: str, payload: Optional[Callable[[], None]] = None) -> None:
+    """Production-side hook: no-op unless a test armed ``name``.
+
+    ``payload``, when provided by the *call site*, is the site's own
+    "partial effect" action (e.g. write half a record) run before the
+    crash fires — the site decides what a torn version of itself looks
+    like; the test only decides *when* it happens.
+    """
+    with _lock:
+        action = _armed.get(name)
+        if action is None:
+            return
+        count = _hits.get(name, 0) + 1
+        _hits[name] = count
+        if isinstance(action, int):
+            if count != action:
+                return
+            del _armed[name]
+            fire: Union[int, Callable[[], None]] = action
+        else:
+            del _armed[name]
+            fire = action
+    if callable(fire):
+        fire()
+        return
+    if payload is not None:
+        payload()
+    raise InjectedCrash(name)
+
+
+def is_armed(name: str) -> bool:
+    with _lock:
+        return name in _armed
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[None]:
+    """Arm a set of crash points for the duration of the block.
+
+    Nested injections merge; on exit only this block's points are
+    disarmed (fired points already removed themselves).
+    """
+    with _lock:
+        for name, action in plan.items():
+            _armed[name] = action
+            _hits[name] = 0
+    try:
+        yield
+    finally:
+        with _lock:
+            for name in plan:
+                _armed.pop(name, None)
+                _hits.pop(name, None)

@@ -1,0 +1,173 @@
+"""Retry with exponential backoff, deadlines, and a circuit breaker.
+
+Every network edge in the system — :class:`repro.serve.ServeClient`
+requests, the replication follower's WAL tail, the CLI's remote calls —
+funnels transient failures through one policy object instead of growing
+ad-hoc ``try/except ConnectionError`` loops.  The shape is classic:
+
+* :class:`RetryPolicy` — up to ``attempts`` tries, sleeping
+  ``base_delay * multiplier**i`` (capped at ``max_delay``) with full
+  jitter between them, the whole call bounded by ``deadline`` seconds.
+* :class:`CircuitBreaker` — after ``threshold`` *consecutive* failures
+  the circuit opens and calls fail fast with
+  :class:`~repro.errors.CircuitOpenError` for ``reset_after`` seconds;
+  the first call after the cool-down is a half-open probe that closes
+  the circuit on success.
+
+``jitter`` uses :func:`random.random` — decorrelating a thundering herd
+is the point, so determinism is deliberately not offered here; tests
+that need determinism set ``jitter=0``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import CircuitOpenError, ServeTimeoutError
+
+__all__ = ["RetryPolicy", "CircuitBreaker", "call_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before giving up on a transient failure."""
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 1.0  # 0 = deterministic sleeps, 1 = full jitter
+    deadline: Optional[float] = None  # wall-clock budget for all attempts
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based)."""
+        raw = min(self.max_delay, self.base_delay * (self.multiplier ** attempt))
+        if self.jitter <= 0:
+            return raw
+        # Full jitter (AWS-style): uniform in [raw*(1-j), raw].
+        return raw * (1.0 - self.jitter * random.random())
+
+    def call(
+        self,
+        func: Callable[[], T],
+        *,
+        retry_on: Tuple[Type[BaseException], ...],
+        breaker: Optional["CircuitBreaker"] = None,
+        describe: str = "call",
+    ) -> T:
+        return call_with_retry(
+            func, self, retry_on=retry_on, breaker=breaker, describe=describe
+        )
+
+
+class CircuitBreaker:
+    """Open after N consecutive failures; half-open probe after cooldown.
+
+    Thread-safe: one breaker may guard a connection pool shared across
+    client threads.  Success anywhere closes it and resets the count.
+    """
+
+    def __init__(self, threshold: int = 5, reset_after: float = 5.0):
+        self.threshold = max(1, threshold)
+        self.reset_after = reset_after
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Claims the half-open probe.)"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if time.monotonic() - self._opened_at < self.reset_after:
+                return False
+            if self._probing:
+                return False  # another thread owns the probe
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.threshold:
+                self._opened_at = time.monotonic()
+
+    @property
+    def open(self) -> bool:
+        with self._lock:
+            return (
+                self._opened_at is not None
+                and time.monotonic() - self._opened_at < self.reset_after
+            )
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "consecutive_failures": self._failures,
+                "open": self._opened_at is not None,
+                "threshold": self.threshold,
+            }
+
+
+def call_with_retry(
+    func: Callable[[], T],
+    policy: RetryPolicy,
+    *,
+    retry_on: Tuple[Type[BaseException], ...],
+    breaker: Optional[CircuitBreaker] = None,
+    describe: str = "call",
+) -> T:
+    """Run ``func`` under ``policy``, retrying only ``retry_on`` errors.
+
+    Anything outside ``retry_on`` propagates immediately (a 404 is not
+    transient).  On exhaustion the *last* transient error is re-raised,
+    so callers keep the full taxonomy; a blown deadline raises
+    :class:`~repro.errors.ServeTimeoutError` carrying the cause.
+    """
+    started = time.monotonic()
+    last: Optional[BaseException] = None
+    for attempt in range(max(1, policy.attempts)):
+        if breaker is not None and not breaker.allow():
+            raise CircuitOpenError(
+                f"{describe}: circuit open after "
+                f"{breaker.threshold} consecutive failures"
+            )
+        try:
+            result = func()
+        except retry_on as error:
+            if breaker is not None:
+                breaker.record_failure()
+            last = error
+            delay = policy.delay(attempt)
+            elapsed = time.monotonic() - started
+            if attempt + 1 >= max(1, policy.attempts):
+                break
+            if (
+                policy.deadline is not None
+                and elapsed + delay >= policy.deadline
+            ):
+                raise ServeTimeoutError(
+                    f"{describe}: retry deadline of {policy.deadline}s "
+                    f"exhausted after {attempt + 1} attempt(s): {error}"
+                ) from error
+            time.sleep(delay)
+        else:
+            if breaker is not None:
+                breaker.record_success()
+            return result
+    assert last is not None
+    raise last

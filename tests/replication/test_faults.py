@@ -1,0 +1,312 @@
+"""Fault injection: process crashes at named points, wire faults on the
+proxy, and a Hypothesis-driven schedule of commits × crashes × restarts
+proving the replication contract under adversity:
+
+* the follower always converges to the leader's fingerprint once the
+  faults stop, and
+* every read the follower ever answered was byte-identical to some
+  state the leader actually reached (no invented intermediate states).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.replication import (
+    CRASH_POINTS,
+    DirectorySource,
+    FlakyProxy,
+    FollowerDatabase,
+    InjectedCrash,
+    crash_point,
+    inject,
+)
+from repro.replication.faults import is_armed
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+
+
+def flip(db: Database, element: int) -> None:
+    if db.structure.has_fact("R", element):
+        db.apply([("delete", "R", (element,))])
+    else:
+        db.apply([("insert", "R", (element,))])
+
+
+def injected(error: BaseException) -> bool:
+    """Did ``error`` originate from an armed crash point?
+
+    A WAL-append crash surfaces wrapped in
+    :class:`~repro.errors.DurabilityError` (the session latches its
+    degraded-durability state — the path under test), so crash drivers
+    walk the cause chain instead of matching the top type.
+    """
+    seen = error
+    while seen is not None:
+        if isinstance(seen, InjectedCrash):
+            return True
+        seen = seen.__cause__
+    return False
+
+
+class TestCrashPointPlumbing:
+    def test_unarmed_points_are_no_ops(self):
+        for point in CRASH_POINTS:
+            crash_point(point)  # must not raise
+
+    def test_armed_point_fires_on_the_nth_hit(self):
+        with inject({"ship.batch": 3}):
+            crash_point("ship.batch")
+            crash_point("ship.batch")
+            with pytest.raises(InjectedCrash) as info:
+                crash_point("ship.batch")
+            assert info.value.point == "ship.batch"
+            crash_point("ship.batch")  # fired points disarm themselves
+
+    def test_callable_action_runs_instead_of_raising(self):
+        ran = []
+        with inject({"ship.batch": lambda: ran.append(True)}):
+            crash_point("ship.batch")
+        assert ran == [True]
+
+    def test_scope_exit_disarms(self):
+        with inject({"ship.batch": 5}):
+            assert is_armed("ship.batch")
+        assert not is_armed("ship.batch")
+
+    def test_injected_crash_is_not_a_repro_error(self):
+        from repro.errors import ReproError
+
+        assert not issubclass(InjectedCrash, ReproError)
+
+
+class TestCrashMatrix:
+    """Arm every named crash point in a full leader→follower cycle;
+    after the 'process death', a restart from disk must converge."""
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_convergence_after_crash_at(self, point, tmp_path):
+        structure = random_colored_graph(16, max_degree=3, seed=7)
+        path = tmp_path / "leader"
+        leader = Database.open(path, structure=structure, sync=False)
+        stale = []  # abandoned "dead" sessions, closed at the end
+        follower = FollowerDatabase(DirectorySource(path))
+        follower.catch_up()
+
+        crashed = False
+        with inject({point: 1}):
+            try:
+                flip(leader, 0)
+                flip(leader, 1)
+                leader.checkpoint()
+                flip(leader, 2)
+                follower.catch_up()
+            except Exception as error:
+                assert injected(error), f"unexpected error: {error!r}"
+                crashed = True
+        assert crashed, f"the {point!r} crash point never fired"
+
+        # A leader-side death abandons the session (files are what
+        # survive a real crash) and restarts from disk.
+        if not point.startswith("follower.") and point != "ship.batch":
+            stale.append(leader)
+            leader = Database.open(path, sync=False)
+        flip(leader, 3)
+
+        follower.catch_up()
+        assert follower.version == leader.version
+        assert follower.structure_fingerprint == leader.structure_fingerprint
+
+        follower.close()
+        leader.close()
+        for db in stale:
+            db.close()
+
+
+class TestFlakyProxyUnit:
+    """The proxy itself, against a plain echo server."""
+
+    @pytest.fixture
+    def echo(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(4)
+        stop = threading.Event()
+
+        def serve():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                with conn:
+                    while True:
+                        try:
+                            data = conn.recv(4096)
+                        except OSError:
+                            break
+                        if not data:
+                            break
+                        try:
+                            conn.sendall(data)
+                        except OSError:
+                            break
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        yield listener.getsockname()[1]
+        stop.set()
+        listener.close()
+        thread.join(timeout=5)
+
+    def test_healthy_relay(self, echo):
+        with FlakyProxy("127.0.0.1", echo) as proxy:
+            with socket.create_connection(("127.0.0.1", proxy.port), 5) as sock:
+                sock.sendall(b"ping")
+                assert sock.recv(16) == b"ping"
+            assert proxy.connections == 1
+            assert proxy.bytes_relayed >= 4
+
+    def test_refuse_closes_new_connections(self, echo):
+        with FlakyProxy("127.0.0.1", echo) as proxy:
+            proxy.refuse = True
+            with socket.create_connection(("127.0.0.1", proxy.port), 5) as sock:
+                sock.settimeout(2)
+                assert sock.recv(16) == b""  # closed without a byte
+
+    def test_drop_after_bytes_truncates_the_stream(self, echo):
+        with FlakyProxy("127.0.0.1", echo) as proxy:
+            proxy.drop_after_bytes = 6
+            with socket.create_connection(("127.0.0.1", proxy.port), 5) as sock:
+                sock.settimeout(2)
+                sock.sendall(b"0123456789")
+                received = b""
+                while True:
+                    try:
+                        chunk = sock.recv(16)
+                    except OSError:
+                        break
+                    if not chunk:
+                        break
+                    received += chunk
+            assert received == b"012345"  # a torn final chunk
+            assert proxy.dropped >= 1
+
+
+@st.composite
+def fault_schedules(draw):
+    """A seed plus a step list mixing commits, checkpoints, catch-ups,
+    and crashes at drawn points (with the implied restarts)."""
+    seed = draw(st.integers(min_value=0, max_value=30))
+    steps = draw(
+        st.lists(
+            st.one_of(
+                st.just(("commit",)),
+                st.just(("commit",)),
+                st.just(("commit",)),
+                st.just(("catch_up",)),
+                st.just(("checkpoint",)),
+                st.tuples(st.just("crash"), st.sampled_from(CRASH_POINTS)),
+            ),
+            min_size=3,
+            max_size=10,
+        )
+    )
+    return seed, steps
+
+
+class TestConvergenceSchedules:
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(data=st.data())
+    def test_follower_converges_and_never_invents_states(
+        self, data, tmp_path_factory
+    ):
+        seed, steps = data.draw(fault_schedules())
+        path = tmp_path_factory.mktemp("sched") / "leader"
+        structure = random_colored_graph(16, max_degree=3, seed=seed)
+        leader = Database.open(path, structure=structure.copy(), sync=False)
+        stale = []
+        # Every state the leader actually reached, by version.  A
+        # follower read is legal iff its (version, fingerprint) pair is
+        # in this history.
+        history = {leader.version: leader.structure_fingerprint}
+        follower = FollowerDatabase(DirectorySource(path))
+        element = 0
+
+        def check_follower_state():
+            version = follower.version
+            assert history.get(version) == follower.structure_fingerprint, (
+                f"follower at version {version} holds a state the "
+                f"leader never reached"
+            )
+
+        def leader_restart():
+            nonlocal leader
+            stale.append(leader)
+            leader = Database.open(path, sync=False)
+            fingerprint = leader.structure_fingerprint
+            if leader.version in history:
+                # Recovery must land exactly on an acknowledged state.
+                assert history[leader.version] == fingerprint
+            else:
+                # A durable-but-unacknowledged record (crash between
+                # fsync and the ack) becomes leader history on restart.
+                history[leader.version] = fingerprint
+
+        try:
+            for step in steps:
+                if step[0] == "commit":
+                    flip(leader, element % 16)
+                    element += 1
+                    history[leader.version] = leader.structure_fingerprint
+                elif step[0] == "checkpoint":
+                    leader.checkpoint()
+                elif step[0] == "catch_up":
+                    follower.catch_up()
+                    check_follower_state()
+                else:  # ("crash", point)
+                    point = step[1]
+                    follower_side = (
+                        point.startswith("follower.") or point == "ship.batch"
+                    )
+                    with inject({point: 1}):
+                        try:
+                            if follower_side:
+                                follower.catch_up()
+                            elif point.startswith("checkpoint."):
+                                leader.checkpoint()
+                            else:
+                                flip(leader, element % 16)
+                                element += 1
+                                history[leader.version] = (
+                                    leader.structure_fingerprint
+                                )
+                        except Exception as error:
+                            assert injected(error), f"unexpected: {error!r}"
+                            if not follower_side:
+                                leader_restart()
+                    check_follower_state()
+
+            # The faults stop: one healthy catch-up converges exactly.
+            follower.catch_up()
+            assert follower.version == leader.version
+            assert follower.structure_fingerprint == leader.structure_fingerprint
+            check_follower_state()
+        finally:
+            follower.close()
+            leader.close()
+            for db in stale:
+                db.close()

@@ -1,0 +1,350 @@
+"""The service-tier replication topology: followers tailing a served
+leader over ``GET /db/{name}/wal`` (+ long-poll), snapshot re-seed over
+``GET /db/{name}/snapshot``, and the WebSocket push feed — all through
+the shared retry/backoff layer, with a wire-fault proxy standing in for
+bad networks.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ServeConnectionError,
+    ServeError,
+    ServeTimeoutError,
+)
+from repro.replication import FlakyProxy, FollowerDatabase, ServeSource
+from repro.serve import DatabaseRegistry, ServeClient, serve_in_thread
+from repro.session import Database
+from repro.structures.random_gen import random_colored_graph
+from repro.util.retry import CircuitBreaker, RetryPolicy
+
+QUERY = "B(x) & ~R(x)"
+
+FAST_RETRY = RetryPolicy(attempts=2, base_delay=0.01, max_delay=0.02, jitter=0)
+
+
+def flip(db: Database, element: int) -> None:
+    if db.structure.has_fact("R", element):
+        db.apply([("delete", "R", (element,))])
+    else:
+        db.apply([("insert", "R", (element,))])
+
+
+def changeset_flip(client: ServeClient, name: str, leader: Database, element: int):
+    op = "remove" if leader.structure.has_fact("R", element) else "insert"
+    return client.apply(
+        name, json.dumps({"op": op, "relation": "R", "elements": [element]}) + "\n"
+    )
+
+
+@pytest.fixture
+def served_leader(tmp_path):
+    structure = random_colored_graph(20, max_degree=3, seed=11)
+    leader = Database.open(tmp_path / "leader", structure=structure, sync=False)
+    registry = DatabaseRegistry()
+    registry.add("lead", leader, close_on_shutdown=False)
+    with serve_in_thread(registry) as server:
+        yield server, leader
+    leader.close()
+
+
+def client_for(server, **kw) -> ServeClient:
+    kw.setdefault("timeout", 10.0)
+    return ServeClient("127.0.0.1", server.port, **kw)
+
+
+class TestWalEndpoint:
+    def test_ships_the_tail_past_from(self, served_leader):
+        server, leader = served_leader
+        before = leader.version
+        flip(leader, 0)
+        with client_for(server) as client:
+            shipment = client.wal("lead", before)
+            assert shipment["leader_version"] == leader.version
+            assert shipment["reseed"] is False
+            assert len(shipment["records"]) == 1
+            record = json.loads(shipment["records"][0])
+            assert record["b"] == before
+            assert record["v"] == leader.version
+
+    def test_caught_up_tail_is_empty(self, served_leader):
+        server, leader = served_leader
+        with client_for(server) as client:
+            shipment = client.wal("lead", leader.version)
+            assert shipment["records"] == []
+            assert shipment["reseed"] is False
+
+    def test_position_before_snapshot_base_flags_reseed(self, served_leader):
+        server, leader = served_leader
+        # The store was initialized at the structure's current version,
+        # so position 0 predates the retained log.
+        with client_for(server) as client:
+            shipment = client.wal("lead", 0)
+            assert shipment["reseed"] is True
+
+    def test_bad_params_are_400(self, served_leader):
+        server, _leader = served_leader
+        with client_for(server) as client:
+            for path in (
+                "/db/lead/wal?from=nope",
+                "/db/lead/wal?from=-1",
+                "/db/lead/wal?from=0&limit=0",
+                "/db/lead/wal?from=0&wait=never",
+            ):
+                with pytest.raises(ServeError) as info:
+                    client._request("GET", path)
+                assert info.value.status == 400
+
+    def test_long_poll_wakes_on_commit(self, served_leader):
+        server, leader = served_leader
+        with client_for(server) as client:
+            position = leader.version
+
+            def commit_later():
+                time.sleep(0.2)
+                with client_for(server) as writer:
+                    changeset_flip(writer, "lead", leader, 0)
+
+            thread = threading.Thread(target=commit_later)
+            thread.start()
+            started = time.monotonic()
+            shipment = client.wal("lead", position, wait=10.0)
+            waited = time.monotonic() - started
+            thread.join()
+            assert shipment["records"], "long-poll returned without the commit"
+            assert 0.15 <= waited < 5.0
+
+    def test_long_poll_times_out_empty(self, served_leader):
+        server, leader = served_leader
+        with client_for(server) as client:
+            shipment = client.wal("lead", leader.version, wait=0.1)
+            assert shipment["records"] == []
+
+
+class TestSnapshotEndpoint:
+    def test_snapshot_round_trips_with_lineage(self, served_leader):
+        server, leader = served_leader
+        from repro.structures.serialize import loads
+
+        with client_for(server) as client:
+            payload = client.snapshot("lead")
+            assert payload["version"] == leader.version
+            structure = loads(payload["structure"])
+            assert structure.version == leader.version
+            assert structure.content_fingerprint() == payload["fingerprint"]
+            assert payload["fingerprint"] == leader.structure_fingerprint
+
+
+class TestServeFollower:
+    def test_catch_up_and_incremental_replay(self, served_leader):
+        server, leader = served_leader
+        with FollowerDatabase(ServeSource(client_for(server), "lead")) as follower:
+            follower.catch_up()
+            assert follower.structure_fingerprint == leader.structure_fingerprint
+            with client_for(server) as writer:
+                changeset_flip(writer, "lead", leader, 0)
+                changeset_flip(writer, "lead", leader, 1)
+            assert follower.catch_up() == 2
+            assert follower.version == leader.version
+            assert follower.structure_fingerprint == leader.structure_fingerprint
+            assert follower.stats()["reseeds"] == 0
+            assert sorted(follower.query(QUERY).answers()) == sorted(
+                leader.query(QUERY).answers()
+            )
+
+    def test_serve_reports_true_head_for_lag(self, served_leader):
+        server, leader = served_leader
+        with FollowerDatabase(
+            ServeSource(client_for(server), "lead"), batch_limit=1
+        ) as follower:
+            follower.catch_up()
+            for element in range(3):
+                flip(leader, element)
+            # One clipped batch: the server still advertises its head,
+            # so the remaining distance is visible as lag.
+            follower.catch_up(max_batches=1)
+            assert follower.lag == 2
+            follower.catch_up()
+            assert follower.lag == 0
+
+    def test_checkpoint_over_serve_reseeds(self, served_leader):
+        server, leader = served_leader
+        with FollowerDatabase(ServeSource(client_for(server), "lead")) as follower:
+            follower.catch_up()
+            flip(leader, 3)
+            leader.checkpoint()
+            flip(leader, 4)
+            follower.catch_up()
+            assert follower.stats()["reseeds"] == 1
+            assert follower.structure_fingerprint == leader.structure_fingerprint
+
+    def test_background_tailing_over_serve(self, served_leader):
+        server, leader = served_leader
+        with FollowerDatabase(
+            ServeSource(client_for(server), "lead", wait=0.2)
+        ) as follower:
+            follower.catch_up()
+            follower.start_tailing(interval=0.02)
+            with client_for(server) as writer:
+                changeset_flip(writer, "lead", leader, 5)
+            deadline = time.monotonic() + 5
+            while follower.version < leader.version and time.monotonic() < deadline:
+                time.sleep(0.01)
+            follower.stop_tailing()
+            assert follower.structure_fingerprint == leader.structure_fingerprint
+
+
+class TestWebSocketFeed:
+    def test_push_delivers_commits_as_they_land(self, served_leader):
+        server, leader = served_leader
+        with client_for(server) as client:
+            with client.stream("lead") as ws:
+                events = []
+
+                def pump():
+                    for event in ws.wal_feed(leader.version):
+                        events.append(event)
+                        if event["event"] == "wal":
+                            return
+
+                thread = threading.Thread(target=pump, daemon=True)
+                thread.start()
+                time.sleep(0.2)
+                with client_for(server) as writer:
+                    changeset_flip(writer, "lead", leader, 0)
+                thread.join(timeout=10)
+                assert events and events[-1]["event"] == "wal"
+                record = json.loads(events[-1]["records"][-1])
+                assert record["v"] == leader.version
+
+    def test_stale_position_gets_reseed_event(self, served_leader):
+        server, _leader = served_leader
+        with client_for(server) as client:
+            with client.stream("lead") as ws:
+                events = list(ws.wal_feed(0))
+                assert events[-1]["event"] == "reseed"
+
+
+class TestFaultTolerance:
+    def test_connection_refused_surfaces_as_taxonomy(self, served_leader):
+        server, _leader = served_leader
+        breaker = CircuitBreaker(threshold=100, reset_after=0.1)
+        with ServeClient(
+            "127.0.0.1", 1, timeout=1.0, retry=FAST_RETRY, breaker=breaker
+        ) as client:
+            with pytest.raises(ServeConnectionError):
+                client.wal("x", 0)
+        assert breaker.stats()["consecutive_failures"] >= 2
+
+    def test_deadline_blow_is_a_timeout_error(self, served_leader):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.2, max_delay=0.2, jitter=0, deadline=0.05
+        )
+        with ServeClient("127.0.0.1", 1, timeout=1.0, retry=policy) as client:
+            with pytest.raises(ServeTimeoutError):
+                client.health()
+
+    def test_refusing_proxy_then_heal(self, served_leader):
+        server, leader = served_leader
+        with FlakyProxy("127.0.0.1", server.port) as proxy:
+            client = ServeClient(
+                "127.0.0.1", proxy.port, timeout=5.0, retry=FAST_RETRY
+            )
+            with FollowerDatabase(
+                ServeSource(client, "lead"), retry=FAST_RETRY
+            ) as follower:
+                follower.catch_up()
+                flip(leader, 0)
+                proxy.refuse = True
+                proxy.kill_connections()
+                with pytest.raises(ServeConnectionError):
+                    follower.catch_up()
+                proxy.refuse = False  # the network heals
+                follower.catch_up()
+                assert (
+                    follower.structure_fingerprint == leader.structure_fingerprint
+                )
+
+    def test_truncated_response_retries_to_convergence(self, served_leader):
+        server, leader = served_leader
+        with FlakyProxy("127.0.0.1", server.port) as proxy:
+            client = ServeClient(
+                "127.0.0.1",
+                proxy.port,
+                timeout=5.0,
+                retry=RetryPolicy(attempts=4, base_delay=0.01, jitter=0),
+            )
+            with FollowerDatabase(
+                ServeSource(client, "lead"), retry=FAST_RETRY
+            ) as follower:
+                follower.catch_up()
+                for element in range(3):
+                    flip(leader, element)
+                # Cut every response after 40 upstream bytes: truncated
+                # HTTP bodies, i.e. torn shipments on the wire.
+                proxy.drop_after_bytes = 40
+                proxy.kill_connections()
+                with pytest.raises(ServeConnectionError):
+                    follower.catch_up()
+                proxy.drop_after_bytes = None
+                follower.catch_up()
+                assert (
+                    follower.structure_fingerprint == leader.structure_fingerprint
+                )
+                assert proxy.dropped >= 1
+
+    def test_leader_restart_resume(self, tmp_path):
+        structure = random_colored_graph(20, max_degree=3, seed=11)
+        path = tmp_path / "leader"
+        leader = Database.open(path, structure=structure, sync=False)
+        registry = DatabaseRegistry()
+        registry.add("lead", leader, close_on_shutdown=False)
+
+        proxy = FlakyProxy("127.0.0.1", 0)  # upstream patched per phase
+        proxy.start()
+        client = ServeClient(
+            "127.0.0.1", proxy.port, timeout=5.0, retry=FAST_RETRY
+        )
+        follower = None
+        try:
+            with serve_in_thread(registry) as server:
+                proxy.upstream_port = server.port
+                follower = FollowerDatabase(
+                    ServeSource(client, "lead"), retry=FAST_RETRY
+                )
+                follower.catch_up()
+                flip(leader, 0)
+                follower.catch_up()
+                assert follower.structure_fingerprint == leader.structure_fingerprint
+            # The leader goes away: reads keep working, tailing fails
+            # with the transport taxonomy (not a hang, not a crash).
+            leader.close()
+            proxy.kill_connections()
+            assert follower.count(QUERY) >= 0
+            with pytest.raises(ServeConnectionError):
+                follower.catch_up()
+            # The leader restarts from its store with more commits; the
+            # follower resumes from its position and converges.
+            leader = Database.open(path, sync=False)
+            flip(leader, 1)
+            registry2 = DatabaseRegistry()
+            registry2.add("lead", leader, close_on_shutdown=False)
+            with serve_in_thread(registry2) as server2:
+                proxy.upstream_port = server2.port
+                follower.catch_up()
+                assert follower.version == leader.version
+                assert follower.structure_fingerprint == leader.structure_fingerprint
+                assert follower.stats()["reseeds"] == 0  # resumed, not re-seeded
+        finally:
+            if follower is not None:
+                follower.close()
+            else:
+                client.close()
+            proxy.stop()
+            leader.close()

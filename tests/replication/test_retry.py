@@ -1,0 +1,147 @@
+"""Units for the shared retry/backoff layer (`repro.util.retry`).
+
+Determinism note: jitter is deliberately random in production (the
+point is decorrelating a thundering herd), so every test here pins
+``jitter=0``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import CircuitOpenError, ServeConnectionError, ServeTimeoutError
+from repro.util.retry import CircuitBreaker, RetryPolicy, call_with_retry
+
+FAST = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.01, jitter=0)
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures: int, error=ServeConnectionError("boom")):
+        self.failures = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_delay_is_exponential_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.4)
+
+    def test_delay_caps_at_max(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=2.5, jitter=0)
+        assert policy.delay(5) == pytest.approx(2.5)
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=1.0)
+        for attempt in range(20):
+            delay = policy.delay(attempt)
+            assert 0.0 <= delay <= 1.0
+
+    def test_first_try_success_needs_no_retry(self):
+        flaky = Flaky(0)
+        assert call_with_retry(flaky, FAST, retry_on=(ServeConnectionError,)) == "ok"
+        assert flaky.calls == 1
+
+    def test_transient_failures_are_retried(self):
+        flaky = Flaky(2)
+        assert call_with_retry(flaky, FAST, retry_on=(ServeConnectionError,)) == "ok"
+        assert flaky.calls == 3
+
+    def test_exhaustion_reraises_the_last_error(self):
+        flaky = Flaky(10, error=ServeConnectionError("still down"))
+        with pytest.raises(ServeConnectionError, match="still down"):
+            call_with_retry(flaky, FAST, retry_on=(ServeConnectionError,))
+        assert flaky.calls == FAST.attempts
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        flaky = Flaky(10, error=ValueError("a bug, not weather"))
+        with pytest.raises(ValueError):
+            call_with_retry(flaky, FAST, retry_on=(ServeConnectionError,))
+        assert flaky.calls == 1
+
+    def test_deadline_blow_raises_serve_timeout(self):
+        policy = RetryPolicy(
+            attempts=10, base_delay=0.2, max_delay=0.2, jitter=0, deadline=0.05
+        )
+        flaky = Flaky(10)
+        started = time.monotonic()
+        with pytest.raises(ServeTimeoutError, match="deadline"):
+            call_with_retry(flaky, policy, retry_on=(ServeConnectionError,))
+        # It gave up before sleeping through all ten backoffs.
+        assert time.monotonic() - started < 1.0
+        assert flaky.calls < 10
+
+    def test_policy_call_shortcut(self):
+        flaky = Flaky(1)
+        assert FAST.call(flaky, retry_on=(ServeConnectionError,)) == "ok"
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, reset_after=60.0)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.open
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=3, reset_after=60.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert not breaker.open
+
+    def test_open_circuit_fails_fast(self):
+        breaker = CircuitBreaker(threshold=1, reset_after=60.0)
+        flaky = Flaky(10)
+        with pytest.raises(ServeConnectionError):
+            call_with_retry(
+                flaky, RetryPolicy(attempts=1), retry_on=(ServeConnectionError,),
+                breaker=breaker,
+            )
+        with pytest.raises(CircuitOpenError):
+            call_with_retry(
+                flaky, FAST, retry_on=(ServeConnectionError,), breaker=breaker
+            )
+        assert flaky.calls == 1  # the second call never reached the wire
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(threshold=1, reset_after=0.05)
+        breaker.record_failure()
+        assert not breaker.allow()
+        time.sleep(0.06)
+        assert breaker.allow()  # this caller owns the half-open probe
+        assert not breaker.allow()  # concurrent callers still fail fast
+        breaker.record_success()
+        assert breaker.allow()
+        assert not breaker.open
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, reset_after=0.05)
+        breaker.record_failure()
+        time.sleep(0.06)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert not breaker.allow()
+
+    def test_stats_shape(self):
+        breaker = CircuitBreaker(threshold=4)
+        breaker.record_failure()
+        stats = breaker.stats()
+        assert stats["consecutive_failures"] == 1
+        assert stats["open"] is False
+        assert stats["threshold"] == 4
