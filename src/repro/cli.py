@@ -210,6 +210,8 @@ def _parse_tuple(text: str, structure: Structure):
 
 def cmd_query(args: argparse.Namespace) -> int:
     """Count / test / enumerate one query through a Database session."""
+    if getattr(args, "shards", 0):
+        return _run_sharded_query(args)
     # One Database per invocation: cache, graph templates, and (if the
     # backend goes parallel) the worker pool all come from this session.
     with _open_session(args, eps=args.eps, workers=args.workers) as session:
@@ -228,8 +230,6 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"preprocessing {preprocessing:.3f}s"
         )
         compiled = isinstance(query, CompiledQuery)
-        if args.explain:
-            print(query.explain().describe())
         if args.count:
             print(f"count: {query.count()}")
         for probe in args.test or []:
@@ -261,6 +261,77 @@ def cmd_query(args: argparse.Namespace) -> int:
                         answers.cancel()
                         break
             print(f"({shown} answers shown)")
+        if args.explain:
+            # Printed after execution so the plan carries the observed
+            # runtime transfer layout (chunks/bytes per work unit) next
+            # to the cost-model estimates.
+            print(query.explain().describe())
+    return 0
+
+
+def _run_sharded_query(args: argparse.Namespace) -> int:
+    """``query --shards N``: scatter-gather over a region-sharded DB."""
+    from repro.shard import ShardedDatabase
+
+    if getattr(args, "db", None) is not None:
+        raise ReproError("--shards runs in-memory; drop --db")
+    workload = getattr(args, "workload", None)
+    if workload is None:
+        raise ReproError("--shards needs -w/--workload")
+    structure = parse_workload(workload)
+    started = time.perf_counter()
+    with ShardedDatabase(
+        structure,
+        shards=args.shards,
+        eps=args.eps,
+        workers=args.workers,
+        gather=getattr(args, "gather", "stream") or "stream",
+    ) as sdb:
+        query = sdb.query(args.query)
+        preprocessing = time.perf_counter() - started
+        layout = sdb.layout
+        print(
+            f"workload: n={structure.cardinality}, degree={structure.degree}; "
+            f"preprocessing {preprocessing:.3f}s"
+        )
+        print(
+            f"shards: {len(layout)} {list(layout.sizes())} "
+            f"({layout.components} components)"
+        )
+        if args.count:
+            print(f"count: {query.count()}")
+        for probe in args.test or []:
+            candidate = _parse_tuple(probe, structure)
+            print(f"test {candidate}: {query.test(candidate)}")
+        if args.limit:
+            shown = 0
+            answers = query.answers()
+            for answer in answers:
+                print("  " + ", ".join(str(c) for c in answer))
+                shown += 1
+                if shown >= args.limit:
+                    answers.cancel()
+                    break
+            print(f"({shown} answers shown)")
+        if args.explain:
+            report = query.explain()
+            print(f"gather: {report['gather']} (sharded: {report['sharded']})")
+            if report["shard_blockers"]:
+                for blocker in report["shard_blockers"]:
+                    print(f"  blocker: {blocker}")
+            runtime = report.get("runtime")
+            if runtime:
+                print(
+                    f"runtime: {runtime['chunks']} chunk(s), "
+                    f"{runtime['rows']} rows received"
+                )
+                for label, entry in sorted(
+                    (runtime.get("sources") or {}).items()
+                ):
+                    print(
+                        f"  {label}: rows={entry['rows']}, "
+                        f"chunks={entry['chunks']}"
+                    )
     return 0
 
 
@@ -644,6 +715,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["columnar", "pickle"],
         default=None,
         help="process-mode answer transport (default: columnar)",
+    )
+    query_parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run scatter-gather over N region shards (repro.shard)",
+    )
+    query_parser.add_argument(
+        "--gather",
+        choices=["stream", "engine"],
+        default="stream",
+        help="gather strategy with --shards (default: stream)",
     )
     _add_version_flags(query_parser)
     query_parser.set_defaults(handler=cmd_query)

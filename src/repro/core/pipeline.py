@@ -27,7 +27,7 @@ quantifier-free form ``psi = psi_1 and psi_2`` of the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import EvaluationError, QueryError, UnsupportedQueryError
 from repro.fo.localize import (
@@ -154,6 +154,7 @@ class Pipeline:
         max_units: int = 16,
         graph_factory=None,
         intern=None,
+        build_graph: bool = True,
     ):
         self.structure = structure
         self.query = query
@@ -189,6 +190,15 @@ class Pipeline:
         self._partition_index: Dict[Partition, int] = {}
         if self.trivial is None:
             self._build_plans(max_units)
+            # ``build_graph=False`` stops after localization + separation:
+            # the result is a *template* pipeline (shared plans, no colored
+            # graph) that :meth:`derive` specializes per substructure —
+            # the repro.shard scatter path, where the graph is built per
+            # shard but the localization must be computed ONCE against the
+            # full structure (sentence truth values and derived predicates
+            # are global content).
+            if not build_graph:
+                return
             # ``graph_factory`` is the engine's preprocessing-sharing hook:
             # a batch can hand out clones of one cached graph instead of
             # re-enumerating cluster tuples per query (see
@@ -452,6 +462,124 @@ class Pipeline:
                 lists.append(index.setdefault((plan.index, block, required), []))
             twin.branches.append(Branch(plan, branch.signs, lists))
         return twin
+
+    def _derive_header(self, structure: Structure, intern) -> "Pipeline":
+        """Shared scaffolding of :meth:`derive` / :meth:`merge`: a pipeline
+        bound to ``structure`` that reuses this template's localization,
+        plans, and partition index (all structure-independent once the
+        global content is baked in), with a fresh evaluator."""
+        twin = Pipeline.__new__(Pipeline)
+        twin.structure = structure
+        twin.query = self.query
+        twin.eps = self.eps
+        twin.budget = self.budget
+        twin._intern = intern
+        twin.variables = self.variables
+        twin.arity = self.arity
+        evaluator = LocalEvaluator(structure, self.localized.extra_unary)
+        twin.localized = replace(
+            self.localized, structure=structure, evaluator=evaluator
+        )
+        twin.evaluator = evaluator
+        twin.radius = self.radius
+        twin.link_radius = self.link_radius
+        twin.trivial = self.trivial
+        twin.plans = self.plans
+        twin._partition_index = self._partition_index
+        twin.branches = []
+        twin.graph = None
+        return twin
+
+    def derive(
+        self, substructure: Structure, max_nodes: int = 5_000_000
+    ) -> "Pipeline":
+        """Specialize this template to a substructure: the scatter half of
+        :mod:`repro.shard`.
+
+        Localization is NOT re-run — sentence truth values, derived unary
+        predicates, and counting totals were evaluated against the full
+        structure when the template was built and carry over verbatim.
+        Only the structure-shaped tail is rebuilt: the colored graph over
+        the substructure's domain, its unit-vector colors, and the branch
+        lists.  Because the shard layer hands in unions of whole Gaifman
+        components, every ball (hence every node, edge, and color) agrees
+        with the full structure's, so the shard graph is the exact
+        restriction of the global one.
+        """
+        twin = self._derive_header(substructure, intern=None)
+        if twin.trivial is None:
+            twin.graph = build_colored_graph(
+                substructure,
+                twin.evaluator,
+                twin.arity,
+                twin.link_radius,
+                max_nodes=max_nodes,
+            )
+            twin._attach_unit_vectors()
+            twin._build_branches()
+        return twin
+
+    def merge(
+        self, structure: Structure, shards: Sequence["Pipeline"]
+    ) -> "Pipeline":
+        """Assemble shard pipelines into one global-equivalent pipeline:
+        the gather half of :mod:`repro.shard`.
+
+        ``shards`` must be :meth:`derive` products over disjoint unions of
+        whole Gaifman components of ``structure`` that together cover its
+        domain.  Node ids are renumbered in global seed order: each
+        shard's nodes arrive grouped per seed in the shard's (= global,
+        restricted) domain order, so a single ordered merge keyed by the
+        seed's global rank reproduces exactly the node sequence a cold
+        ``Pipeline(structure, ...)`` build would create — per-seed node
+        blocks are contiguous and internally deterministic, and a seed
+        lives in exactly one shard, so the key never ties across shards.
+        Adjacency is remapped per shard (balls never leave a component,
+        so no edge crosses shards), colors are copied (unit formulas are
+        r-local, hence shard-computable), and the branch lists are
+        rebuilt over the renumbered ids.  The result is indistinguishable
+        from the cold global build — same node ids, same branch lists,
+        same enumeration byte order — at the cost of a merge instead of a
+        global graph construction.
+        """
+        from heapq import merge as heap_merge
+
+        merged = self._derive_header(structure, intern=self._intern)
+        if merged.trivial is not None:
+            return merged
+        rank = structure.order.rank
+        graph = ColoredGraph(structure, self.link_radius, self.arity)
+        id_maps: List[Dict[int, int]] = [{} for _ in shards]
+        def source(shard_index: int, shard: "Pipeline"):
+            # A helper (not an inline genexp) so shard_index/shard bind
+            # per shard instead of to the comprehension's last iteration.
+            return (
+                (rank(node.elements[0]), shard_index, node)
+                for node in shard.graph.nodes[1:]
+            )
+
+        sources = [source(i, shard) for i, shard in enumerate(shards)]
+        origins: List[Tuple[int, int]] = []  # (shard_index, old_id) per new node
+        for _, shard_index, node in heap_merge(
+            *sources, key=lambda entry: entry[0]
+        ):
+            new_id = graph.add_node(node.elements, node.positions)
+            graph.nodes[new_id].unit_values = dict(node.unit_values)
+            id_maps[shard_index][node.node_id] = new_id
+            origins.append((shard_index, node.node_id))
+        adjacency: List[FrozenSet[int]] = [frozenset()]
+        for shard_index, old_id in origins:
+            mapping = id_maps[shard_index]
+            adjacency.append(
+                frozenset(
+                    mapping[other]
+                    for other in shards[shard_index].graph.adjacency[old_id]
+                )
+            )
+        graph.adjacency = adjacency
+        merged.graph = graph
+        merged._build_branches()
+        return merged
 
     # ------------------------------------------------------------------
     # Step 5: the encoder f and its inverse

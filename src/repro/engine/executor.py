@@ -21,6 +21,7 @@ Pool selection follows the cost-model heuristic
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import islice
@@ -33,6 +34,12 @@ from repro.core.enumeration import (
     trivial_answers,
 )
 from repro.core.pipeline import Pipeline
+from repro.engine.mailbox import (
+    ChunkMailbox,
+    MailboxAbandoned,
+    mailbox_available,
+    mailbox_capacity,
+)
 from repro.engine.pool import WorkerPool, default_workers
 from repro.engine.transport import (
     ColumnarCodec,
@@ -86,12 +93,23 @@ class BranchTask:
     # columns never cross the process boundary.  Duplicates are kept —
     # projection is 1:1 row-preserving.
     project: Optional[Tuple[int, ...]] = None
+    # Streaming-transfer mailbox ``(shared_memory_name, capacity)``: when
+    # set, run_branch_task_encoded appends each encoded chunk to the ring
+    # as it enumerates instead of returning the chunk list on the future
+    # (which then carries only a completion summary).
+    mailbox: Optional[Tuple[str, int]] = None
 
     @property
     def outer_slice(self) -> Optional[Tuple[int, Optional[int]]]:
         if self.start == 0 and self.stop is None:
             return None
         return (self.start, self.stop)
+
+    @property
+    def label(self) -> str:
+        """Stable work-unit name for per-source transfer accounting."""
+        stop = "" if self.stop is None else self.stop
+        return f"b{self.branch_index}[{self.start}:{stop}]"
 
 
 # Per-worker-process pipeline memo, keyed by BranchTask.spec_key.  Lives
@@ -162,32 +180,69 @@ def run_branch_task(task: BranchTask) -> List[Answer]:
     )
 
 
-def run_branch_task_encoded(task: BranchTask) -> List[bytes]:
+def run_branch_task_encoded(task: BranchTask):
     """Entry point executed inside a worker process (columnar transport).
 
     Instead of one picklable list of answer tuples, the shard comes back
     as bounded columnar buffers (``task.chunk_rows`` rows each) over the
     pipeline's intern table — the parent decodes them lazily, so its
     first page never waits on the whole shard's serialization.
+
+    With ``task.mailbox`` set, each buffer is appended to the shared
+    -memory ring *as enumeration produces it* (true streaming transfer:
+    the parent reads the first chunk while this worker is still
+    enumerating) and the return value is a completion summary dict
+    (``{"chunks", "rows", "finished"}``).  If the ring cannot be
+    attached, the chunk list comes back on the future exactly as in the
+    legacy path — the parent detects the fallback by the result type.
     """
     pipeline = _worker_pipeline(task)
     codec = ColumnarCodec(pipeline.intern_table)
     chunk_rows = task.chunk_rows or default_chunk_rows(
         pipeline.arity, pipeline.intern_table.id_width()
     )
-    return encode_answers(
-        _project_rows(
-            enumerate_branch(
-                pipeline,
-                task.branch_index,
-                skip_mode=task.skip_mode,
-                outer_slice=task.outer_slice,
-            ),
-            task.project,
+    rows = _project_rows(
+        enumerate_branch(
+            pipeline,
+            task.branch_index,
+            skip_mode=task.skip_mode,
+            outer_slice=task.outer_slice,
         ),
-        codec,
-        chunk_rows,
+        task.project,
     )
+    if task.mailbox is None:
+        return encode_answers(rows, codec, chunk_rows)
+    name, capacity = task.mailbox
+    try:
+        ring = ChunkMailbox(name=name, capacity=capacity)
+    except Exception:
+        # No shared memory from this worker's side: degrade to the
+        # legacy whole-list future (the parent sees a list and decodes
+        # it after completion; `done` never gets set on the ring).
+        return encode_answers(rows, codec, chunk_rows)
+    chunks = 0
+    produced = 0
+    try:
+        buffer: List[Answer] = []
+        for answer in rows:
+            buffer.append(answer)
+            if len(buffer) >= chunk_rows:
+                ring.put(codec.encode(buffer))
+                chunks += 1
+                produced += len(buffer)
+                buffer = []
+        if buffer:
+            ring.put(codec.encode(buffer))
+            chunks += 1
+            produced += len(buffer)
+        ring.finish()
+    except MailboxAbandoned:
+        # Parent cancelled the query; what streamed already is enough.
+        pass
+    finally:
+        summary = {"chunks": chunks, "rows": produced, "finished": time.monotonic()}
+        ring.close()
+    return summary
 
 
 def count_branch_task(task: BranchTask) -> int:
@@ -258,13 +313,23 @@ def count_works(pipeline: Pipeline) -> List[int]:
     ]
 
 
-def transfer_works(pipeline: Pipeline, transport=None) -> List[int]:
+def transfer_works(
+    pipeline: Pipeline, transport=None, lanes: Optional[int] = None
+) -> List[int]:
     """Estimated per-branch cost of shipping answers to the parent.
 
     Only process mode pays it; the estimate follows the plan's transport
     — the columnar codec moves a bounded few bytes per value, pickled
     tuple lists roughly three times that — so the cost model can decline
     process mode exactly when serialization would eat the speedup.
+
+    ``lanes`` models the streaming overlap: with the shared-memory chunk
+    mailbox, a branch split across ``lanes`` work units ships while the
+    other units still enumerate, so the serialized parent-side cost is
+    the overlapped critical path (largest share plus the amortized
+    rest), not the plain sum.  Without it, a large-but-well-sharded
+    workload would be misranked as transfer-bound and pushed off the
+    process backend it actually benefits from.
     """
     if pipeline.trivial is not None or pipeline.graph is None:
         return []
@@ -277,11 +342,22 @@ def transfer_works(pipeline: Pipeline, transport=None) -> List[int]:
         if resolve_transport(transport) == "pickle"
         else min(COLUMNAR_BYTES_PER_VALUE, id_width)
     )
+    shard_sizes = None
+    if (
+        lanes is not None
+        and lanes > 1
+        and resolve_transport(transport) == "columnar"
+        and mailbox_available()
+    ):
+        # The executor slices heavy branches into roughly equal work
+        # units; equal shares are the right overlap model here.
+        shard_sizes = [1] * lanes
     return [
         estimate_transfer_work(
             [len(node_list) for node_list in branch.lists],
             pipeline.arity,
             bytes_per_value,
+            shard_sizes=shard_sizes,
         )
         for branch in pipeline.branches
     ]
@@ -303,7 +379,11 @@ def _resolve_mode(pipeline, workers, mode, works_fn, transfer_fn=None) -> Tuple[
     if workers < 1:
         raise EngineError(f"workers must be >= 1, got {workers}")
     if mode is None:
-        transfer = sum(transfer_fn(pipeline)) if transfer_fn is not None else None
+        transfer = (
+            sum(transfer_fn(pipeline, workers))
+            if transfer_fn is not None
+            else None
+        )
         mode = choose_execution_mode(
             works_fn(pipeline), workers, transfer_work=transfer
         )
@@ -326,8 +406,8 @@ def decide_mode(
     workload whose estimated serialization cost dominates its compute
     stays on threads (zero-copy) even past the process threshold.
     """
-    def transfer(p: Pipeline) -> List[int]:
-        return transfer_works(p, transport)
+    def transfer(p: Pipeline, lanes: Optional[int]) -> List[int]:
+        return transfer_works(p, transport, lanes=lanes)
 
     return _resolve_mode(pipeline, workers, mode, branch_works, transfer)
 
@@ -441,26 +521,122 @@ def _yield_encoded(
     codec: ColumnarCodec,
     transfer_stats: Optional[TransferStats] = None,
     pool: Optional[WorkerPool] = None,
+    labels: Optional[List[str]] = None,
 ) -> Iterator[List[Answer]]:
     """Decode columnar shard results lazily, in submission order.
 
     Each future resolves to a list of bounded byte buffers; buffers are
     decoded one at a time as the consumer pulls, so a first page costs
-    one chunk's decode, not a shard's unpickling.
+    one chunk's decode, not a shard's unpickling.  ``labels`` attributes
+    chunks to their work units in ``transfer_stats``.
     """
     try:
-        for future in futures:
+        for index, future in enumerate(futures):
+            label = labels[index] if labels is not None else None
             for buf in future.result():
                 chunk = codec.decode(buf)
                 if transfer_stats is not None:
-                    transfer_stats.record(len(buf), len(chunk))
+                    transfer_stats.record(len(buf), len(chunk), source=label)
                 if pool is not None:
                     pool.record_transfer(len(buf))
                 yield chunk
+            if transfer_stats is not None and label is not None:
+                transfer_stats.note_done(label)
     except GeneratorExit:
         for future in futures:
             future.cancel()
         raise
+
+
+# Parent-side poll cadence while a mailbox is empty but its unit is
+# still running (seconds); backs off to keep an idle drain cheap.
+_DRAIN_POLL_MIN = 0.0002
+_DRAIN_POLL_MAX = 0.005
+
+
+def _yield_encoded_mailboxed(
+    entries,
+    codec: ColumnarCodec,
+    transfer_stats: Optional[TransferStats] = None,
+    pool: Optional[WorkerPool] = None,
+) -> Iterator[List[Answer]]:
+    """Drain mailbox-equipped work units in submission order.
+
+    ``entries`` is a list of ``(future, mailbox_or_None, label)``.  Each
+    unit's ring is polled while its worker enumerates, so the first
+    chunk of a heavy unit is decoded (and served) long before the
+    worker's future resolves; order stays deterministic because units
+    are drained in submission (= branch, slice) order.  Units whose
+    ring could not be created (or whose worker could not attach — it
+    then returns the legacy chunk list) fall back to the future path.
+    On abandonment every ring is flagged so blocked producers stop.
+    """
+
+    def account(buf: bytes, label: str) -> List[Answer]:
+        chunk = codec.decode(buf)
+        if transfer_stats is not None:
+            transfer_stats.record(len(buf), len(chunk), source=label)
+        if pool is not None:
+            pool.record_transfer(len(buf))
+        return chunk
+
+    try:
+        for future, ring, label in entries:
+            if ring is None:
+                for buf in future.result():
+                    yield account(buf, label)
+                if transfer_stats is not None:
+                    transfer_stats.note_done(label)
+                continue
+            finished_at: Optional[float] = None
+            delay = _DRAIN_POLL_MIN
+            while True:
+                buf = ring.poll()
+                if buf is not None:
+                    delay = _DRAIN_POLL_MIN
+                    yield account(buf, label)
+                    continue
+                if ring.done:
+                    # `done` is set after the final head advance, so one
+                    # more poll round has already proven the ring empty.
+                    summary = future.result() if future.done() else None
+                    if isinstance(summary, dict):
+                        finished_at = summary.get("finished")
+                    break
+                if future.done():
+                    result = future.result()  # raises worker errors
+                    if isinstance(result, list):
+                        # Worker could not attach the ring: legacy path.
+                        for buf in result:
+                            yield account(buf, label)
+                        break
+                    # Summary without the done flag visible yet: loop —
+                    # the flag write precedes the future's resolution.
+                    if isinstance(result, dict):
+                        finished_at = result.get("finished")
+                        if ring.done or ring.poll() is None:
+                            # Defensive: never hang on a unit whose ring
+                            # lost its done flag.
+                            for buf in ring.drain():
+                                yield account(buf, label)
+                            break
+                        continue
+                    break
+                time.sleep(delay)
+                delay = min(delay * 2, _DRAIN_POLL_MAX)
+            if transfer_stats is not None:
+                transfer_stats.note_done(label, at=finished_at)
+    except GeneratorExit:
+        for future, ring, _ in entries:
+            future.cancel()
+            if ring is not None:
+                ring.abandon()
+        raise
+    finally:
+        for _, ring, _ in entries:
+            if ring is not None:
+                ring.abandon()
+                ring.close(unlink=True)
 
 
 def run_branches(
@@ -476,6 +652,7 @@ def run_branches(
     transfer_stats: Optional[TransferStats] = None,
     row_budget: Optional[int] = None,
     project_columns: Optional[Tuple[int, ...]] = None,
+    mailbox_bytes: Optional[int] = None,
 ) -> Iterator[List[Answer]]:
     """Yield answer chunks, in branch-index (then slice, then chunk) order.
 
@@ -507,6 +684,16 @@ def run_branches(
     preserved; rows stay 1:1 with the enumeration).  Process-mode
     workers apply it *before* encoding, so dropped columns never cross
     the process boundary — the qlang SELECT-list pushdown.
+
+    Process-mode columnar units additionally stream their chunks
+    through a shared-memory :class:`~repro.engine.mailbox.ChunkMailbox`
+    when the platform supports it: the first page of a heavy shard is
+    decoded parent-side while that shard is still enumerating (bounded
+    *transfer*, not just bounded decode).  ``mailbox_bytes`` overrides
+    the per-unit ring capacity (smaller rings force backpressure — the
+    bench uses this); when shared memory is unavailable the chunks ride
+    the future exactly as before.  Answer bytes and order are identical
+    either way.
     """
     transport = resolve_transport(transport)
     if pipeline.trivial is not None:
@@ -618,55 +805,64 @@ def run_branches(
         task_fn = run_branch_task
         codec = None
     spec = pipeline.rebuild_spec()
+    # Streaming transfer: one ring per work unit (a unit whose ring
+    # cannot be created simply rides its future, per-unit fallback).
+    rings: List[Optional[ChunkMailbox]] = [None] * len(units)
+    if columnar and mailbox_available():
+        id_width = width_for(max(pipeline.structure.cardinality - 1, 0))
+        capacity = mailbox_bytes or mailbox_capacity(
+            rows_per_chunk * max(pipeline.arity, 1) * id_width + 64
+        )
+        for index in range(len(units)):
+            try:
+                rings[index] = ChunkMailbox(create=True, capacity=capacity)
+            except Exception:
+                rings[index] = None
 
-    def drain(futures) -> Iterator[List[Answer]]:
-        if columnar:
-            return _yield_encoded(futures, codec, transfer_stats, pool)
-        return _yield_futures(futures)
+    def make_tasks(ship_spec: bool) -> List[BranchTask]:
+        return [
+            BranchTask(
+                spec if ship_spec else None, spec_key, branch_index,
+                skip_mode, start, stop, rows_per_chunk, project_columns,
+                None if ring is None else (ring.name, ring.capacity),
+            )
+            for (branch_index, start, stop), ring in zip(units, rings)
+        ]
+
+    def drain(futures, tasks) -> Iterator[List[Answer]]:
+        if not columnar:
+            return _yield_futures(futures)
+        labels = [task.label for task in tasks]
+        if any(ring is not None for ring in rings):
+            entries = list(zip(futures, rings, labels))
+            return _yield_encoded_mailboxed(entries, codec, transfer_stats, pool)
+        return _yield_encoded(futures, codec, transfer_stats, pool, labels)
 
     if executor is not None and not isinstance(executor, ThreadPoolExecutor):
         # External (possibly shared/warmed) process pool: its workers may
         # serve other queries, so every task must carry the spec.  (A
         # thread pool is not reused here — rebuilding the pipeline inside
         # the parent process would only duplicate it.)
-        tasks = [
-            BranchTask(
-                spec, spec_key, branch_index, skip_mode, start, stop,
-                rows_per_chunk, project_columns,
-            )
-            for branch_index, start, stop in units
-        ]
+        tasks = make_tasks(ship_spec=True)
         futures = [executor.submit(task_fn, task) for task in tasks]
-        yield from bounded(drain(futures))
+        yield from bounded(drain(futures, tasks))
         return
     if pool is not None:
         # Batch-owned long-lived pool: like the external case its workers
         # serve many queries, so tasks carry the spec (memoized worker-side
         # under spec_key after the first shard arrives).
-        tasks = [
-            BranchTask(
-                spec, spec_key, branch_index, skip_mode, start, stop,
-                rows_per_chunk, project_columns,
-            )
-            for branch_index, start, stop in units
-        ]
+        tasks = make_tasks(ship_spec=True)
         futures = [pool.submit("process", task_fn, task) for task in tasks]
-        yield from bounded(drain(futures))
+        yield from bounded(drain(futures, tasks))
         return
     # Ephemeral pool: the initializer ships the spec once per worker;
     # tasks carry only the key (the structure is not re-pickled per shard).
-    tasks = [
-        BranchTask(
-            None, spec_key, branch_index, skip_mode, start, stop,
-            rows_per_chunk, project_columns,
-        )
-        for branch_index, start, stop in units
-    ]
+    tasks = make_tasks(ship_spec=False)
     with ProcessPoolExecutor(
         max_workers=workers, initializer=_init_worker, initargs=(spec, spec_key)
     ) as ephemeral:
         futures = [ephemeral.submit(task_fn, task) for task in tasks]
-        yield from bounded(drain(futures))
+        yield from bounded(drain(futures, tasks))
 
 
 def run_branches_raw(
@@ -788,6 +984,7 @@ def parallel_enumerate(
     transport: Optional[str] = None,
     transfer_stats: Optional[TransferStats] = None,
     row_budget: Optional[int] = None,
+    mailbox_bytes: Optional[int] = None,
 ) -> Iterator[Answer]:
     """Enumerate ``q(A)`` using the branch-parallel engine.
 
@@ -812,6 +1009,7 @@ def parallel_enumerate(
         transport=transport,
         transfer_stats=transfer_stats,
         row_budget=row_budget,
+        mailbox_bytes=mailbox_bytes,
     ):
         yield from branch_answers
 

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import struct
 import sys
+import time
 import zlib
 from array import array
-from typing import Hashable, Iterable, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import EngineError
 
@@ -111,31 +112,95 @@ class InternTable:
 
 
 class TransferStats:
-    """Parent-side accounting of one consumer's received transport chunks."""
+    """Parent-side accounting of one consumer's received transport chunks.
 
-    __slots__ = ("chunks", "bytes_received", "rows")
+    Besides the totals, chunks are attributed to *sources* — work-unit
+    labels like ``"b3[0:512]"`` or shard labels like ``"shard1"`` — with
+    first/last-arrival timestamps (``time.monotonic``), and
+    :meth:`note_done` records when each source *finished producing*
+    (worker-side enumeration end for mailbox units, parent-side drain
+    end otherwise).  ``first_chunk_at < done_at`` for a source is the
+    observable signature of true streaming transfer: the first page
+    arrived while that unit was still enumerating.
+    """
+
+    __slots__ = (
+        "chunks",
+        "bytes_received",
+        "rows",
+        "first_chunk_at",
+        "last_chunk_at",
+        "per_source",
+    )
 
     def __init__(self) -> None:
         self.chunks = 0
         self.bytes_received = 0
         self.rows = 0
+        self.first_chunk_at: Optional[float] = None
+        self.last_chunk_at: Optional[float] = None
+        # source label -> {chunks, bytes, rows, first_at, last_at, done_at}
+        self.per_source: Dict[str, dict] = {}
 
-    def record(self, nbytes: int, rows: int) -> None:
+    def _source_entry(self, source: str) -> dict:
+        entry = self.per_source.get(source)
+        if entry is None:
+            entry = {
+                "chunks": 0,
+                "bytes": 0,
+                "rows": 0,
+                "first_at": None,
+                "last_at": None,
+                "done_at": None,
+            }
+            self.per_source[source] = entry
+        return entry
+
+    def record(self, nbytes: int, rows: int, source: Optional[str] = None) -> None:
+        now = time.monotonic()
         self.chunks += 1
         self.bytes_received += nbytes
         self.rows += rows
+        if self.first_chunk_at is None:
+            self.first_chunk_at = now
+        self.last_chunk_at = now
+        if source is not None:
+            entry = self._source_entry(source)
+            entry["chunks"] += 1
+            entry["bytes"] += nbytes
+            entry["rows"] += rows
+            if entry["first_at"] is None:
+                entry["first_at"] = now
+            entry["last_at"] = now
+
+    def note_done(self, source: str, at: Optional[float] = None) -> None:
+        """Record when ``source`` finished producing its stream.
+
+        ``at`` lets mailbox drains pass the *worker's* enumeration-end
+        timestamp (``time.monotonic`` is system-wide on the platforms
+        the process backend runs on); default is now, parent-side.
+        """
+        self._source_entry(source)["done_at"] = (
+            time.monotonic() if at is None else at
+        )
 
     def as_dict(self) -> dict:
         return {
             "chunks": self.chunks,
             "bytes_received": self.bytes_received,
             "rows": self.rows,
+            "first_chunk_at": self.first_chunk_at,
+            "last_chunk_at": self.last_chunk_at,
+            "sources": {
+                source: dict(entry) for source, entry in self.per_source.items()
+            },
         }
 
     def __repr__(self) -> str:
         return (
             f"TransferStats(chunks={self.chunks}, "
-            f"bytes={self.bytes_received}, rows={self.rows})"
+            f"bytes={self.bytes_received}, rows={self.rows}, "
+            f"sources={len(self.per_source)})"
         )
 
 

@@ -95,6 +95,13 @@ class QueryPlan:
     # the plan was resolved (None = primary, lag not applicable).
     role: str = "primary"
     lag: Optional[int] = None
+    # Observed runtime layout (None until an Answers handle from this
+    # Query actually moved chunks): the transfer-stats report — chunks
+    # shipped, bytes and rows received, and per-source attribution
+    # keyed by work-unit label (``b0[0:]``-style, or ``shard0`` for
+    # sharded gathers) — so ``--explain`` shows what *ran*, not only
+    # what was estimated.
+    runtime: Optional[dict] = field(default=None, compare=False)
 
     @property
     def total_cost(self) -> int:
@@ -142,6 +149,29 @@ class QueryPlan:
                 for branch, start, stop in self.shards
             )
             lines.append(f"shard layout: {layout}")
+        if self.runtime:
+            lines.append(
+                f"runtime: {self.runtime.get('chunks', 0)} chunk(s), "
+                f"{self.runtime.get('bytes_received', 0)} bytes, "
+                f"{self.runtime.get('rows', 0)} rows received"
+            )
+            for label, entry in sorted(
+                (self.runtime.get("sources") or {}).items()
+            ):
+                first_at = entry.get("first_at")
+                done_at = entry.get("done_at")
+                streamed = (
+                    "yes"
+                    if first_at is not None
+                    and done_at is not None
+                    and first_at < done_at
+                    else "no"
+                )
+                lines.append(
+                    f"  {label}: chunks={entry.get('chunks', 0)}, "
+                    f"bytes={entry.get('bytes', 0)}, "
+                    f"rows={entry.get('rows', 0)}, streamed={streamed}"
+                )
         return "\n".join(lines)
 
 
@@ -191,6 +221,10 @@ class Query:
             )
         self._resolved_version = self._pipeline.structure.version
         self._cached_count: Optional[Tuple[int, int]] = None
+        # The most recent Answers handle this query produced, so
+        # explain() can report the observed transfer layout next to the
+        # cost-model estimates.
+        self._last_answers: Optional[Answers] = None
 
     # -- plan resolution ----------------------------------------------
 
@@ -342,7 +376,7 @@ class Query:
                 pin = self._db._pin_current(self._resolved_version)
                 if pin is not None:
                     break
-        return Answers(
+        handle = Answers(
             pipeline,
             backend=self._backend,
             skip_mode=self._skip_mode,
@@ -356,6 +390,8 @@ class Query:
             row_budget=limit,
             project_columns=project,
         )
+        self._last_answers = handle
+        return handle
 
     def answers_encoded(self, chunk_rows: Optional[int] = None) -> EncodedAnswers:
         """The answers as encoded columnar wire chunks.
@@ -411,7 +447,13 @@ class Query:
     # -- introspection -------------------------------------------------
 
     def explain(self) -> QueryPlan:
-        """The chosen plan: branches, shards, backend, cost estimates."""
+        """The chosen plan: branches, shards, backend, cost estimates.
+
+        After an :meth:`answers` handle from this query has actually
+        moved chunks, the plan additionally carries ``runtime`` — the
+        observed transfer layout (chunks shipped, bytes and rows
+        received, per-work-unit attribution with streamed-before-done
+        flags) from the handle's :class:`TransferStats`."""
         pipeline = self._resolve()
         plan = self._execution_plan(pipeline)
         if pipeline.trivial is not None:
@@ -464,7 +506,20 @@ class Query:
             transfer_costs=transfer_costs,
             at_version=self._resolved_version,
             pinned=self._snapshot is not None,
+            runtime=self._observed_runtime(),
         )
+
+    def _observed_runtime(self) -> Optional[dict]:
+        """The last handle's transfer report, if anything actually ran."""
+        handle = self._last_answers
+        if handle is None:
+            return None
+        stats = handle.transport_stats
+        if stats is None or not stats.chunks:
+            return None
+        runtime = stats.as_dict()
+        runtime["backend_used"] = handle.backend_used
+        return runtime
 
     def stats(self) -> dict:
         """Preprocessing statistics (graph size, branches, radii, ...)."""

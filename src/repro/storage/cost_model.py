@@ -124,7 +124,10 @@ def estimate_rows(list_sizes: Sequence[int]) -> int:
 
 
 def estimate_transfer_work(
-    list_sizes: Sequence[int], arity: int, bytes_per_value: int
+    list_sizes: Sequence[int],
+    arity: int,
+    bytes_per_value: int,
+    shard_sizes: Optional[Sequence[int]] = None,
 ) -> int:
     """RAM-step proxy for shipping one branch's answers to the parent.
 
@@ -132,8 +135,26 @@ def estimate_transfer_work(
     same pessimistic bound :func:`estimate_branch_work` uses); each
     answer moves ``arity * bytes_per_value`` bytes across the process
     boundary at :data:`TRANSFER_BYTES_PER_STEP` bytes per step.
+
+    ``shard_sizes`` — per-shard row counts when the branch is split
+    across region shards or work-unit slices — switches the estimate
+    from serialized to *overlapped* transfer: with the streaming chunk
+    mailbox every shard ships while the others still enumerate, so the
+    critical path is the largest shard plus the remainder amortized
+    across the pipeline, not the plain sum.  Without this, a
+    large-but-well-sharded workload ranks as expensive as an unsharded
+    one and the mode chooser misranks it against serial execution.
     """
     rows = estimate_rows(list_sizes)
+    if shard_sizes:
+        per_shard = [max(size, 0) for size in shard_sizes if size > 0]
+        if per_shard:
+            total = sum(per_shard)
+            # Scale the row bound by each shard's share, then take the
+            # overlapped critical path: max + (rest / lanes).
+            scaled = [rows * size // total for size in per_shard]
+            heaviest = max(scaled)
+            rows = heaviest + (sum(scaled) - heaviest) // len(scaled)
     return min(rows * arity * bytes_per_value // TRANSFER_BYTES_PER_STEP, _WORK_CAP)
 
 

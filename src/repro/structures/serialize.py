@@ -123,6 +123,38 @@ def fingerprint_full(structure: Structure) -> str:
     ).hexdigest()
 
 
+def region_fingerprint(structure: Structure, elements) -> str:
+    """Content hash of the substructure induced by ``elements``.
+
+    Exactly :func:`fingerprint_full` restricted to a region: the header
+    covers the kept elements in domain order, and only facts whose
+    components all lie in the region enter the accumulator — so the
+    result equals ``fingerprint(structure.induced_substructure(elements))``
+    without materializing the substructure.  :mod:`repro.shard` uses this
+    to identity per-shard pipeline caches against the full structure.
+    """
+    from repro.structures.structure import _FP_BYTES, _fact_digest
+
+    kept = set(elements)
+    header = hashlib.sha256()
+    for symbol in structure.signature:
+        header.update(f"{symbol.name}/{symbol.arity}".encode("utf-8"))
+        header.update(b"\x1f")
+    header.update(b"\x1e")
+    for element in structure.domain:
+        if element in kept:
+            header.update(repr(element).encode("utf-8"))
+            header.update(b"\x1f")
+    header.update(b"\x1e")
+    acc = 0
+    for name, fact in structure.iter_facts():
+        if all(component in kept for component in fact):
+            acc ^= _fact_digest(name, fact)
+    return hashlib.sha256(
+        header.digest() + acc.to_bytes(_FP_BYTES, "big")
+    ).hexdigest()
+
+
 def load(stream: TextIO) -> Structure:
     """Read a structure from a text stream."""
     signature = None

@@ -132,11 +132,27 @@ class TestTransferStats:
         stats = TransferStats()
         stats.record(100, 10)
         stats.record(50, 5)
-        assert stats.as_dict() == {
-            "chunks": 2,
-            "bytes_received": 150,
-            "rows": 15,
-        }
+        report = stats.as_dict()
+        assert report["chunks"] == 2
+        assert report["bytes_received"] == 150
+        assert report["rows"] == 15
+        assert report["first_chunk_at"] <= report["last_chunk_at"]
+        assert report["sources"] == {}
+
+    def test_per_source_attribution(self):
+        stats = TransferStats()
+        stats.record(100, 10, source="b0[0:]")
+        stats.record(60, 6, source="b0[0:]")
+        stats.record(50, 5, source="b1[0:]")
+        stats.note_done("b0[0:]", at=123.0)
+        stats.note_done("b1[0:]")
+        sources = stats.as_dict()["sources"]
+        assert sources["b0[0:]"]["chunks"] == 2
+        assert sources["b0[0:]"]["bytes"] == 160
+        assert sources["b0[0:]"]["rows"] == 16
+        assert sources["b0[0:]"]["done_at"] == 123.0
+        assert sources["b0[0:]"]["first_at"] <= sources["b0[0:]"]["last_at"]
+        assert sources["b1[0:]"]["done_at"] is not None
 
 
 def string_domain_structure() -> Structure:

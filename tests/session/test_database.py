@@ -160,6 +160,51 @@ class TestExplain:
         assert plan.backend == "thread"
         assert plan.shards, "parallel plans report their shard layout"
 
+    def test_runtime_absent_until_chunks_move(self, db):
+        q = db.query(EXAMPLE, backend="serial")
+        q.answers().all()
+        plan = q.explain()
+        # Serial execution is zero-copy: nothing crossed a transport,
+        # so there is no observed layout to report.
+        assert plan.runtime is None
+        assert "runtime:" not in plan.describe()
+
+    def test_runtime_describe_renders_per_source_streaming(self, db):
+        from dataclasses import replace
+
+        runtime = {
+            "chunks": 2,
+            "bytes_received": 64,
+            "rows": 10,
+            "sources": {
+                # First chunk before the unit finished: true streaming.
+                "b0[0:]": {
+                    "chunks": 1, "bytes": 32, "rows": 5,
+                    "first_at": 1.0, "last_at": 1.5, "done_at": 2.0,
+                },
+                # Everything arrived after the unit was done.
+                "b1[0:]": {
+                    "chunks": 1, "bytes": 32, "rows": 5,
+                    "first_at": 3.0, "last_at": 3.0, "done_at": 2.5,
+                },
+            },
+        }
+        plan = replace(db.query(EXAMPLE).explain(), runtime=runtime)
+        text = plan.describe()
+        assert "runtime: 2 chunk(s), 64 bytes, 10 rows received" in text
+        assert "b0[0:]: chunks=1, bytes=32, rows=5, streamed=yes" in text
+        assert "b1[0:]: chunks=1, bytes=32, rows=5, streamed=no" in text
+
+    def test_process_run_reports_observed_runtime(self, db):
+        q = db.query(EXAMPLE, backend="process", workers=2)
+        answers = q.answers()
+        rows = answers.all()
+        plan = q.explain()
+        assert plan.runtime is not None
+        assert plan.runtime["rows"] == len(rows)
+        assert plan.runtime["backend_used"] == "process"
+        assert "runtime:" in plan.describe()
+
 
 class TestAnswersHandle:
     def test_paging_matches_serial_order(self, db):

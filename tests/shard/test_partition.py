@@ -1,0 +1,162 @@
+"""Region partitioner: determinism, totality, balance, bridge merging.
+
+The layout invariants everything downstream leans on: every element is
+owned by exactly one shard, no Gaifman component is ever split across
+shards, shards are in domain order, and the whole assignment is a pure
+function of the structure's content.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import EngineError
+from repro.shard import RegionPartitioner, ShardLayout, merge_shards
+from repro.structures import Signature, Structure
+from repro.structures.gaifman_graph import connected_components
+from repro.structures.random_gen import random_colored_graph
+from repro.structures.serialize import fingerprint, region_fingerprint
+
+from strategies import disconnected_structures
+
+SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def islands(sizes, seed: int = 7) -> Structure:
+    """A colored graph of disjoint path components with the given sizes."""
+    total = sum(sizes)
+    db = Structure(Signature.of(E=2, B=1, R=1), range(total))
+    offset = 0
+    for size in sizes:
+        for position in range(size - 1):
+            db.add_fact("E", offset + position, offset + position + 1)
+        for position in range(size):
+            element = offset + position
+            db.add_fact("B" if (element + seed) % 2 == 0 else "R", element)
+        offset += size
+    return db
+
+
+def test_partition_is_deterministic(medium_colored):
+    partitioner = RegionPartitioner(shards=4)
+    first = partitioner.partition(medium_colored)
+    second = partitioner.partition(medium_colored)
+    assert first.shards == second.shards
+    assert first.owner == second.owner
+    assert first.components == second.components
+
+
+@given(db=disconnected_structures())
+@settings(max_examples=40, **SETTINGS)
+def test_owner_totality_and_component_atomicity(db):
+    layout = RegionPartitioner(shards=3).partition(db)
+    # Every element owned exactly once; shards partition the domain.
+    seen = set()
+    for index, shard in enumerate(layout.shards):
+        for element in shard:
+            assert layout.shard_of(element) == index
+            assert element not in seen
+            seen.add(element)
+    assert seen == set(db.domain)
+    assert sum(layout.sizes()) == db.cardinality
+    # Shards stay in domain order.
+    rank = db.order.rank
+    for shard in layout.shards:
+        assert list(shard) == sorted(shard, key=rank)
+    # A component is the atomic placement unit: never split.
+    for component in connected_components(db):
+        owners = {layout.shard_of(element) for element in component}
+        assert len(owners) == 1
+    assert len(layout) == min(3, layout.components)
+
+
+def test_lpt_balances_skewed_components():
+    db = islands([5, 3, 3, 2, 1])
+    layout = RegionPartitioner(shards=2).partition(db)
+    # LPT over sizes [5, 3, 3, 2, 1] into two bins lands at (7, 7).
+    assert sorted(layout.sizes()) == [7, 7]
+
+
+def test_more_shards_than_components_caps_at_components():
+    db = islands([4, 4])
+    layout = RegionPartitioner(shards=8).partition(db)
+    assert len(layout) == 2
+    assert layout.components == 2
+
+
+def test_single_element_structure_is_one_shard():
+    db = Structure(Signature.of(E=2, B=1), (0,))
+    layout = RegionPartitioner(shards=4).partition(db)
+    assert layout.shards == ((0,),)
+    assert layout.components == 1
+
+
+def test_empty_layout_is_well_formed():
+    layout = ShardLayout((), {}, 0)
+    assert len(layout) == 0
+    assert layout.sizes() == ()
+    assert layout.shards_of(()) == frozenset()
+
+
+def test_shard_of_unknown_element_raises():
+    layout = RegionPartitioner(shards=2).partition(islands([3, 2]))
+    with pytest.raises(EngineError):
+        layout.shard_of("nope")
+
+
+def test_partitioner_validates_arguments():
+    with pytest.raises(EngineError):
+        RegionPartitioner(shards=0)
+    with pytest.raises(EngineError):
+        RegionPartitioner(shards=2, radius=-1)
+
+
+def test_induced_substructures_match_region_fingerprints():
+    db = islands([6, 5, 4, 3, 2])
+    layout = RegionPartitioner(shards=3).partition(db)
+    assert len(layout) == 3
+    for shard in layout.shards:
+        induced = db.induced_substructure(shard)
+        assert fingerprint(induced) == region_fingerprint(db, shard)
+
+
+def test_merge_shards_collapses_groups_onto_lowest_index():
+    db = islands([3, 3, 3, 3])
+    layout = RegionPartitioner(shards=4).partition(db)
+    assert len(layout) == 4
+    merged = merge_shards(layout, [{1, 3}], db.order.rank)
+    assert len(merged) == 3
+    # The merged shard holds both originals' elements, in domain order.
+    expected = sorted(layout.shards[1] + layout.shards[3], key=db.order.rank)
+    combined = [
+        shard
+        for shard in merged.shards
+        if set(shard) == set(expected)
+    ]
+    assert combined and list(combined[0]) == expected
+    # Owner map is consistent with the new shards.
+    for index, shard in enumerate(merged.shards):
+        for element in shard:
+            assert merged.shard_of(element) == index
+    assert sum(merged.sizes()) == db.cardinality
+
+
+def test_merge_shards_is_transitive_across_groups():
+    db = islands([2, 2, 2, 2])
+    layout = RegionPartitioner(shards=4).partition(db)
+    merged = merge_shards(layout, [{0, 1}, {1, 2}], db.order.rank)
+    # {0,1} and {1,2} chain into one shard: 4 -> 2.
+    assert len(merged) == 2
+    owners = {merged.shard_of(element) for element in layout.shards[0]}
+    owners |= {merged.shard_of(element) for element in layout.shards[2]}
+    assert len(owners) == 1
+
+
+def test_layout_repr_mentions_sizes():
+    layout = RegionPartitioner(shards=2).partition(islands([3, 2]))
+    assert isinstance(layout, ShardLayout)
+    assert "sizes=" in repr(layout)

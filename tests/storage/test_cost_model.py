@@ -98,6 +98,48 @@ class TestTransferTerm:
             == "thread"
         )
 
+    def test_shard_sizes_overlap_lowers_the_estimate(self):
+        serialized = estimate_transfer_work([1000, 100], 2, 4)
+        overlapped = estimate_transfer_work(
+            [1000, 100], 2, 4, shard_sizes=[1, 1, 1, 1]
+        )
+        assert 0 < overlapped < serialized
+
+    def test_shard_sizes_follow_the_critical_path(self):
+        # rows=1000, shares [500, 250, 250]: the overlapped bound is the
+        # heaviest shard plus the remainder amortized across the lanes —
+        # 500 + (250 + 250) // 3 = 666 rows of the serialized 1000.
+        serialized = estimate_transfer_work([1000], 1, 8)
+        overlapped = estimate_transfer_work(
+            [1000], 1, 8, shard_sizes=[2, 1, 1]
+        )
+        assert serialized == 1000
+        assert overlapped == 666
+
+    def test_skewed_shards_overlap_less_than_balanced_ones(self):
+        balanced = estimate_transfer_work(
+            [1000], 1, 8, shard_sizes=[1, 1, 1, 1]
+        )
+        skewed = estimate_transfer_work(
+            [1000], 1, 8, shard_sizes=[97, 1, 1, 1]
+        )
+        assert balanced < skewed < estimate_transfer_work([1000], 1, 8)
+
+    def test_degenerate_shard_sizes_fall_back_to_serialized(self):
+        serialized = estimate_transfer_work([1000], 2, 4)
+        assert (
+            estimate_transfer_work([1000], 2, 4, shard_sizes=[])
+            == serialized
+        )
+        assert (
+            estimate_transfer_work([1000], 2, 4, shard_sizes=[0, 0])
+            == serialized
+        )
+        assert (
+            estimate_transfer_work([1000], 2, 4, shard_sizes=[5])
+            == serialized
+        )
+
 
 class TestDefaultChunkRows:
     def test_clamped_to_bounds(self):

@@ -31,6 +31,7 @@ from repro.fo.syntax import (
 )
 from repro.structures.random_gen import random_colored_graph, random_structure
 from repro.structures.signature import Signature
+from repro.structures.structure import Structure
 
 VARIABLE_POOL = [Var("x"), Var("y"), Var("z"), Var("w"), Var("v")]
 
@@ -74,6 +75,40 @@ def structures(draw, max_n: int = 16, max_degree: int = 3):
     return random_colored_graph(
         n, max_degree=degree, edge_density=density, seed=seed
     )
+
+
+@st.composite
+def disconnected_structures(
+    draw, max_components: int = 5, max_component_n: int = 6
+):
+    """A colored graph assembled from several disjoint islands.
+
+    Each island is an independent random colored graph renumbered into
+    its own integer range, so the Gaifman graph has *at least*
+    ``len(islands)`` connected components (density may split an island
+    further) — the workload family the region partitioner is built for.
+    """
+    count = draw(st.integers(min_value=2, max_value=max_components))
+    pieces = []
+    for _ in range(count):
+        n = draw(st.integers(min_value=1, max_value=max_component_n))
+        seed = draw(st.integers(min_value=0, max_value=2**16))
+        pieces.append(
+            random_colored_graph(
+                n, max_degree=2, edge_density=0.9, seed=seed
+            )
+        )
+    total = sum(piece.cardinality for piece in pieces)
+    db = Structure(Signature.of(E=2, B=1, R=1), range(total))
+    offset = 0
+    for piece in pieces:
+        for color in ("B", "R"):
+            for (element,) in piece.facts(color):
+                db.add_fact(color, element + offset)
+        for left, right in piece.facts("E"):
+            db.add_fact("E", left + offset, right + offset)
+        offset += piece.cardinality
+    return db
 
 
 @st.composite
